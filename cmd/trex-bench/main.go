@@ -1,0 +1,55 @@
+// Command trex-bench regenerates every experiment of the reproduction
+// (DESIGN.md §4) and prints paper-vs-measured rows. EXPERIMENTS.md is
+// produced from this tool's output.
+//
+// Usage:
+//
+//	trex-bench -exp all
+//	trex-bench -exp fig1          # one experiment
+//	trex-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id or 'all'")
+		list = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Printf("%-12s %s\n", id, bench.Describe(id))
+		}
+		return
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.IDs()
+	}
+	for _, id := range ids {
+		if err := runOne(os.Stdout, id); err != nil {
+			fmt.Fprintf(os.Stderr, "trex-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(w io.Writer, id string) error {
+	fmt.Fprintf(w, "\n================ %s: %s ================\n", id, bench.Describe(id))
+	start := time.Now()
+	if err := bench.Run(w, id); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	return nil
+}

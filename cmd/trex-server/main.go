@@ -1,0 +1,35 @@
+// Command trex-server runs the T-REx web demo: the three screens of the
+// paper's Figure 3 (input, repair, explanation) backed by the JSON API of
+// internal/server.
+//
+// Usage:
+//
+//	trex-server -addr :8080
+//
+// then open http://localhost:8080/. The page is pre-filled with the
+// paper's La Liga example.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Printf("T-REx demo listening on %s\n", *addr)
+	if err := server.New().ListenAndServe(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "trex-server:", err)
+		os.Exit(1)
+	}
+}

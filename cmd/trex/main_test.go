@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestCLILaLigaRepair(t *testing.T) {
+	out, err := runCLI(t, "-laliga")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== Clean table ==", "t5[Country]: España -> Spain", "t5[City]: Capital -> Madrid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCLIExplainConstraints(t *testing.T) {
+	out, err := runCLI(t, "-laliga", "-explain", "t5[Country]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1. C3") || !strings.Contains(out, "+0.6667") {
+		t.Errorf("constraint explanation wrong:\n%s", out)
+	}
+}
+
+func TestCLIExplainCells(t *testing.T) {
+	out, err := runCLI(t, "-laliga", "-explain", "t5[Country]", "-kind", "cells", "-samples", "400", "-seed", "42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t5[League]") {
+		t.Errorf("cell explanation wrong:\n%s", out)
+	}
+}
+
+func TestCLIFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "t.csv")
+	dcsPath := filepath.Join(dir, "dcs.txt")
+	if err := os.WriteFile(csvPath, []byte("A,B\nx,1\nx,2\nx,1\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dcsPath, []byte("C1: !(t1.A = t2.A & t1.B != t2.B)\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-table", csvPath, "-dcs", dcsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t2[B]: 2 -> 1") {
+		t.Errorf("file-based repair wrong:\n%s", out)
+	}
+}
+
+func TestCLIAlgorithms(t *testing.T) {
+	for _, alg := range []string{"algorithm1", "holosim", "greedy-holistic", "fd-chase"} {
+		if _, err := runCLI(t, "-laliga", "-alg", alg); err != nil {
+			t.Errorf("alg %s: %v", alg, err)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no input selected
+		{"-laliga", "-alg", "nope"},         // unknown algorithm
+		{"-laliga", "-explain", "bogus"},    // bad cell ref
+		{"-laliga", "-explain", "t1[Team]"}, // unrepaired cell
+		{"-laliga", "-explain", "t5[Country]", "-kind", "nope"}, // bad kind
+		{"-table", "/nonexistent.csv", "-dcs", "/nonexistent.txt"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v must error", args)
+		}
+	}
+}

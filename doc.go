@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "T-REx: Table Repair
+// Explanations" (Deutch, Frost, Gilad, Sheffer — SIGMOD 2020 demo,
+// arXiv:2007.04450).
+//
+// The system explains the output of a black-box table-repair algorithm
+// with Shapley values: given a repaired cell of interest, it ranks the
+// denial constraints and the input table cells by their contribution to
+// that repair. See README.md for the tour, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Layout:
+//
+//	internal/table      typed in-memory tables, CSV, statistics, diffs
+//	internal/dc         denial-constraint language and evaluation
+//	internal/dcdiscover FastDCs-flavoured constraint mining
+//	internal/repair     the black boxes: Algorithm 1, HoloSim, baselines
+//	internal/shapley    exact and sampled Shapley computation
+//	internal/core       the T-REx engine: games, explainer, sessions
+//	internal/data       La Liga example, generators, error injection
+//	internal/server     HTTP API + embedded GUI (Figure 3/4)
+//	internal/bench      experiment implementations (DESIGN.md §4)
+//	cmd/trex            CLI repair + explain
+//	cmd/trex-server     web demo
+//	cmd/trex-bench      regenerates every experiment
+//	examples/           runnable walkthroughs of the public API
+package repro

@@ -1,0 +1,87 @@
+// Demo scenario 2 (§4 of the paper): a cell is repaired to the WRONG value
+// because other dirty cells outvote the truth. The cell ranking points at
+// the culprits; correcting the top-ranked culprit fixes the repair.
+//
+//	go run ./examples/celldebug
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dc"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+func main() {
+	// Three of four La Liga rows spell the country wrong; majority voting
+	// will therefore "repair" the typo in row 4 to another wrong value.
+	dirty := table.MustFromStrings(
+		[]string{"Team", "City", "Country", "League", "Year", "Place"},
+		[][]string{
+			{"Espanyol", "Barcelona", "España", "La Liga", "2019", "1"},
+			{"Getafe", "Getafe", "España", "La Liga", "2019", "2"},
+			{"Levante", "Valencia", "Spain", "La Liga", "2019", "3"},
+			{"Eibar", "Eibar", "Spein", "La Liga", "2019", "4"},
+		})
+	dcs, err := dc.ParseSet("C3: !(t1.League = t2.League & t1.Country != t2.Country)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := core.NewSession(repair.NewAlgorithm1(), dcs, dirty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cell, err := dirty.ParseRefName("t4[Country]")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clean, _, err := sess.Repair(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t4[Country] (\"Spein\") is repaired to %q — the ground truth is \"Spain\".\n", clean.GetRef(cell))
+	fmt.Println("why? ask T-REx for the influencing cells:")
+
+	report, err := sess.Explainer().ExplainCells(ctx, cell, core.CellExplainOptions{Samples: 3000, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, e := range report.Entries {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("%3d. %-14s %+.4f\n", i+1, e.Name, e.Shapley)
+	}
+	fmt.Println("\nreading the ranking: t4[League] is the veto player (no League link,")
+	fmt.Println("no repair at all); right behind it sit the España cells that supplied")
+	fmt.Println("the wrong majority value.")
+
+	// Correct the highest-ranked Country culprit and re-run.
+	var culprit string
+	for _, e := range report.Entries {
+		if strings.Contains(e.Name, "[Country]") && e.Name != "t4[Country]" && e.Shapley > 0 {
+			culprit = e.Name
+			break
+		}
+	}
+	ref, err := sess.Dirty().ParseRefName(culprit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.SetCell(ref, table.String("Spain")); err != nil {
+		log.Fatal(err)
+	}
+	fixed, _, err := sess.Repair(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter correcting %s to \"Spain\", t4[Country] repairs to %q — fixed.\n",
+		culprit, fixed.GetRef(cell))
+}

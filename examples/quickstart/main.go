@@ -1,0 +1,87 @@
+// Quickstart: repair a small dirty table and explain one repaired cell in
+// under a minute.
+//
+//	go run ./examples/quickstart
+//
+// The walkthrough builds a table in code, declares two denial constraints,
+// runs the rule repairer, and prints both explanation rankings for the one
+// repaired cell.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dc"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+func main() {
+	// 1. A dirty table: the zip code 10001 should determine the city, but
+	// row 3 disagrees.
+	dirty := table.MustFromStrings(
+		[]string{"Name", "Zip", "City"},
+		[][]string{
+			{"Ada", "10001", "New York"},
+			{"Ben", "10001", "New York"},
+			{"Cal", "10001", "Now York"}, // typo
+			{"Dee", "94103", "San Francisco"},
+		})
+
+	// 2. Constraints: Zip -> City as a denial constraint, plus an
+	// (irrelevant here) Name key constraint.
+	dcs, err := dc.ParseSet(`
+Z1: !(t1.Zip = t2.Zip & t1.City != t2.City)
+N1: !(t1.Name = t2.Name & t1.Zip != t2.Zip)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A black-box repairer. Any repair.Algorithm works; rules derived
+	// from the constraints are the simplest choice.
+	alg := repair.NewRuleRepair(dcs)
+
+	// 4. The explainer ties the three inputs together.
+	exp, err := core.NewExplainer(alg, dcs, dirty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	clean, diffs, err := exp.Repair(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("clean table:")
+	fmt.Print(clean)
+	fmt.Println("\nrepaired cells:")
+	fmt.Print(table.FormatDiffs(dirty, diffs))
+
+	// 5. Explain the repair of t3[City]: which constraints and which cells
+	// made it happen?
+	cell, err := dirty.ParseRefName("t3[City]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	constraints, err := exp.ExplainConstraints(ctx, cell)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(constraints)
+
+	cells, err := exp.ExplainCells(ctx, cell, core.CellExplainOptions{Samples: 2000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(cells)
+
+	fmt.Println("\nreading the output: Z1 carries the whole constraint ranking, and the")
+	fmt.Println("agreeing (Zip, City) cells of rows 1-2 top the cell ranking — they")
+	fmt.Println("are the evidence the repair used.")
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dc"
+	"repro/internal/repair"
+	"repro/internal/shapley"
+	"repro/internal/table"
+)
+
+// toyExplainer builds a small instance whose exact cell Shapley values are
+// enumerable: n rows over (A, B) with one FD and one dirty cell.
+func toyExplainer(rows int) (*core.Explainer, table.CellRef, error) {
+	grid := make([][]string, rows)
+	for i := range grid {
+		grid[i] = []string{"x", "1"}
+	}
+	grid[1][1] = "2" // the dirty cell
+	tbl := table.MustFromStrings([]string{"A", "B"}, grid)
+	cs, err := dc.ParseSet("C1: !(t1.A = t2.A & t1.B != t2.B)")
+	if err != nil {
+		return nil, table.CellRef{}, err
+	}
+	exp, err := core.NewExplainer(repair.NewRuleRepair(cs), cs, tbl)
+	return exp, table.CellRef{Row: 1, Col: 1}, err
+}
+
+// runConvergence measures sampling error against exact values as the
+// sample budget m grows (E6). Two games are used: the 4-player constraint
+// game of Figure 1 and a 7-player exact cell game on a toy table.
+func runConvergence(w io.Writer) error {
+	ctx := context.Background()
+
+	// Constraint game.
+	exp, ll, err := paperExplainer()
+	if err != nil {
+		return err
+	}
+	target, _, err := exp.Target(ctx, ll.CellOfInterest)
+	if err != nil {
+		return err
+	}
+	cgame := shapley.NewCached(exp.NewConstraintGame(ll.CellOfInterest, target))
+	cexact, err := shapley.ExactSubsets(ctx, cgame)
+	if err != nil {
+		return err
+	}
+
+	// Toy cell game (4 rows × 2 cols = 8 cells, 7 players after pinning).
+	toy, dirtyCell, err := toyExplainer(4)
+	if err != nil {
+		return err
+	}
+	ttarget, _, err := toy.Target(ctx, dirtyCell)
+	if err != nil {
+		return err
+	}
+	tgame := toy.NewCellGame(dirtyCell, ttarget, core.ReplaceWithNull)
+	texact, err := shapley.ExactSubsets(ctx, shapley.NewCached(tgame))
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%-8s %-22s %-22s\n", "m", "constraint-game MAE", "cell-game MAE")
+	fmt.Fprintf(w, "%-8s %-22s %-22s\n", "", "(4 players, Figure 1)", "(7 players, toy FD)")
+	prevC, prevT := math.Inf(1), math.Inf(1)
+	monotoneish := true
+	for _, m := range []int{16, 64, 256, 1024, 4096, 16384} {
+		cests, err := shapley.SampleAll(ctx, shapley.Deterministic{G: cgame}, shapley.Options{Samples: m, Seed: 7})
+		if err != nil {
+			return err
+		}
+		tests, err := shapley.SampleAll(ctx, shapley.Deterministic{G: tgame}, shapley.Options{Samples: m, Seed: 7})
+		if err != nil {
+			return err
+		}
+		cmae := mae(cests, cexact)
+		tmae := mae(tests, texact)
+		fmt.Fprintf(w, "%-8d %-22.5f %-22.5f\n", m, cmae, tmae)
+		if m >= 1024 && (cmae > prevC*2 || tmae > prevT*2) {
+			monotoneish = false
+		}
+		prevC, prevT = cmae, tmae
+	}
+	fmt.Fprintf(w, "error shrinks with m (paper: Monte-Carlo convergence): %s\n", checkMark(monotoneish && prevC < 0.02 && prevT < 0.02))
+	return nil
+}
+
+func mae(ests []shapley.Estimate, exact []float64) float64 {
+	s := 0.0
+	for i := range exact {
+		s += math.Abs(ests[i].Mean - exact[i])
+	}
+	return s / float64(len(exact))
+}
+
+// runExactVsSampling contrasts the exponential exact enumeration with
+// linear-in-m sampling on growing toy cell games (E9).
+func runExactVsSampling(w io.Writer) error {
+	ctx := context.Background()
+	fmt.Fprintf(w, "%-8s %-10s %-14s %-14s\n", "players", "2^n evals", "exact time", "sampling time (m=2000)")
+	for _, rows := range []int{3, 4, 5, 6, 7, 8} {
+		exp, dirtyCell, err := toyExplainer(rows)
+		if err != nil {
+			return err
+		}
+		target, _, err := exp.Target(ctx, dirtyCell)
+		if err != nil {
+			return err
+		}
+		game := exp.NewCellGame(dirtyCell, target, core.ReplaceWithNull)
+		n := game.NumPlayers()
+
+		start := time.Now()
+		if _, err := shapley.ExactSubsets(ctx, game); err != nil {
+			return err
+		}
+		exactTime := time.Since(start)
+
+		start = time.Now()
+		if _, err := shapley.SampleAll(ctx, shapley.Deterministic{G: game}, shapley.Options{Samples: 2000 / (n + 1), Seed: 1}); err != nil {
+			return err
+		}
+		sampleTime := time.Since(start)
+
+		fmt.Fprintf(w, "%-8d %-10d %-14v %-14v\n", n, 1<<uint(n), exactTime.Round(time.Microsecond), sampleTime.Round(time.Microsecond))
+	}
+	fmt.Fprintln(w, "exact cost doubles per player while the sampling budget is fixed —")
+	fmt.Fprintln(w, "the paper's design choice: exact for (few) DCs, sampling for (many) cells.")
+	return nil
+}
+
+// runCache quantifies the coalition cache (E10).
+func runCache(w io.Writer) error {
+	ctx := context.Background()
+	ll, alg := dataLaLiga()
+	exp, err := core.NewExplainer(countingAlg{alg: alg, calls: new(int)}, ll.DCs, ll.Dirty)
+	if err != nil {
+		return err
+	}
+	target, _, err := exp.Target(ctx, ll.CellOfInterest)
+	if err != nil {
+		return err
+	}
+
+	// Without cache: ExactOne per constraint re-runs shared coalitions.
+	raw := exp.NewConstraintGame(ll.CellOfInterest, target)
+	counter := exp.Alg.(countingAlg)
+	*counter.calls = 0
+	for p := 0; p < raw.NumPlayers(); p++ {
+		if _, err := shapley.ExactOne(ctx, raw, p); err != nil {
+			return err
+		}
+	}
+	uncached := *counter.calls
+
+	*counter.calls = 0
+	cached := shapley.NewCached(raw)
+	for p := 0; p < raw.NumPlayers(); p++ {
+		if _, err := shapley.ExactOne(ctx, cached, p); err != nil {
+			return err
+		}
+	}
+	withCache := *counter.calls
+	hits, misses := cached.Stats()
+
+	fmt.Fprintf(w, "black-box calls, ExactOne for all 4 DCs, no cache:   %d\n", uncached)
+	fmt.Fprintf(w, "black-box calls, ExactOne for all 4 DCs, with cache: %d (hits %d, misses %d)\n", withCache, hits, misses)
+	fmt.Fprintf(w, "call reduction: %.1fx %s\n", float64(uncached)/float64(withCache),
+		checkMark(withCache == 16 && uncached == 64))
+	return nil
+}
+
+// countingAlg wraps an algorithm and counts Repair invocations.
+type countingAlg struct {
+	alg   repair.Algorithm
+	calls *int
+}
+
+func (c countingAlg) Name() string { return c.alg.Name() }
+
+func (c countingAlg) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
+	*c.calls++
+	return c.alg.Repair(ctx, cs, dirty)
+}

@@ -1,0 +1,252 @@
+// Package core is the T-REx engine: it glues a black-box repair algorithm,
+// a set of denial constraints and a dirty table to the Shapley machinery
+// and produces ranked explanations for the repair of a chosen cell —
+// the system of Figure 4 in the paper.
+//
+// The two games of §2.2 are built here:
+//
+//   - ConstraintGame: players are the DCs, the table is fixed, and
+//     v(S) = Alg|t[A](S, T_d). Constraint counts are small, so Shapley
+//     values are computed exactly (subset enumeration, memoized).
+//   - CellGame: players are the cells of T_d, the constraint set is fixed,
+//     and a cell outside the coalition is nulled (the paper's formal
+//     definition) or resampled from its column distribution (the
+//     Example 2.5 sampling procedure). Cell counts are large, so Shapley
+//     values are approximated by permutation sampling.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dc"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+// Explainer wires the three inputs of T-REx (Figure 4): the repair
+// algorithm, the constraint set, and the dirty table.
+type Explainer struct {
+	// Alg is the black-box repair algorithm.
+	Alg repair.Algorithm
+	// DCs is the constraint set handed to the algorithm.
+	DCs []*dc.Constraint
+	// Dirty is T_d.
+	Dirty *table.Table
+}
+
+// NewExplainer validates the inputs and builds an Explainer.
+func NewExplainer(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Table) (*Explainer, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("core: nil repair algorithm")
+	}
+	if dirty == nil || dirty.NumRows() == 0 {
+		return nil, fmt.Errorf("core: empty dirty table")
+	}
+	if err := dc.ValidateSet(dcs, dirty.Schema()); err != nil {
+		return nil, err
+	}
+	return &Explainer{Alg: alg, DCs: dcs, Dirty: dirty}, nil
+}
+
+// Repair runs the black box on the full input and returns the clean table
+// together with the repaired cells (the "blue cells" of Figure 2b).
+func (e *Explainer) Repair(ctx context.Context) (*table.Table, []table.CellDiff, error) {
+	clean, err := e.Alg.Repair(ctx, e.DCs, e.Dirty)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: repairing: %w", err)
+	}
+	if clean.NumRows() != e.Dirty.NumRows() || clean.NumCols() != e.Dirty.NumCols() {
+		return nil, nil, fmt.Errorf("core: black box %s changed table shape", e.Alg.Name())
+	}
+	diffs, err := table.Diff(e.Dirty, clean)
+	if err != nil {
+		return nil, nil, err
+	}
+	return clean, diffs, nil
+}
+
+// Target returns the clean value the full input assigns to the cell of
+// interest and whether the cell was repaired at all (unchanged cells have
+// nothing to explain).
+func (e *Explainer) Target(ctx context.Context, cell table.CellRef) (table.Value, bool, error) {
+	clean, _, err := e.Repair(ctx)
+	if err != nil {
+		return table.Null(), false, err
+	}
+	target := clean.GetRef(cell)
+	repaired := !e.Dirty.GetRef(cell).SameContent(target)
+	return target, repaired, nil
+}
+
+// ConstraintGame is the DC game of §2.2: player i is e.DCs[i], and
+// v(S) = 1 iff running the black box with only the constraints in S repairs
+// the cell of interest to the target value.
+type ConstraintGame struct {
+	exp    *Explainer
+	cell   table.CellRef
+	target table.Value
+}
+
+// NewConstraintGame builds the constraint game for a cell of interest.
+// target must be the clean value from Target.
+func (e *Explainer) NewConstraintGame(cell table.CellRef, target table.Value) *ConstraintGame {
+	return &ConstraintGame{exp: e, cell: cell, target: target}
+}
+
+// NumPlayers implements shapley.Game.
+func (g *ConstraintGame) NumPlayers() int { return len(g.exp.DCs) }
+
+// Value implements shapley.Game.
+func (g *ConstraintGame) Value(ctx context.Context, coalition []bool) (float64, error) {
+	subset := make([]*dc.Constraint, 0, len(g.exp.DCs))
+	for i, in := range coalition {
+		if in {
+			subset = append(subset, g.exp.DCs[i])
+		}
+	}
+	return repair.CellRepaired(ctx, g.exp.Alg, subset, g.exp.Dirty, g.cell, g.target)
+}
+
+// ReplacementPolicy selects what happens to cells outside a coalition in
+// the cell game.
+type ReplacementPolicy uint8
+
+const (
+	// ReplaceWithNull nulls absent cells — the paper's formal definition
+	// ("∀tj[C] ∈ T_d \ S. tj[C] = null"). Deterministic.
+	ReplaceWithNull ReplacementPolicy = iota
+	// ReplaceFromColumn draws absent cells from their column's empirical
+	// distribution — the Example 2.5 sampling procedure. Stochastic.
+	ReplaceFromColumn
+)
+
+// CellGame is the cell game of §2.2: player k is the k-th cell of T_d in
+// vectorization order, and v(S) = 1 iff the black box, run on the table
+// with absent cells replaced per the policy, repairs the cell of interest
+// to the target value.
+//
+// The cell of interest itself is pinned: it keeps its dirty value in every
+// coalition and is not a player. The repair event "España → Spain" is
+// undefined on a table that does not contain the España being repaired;
+// pinning makes the game well-defined and reproduces the ranking of
+// Example 2.4 (t5[League] on top). Treating the cell of interest as a
+// player instead makes it an almost-veto player that dominates the ranking
+// — an artifact, not an explanation (see EXPERIMENTS.md E5).
+type CellGame struct {
+	exp    *Explainer
+	cell   table.CellRef
+	target table.Value
+	policy ReplacementPolicy
+	stats  *table.Stats
+	// players maps player index -> cell; defaults to all cells.
+	players []table.CellRef
+}
+
+// NewCellGame builds the cell game for a cell of interest; target must be
+// the clean value from Target.
+func (e *Explainer) NewCellGame(cell table.CellRef, target table.Value, policy ReplacementPolicy) *CellGame {
+	g := &CellGame{
+		exp:    e,
+		cell:   cell,
+		target: target,
+		policy: policy,
+		stats:  table.NewStats(e.Dirty),
+	}
+	g.RestrictPlayers(e.Dirty.Cells())
+	return g
+}
+
+// RestrictPlayers scopes the game to the given cells (players become
+// 0..len(cells)-1 in order); other cells stay at their dirty values in
+// every coalition. Restricting to the cells a game can actually depend on
+// leaves Shapley values of the kept players unchanged when the dropped
+// cells are dummies (see TestDummyDoesNotPerturbOthersProperty), and makes
+// exact enumeration feasible on small instances. The pinned cell of
+// interest is filtered out if present.
+func (g *CellGame) RestrictPlayers(cells []table.CellRef) {
+	g.players = g.players[:0]
+	for _, ref := range cells {
+		if ref != g.cell {
+			g.players = append(g.players, ref)
+		}
+	}
+}
+
+// Players returns the cells acting as players, in player order.
+func (g *CellGame) Players() []table.CellRef {
+	return append([]table.CellRef(nil), g.players...)
+}
+
+// NumPlayers implements shapley.Game and shapley.StochasticGame.
+func (g *CellGame) NumPlayers() int { return len(g.players) }
+
+// Value implements shapley.Game under the deterministic null policy.
+// It errors for ReplaceFromColumn, which needs an RNG — use SampleValue.
+func (g *CellGame) Value(ctx context.Context, coalition []bool) (float64, error) {
+	if g.policy != ReplaceWithNull {
+		return 0, fmt.Errorf("core: deterministic Value requires ReplaceWithNull; use SampleValue for ReplaceFromColumn")
+	}
+	return g.eval(ctx, coalition, nil)
+}
+
+// SampleValue implements shapley.StochasticGame: absent cells are replaced
+// per the policy, with randomness (if any) drawn from rng.
+func (g *CellGame) SampleValue(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	return g.eval(ctx, coalition, rng)
+}
+
+func (g *CellGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	masked := g.exp.Dirty.Clone()
+	for k, in := range coalition {
+		if in {
+			continue
+		}
+		ref := g.players[k]
+		switch g.policy {
+		case ReplaceWithNull:
+			masked.SetRef(ref, table.Null())
+		case ReplaceFromColumn:
+			if rng == nil {
+				return 0, fmt.Errorf("core: ReplaceFromColumn needs an RNG")
+			}
+			v, ok := g.stats.Column(ref.Col).Sample(rng)
+			if !ok {
+				v = table.Null()
+			}
+			masked.SetRef(ref, v)
+		default:
+			return 0, fmt.Errorf("core: unknown replacement policy %d", g.policy)
+		}
+	}
+	return repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, masked, g.cell, g.target)
+}
+
+// RelevantCells returns the cells that can plausibly influence the repair
+// of the cell of interest under the constraint set: every cell in a column
+// mentioned by some constraint, plus the full row of the cell of interest,
+// excluding the (pinned) cell of interest itself. Cells outside this set
+// are dummies for constraint-driven repairers (they never enter a
+// violation check), so restricting the game to them preserves Shapley
+// values while shrinking the player space.
+func (e *Explainer) RelevantCells(cell table.CellRef) []table.CellRef {
+	cols := make(map[int]bool)
+	for _, c := range e.DCs {
+		for _, attr := range c.Attributes() {
+			if idx, ok := e.Dirty.Schema().Index(attr); ok {
+				cols[idx] = true
+			}
+		}
+	}
+	var out []table.CellRef
+	for _, ref := range e.Dirty.Cells() {
+		if ref == cell {
+			continue
+		}
+		if cols[ref.Col] || ref.Row == cell.Row {
+			out = append(out, ref)
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/repair"
+	"repro/internal/shapley"
+	"repro/internal/table"
+)
+
+// CellGroup is a named set of cells treated as one Shapley player. Rows
+// and columns are the natural groupings for tables: "how much did tuple t3
+// as a whole contribute to this repair?" is often the question a user
+// actually has, and grouping divides the player count by the table width.
+type CellGroup struct {
+	// Name labels the group in reports, e.g. "row t3" or "col Country".
+	Name string
+	// Cells are the member cells.
+	Cells []table.CellRef
+}
+
+// RowGroups partitions the dirty table into one group per row, excluding
+// the cell of interest from its row's group (it stays pinned).
+func (e *Explainer) RowGroups(cell table.CellRef) []CellGroup {
+	groups := make([]CellGroup, 0, e.Dirty.NumRows())
+	for i := 0; i < e.Dirty.NumRows(); i++ {
+		g := CellGroup{Name: fmt.Sprintf("row t%d", i+1)}
+		for j := 0; j < e.Dirty.NumCols(); j++ {
+			ref := table.CellRef{Row: i, Col: j}
+			if ref != cell {
+				g.Cells = append(g.Cells, ref)
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// ColumnGroups partitions the dirty table into one group per column,
+// excluding the cell of interest from its column's group.
+func (e *Explainer) ColumnGroups(cell table.CellRef) []CellGroup {
+	groups := make([]CellGroup, 0, e.Dirty.NumCols())
+	for j := 0; j < e.Dirty.NumCols(); j++ {
+		g := CellGroup{Name: "col " + e.Dirty.Schema().Col(j).Name}
+		for i := 0; i < e.Dirty.NumRows(); i++ {
+			ref := table.CellRef{Row: i, Col: j}
+			if ref != cell {
+				g.Cells = append(g.Cells, ref)
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// GroupGame is the cell game lifted to groups: player k present means
+// every cell of groups[k] keeps its dirty value; absent means all of them
+// are replaced per the policy. The cell of interest is pinned as in
+// CellGame.
+type GroupGame struct {
+	exp    *Explainer
+	cell   table.CellRef
+	target table.Value
+	policy ReplacementPolicy
+	stats  *table.Stats
+	groups []CellGroup
+}
+
+// NewGroupGame builds the group game; target must come from Target.
+func (e *Explainer) NewGroupGame(cell table.CellRef, target table.Value, policy ReplacementPolicy, groups []CellGroup) *GroupGame {
+	cleaned := make([]CellGroup, len(groups))
+	for k, g := range groups {
+		cg := CellGroup{Name: g.Name}
+		for _, ref := range g.Cells {
+			if ref != cell {
+				cg.Cells = append(cg.Cells, ref)
+			}
+		}
+		cleaned[k] = cg
+	}
+	return &GroupGame{
+		exp:    e,
+		cell:   cell,
+		target: target,
+		policy: policy,
+		stats:  table.NewStats(e.Dirty),
+		groups: cleaned,
+	}
+}
+
+// NumPlayers implements shapley.Game and shapley.StochasticGame.
+func (g *GroupGame) NumPlayers() int { return len(g.groups) }
+
+// Value implements shapley.Game under the deterministic null policy.
+func (g *GroupGame) Value(ctx context.Context, coalition []bool) (float64, error) {
+	if g.policy != ReplaceWithNull {
+		return 0, fmt.Errorf("core: deterministic Value requires ReplaceWithNull")
+	}
+	return g.eval(ctx, coalition, nil)
+}
+
+// SampleValue implements shapley.StochasticGame.
+func (g *GroupGame) SampleValue(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	return g.eval(ctx, coalition, rng)
+}
+
+func (g *GroupGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	masked := g.exp.Dirty.Clone()
+	for k, in := range coalition {
+		if in {
+			continue
+		}
+		for _, ref := range g.groups[k].Cells {
+			switch g.policy {
+			case ReplaceWithNull:
+				masked.SetRef(ref, table.Null())
+			case ReplaceFromColumn:
+				if rng == nil {
+					return 0, fmt.Errorf("core: ReplaceFromColumn needs an RNG")
+				}
+				v, ok := g.stats.Column(ref.Col).Sample(rng)
+				if !ok {
+					v = table.Null()
+				}
+				masked.SetRef(ref, v)
+			default:
+				return 0, fmt.Errorf("core: unknown replacement policy %d", g.policy)
+			}
+		}
+	}
+	return repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, masked, g.cell, g.target)
+}
+
+// ExplainCellGroups ranks cell groups (e.g. whole rows) by their Shapley
+// contribution to the repair of the cell of interest. Group counts are
+// small (rows or columns), so values are computed exactly under the null
+// policy.
+func (e *Explainer) ExplainCellGroups(ctx context.Context, cell table.CellRef, groups []CellGroup) (*Report, error) {
+	target, repaired, err := e.Target(ctx, cell)
+	if err != nil {
+		return nil, err
+	}
+	if !repaired {
+		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
+	}
+	game := e.NewGroupGame(cell, target, ReplaceWithNull, groups)
+	if game.NumPlayers() > 20 {
+		return nil, fmt.Errorf("core: %d groups is too many for exact enumeration; sample instead", game.NumPlayers())
+	}
+	values, err := shapley.ExactSubsets(ctx, shapley.NewCached(game))
+	if err != nil {
+		return nil, fmt.Errorf("core: group Shapley: %w", err)
+	}
+	report := &Report{
+		Kind:      "cell-groups",
+		Cell:      e.Dirty.RefName(cell),
+		Target:    target.String(),
+		Algorithm: e.Alg.Name(),
+	}
+	for k, v := range values {
+		report.Entries = append(report.Entries, Entry{Name: game.groups[k].Name, Shapley: v})
+	}
+	sortEntries(report.Entries)
+	return report, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/shapley"
+	"repro/internal/table"
+)
+
+// InteractionEntry is one pair of constraints with their Shapley
+// interaction index.
+type InteractionEntry struct {
+	// A and B are the constraint IDs of the pair.
+	A, B string
+	// Value is the Shapley interaction index: positive = complements
+	// (the pair achieves what neither achieves alone), negative =
+	// substitutes (either suffices), zero = independent.
+	Value float64
+}
+
+// InteractionReport holds the pairwise interaction structure of the
+// constraint set for one repair — the "why do C1 and C2 only matter
+// together?" question that plain Shapley values cannot answer.
+type InteractionReport struct {
+	// Cell is the explained cell in paper notation.
+	Cell string
+	// Target is the clean value being explained.
+	Target string
+	// Algorithm is the black box's name.
+	Algorithm string
+	// Pairs are sorted by descending |Value|, ties by names.
+	Pairs []InteractionEntry
+}
+
+// String renders the report.
+func (r *InteractionReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Constraint interactions for repair of %s -> %q by %s\n", r.Cell, r.Target, r.Algorithm)
+	for _, p := range r.Pairs {
+		kind := "independent"
+		switch {
+		case p.Value > 1e-12:
+			kind = "complements"
+		case p.Value < -1e-12:
+			kind = "substitutes"
+		}
+		fmt.Fprintf(&b, "  I(%s,%s) = %+.4f (%s)\n", p.A, p.B, p.Value, kind)
+	}
+	return b.String()
+}
+
+// Find returns the entry for an unordered pair of constraint IDs.
+func (r *InteractionReport) Find(a, b string) (InteractionEntry, bool) {
+	for _, p := range r.Pairs {
+		if (p.A == a && p.B == b) || (p.A == b && p.B == a) {
+			return p, true
+		}
+	}
+	return InteractionEntry{}, false
+}
+
+// ExplainConstraintInteractions computes the exact pairwise Shapley
+// interaction indices of the constraints for the repair of the cell of
+// interest.
+func (e *Explainer) ExplainConstraintInteractions(ctx context.Context, cell table.CellRef) (*InteractionReport, error) {
+	target, repaired, err := e.Target(ctx, cell)
+	if err != nil {
+		return nil, err
+	}
+	if !repaired {
+		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
+	}
+	game := shapley.NewCached(e.NewConstraintGame(cell, target))
+	matrix, err := shapley.ExactInteraction(ctx, game)
+	if err != nil {
+		return nil, fmt.Errorf("core: constraint interactions: %w", err)
+	}
+	report := &InteractionReport{
+		Cell:      e.Dirty.RefName(cell),
+		Target:    target.String(),
+		Algorithm: e.Alg.Name(),
+	}
+	for i := 0; i < len(matrix); i++ {
+		for j := i + 1; j < len(matrix); j++ {
+			report.Pairs = append(report.Pairs, InteractionEntry{
+				A: e.DCs[i].ID, B: e.DCs[j].ID, Value: matrix[i][j],
+			})
+		}
+	}
+	sort.Slice(report.Pairs, func(a, b int) bool {
+		av, bv := abs(report.Pairs[a].Value), abs(report.Pairs[b].Value)
+		if av != bv {
+			return av > bv
+		}
+		if report.Pairs[a].A != report.Pairs[b].A {
+			return report.Pairs[a].A < report.Pairs[b].A
+		}
+		return report.Pairs[a].B < report.Pairs[b].B
+	})
+	return report, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ExplainConstraintsBanzhaf is the Banzhaf-index ablation of
+// ExplainConstraints: same game, equal coalition weighting instead of
+// size-based weighting. Rankings usually agree; comparing the two is a
+// cheap robustness check on an explanation.
+func (e *Explainer) ExplainConstraintsBanzhaf(ctx context.Context, cell table.CellRef) (*Report, error) {
+	target, repaired, err := e.Target(ctx, cell)
+	if err != nil {
+		return nil, err
+	}
+	if !repaired {
+		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
+	}
+	game := shapley.NewCached(e.NewConstraintGame(cell, target))
+	values, err := shapley.ExactBanzhaf(ctx, game)
+	if err != nil {
+		return nil, fmt.Errorf("core: constraint Banzhaf: %w", err)
+	}
+	report := &Report{
+		Kind:      "constraints-banzhaf",
+		Cell:      e.Dirty.RefName(cell),
+		Target:    target.String(),
+		Algorithm: e.Alg.Name(),
+	}
+	for i, v := range values {
+		report.Entries = append(report.Entries, Entry{Name: e.DCs[i].ID, Shapley: v})
+	}
+	sortEntries(report.Entries)
+	return report, nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/shapley"
+	"repro/internal/table"
+)
+
+// Entry is one ranked line of an explanation: a constraint or a cell with
+// its Shapley value.
+type Entry struct {
+	// Name is the constraint ID (e.g. "C3") or the cell in the paper's
+	// notation (e.g. "t5[League]").
+	Name string
+	// Shapley is the (exact or estimated) Shapley value.
+	Shapley float64
+	// CI95 is the half-width of the 95% confidence interval; zero for
+	// exact computation.
+	CI95 float64
+	// Samples is the number of Monte-Carlo samples; zero for exact.
+	Samples int
+}
+
+// Report is a ranked explanation for the repair of one cell, highest
+// Shapley value first — what the explanation screen of Figure 3c shows.
+type Report struct {
+	// Kind is "constraints" or "cells".
+	Kind string
+	// Cell is the explained cell in paper notation.
+	Cell string
+	// Target is the clean value whose derivation is being explained.
+	Target string
+	// Algorithm is the black box's name.
+	Algorithm string
+	// Entries are sorted by descending Shapley value (ties by name).
+	Entries []Entry
+}
+
+// String renders the report as an aligned text ranking.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Explanation (%s) for repair of %s -> %q by %s\n", r.Kind, r.Cell, r.Target, r.Algorithm)
+	for i, e := range r.Entries {
+		if e.Samples > 0 {
+			fmt.Fprintf(&b, "%3d. %-16s %+.4f ± %.4f (n=%d)\n", i+1, e.Name, e.Shapley, e.CI95, e.Samples)
+		} else {
+			fmt.Fprintf(&b, "%3d. %-16s %+.4f\n", i+1, e.Name, e.Shapley)
+		}
+	}
+	return b.String()
+}
+
+// Top returns the highest-ranked entry; ok is false for empty reports.
+func (r *Report) Top() (Entry, bool) {
+	if len(r.Entries) == 0 {
+		return Entry{}, false
+	}
+	return r.Entries[0], true
+}
+
+// Find returns the entry with the given name.
+func (r *Report) Find(name string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// sortEntries orders by descending Shapley, ties by name for determinism.
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].Shapley != entries[b].Shapley {
+			return entries[a].Shapley > entries[b].Shapley
+		}
+		return entries[a].Name < entries[b].Name
+	})
+}
+
+// ExplainConstraints computes the exact Shapley value of every constraint
+// for the repair of the cell of interest and returns the ranking
+// (Figure 1's numbers). The black box is memoized on the coalition, so the
+// 2^n enumeration costs at most 2^n repair runs.
+func (e *Explainer) ExplainConstraints(ctx context.Context, cell table.CellRef) (*Report, error) {
+	target, repaired, err := e.Target(ctx, cell)
+	if err != nil {
+		return nil, err
+	}
+	if !repaired {
+		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
+	}
+	game := shapley.NewCached(e.NewConstraintGame(cell, target))
+	values, err := shapley.ExactSubsets(ctx, game)
+	if err != nil {
+		return nil, fmt.Errorf("core: constraint Shapley: %w", err)
+	}
+	report := &Report{
+		Kind:      "constraints",
+		Cell:      e.Dirty.RefName(cell),
+		Target:    target.String(),
+		Algorithm: e.Alg.Name(),
+	}
+	for i, v := range values {
+		report.Entries = append(report.Entries, Entry{Name: e.DCs[i].ID, Shapley: v})
+	}
+	sortEntries(report.Entries)
+	return report, nil
+}
+
+// CellExplainOptions configures ExplainCells.
+type CellExplainOptions struct {
+	// Samples is the number of sampled permutations (default 500). Each
+	// permutation walk costs len(players)+1 black-box runs and yields one
+	// marginal per player.
+	Samples int
+	// Workers is the sampling fan-out (default GOMAXPROCS).
+	Workers int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Policy selects null masking (paper's definition) or column-sampled
+	// replacement (Example 2.5). Default ReplaceWithNull.
+	Policy ReplacementPolicy
+	// RestrictToRelevant scopes players to RelevantCells, dropping cells
+	// that are provably dummies for constraint-driven repairers.
+	RestrictToRelevant bool
+}
+
+func (o CellExplainOptions) withDefaults() CellExplainOptions {
+	if o.Samples <= 0 {
+		o.Samples = 500
+	}
+	return o
+}
+
+// ExplainCells estimates the Shapley value of every table cell for the
+// repair of the cell of interest by permutation sampling and returns the
+// ranking (the cell half of the explanation screen).
+func (e *Explainer) ExplainCells(ctx context.Context, cell table.CellRef, opts CellExplainOptions) (*Report, error) {
+	opts = opts.withDefaults()
+	target, repaired, err := e.Target(ctx, cell)
+	if err != nil {
+		return nil, err
+	}
+	if !repaired {
+		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
+	}
+	game := e.NewCellGame(cell, target, opts.Policy)
+	if opts.RestrictToRelevant {
+		game.RestrictPlayers(e.RelevantCells(cell))
+	}
+	ests, err := shapley.SampleAll(ctx, game, shapley.Options{
+		Samples: opts.Samples,
+		Workers: opts.Workers,
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: cell Shapley: %w", err)
+	}
+	report := &Report{
+		Kind:      "cells",
+		Cell:      e.Dirty.RefName(cell),
+		Target:    target.String(),
+		Algorithm: e.Alg.Name(),
+	}
+	players := game.Players()
+	for k, est := range ests {
+		report.Entries = append(report.Entries, Entry{
+			Name:    e.Dirty.RefName(players[k]),
+			Shapley: est.Mean,
+			CI95:    est.CI95(),
+			Samples: est.N,
+		})
+	}
+	sortEntries(report.Entries)
+	return report, nil
+}
+
+// ExplainCellsExact computes exact cell Shapley values by subset
+// enumeration under the null policy. Only feasible when the (possibly
+// restricted) player count is small; used to validate the sampler.
+func (e *Explainer) ExplainCellsExact(ctx context.Context, cell table.CellRef, restrict bool) (*Report, error) {
+	target, repaired, err := e.Target(ctx, cell)
+	if err != nil {
+		return nil, err
+	}
+	if !repaired {
+		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
+	}
+	game := e.NewCellGame(cell, target, ReplaceWithNull)
+	if restrict {
+		game.RestrictPlayers(e.RelevantCells(cell))
+	}
+	values, err := shapley.ExactSubsets(ctx, shapley.NewCached(game))
+	if err != nil {
+		return nil, fmt.Errorf("core: exact cell Shapley: %w", err)
+	}
+	report := &Report{
+		Kind:      "cells",
+		Cell:      e.Dirty.RefName(cell),
+		Target:    target.String(),
+		Algorithm: e.Alg.Name(),
+	}
+	players := game.Players()
+	for k, v := range values {
+		report.Entries = append(report.Entries, Entry{Name: e.Dirty.RefName(players[k]), Shapley: v})
+	}
+	sortEntries(report.Entries)
+	return report, nil
+}

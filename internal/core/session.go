@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dc"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+// Session models the iterative debugging loop of §3/§4: users inspect an
+// explanation, edit the constraints or the dirty table, re-repair and
+// re-explain. A Session owns a mutable copy of the inputs and tracks the
+// edit history.
+type Session struct {
+	alg   repair.Algorithm
+	dcs   []*dc.Constraint
+	dirty *table.Table
+	// History records one line per edit, oldest first.
+	History []string
+}
+
+// NewSession starts an iterative session; the table is cloned so caller
+// data is never mutated.
+func NewSession(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Table) (*Session, error) {
+	if _, err := NewExplainer(alg, dcs, dirty); err != nil {
+		return nil, err
+	}
+	return &Session{alg: alg, dcs: append([]*dc.Constraint(nil), dcs...), dirty: dirty.Clone()}, nil
+}
+
+// Explainer returns an Explainer over the session's current state.
+func (s *Session) Explainer() *Explainer {
+	return &Explainer{Alg: s.alg, DCs: s.dcs, Dirty: s.dirty}
+}
+
+// Dirty returns the session's current dirty table (live; edits via SetCell).
+func (s *Session) Dirty() *table.Table { return s.dirty }
+
+// DCs returns the session's current constraints.
+func (s *Session) DCs() []*dc.Constraint { return append([]*dc.Constraint(nil), s.dcs...) }
+
+// SetCell edits one cell of the dirty table, as the GUI's table editor
+// does between iterations.
+func (s *Session) SetCell(ref table.CellRef, v table.Value) error {
+	if ref.Row < 0 || ref.Row >= s.dirty.NumRows() || ref.Col < 0 || ref.Col >= s.dirty.NumCols() {
+		return fmt.Errorf("core: cell %v out of range", ref)
+	}
+	old := s.dirty.GetRef(ref)
+	s.dirty.SetRef(ref, v)
+	s.History = append(s.History, fmt.Sprintf("set %s: %s -> %s", s.dirty.RefName(ref), old, v))
+	return nil
+}
+
+// RemoveDC removes a constraint by ID — the demo scenario's "remove the
+// highest-ranked DC" action.
+func (s *Session) RemoveDC(id string) error {
+	if dc.ByID(s.dcs, id) == nil {
+		return fmt.Errorf("core: no constraint %q", id)
+	}
+	s.dcs = dc.Without(s.dcs, id)
+	s.History = append(s.History, "removed "+id)
+	return nil
+}
+
+// AddDC parses and adds a constraint.
+func (s *Session) AddDC(text string) error {
+	c, err := dc.Parse(text)
+	if err != nil {
+		return err
+	}
+	if c.ID == "" {
+		c.ID = fmt.Sprintf("C%d", len(s.dcs)+1)
+	}
+	if dc.ByID(s.dcs, c.ID) != nil {
+		return fmt.Errorf("core: constraint %q already exists", c.ID)
+	}
+	if err := c.Validate(s.dirty.Schema()); err != nil {
+		return err
+	}
+	s.dcs = append(s.dcs, c)
+	s.History = append(s.History, "added "+c.String())
+	return nil
+}
+
+// Repair runs the black box on the session's current state.
+func (s *Session) Repair(ctx context.Context) (*table.Table, []table.CellDiff, error) {
+	return s.Explainer().Repair(ctx)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/shapley"
+	"repro/internal/table"
+)
+
+// ExplainCellsTopK identifies the K most influential cells with adaptive
+// confidence-interval elimination instead of a uniform sampling budget.
+// The interactive workflow of the paper (§3: pick a cell, look at the top
+// of the ranking, edit, repeat) only needs the top of the list, and racing
+// concentrates black-box calls on the contenders.
+func (e *Explainer) ExplainCellsTopK(ctx context.Context, cell table.CellRef, k int, opts CellExplainOptions) (*Report, bool, error) {
+	opts = opts.withDefaults()
+	target, repaired, err := e.Target(ctx, cell)
+	if err != nil {
+		return nil, false, err
+	}
+	if !repaired {
+		return nil, false, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
+	}
+	game := e.NewCellGame(cell, target, opts.Policy)
+	if opts.RestrictToRelevant {
+		game.RestrictPlayers(e.RelevantCells(cell))
+	}
+	res, err := shapley.TopK(ctx, game, shapley.TopKOptions{
+		K:            k,
+		RoundSamples: opts.Samples / 8,
+		Workers:      opts.Workers,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("core: top-k cell Shapley: %w", err)
+	}
+	report := &Report{
+		Kind:      "cells-topk",
+		Cell:      e.Dirty.RefName(cell),
+		Target:    target.String(),
+		Algorithm: e.Alg.Name(),
+	}
+	players := game.Players()
+	for _, est := range res.Top {
+		report.Entries = append(report.Entries, Entry{
+			Name:    e.Dirty.RefName(players[est.Player]),
+			Shapley: est.Mean,
+			CI95:    est.CI95(),
+			Samples: est.N,
+		})
+	}
+	return report, res.Separated, nil
+}
+
+// ExplainToward explains a *hypothetical* repair: how much each constraint
+// contributes to the cell of interest ending up with the given desired
+// value — whether or not the actual repair produces it. With desired set
+// to the observed clean value this reduces to ExplainConstraints; with a
+// different value it answers the "why not?" question: if every Shapley
+// value is 0, no subset of the current constraints ever yields the desired
+// value, so the constraint set (or the data) is what needs changing.
+func (e *Explainer) ExplainToward(ctx context.Context, cell table.CellRef, desired table.Value) (*Report, error) {
+	if desired.IsNull() {
+		return nil, fmt.Errorf("core: desired value must be non-null")
+	}
+	game := shapley.NewCached(e.NewConstraintGame(cell, desired))
+	values, err := shapley.ExactSubsets(ctx, game)
+	if err != nil {
+		return nil, fmt.Errorf("core: why-not Shapley: %w", err)
+	}
+	report := &Report{
+		Kind:      "constraints-toward",
+		Cell:      e.Dirty.RefName(cell),
+		Target:    desired.String(),
+		Algorithm: e.Alg.Name(),
+	}
+	for i, v := range values {
+		report.Entries = append(report.Entries, Entry{Name: e.DCs[i].ID, Shapley: v})
+	}
+	sortEntries(report.Entries)
+	return report, nil
+}
+
+// Achievable reports whether any subset of the constraint set makes the
+// black box assign the desired value to the cell — the decision version of
+// the why-not question. It enumerates subsets with memoization, so it
+// costs at most 2^|DCs| black-box runs and short-circuits on the first
+// witness (checked in a deterministic size-ascending order, so the
+// returned witness is one of the smallest).
+func (e *Explainer) Achievable(ctx context.Context, cell table.CellRef, desired table.Value) (bool, []string, error) {
+	if desired.IsNull() {
+		return false, nil, fmt.Errorf("core: desired value must be non-null")
+	}
+	n := len(e.DCs)
+	if n > 20 {
+		return false, nil, fmt.Errorf("core: %d constraints is too many for subset search", n)
+	}
+	game := e.NewConstraintGame(cell, desired)
+	// Order masks by popcount so the first witness is minimal in size.
+	masks := make([]int, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		masks = append(masks, mask)
+	}
+	sortByPopcount(masks)
+	coalition := make([]bool, n)
+	for _, mask := range masks {
+		if err := ctx.Err(); err != nil {
+			return false, nil, err
+		}
+		for i := 0; i < n; i++ {
+			coalition[i] = mask&(1<<uint(i)) != 0
+		}
+		v, err := game.Value(ctx, coalition)
+		if err != nil {
+			return false, nil, err
+		}
+		if v == 1 {
+			var witness []string
+			for i := 0; i < n; i++ {
+				if coalition[i] {
+					witness = append(witness, e.DCs[i].ID)
+				}
+			}
+			return true, witness, nil
+		}
+	}
+	return false, nil, nil
+}
+
+// sortByPopcount orders masks by ascending set-bit count, ties by value —
+// an insertion-friendly counting sort over bit counts.
+func sortByPopcount(masks []int) {
+	buckets := make([][]int, 32)
+	for _, m := range masks {
+		c := 0
+		for x := m; x != 0; x &= x - 1 {
+			c++
+		}
+		buckets[c] = append(buckets[c], m)
+	}
+	out := masks[:0]
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+}

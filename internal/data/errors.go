@@ -1,0 +1,164 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// ErrorKind enumerates the error injectors, mirroring how the paper's demo
+// "manually added" errors to the scraped table.
+type ErrorKind uint8
+
+const (
+	// ErrorTypo perturbs a string cell by duplicating, dropping or swapping
+	// characters ("Spain" → "Spian").
+	ErrorTypo ErrorKind = iota
+	// ErrorSwap replaces the cell with a value drawn from another row of
+	// the same column ("Madrid" → "Barcelona").
+	ErrorSwap
+	// ErrorNull blanks the cell.
+	ErrorNull
+	// ErrorForeign replaces the cell with a synthetic out-of-domain value.
+	ErrorForeign
+)
+
+// Injection records one injected error for ground-truth bookkeeping.
+type Injection struct {
+	Ref   table.CellRef
+	Kind  ErrorKind
+	Clean table.Value
+	Dirty table.Value
+}
+
+// InjectSpec configures Inject.
+type InjectSpec struct {
+	// Rate is the fraction of cells to corrupt (0..1).
+	Rate float64
+	// Kinds are the error kinds to rotate through; default {Typo, Swap}.
+	Kinds []ErrorKind
+	// Columns restricts injection to the named columns; empty means all.
+	Columns []string
+	// Seed drives cell selection and perturbation.
+	Seed int64
+}
+
+// Inject corrupts a copy of clean according to spec and returns the dirty
+// table plus the ground-truth injection list (sorted in vectorization
+// order). The input is never mutated.
+func Inject(clean *table.Table, spec InjectSpec) (*table.Table, []Injection, error) {
+	if spec.Rate < 0 || spec.Rate > 1 {
+		return nil, nil, fmt.Errorf("data: rate %v out of [0,1]", spec.Rate)
+	}
+	kinds := spec.Kinds
+	if len(kinds) == 0 {
+		kinds = []ErrorKind{ErrorTypo, ErrorSwap}
+	}
+	allowed := make(map[int]bool)
+	if len(spec.Columns) == 0 {
+		for j := 0; j < clean.NumCols(); j++ {
+			allowed[j] = true
+		}
+	} else {
+		for _, name := range spec.Columns {
+			j, ok := clean.Schema().Index(name)
+			if !ok {
+				return nil, nil, fmt.Errorf("data: no column %q", name)
+			}
+			allowed[j] = true
+		}
+	}
+
+	dirty := clean.Clone()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var candidates []table.CellRef
+	for _, ref := range clean.Cells() {
+		if allowed[ref.Col] && !clean.GetRef(ref).IsNull() {
+			candidates = append(candidates, ref)
+		}
+	}
+	n := int(float64(len(candidates)) * spec.Rate)
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	stats := table.NewStats(clean)
+
+	var injections []Injection
+	for i := 0; i < n; i++ {
+		ref := candidates[i]
+		kind := kinds[i%len(kinds)]
+		old := dirty.GetRef(ref)
+		corrupted, ok := corrupt(rng, stats, ref, old, kind)
+		if !ok {
+			continue
+		}
+		dirty.SetRef(ref, corrupted)
+		injections = append(injections, Injection{Ref: ref, Kind: kind, Clean: old, Dirty: corrupted})
+	}
+	sort.Slice(injections, func(a, b int) bool {
+		return clean.VecIndex(injections[a].Ref) < clean.VecIndex(injections[b].Ref)
+	})
+	return dirty, injections, nil
+}
+
+// corrupt produces the dirty value for one cell; ok is false when the kind
+// cannot apply (e.g. a typo on a one-rune numeric cell with no alternative).
+func corrupt(rng *rand.Rand, stats *table.Stats, ref table.CellRef, v table.Value, kind ErrorKind) (table.Value, bool) {
+	switch kind {
+	case ErrorNull:
+		return table.Null(), true
+	case ErrorForeign:
+		return table.String(fmt.Sprintf("@err-%d", rng.Intn(1_000_000))), true
+	case ErrorSwap:
+		alt, ok := stats.Column(ref.Col).SampleOther(rng, v)
+		if !ok || alt.SameContent(v) {
+			return table.Null(), false
+		}
+		return alt, true
+	case ErrorTypo:
+		s := v.String()
+		if len(s) < 2 {
+			return table.Null(), false
+		}
+		return table.String(typo(rng, s)), true
+	default:
+		return table.Null(), false
+	}
+}
+
+// typo applies one random character-level edit: swap two adjacent runes,
+// duplicate one, or drop one (always changing the string).
+func typo(rng *rand.Rand, s string) string {
+	runes := []rune(s)
+	switch op := rng.Intn(3); {
+	case op == 0 && len(runes) >= 2: // swap adjacent
+		i := rng.Intn(len(runes) - 1)
+		if runes[i] == runes[i+1] {
+			return string(runes) + string(runes[len(runes)-1]) // degenerate swap: duplicate instead
+		}
+		runes[i], runes[i+1] = runes[i+1], runes[i]
+		return string(runes)
+	case op == 1: // duplicate
+		i := rng.Intn(len(runes))
+		out := make([]rune, 0, len(runes)+1)
+		out = append(out, runes[:i+1]...)
+		out = append(out, runes[i])
+		out = append(out, runes[i+1:]...)
+		return string(out)
+	default: // drop
+		i := rng.Intn(len(runes))
+		out := strings.Builder{}
+		for j, r := range runes {
+			if j != i {
+				out.WriteRune(r)
+			}
+		}
+		if out.Len() == 0 {
+			return s + s // dropping the only rune would empty the string
+		}
+		return out.String()
+	}
+}

@@ -1,0 +1,83 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dc"
+	"repro/internal/table"
+)
+
+// HospitalConfig parameterizes the second evaluation domain: a
+// provider-address table in the style of the Hospital dataset that is
+// standard in the data-cleaning literature (and in HoloClean's own
+// evaluation). The schema is (Provider, City, State, Zip, Phone) with the
+// functional dependencies Zip → City, Zip → State and Phone → Provider.
+type HospitalConfig struct {
+	// Providers is the number of provider rows (default 20).
+	Providers int
+	// Zips is the number of distinct zip codes (default Providers/4+1).
+	Zips int
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c HospitalConfig) withDefaults() HospitalConfig {
+	if c.Providers <= 0 {
+		c.Providers = 20
+	}
+	if c.Zips <= 0 {
+		c.Zips = c.Providers/4 + 1
+	}
+	return c
+}
+
+// stateNames is the pool of state codes.
+var stateNames = []string{"AL", "AK", "AZ", "CA", "CO", "CT", "DE", "FL", "GA", "HI"}
+
+// GenerateHospital produces a clean provider table satisfying HospitalDCs.
+func GenerateHospital(cfg HospitalConfig) *table.Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := table.New(table.MustSchema(
+		table.Column{Name: "Provider"}, table.Column{Name: "City"},
+		table.Column{Name: "State"}, table.Column{Name: "Zip"}, table.Column{Name: "Phone"},
+	))
+	type zipInfo struct {
+		city, state string
+	}
+	zips := make([]zipInfo, cfg.Zips)
+	for z := range zips {
+		zips[z] = zipInfo{
+			city:  fmt.Sprintf("City%02d", z),
+			state: stateNames[z%len(stateNames)],
+		}
+	}
+	for p := 0; p < cfg.Providers; p++ {
+		z := rng.Intn(cfg.Zips)
+		row := []table.Value{
+			table.String(fmt.Sprintf("Provider-%03d", p)),
+			table.String(zips[z].city),
+			table.String(zips[z].state),
+			table.String(fmt.Sprintf("Z%05d", z)),
+			table.String(fmt.Sprintf("555-%04d", p)),
+		}
+		if err := t.Append(row); err != nil {
+			panic(err) // generated rows always fit the schema
+		}
+	}
+	return t
+}
+
+// HospitalDCs returns the domain's constraints as denial constraints.
+func HospitalDCs() []*dc.Constraint {
+	cs, err := dc.ParseSet(`
+H1: !(t1.Zip = t2.Zip & t1.City != t2.City)
+H2: !(t1.Zip = t2.Zip & t1.State != t2.State)
+H3: !(t1.Phone = t2.Phone & t1.Provider != t2.Provider)
+`)
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+	return cs
+}

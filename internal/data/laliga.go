@@ -1,0 +1,81 @@
+// Package data provides the datasets of the reproduction: the paper's
+// La Liga running example (Figure 2), seeded synthetic soccer-standings
+// generators for scaling experiments, a second (hospital-style) domain,
+// and error injectors.
+package data
+
+import (
+	"repro/internal/dc"
+	"repro/internal/table"
+)
+
+// LaLiga bundles the paper's running example: the dirty table of
+// Figure 2a, the clean table of Figure 2b, the four denial constraints of
+// Figure 1, and the cell of interest t5[Country] used throughout §1–§2.
+type LaLiga struct {
+	// Dirty is T_d of Figure 2a.
+	Dirty *table.Table
+	// Clean is T_c of Figure 2b — what Algorithm 1 produces from Dirty
+	// under all four constraints.
+	Clean *table.Table
+	// DCs are C1..C4 of Figure 1.
+	DCs []*dc.Constraint
+	// CellOfInterest is t5[Country], the repaired cell explained in the
+	// paper's examples.
+	CellOfInterest table.CellRef
+}
+
+// laLigaNames is the schema of the standings table.
+var laLigaNames = []string{"Team", "City", "Country", "League", "Year", "Place"}
+
+// NewLaLiga reconstructs the paper's running example.
+//
+// The figure images are not part of the paper's text, so the exact grid is
+// reconstructed from the worked examples, which constrain it tightly:
+//
+//   - t5 is a Real Madrid row with City "Capital" (dirty, should be
+//     "Madrid") and Country "España" (dirty, should be "Spain") — Examples
+//     1.1, 2.1, 2.2;
+//   - t3 and t6 are Real Madrid rows with City "Madrid" (Example 1.1's
+//     discussion of t6[City]);
+//   - rows {t1, t2, t3, t6} carry the pair (League "La Liga", Country
+//     "Spain") and t4 does not (Example 2.4 counts exactly the pairs
+//     i ∈ {1, 2, 3, 6}), so t4 carries a dirty Country value;
+//   - the table is 6 rows × 6 attributes = 36 cells (Example 2.4's
+//     coalition arithmetic: 8 pair cells + t5[League] + 27 others).
+//
+// Under this grid, Algorithm 1 repairs t5[Country] to "Spain" exactly for
+// the constraint subsets the paper lists ({C3} or {C1, C2} and supersets),
+// which yields the Figure 1 Shapley values 1/6, 1/6, 2/3, 0.
+func NewLaLiga() *LaLiga {
+	dirty := table.MustFromStrings(laLigaNames, [][]string{
+		{"Barcelona", "Barcelona", "Spain", "La Liga", "2019", "1"},
+		{"Atletico Madrid", "Madrid", "Spain", "La Liga", "2019", "2"},
+		{"Real Madrid", "Madrid", "Spain", "La Liga", "2019", "3"},
+		{"Sevilla", "Sevilla", "Spian", "La Liga", "2019", "4"},
+		{"Real Madrid", "Capital", "España", "La Liga", "2018", "1"},
+		{"Real Madrid", "Madrid", "Spain", "La Liga", "2017", "1"},
+	})
+
+	clean := dirty.Clone()
+	clean.SetByName(3, "Country", table.String("Spain")) // t4: Spian -> Spain
+	clean.SetByName(4, "City", table.String("Madrid"))   // t5: Capital -> Madrid
+	clean.SetByName(4, "Country", table.String("Spain")) // t5: España -> Spain
+
+	dcs, err := dc.ParseSet(`
+C1: !(t1.Team = t2.Team & t1.City != t2.City)
+C2: !(t1.City = t2.City & t1.Country != t2.Country)
+C3: !(t1.League = t2.League & t1.Country != t2.Country)
+C4: !(t1.Team != t2.Team & t1.Year = t2.Year & t1.League = t2.League & t1.Place = t2.Place)
+`)
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+
+	return &LaLiga{
+		Dirty:          dirty,
+		Clean:          clean,
+		DCs:            dcs,
+		CellOfInterest: table.CellRef{Row: 4, Col: 2}, // t5[Country]
+	}
+}

@@ -1,0 +1,74 @@
+package dc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// benchTable builds an n-row two-league soccer-like table with a sprinkle
+// of violations.
+func benchTable(n int) *table.Table {
+	grid := make([][]string, n)
+	for i := range grid {
+		league := fmt.Sprintf("L%d", i%2)
+		country := fmt.Sprintf("Country%d", i%2)
+		if i%17 == 0 {
+			country = "Dirty"
+		}
+		grid[i] = []string{fmt.Sprintf("Team%d", i), fmt.Sprintf("City%d", i), country, league}
+	}
+	return table.MustFromStrings([]string{"Team", "City", "Country", "League"}, grid)
+}
+
+func BenchmarkViolationsNaive(b *testing.B) {
+	c := MustParse("!(t1.League = t2.League & t1.Country != t2.Country)")
+	for _, n := range []int{32, 128, 512} {
+		tbl := benchTable(n)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Violations(tbl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkViolationsIndexed(b *testing.B) {
+	c := MustParse("!(t1.Team = t2.Team & t1.City != t2.City)")
+	for _, n := range []int{32, 128, 512} {
+		tbl := benchTable(n)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.ViolationsIndexed(tbl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	const src = "C4: !(t1.Team != t2.Team & t1.Year = t2.Year & t1.League = t2.League & t1.Place = t2.Place)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViolatesRow(b *testing.B) {
+	c := MustParse("!(t1.League = t2.League & t1.Country != t2.Country)")
+	tbl := benchTable(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ViolatesRow(tbl, i%256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

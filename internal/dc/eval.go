@@ -1,0 +1,228 @@
+package dc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// Violation records one witness that a constraint is violated: the rows
+// bound to t1 and t2. For single-tuple constraints Row2 equals Row1.
+type Violation struct {
+	Constraint *Constraint
+	Row1, Row2 int
+}
+
+// String renders the violation, e.g. "C1 violated by (t3, t6)".
+func (v Violation) String() string {
+	if v.Row1 == v.Row2 {
+		return fmt.Sprintf("%s violated by t%d", v.Constraint.ID, v.Row1+1)
+	}
+	return fmt.Sprintf("%s violated by (t%d, t%d)", v.Constraint.ID, v.Row1+1, v.Row2+1)
+}
+
+// SatisfiedPair reports whether the constraint body (the denied conjunction)
+// holds for rows (i, j) bound to (t1, t2). Unknown predicates (null or
+// incomparable operands) make the conjunction fail, so nulls never create
+// violations.
+func (c *Constraint) SatisfiedPair(t *table.Table, i, j int) (bool, error) {
+	row1 := t.RowView(i)
+	row2 := t.RowView(j)
+	for _, p := range c.Preds {
+		sat, known, err := p.Eval(row1, row2, t.Schema())
+		if err != nil {
+			return false, err
+		}
+		if !known || !sat {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ViolatesRow reports whether row i participates in any violation of the
+// constraint: as the single tuple for single-tuple DCs, or bound to either
+// t1 or t2 against any other row for pair DCs. This is the "tuple t has a
+// contradiction according to C" primitive of the paper's Algorithm 1.
+func (c *Constraint) ViolatesRow(t *table.Table, i int) (bool, error) {
+	if c.SingleTuple() {
+		return c.SatisfiedPair(t, i, i)
+	}
+	for j := 0; j < t.NumRows(); j++ {
+		if j == i {
+			continue
+		}
+		if sat, err := c.SatisfiedPair(t, i, j); err != nil || sat {
+			return sat, err
+		}
+		if sat, err := c.SatisfiedPair(t, j, i); err != nil || sat {
+			return sat, err
+		}
+	}
+	return false, nil
+}
+
+// Violations scans the whole table and returns every violation of the
+// constraint. Pair violations are reported once per ordered pair (i, j)
+// with i != j that satisfies the body; callers that want unordered pairs
+// can deduplicate with min/max. The scan is the naive O(n²) reference; see
+// ViolationsIndexed for the accelerated version.
+func (c *Constraint) Violations(t *table.Table) ([]Violation, error) {
+	var out []Violation
+	if c.SingleTuple() {
+		for i := 0; i < t.NumRows(); i++ {
+			sat, err := c.SatisfiedPair(t, i, i)
+			if err != nil {
+				return nil, err
+			}
+			if sat {
+				out = append(out, Violation{Constraint: c, Row1: i, Row2: i})
+			}
+		}
+		return out, nil
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		for j := 0; j < t.NumRows(); j++ {
+			if i == j {
+				continue
+			}
+			sat, err := c.SatisfiedPair(t, i, j)
+			if err != nil {
+				return nil, err
+			}
+			if sat {
+				out = append(out, Violation{Constraint: c, Row1: i, Row2: j})
+			}
+		}
+	}
+	return out, nil
+}
+
+// equalityJoinAttrs returns attributes A with a predicate t1.A = t2.A —
+// usable as hash-join keys for the indexed scan.
+func (c *Constraint) equalityJoinAttrs() []string {
+	var out []string
+	for _, p := range c.Preds {
+		if p.Op != OpEq || p.Left.IsConst || p.Right.IsConst {
+			continue
+		}
+		if p.Left.Attr == p.Right.Attr && p.Left.Tuple != p.Right.Tuple {
+			out = append(out, p.Left.Attr)
+		}
+	}
+	return out
+}
+
+// ViolationsIndexed is Violations accelerated with a hash partition on an
+// equality join attribute when one exists (e.g. t1.Team = t2.Team). Rows
+// are bucketed by that attribute's value and only intra-bucket pairs are
+// checked, turning the common FD-shaped constraint from O(n²) into
+// O(n + Σ bucket²). Falls back to the naive scan when no join key exists.
+// The output order matches Violations exactly.
+func (c *Constraint) ViolationsIndexed(t *table.Table) ([]Violation, error) {
+	keys := c.equalityJoinAttrs()
+	if c.SingleTuple() || len(keys) == 0 {
+		return c.Violations(t)
+	}
+	col := t.Schema().MustIndex(keys[0])
+	buckets := make(map[string][]int)
+	for i := 0; i < t.NumRows(); i++ {
+		v := t.Get(i, col)
+		if v.IsNull() {
+			continue // null join keys can never satisfy the equality
+		}
+		buckets[v.Key()] = append(buckets[v.Key()], i)
+	}
+	var out []Violation
+	for _, rows := range buckets {
+		for _, i := range rows {
+			for _, j := range rows {
+				if i == j {
+					continue
+				}
+				sat, err := c.SatisfiedPair(t, i, j)
+				if err != nil {
+					return nil, err
+				}
+				if sat {
+					out = append(out, Violation{Constraint: c, Row1: i, Row2: j})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Row1 != out[b].Row1 {
+			return out[a].Row1 < out[b].Row1
+		}
+		return out[a].Row2 < out[b].Row2
+	})
+	return out, nil
+}
+
+// AllViolations runs ViolationsIndexed for every constraint in order and
+// concatenates the results.
+func AllViolations(cs []*Constraint, t *table.Table) ([]Violation, error) {
+	var out []Violation
+	for _, c := range cs {
+		vs, err := c.ViolationsIndexed(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// Consistent reports whether the table satisfies every constraint.
+func Consistent(cs []*Constraint, t *table.Table) (bool, error) {
+	for _, c := range cs {
+		vs, err := c.ViolationsIndexed(t)
+		if err != nil {
+			return false, err
+		}
+		if len(vs) > 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ValidateSet validates every constraint against a schema and checks ID
+// uniqueness.
+func ValidateSet(cs []*Constraint, schema *table.Schema) error {
+	seen := make(map[string]bool)
+	for _, c := range cs {
+		if err := c.Validate(schema); err != nil {
+			return err
+		}
+		if c.ID != "" {
+			if seen[c.ID] {
+				return fmt.Errorf("dc: duplicate constraint ID %q", c.ID)
+			}
+			seen[c.ID] = true
+		}
+	}
+	return nil
+}
+
+// ByID returns the constraint with the given ID, or nil.
+func ByID(cs []*Constraint, id string) *Constraint {
+	for _, c := range cs {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// Without returns a new slice with the identified constraint removed.
+func Without(cs []*Constraint, id string) []*Constraint {
+	out := make([]*Constraint, 0, len(cs))
+	for _, c := range cs {
+		if c.ID != id {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package dc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/table"
+)
+
+// Parse parses one denial constraint from text. The grammar accepts both
+// ASCII and the paper's unicode notation:
+//
+//	dc      := [ident ':'] ['!'|'¬'|'not'] '(' pred (('&'|'∧'|'and') pred)* ')'
+//	pred    := operand op operand
+//	operand := ('t1'|'t2') ('.' ident | '[' ident ']') | number | 'quoted' | "quoted"
+//	op      := '=' | '==' | '!=' | '<>' | '≠' | '<' | '<=' | '≤' | '>' | '>=' | '≥'
+//
+// Examples:
+//
+//	C1: !(t1.Team = t2.Team & t1.City != t2.City)
+//	¬(t1[League] = t2[League] ∧ t1[Country] ≠ t2[Country])
+func Parse(text string) (*Constraint, error) {
+	p := &parser{src: []rune(strings.TrimSpace(text))}
+	c, err := p.constraint()
+	if err != nil {
+		return nil, fmt.Errorf("dc: parsing %q: %w", text, err)
+	}
+	return c, nil
+}
+
+// MustParse is Parse that panics on error; for literals in tests/examples.
+func MustParse(text string) *Constraint {
+	c, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParseSet parses a newline-separated list of constraints, skipping blank
+// lines and lines starting with '#' or '--'. Constraints without an explicit
+// ID are assigned C1, C2, ... by position.
+func ParseSet(text string) ([]*Constraint, error) {
+	var out []*Constraint
+	seen := make(map[string]bool)
+	for lineNo, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") || strings.HasPrefix(trimmed, "--") {
+			continue
+		}
+		c, err := Parse(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("dc: line %d: %w", lineNo+1, err)
+		}
+		if c.ID == "" {
+			c.ID = fmt.Sprintf("C%d", len(out)+1)
+		}
+		if seen[c.ID] {
+			return nil, fmt.Errorf("dc: line %d: duplicate constraint ID %q", lineNo+1, c.ID)
+		}
+		seen[c.ID] = true
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+type parser struct {
+	src []rune
+	pos int
+}
+
+func (p *parser) constraint() (*Constraint, error) {
+	c := &Constraint{}
+	p.ws()
+	// Optional "ID:" prefix — only when an identifier is directly followed
+	// by a colon.
+	if save := p.pos; p.peekIdentStart() {
+		id := p.ident()
+		p.ws()
+		if p.eat(':') {
+			c.ID = id
+		} else {
+			p.pos = save
+		}
+	}
+	p.ws()
+	// Optional negation marker.
+	if !p.eat('!') && !p.eat('¬') {
+		save := p.pos
+		if p.peekIdentStart() {
+			if word := p.ident(); !strings.EqualFold(word, "not") {
+				p.pos = save
+			}
+		}
+	}
+	p.ws()
+	if !p.eat('(') {
+		return nil, p.errf("expected '('")
+	}
+	for {
+		pred, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		c.Preds = append(c.Preds, pred)
+		p.ws()
+		if p.eat('&') || p.eat('∧') {
+			p.eat('&') // tolerate '&&'
+			continue
+		}
+		if p.peekIdentStart() {
+			save := p.pos
+			if word := p.ident(); strings.EqualFold(word, "and") {
+				continue
+			}
+			p.pos = save
+		}
+		break
+	}
+	p.ws()
+	if !p.eat(')') {
+		return nil, p.errf("expected ')' or '&'")
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	return c, nil
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	left, err := p.operand()
+	if err != nil {
+		return Predicate{}, err
+	}
+	op, err := p.operator()
+	if err != nil {
+		return Predicate{}, err
+	}
+	right, err := p.operand()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *parser) operand() (Operand, error) {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return Operand{}, p.errf("expected operand")
+	}
+	r := p.src[p.pos]
+	switch {
+	case r == '\'' || r == '"':
+		s, err := p.quoted(r)
+		if err != nil {
+			return Operand{}, err
+		}
+		return ConstOperand(table.String(s)), nil
+	case unicode.IsDigit(r) || r == '-' || r == '+':
+		return p.number()
+	case p.peekIdentStart():
+		save := p.pos
+		word := p.ident()
+		if word == "t1" || word == "t2" || word == "T1" || word == "T2" {
+			tuple := 0
+			if word == "t2" || word == "T2" {
+				tuple = 1
+			}
+			if p.eat('.') {
+				if !p.peekIdentStart() {
+					return Operand{}, p.errf("expected attribute after '.'")
+				}
+				return AttrOperand(tuple, p.ident()), nil
+			}
+			if p.eat('[') {
+				if !p.peekIdentStart() {
+					return Operand{}, p.errf("expected attribute after '['")
+				}
+				attr := p.ident()
+				if !p.eat(']') {
+					return Operand{}, p.errf("expected ']'")
+				}
+				return AttrOperand(tuple, attr), nil
+			}
+			return Operand{}, p.errf("expected '.' or '[' after %s", word)
+		}
+		// Bare words true/false are boolean constants; anything else is an
+		// unquoted string constant.
+		p.pos = save
+		word = p.ident()
+		if word == "true" || word == "false" {
+			return ConstOperand(table.Bool(word == "true")), nil
+		}
+		return ConstOperand(table.String(word)), nil
+	default:
+		return Operand{}, p.errf("unexpected %q in operand", string(r))
+	}
+}
+
+func (p *parser) number() (Operand, error) {
+	start := p.pos
+	if p.src[p.pos] == '-' || p.src[p.pos] == '+' {
+		p.pos++
+	}
+	digits := false
+	for p.pos < len(p.src) && (unicode.IsDigit(p.src[p.pos]) || p.src[p.pos] == '.') {
+		if unicode.IsDigit(p.src[p.pos]) {
+			digits = true
+		}
+		p.pos++
+	}
+	if !digits {
+		return Operand{}, p.errf("malformed number")
+	}
+	v := table.ParseValue(string(p.src[start:p.pos]))
+	if v.Kind() != table.KindInt && v.Kind() != table.KindFloat {
+		return Operand{}, p.errf("malformed number %q", string(p.src[start:p.pos]))
+	}
+	return ConstOperand(v), nil
+}
+
+func (p *parser) quoted(quote rune) (string, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		r := p.src[p.pos]
+		if r == quote {
+			p.pos++
+			return b.String(), nil
+		}
+		if r == '\\' && p.pos+1 < len(p.src) {
+			p.pos++
+			r = p.src[p.pos]
+		}
+		b.WriteRune(r)
+		p.pos++
+	}
+	return "", p.errf("unterminated string")
+}
+
+func (p *parser) operator() (Op, error) {
+	p.ws()
+	two := p.peekStr(2)
+	switch two {
+	case "==":
+		p.pos += 2
+		return OpEq, nil
+	case "!=", "<>":
+		p.pos += 2
+		return OpNeq, nil
+	case "<=":
+		p.pos += 2
+		return OpLeq, nil
+	case ">=":
+		p.pos += 2
+		return OpGeq, nil
+	}
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '=':
+			p.pos++
+			return OpEq, nil
+		case '≠':
+			p.pos++
+			return OpNeq, nil
+		case '≤':
+			p.pos++
+			return OpLeq, nil
+		case '≥':
+			p.pos++
+			return OpGeq, nil
+		case '<':
+			p.pos++
+			return OpLt, nil
+		case '>':
+			p.pos++
+			return OpGt, nil
+		}
+	}
+	return OpEq, p.errf("expected comparison operator")
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) && unicode.IsSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+func (p *parser) eat(r rune) bool {
+	if p.pos < len(p.src) && p.src[p.pos] == r {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekStr(n int) string {
+	if p.pos+n > len(p.src) {
+		return ""
+	}
+	return string(p.src[p.pos : p.pos+n])
+}
+
+func (p *parser) peekIdentStart() bool {
+	return p.pos < len(p.src) && (unicode.IsLetter(p.src[p.pos]) || p.src[p.pos] == '_')
+}
+
+func (p *parser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) && (unicode.IsLetter(p.src[p.pos]) || unicode.IsDigit(p.src[p.pos]) || p.src[p.pos] == '_') {
+		p.pos++
+	}
+	return string(p.src[start:p.pos])
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}

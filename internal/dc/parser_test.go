@@ -1,0 +1,268 @@
+package dc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/table"
+)
+
+func TestParseSimpleFD(t *testing.T) {
+	c, err := Parse("C1: !(t1.Team = t2.Team & t1.City != t2.City)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "C1" {
+		t.Errorf("ID = %q", c.ID)
+	}
+	if len(c.Preds) != 2 {
+		t.Fatalf("preds = %d", len(c.Preds))
+	}
+	p0 := c.Preds[0]
+	if p0.Op != OpEq || p0.Left.Attr != "Team" || p0.Left.Tuple != 0 || p0.Right.Tuple != 1 {
+		t.Errorf("pred0 = %v", p0)
+	}
+	if c.Preds[1].Op != OpNeq {
+		t.Errorf("pred1 op = %v", c.Preds[1].Op)
+	}
+	if c.SingleTuple() {
+		t.Error("pair constraint misclassified as single-tuple")
+	}
+}
+
+func TestParseUnicodeNotation(t *testing.T) {
+	c, err := Parse("¬(t1[League] = t2[League] ∧ t1[Country] ≠ t2[Country])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Preds) != 2 {
+		t.Fatalf("preds = %d", len(c.Preds))
+	}
+	if c.Preds[0].Left.Attr != "League" || c.Preds[1].Op != OpNeq {
+		t.Errorf("parsed wrong: %v", c)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := map[string]Op{
+		"=": OpEq, "==": OpEq, "!=": OpNeq, "<>": OpNeq, "≠": OpNeq,
+		"<": OpLt, "<=": OpLeq, "≤": OpLeq, ">": OpGt, ">=": OpGeq, "≥": OpGeq,
+	}
+	for tok, want := range cases {
+		c, err := Parse("!(t1.A " + tok + " t2.A)")
+		if err != nil {
+			t.Errorf("op %q: %v", tok, err)
+			continue
+		}
+		if c.Preds[0].Op != want {
+			t.Errorf("op %q parsed as %v, want %v", tok, c.Preds[0].Op, want)
+		}
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	c := MustParse(`!(t1.Year = 2019 & t1.City = 'Madrid' & t1.Rate < 2.5 & t1.Ok = true & t1.Tag = plain)`)
+	if len(c.Preds) != 5 {
+		t.Fatalf("preds = %d", len(c.Preds))
+	}
+	wantConsts := []table.Value{table.Int(2019), table.String("Madrid"), table.Float(2.5), table.Bool(true), table.String("plain")}
+	for i, want := range wantConsts {
+		got := c.Preds[i].Right
+		if !got.IsConst || !got.Const.SameContent(want) || got.Const.Kind() != want.Kind() {
+			t.Errorf("pred %d const = %v, want %v", i, got, want)
+		}
+	}
+	if !c.SingleTuple() {
+		t.Error("constant-only t1 constraint must be single-tuple")
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	c := MustParse("!(t1.X = -5)")
+	if !c.Preds[0].Right.Const.Equal(table.Int(-5)) {
+		t.Errorf("got %v", c.Preds[0].Right)
+	}
+}
+
+func TestParseDoubleQuotedAndEscapes(t *testing.T) {
+	c := MustParse(`!(t1.City = "San Sebastián" & t1.Note = 'it\'s')`)
+	if c.Preds[0].Right.Const.Str() != "San Sebastián" {
+		t.Errorf("quoted = %q", c.Preds[0].Right.Const.Str())
+	}
+	if c.Preds[1].Right.Const.Str() != "it's" {
+		t.Errorf("escaped = %q", c.Preds[1].Right.Const.Str())
+	}
+}
+
+func TestParseAndKeywordAndNot(t *testing.T) {
+	c, err := Parse("not (t1.A = t2.A and t1.B != t2.B)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Preds) != 2 {
+		t.Fatalf("preds = %d", len(c.Preds))
+	}
+}
+
+func TestParseDoubleAmpersand(t *testing.T) {
+	c, err := Parse("!(t1.A = t2.A && t1.B != t2.B)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Preds) != 2 {
+		t.Fatalf("preds = %d", len(c.Preds))
+	}
+}
+
+func TestParseNoNegationMarker(t *testing.T) {
+	// A bare parenthesized conjunction is accepted: the denial is implied.
+	c, err := Parse("(t1.A = t2.A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Preds) != 1 {
+		t.Fatalf("preds = %d", len(c.Preds))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"!(",
+		"!()",
+		"!(t1.A)",
+		"!(t1.A =)",
+		"!(t1.A = t2.A",
+		"!(t1.A = t2.A) trailing",
+		"!(t3.A = t2.A) ", // t3 parses as bare word then fails at '.'
+		"!(t1.A ~ t2.A)",
+		"!(t1. = t2.A)",
+		"!(t1[A = t2.A)",
+		"!(t1.A = 'unterminated)",
+		"!(t1.A = --3)",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) must error", s)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"C1: !(t1.Team = t2.Team & t1.City != t2.City)",
+		"!(t1.Year >= 2000 & t1.Year < 2020)",
+		`C9: !(t1.City = "Madrid" & t1.Country != "Spain")`,
+	}
+	for _, in := range inputs {
+		c1 := MustParse(in)
+		c2, err := Parse(c1.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", c1.String(), err)
+		}
+		if c1.String() != c2.String() {
+			t.Errorf("round trip: %q -> %q", c1.String(), c2.String())
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	// Render arbitrary small ASTs and check parse(render(ast)) == ast.
+	attrs := []string{"A", "B", "C"}
+	ops := []Op{OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq}
+	f := func(seed uint32, nPreds uint8) bool {
+		n := int(nPreds)%3 + 1
+		c := &Constraint{ID: "CX"}
+		s := seed
+		next := func(m int) int { s = s*1664525 + 1013904223; return int(s>>16) % m }
+		for i := 0; i < n; i++ {
+			left := AttrOperand(next(2), attrs[next(len(attrs))])
+			var right Operand
+			if next(2) == 0 {
+				right = AttrOperand(next(2), attrs[next(len(attrs))])
+			} else {
+				right = ConstOperand(table.Int(int64(next(100))))
+			}
+			c.Preds = append(c.Preds, Predicate{Left: left, Op: ops[next(len(ops))], Right: right})
+		}
+		back, err := Parse(c.String())
+		return err == nil && back.String() == c.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	text := `
+# soccer constraints
+C1: !(t1.Team = t2.Team & t1.City != t2.City)
+-- a comment
+!(t1.City = t2.City & t1.Country != t2.Country)
+
+C3: !(t1.League = t2.League & t1.Country != t2.Country)
+`
+	cs, err := ParseSet(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("got %d constraints", len(cs))
+	}
+	if cs[0].ID != "C1" || cs[1].ID != "C2" || cs[2].ID != "C3" {
+		t.Errorf("IDs = %s %s %s", cs[0].ID, cs[1].ID, cs[2].ID)
+	}
+}
+
+func TestParseSetDuplicateID(t *testing.T) {
+	if _, err := ParseSet("C1: !(t1.A = t2.A)\nC1: !(t1.B = t2.B)"); err == nil {
+		t.Error("duplicate IDs must be rejected")
+	}
+	if _, err := ParseSet("C1: !(t1.A ="); err == nil {
+		t.Error("parse error must propagate with line number")
+	} else if !strings.Contains(err.Error(), "line") {
+		t.Errorf("error should mention line: %v", err)
+	}
+}
+
+func TestConstraintAttributes(t *testing.T) {
+	c := MustParse("!(t1.Team = t2.Team & t1.City != t2.City & t1.Team = 'x')")
+	attrs := c.Attributes()
+	if len(attrs) != 2 || attrs[0] != "Team" || attrs[1] != "City" {
+		t.Errorf("Attributes = %v", attrs)
+	}
+}
+
+func TestConstraintValidate(t *testing.T) {
+	schema := table.MustSchema(table.Column{Name: "Team"}, table.Column{Name: "City"})
+	good := MustParse("!(t1.Team = t2.Team & t1.City != t2.City)")
+	if err := good.Validate(schema); err != nil {
+		t.Errorf("valid constraint rejected: %v", err)
+	}
+	bad := MustParse("!(t1.Nope = t2.Nope)")
+	if err := bad.Validate(schema); err == nil {
+		t.Error("unknown attribute must be rejected")
+	}
+	empty := &Constraint{ID: "E"}
+	if err := empty.Validate(schema); err == nil {
+		t.Error("empty constraint must be rejected")
+	}
+}
+
+func TestOpNegate(t *testing.T) {
+	for _, o := range []Op{OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq} {
+		if o.Negate().Negate() != o {
+			t.Errorf("Negate not involutive for %v", o)
+		}
+	}
+	if OpEq.Negate() != OpNeq || OpLt.Negate() != OpGeq {
+		t.Error("Negate mapping wrong")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpGeq.String() != ">=" || Op(99).String() == "" {
+		t.Error("Op.String")
+	}
+}

@@ -1,0 +1,153 @@
+// Package dcdiscover mines denial constraints from data, in the spirit of
+// FastDCs (Chu, Ilyas, Papotti, PVLDB 2013) — the system the paper cites
+// as the source of its constraint sets. The miner targets the FD-shaped
+// fragment ¬(t1.A = t2.A ∧ t1.B ≠ t2.B) that dominates cleaning practice:
+// for every ordered attribute pair (A, B) it measures how reliably
+// agreement on A implies agreement on B over all tuple pairs, and emits a
+// constraint when the confidence clears a threshold. Mining tolerates
+// dirty inputs: a handful of violating pairs lowers confidence without
+// erasing the dependency.
+package dcdiscover
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dc"
+	"repro/internal/table"
+)
+
+// Options configures Discover.
+type Options struct {
+	// MinConfidence is the fraction of A-agreeing tuple pairs that must
+	// also agree on B (default 0.9). 1.0 mines only exact dependencies.
+	MinConfidence float64
+	// MinSupport is the minimum number of A-agreeing tuple pairs needed
+	// before a dependency is considered at all (default 2); it suppresses
+	// vacuous FDs from near-key attributes.
+	MinSupport int
+	// MaxConstraints caps the output (default unlimited).
+	MaxConstraints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinConfidence <= 0 {
+		o.MinConfidence = 0.9
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 2
+	}
+	return o
+}
+
+// Candidate is one mined dependency A → B with its evidence counts.
+type Candidate struct {
+	// LHS and RHS are the attribute names of the dependency LHS → RHS.
+	LHS, RHS string
+	// Support is the number of unordered tuple pairs agreeing on LHS.
+	Support int
+	// Holds is how many of those pairs also agree on RHS.
+	Holds int
+	// Confidence is Holds/Support.
+	Confidence float64
+	// Constraint is the corresponding denial constraint.
+	Constraint *dc.Constraint
+}
+
+// String renders the candidate with its evidence.
+func (c Candidate) String() string {
+	return fmt.Sprintf("%s -> %s (confidence %.3f, support %d)", c.LHS, c.RHS, c.Confidence, c.Support)
+}
+
+// Discover mines FD-shaped denial constraints from the table. Candidates
+// are returned in descending confidence, ties by descending support then
+// attribute order; constraint IDs are assigned D1, D2, ...
+func Discover(t *table.Table, opts Options) []Candidate {
+	opts = opts.withDefaults()
+	m := t.NumCols()
+	names := t.Schema().Names()
+
+	// Bucket rows by each column's value once: pairs agreeing on column a
+	// are exactly the intra-bucket pairs.
+	buckets := make([]map[string][]int, m)
+	for a := 0; a < m; a++ {
+		buckets[a] = make(map[string][]int)
+		for i := 0; i < t.NumRows(); i++ {
+			v := t.Get(i, a)
+			if v.IsNull() {
+				continue
+			}
+			buckets[a][v.Key()] = append(buckets[a][v.Key()], i)
+		}
+	}
+
+	var out []Candidate
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if a == b {
+				continue
+			}
+			support, holds := 0, 0
+			for _, rows := range buckets[a] {
+				for x := 0; x < len(rows); x++ {
+					for y := x + 1; y < len(rows); y++ {
+						va, vb := t.Get(rows[x], b), t.Get(rows[y], b)
+						if va.IsNull() || vb.IsNull() {
+							continue
+						}
+						support++
+						if va.Equal(vb) {
+							holds++
+						}
+					}
+				}
+			}
+			if support < opts.MinSupport {
+				continue
+			}
+			conf := float64(holds) / float64(support)
+			if conf < opts.MinConfidence {
+				continue
+			}
+			out = append(out, Candidate{
+				LHS: names[a], RHS: names[b],
+				Support: support, Holds: holds, Confidence: conf,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if out[i].LHS != out[j].LHS {
+			return out[i].LHS < out[j].LHS
+		}
+		return out[i].RHS < out[j].RHS
+	})
+	if opts.MaxConstraints > 0 && len(out) > opts.MaxConstraints {
+		out = out[:opts.MaxConstraints]
+	}
+	for i := range out {
+		out[i].Constraint = &dc.Constraint{
+			ID: fmt.Sprintf("D%d", i+1),
+			Preds: []dc.Predicate{
+				{Left: dc.AttrOperand(0, out[i].LHS), Op: dc.OpEq, Right: dc.AttrOperand(1, out[i].LHS)},
+				{Left: dc.AttrOperand(0, out[i].RHS), Op: dc.OpNeq, Right: dc.AttrOperand(1, out[i].RHS)},
+			},
+			Comment: fmt.Sprintf("mined: %s -> %s (conf %.3f, support %d)", out[i].LHS, out[i].RHS, out[i].Confidence, out[i].Support),
+		}
+	}
+	return out
+}
+
+// Constraints extracts just the constraint list from Discover's output.
+func Constraints(cands []Candidate) []*dc.Constraint {
+	out := make([]*dc.Constraint, len(cands))
+	for i, c := range cands {
+		out[i] = c.Constraint
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package dcdiscover
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/dc"
+	"repro/internal/table"
+)
+
+func findCand(cands []Candidate, lhs, rhs string) (Candidate, bool) {
+	for _, c := range cands {
+		if c.LHS == lhs && c.RHS == rhs {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}
+
+func TestDiscoverExactFDs(t *testing.T) {
+	clean := data.GenerateSoccer(data.SoccerConfig{Leagues: 3, TeamsPerLeague: 6, Years: 2, Seed: 1})
+	cands := Discover(clean, Options{MinConfidence: 1.0})
+	// Team → City, Team → Country, Team → League, City → Country,
+	// League → Country all hold exactly on clean data.
+	for _, want := range [][2]string{
+		{"Team", "City"}, {"Team", "Country"}, {"Team", "League"},
+		{"City", "Country"}, {"League", "Country"},
+	} {
+		c, ok := findCand(cands, want[0], want[1])
+		if !ok {
+			t.Errorf("missing dependency %s -> %s", want[0], want[1])
+			continue
+		}
+		if c.Confidence != 1.0 {
+			t.Errorf("%s -> %s confidence = %v", want[0], want[1], c.Confidence)
+		}
+	}
+	// Country → Place must not be mined: a country's teams occupy all
+	// places.
+	if _, ok := findCand(cands, "Country", "Place"); ok {
+		t.Error("Country -> Place must not be mined")
+	}
+}
+
+func TestDiscoverToleratesDirt(t *testing.T) {
+	clean := data.GenerateSoccer(data.SoccerConfig{Leagues: 2, TeamsPerLeague: 10, Years: 2, Seed: 2})
+	dirty, _, err := data.Inject(clean, data.InjectSpec{Rate: 0.03, Columns: []string{"Country"}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := Discover(dirty, Options{MinConfidence: 0.8})
+	if _, ok := findCand(cands, "League", "Country"); !ok {
+		t.Error("League -> Country must survive 3% noise at confidence 0.8")
+	}
+	exact := Discover(dirty, Options{MinConfidence: 1.0})
+	if _, ok := findCand(exact, "League", "Country"); ok {
+		t.Error("League -> Country must fail exact mining on dirty data")
+	}
+}
+
+func TestDiscoverMinedConstraintsWork(t *testing.T) {
+	// Mined constraints must parse/validate and detect the injected dirt.
+	clean := data.GenerateSoccer(data.SoccerConfig{Leagues: 2, TeamsPerLeague: 8, Seed: 4})
+	dirty, injections, err := data.Inject(clean, data.InjectSpec{Rate: 0.05, Columns: []string{"Country"}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injections) == 0 {
+		t.Skip("no injections landed")
+	}
+	cands := Discover(dirty, Options{MinConfidence: 0.8})
+	cs := Constraints(cands)
+	if err := dc.ValidateSet(cs, dirty.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := dc.Consistent(cs, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("mined constraints should flag the injected errors")
+	}
+	ok, err = dc.Consistent(cs, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("mined constraints must hold on the clean table")
+	}
+}
+
+func TestDiscoverSupportThreshold(t *testing.T) {
+	// Phone is a key: no two rows agree on it, so Phone -> * has zero
+	// support and must not be mined.
+	tbl := data.GenerateHospital(data.HospitalConfig{Providers: 20, Zips: 4, Seed: 6})
+	cands := Discover(tbl, Options{MinConfidence: 0.5, MinSupport: 2})
+	if _, ok := findCand(cands, "Phone", "City"); ok {
+		t.Error("key attribute must not generate dependencies (support 0)")
+	}
+	if _, ok := findCand(cands, "Zip", "City"); !ok {
+		t.Error("Zip -> City must be mined")
+	}
+}
+
+func TestDiscoverMaxConstraints(t *testing.T) {
+	tbl := data.GenerateSoccer(data.SoccerConfig{Seed: 7})
+	cands := Discover(tbl, Options{MinConfidence: 0.9, MaxConstraints: 3})
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	for i, c := range cands {
+		if c.Constraint == nil || c.Constraint.ID != "D"+string(rune('1'+i)) {
+			t.Errorf("candidate %d constraint = %v", i, c.Constraint)
+		}
+	}
+}
+
+func TestDiscoverOrderingDeterministic(t *testing.T) {
+	tbl := data.GenerateSoccer(data.SoccerConfig{Seed: 8})
+	a := Discover(tbl, Options{})
+	b := Discover(tbl, Options{})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic candidate count")
+	}
+	for i := range a {
+		if a[i].LHS != b[i].LHS || a[i].RHS != b[i].RHS {
+			t.Fatalf("nondeterministic order at %d", i)
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Confidence > a[i-1].Confidence {
+			t.Fatal("not sorted by confidence")
+		}
+	}
+}
+
+func TestDiscoverNullsIgnored(t *testing.T) {
+	tbl := table.MustFromStrings([]string{"A", "B"}, [][]string{
+		{"x", "1"}, {"x", "1"}, {"x", ""}, {"", "2"},
+	})
+	cands := Discover(tbl, Options{MinConfidence: 1.0, MinSupport: 1})
+	c, ok := findCand(cands, "A", "B")
+	if !ok {
+		t.Fatal("A -> B must be mined (null pairs excluded)")
+	}
+	if c.Support != 1 || c.Holds != 1 {
+		t.Fatalf("support/holds = %d/%d, want 1/1", c.Support, c.Holds)
+	}
+}
+
+func TestDiscoverEmptyAndTinyTables(t *testing.T) {
+	empty := table.New(table.MustSchema(table.Column{Name: "A"}, table.Column{Name: "B"}))
+	if cands := Discover(empty, Options{}); len(cands) != 0 {
+		t.Error("empty table must mine nothing")
+	}
+	one := table.MustFromStrings([]string{"A", "B"}, [][]string{{"x", "1"}})
+	if cands := Discover(one, Options{}); len(cands) != 0 {
+		t.Error("single-row table must mine nothing")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{LHS: "Zip", RHS: "City", Support: 10, Holds: 9, Confidence: 0.9}
+	if !strings.Contains(c.String(), "Zip -> City") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestDiscoverOnLaLigaFindsPaperDCs(t *testing.T) {
+	// Mining the paper's own (mostly clean) 6-row table at moderate
+	// confidence must recover the FD cores of C1–C3.
+	ll := data.NewLaLiga()
+	cands := Discover(ll.Clean, Options{MinConfidence: 1.0, MinSupport: 1})
+	for _, want := range [][2]string{{"Team", "City"}, {"City", "Country"}, {"League", "Country"}} {
+		if _, ok := findCand(cands, want[0], want[1]); !ok {
+			t.Errorf("missing %s -> %s on the clean La Liga table", want[0], want[1])
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package repair
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/dc"
+	"repro/internal/table"
+)
+
+// FixKind selects how a rule computes its replacement value.
+type FixKind uint8
+
+const (
+	// FixMode replaces with the column's most common value,
+	// argmax_c P[Attr = c] — rules 1 and 3 of the paper's Algorithm 1.
+	FixMode FixKind = iota
+	// FixConditionalMode replaces with the most probable value given
+	// another attribute of the same tuple,
+	// argmax_c P[Attr = c | Given = t[Given]] — rules 2 and 4.
+	FixConditionalMode
+)
+
+// Rule pairs a trigger constraint with a fix action: "if tuple t has a
+// contradiction according to Constraint then Attr is modified".
+type Rule struct {
+	// ConstraintID names the DC that triggers the rule. The rule is active
+	// only when a constraint with this ID is present in the input set —
+	// that is how removing a DC from a Shapley coalition disables the
+	// corresponding behaviour of the black box.
+	ConstraintID string
+	// Attr is the attribute modified by the rule.
+	Attr string
+	// Kind selects the replacement policy.
+	Kind FixKind
+	// Given is the conditioning attribute for FixConditionalMode.
+	Given string
+}
+
+// String renders the rule for logs.
+func (r Rule) String() string {
+	switch r.Kind {
+	case FixConditionalMode:
+		return fmt.Sprintf("on %s: %s := argmax P[%s | %s]", r.ConstraintID, r.Attr, r.Attr, r.Given)
+	default:
+		return fmt.Sprintf("on %s: %s := argmax P[%s]", r.ConstraintID, r.Attr, r.Attr)
+	}
+}
+
+// RuleRepair is the paper's Algorithm 1 generalized to an arbitrary rule
+// list. Rules are applied in order, per tuple in order, re-evaluating
+// contradictions against the current working table, and the whole pass
+// repeats until a fixpoint (or MaxPasses). This reproduces the cascade of
+// Example 1.1: C1 first changes t5[City] to "Madrid", which then makes C2
+// fire and change t5[Country].
+type RuleRepair struct {
+	// AlgName is returned by Name.
+	AlgName string
+	// Rules is the ordered rule list.
+	Rules []Rule
+	// MaxPasses bounds fixpoint iteration; 0 means the default (10).
+	MaxPasses int
+}
+
+// NewAlgorithm1 returns the paper's Algorithm 1: the four rules for the
+// soccer schema, triggered by C1..C4.
+func NewAlgorithm1() *RuleRepair {
+	return &RuleRepair{
+		AlgName: "algorithm1",
+		Rules: []Rule{
+			{ConstraintID: "C1", Attr: "City", Kind: FixMode},
+			{ConstraintID: "C2", Attr: "Country", Kind: FixConditionalMode, Given: "City"},
+			{ConstraintID: "C3", Attr: "Country", Kind: FixMode},
+			{ConstraintID: "C4", Attr: "Place", Kind: FixConditionalMode, Given: "Team"},
+		},
+	}
+}
+
+// DeriveRules builds a rule list from FD-shaped constraints automatically,
+// so RuleRepair extends to any DC set (used by the synthetic experiments).
+// For a constraint ¬(t1.A = t2.A ∧ t1.B ≠ t2.B) it emits
+// "B := argmax P[B | A]"; for any other shape it picks the first attribute
+// appearing in a ≠ predicate (or the first attribute at all) and emits an
+// unconditional mode fix.
+func DeriveRules(cs []*dc.Constraint) []Rule {
+	rules := make([]Rule, 0, len(cs))
+	for _, c := range cs {
+		rules = append(rules, deriveRule(c))
+	}
+	return rules
+}
+
+func deriveRule(c *dc.Constraint) Rule {
+	var eqAttr, neqAttr string
+	for _, p := range c.Preds {
+		if p.Left.IsConst || p.Right.IsConst {
+			continue
+		}
+		if p.Left.Attr != p.Right.Attr || p.Left.Tuple == p.Right.Tuple {
+			continue
+		}
+		switch p.Op {
+		case dc.OpEq:
+			if eqAttr == "" {
+				eqAttr = p.Left.Attr
+			}
+		case dc.OpNeq:
+			if neqAttr == "" {
+				neqAttr = p.Left.Attr
+			}
+		}
+	}
+	switch {
+	case neqAttr != "" && eqAttr != "":
+		return Rule{ConstraintID: c.ID, Attr: neqAttr, Kind: FixConditionalMode, Given: eqAttr}
+	case neqAttr != "":
+		return Rule{ConstraintID: c.ID, Attr: neqAttr, Kind: FixMode}
+	default:
+		attrs := c.Attributes()
+		if len(attrs) == 0 {
+			return Rule{ConstraintID: c.ID}
+		}
+		return Rule{ConstraintID: c.ID, Attr: attrs[len(attrs)-1], Kind: FixMode}
+	}
+}
+
+// NewRuleRepair builds a RuleRepair with rules derived from the constraint
+// set.
+func NewRuleRepair(cs []*dc.Constraint) *RuleRepair {
+	return &RuleRepair{AlgName: "rule-repair", Rules: DeriveRules(cs)}
+}
+
+// Name implements Algorithm.
+func (a *RuleRepair) Name() string {
+	if a.AlgName == "" {
+		return "rule-repair"
+	}
+	return a.AlgName
+}
+
+// Repair implements Algorithm. Only rules whose trigger constraint is
+// present in cs are active; that is the sole way the constraint coalition
+// influences this black box, exactly as in the paper's worked example.
+func (a *RuleRepair) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
+	work := dirty.Clone()
+	present := make(map[string]*dc.Constraint, len(cs))
+	for _, c := range cs {
+		present[c.ID] = c
+	}
+	maxPasses := a.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 10
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		changed, err := a.pass(ctx, present, work)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			break
+		}
+	}
+	return work, nil
+}
+
+func (a *RuleRepair) pass(ctx context.Context, present map[string]*dc.Constraint, work *table.Table) (bool, error) {
+	changed := false
+	// Statistics reflect the *current* working table so cascaded repairs
+	// see each other's effects; they are rebuilt lazily after mutations.
+	var stats *table.Stats
+	freshStats := func() *table.Stats {
+		if stats == nil {
+			stats = table.NewStats(work)
+		}
+		return stats
+	}
+	for _, rule := range a.Rules {
+		c, ok := present[rule.ConstraintID]
+		if !ok || rule.Attr == "" {
+			continue
+		}
+		attrIdx, ok := work.Schema().Index(rule.Attr)
+		if !ok {
+			return false, fmt.Errorf("repair: rule %v: no attribute %q", rule, rule.Attr)
+		}
+		givenIdx := -1
+		if rule.Kind == FixConditionalMode {
+			givenIdx, ok = work.Schema().Index(rule.Given)
+			if !ok {
+				return false, fmt.Errorf("repair: rule %v: no attribute %q", rule, rule.Given)
+			}
+		}
+		// One indexed scan finds the rows violating this rule's trigger;
+		// each is re-verified against the current state before fixing,
+		// since earlier fixes within the rule may have resolved it. Rows
+		// that start violating mid-rule are picked up by the next fixpoint
+		// pass.
+		vs, err := c.ViolationsIndexed(work)
+		if err != nil {
+			return false, err
+		}
+		var badRows []int
+		seen := make(map[int]bool)
+		for _, v := range vs {
+			for _, row := range []int{v.Row1, v.Row2} {
+				if !seen[row] {
+					seen[row] = true
+					badRows = append(badRows, row)
+				}
+			}
+		}
+		sort.Ints(badRows)
+		for _, row := range badRows {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+			violates, err := c.ViolatesRow(work, row)
+			if err != nil {
+				return false, err
+			}
+			if !violates {
+				continue
+			}
+			var fix table.Value
+			var found bool
+			switch rule.Kind {
+			case FixConditionalMode:
+				fix, found = freshStats().ConditionalMode(givenIdx, work.Get(row, givenIdx), attrIdx)
+			default:
+				fix, found = freshStats().Column(attrIdx).Mode()
+			}
+			if !found {
+				continue // empty column: nothing to repair with
+			}
+			if !work.Get(row, attrIdx).SameContent(fix) {
+				work.Set(row, attrIdx, fix)
+				changed = true
+				stats = nil
+			}
+		}
+	}
+	return changed, nil
+}

@@ -1,0 +1,138 @@
+package repair
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/dc"
+	"repro/internal/table"
+)
+
+// FDChase is an equivalence-class chase baseline in the spirit of
+// Bohannon et al.'s CFD repairs (ICDE 2007), restricted to FD-shaped DCs
+// ¬(t1.A = t2.A ∧ t1.B ≠ t2.B), read as the functional dependency A → B.
+// Rows are grouped by the left-hand side value; within each group the
+// right-hand side is forced to the group's majority value (ties to the
+// first-observed value). Groups are chased in constraint order until a
+// fixpoint, since repairing one FD can re-group another.
+//
+// Constraints that are not FD-shaped are ignored by this black box — which
+// is itself interesting to explain: T-REx assigns them zero contribution.
+type FDChase struct {
+	// MaxPasses bounds fixpoint iteration; 0 means the default (10).
+	MaxPasses int
+}
+
+// NewFDChase returns an FDChase with default limits.
+func NewFDChase() *FDChase { return &FDChase{} }
+
+// Name implements Algorithm.
+func (f *FDChase) Name() string { return "fd-chase" }
+
+// fd is one recognized functional dependency A → B.
+type fd struct {
+	lhs, rhs int
+}
+
+// asFD recognizes ¬(t1.A = t2.A ∧ t1.B ≠ t2.B) up to predicate order and
+// returns the column indexes of A and B.
+func asFD(c *dc.Constraint, schema *table.Schema) (fd, bool) {
+	if len(c.Preds) != 2 {
+		return fd{}, false
+	}
+	var eqAttr, neqAttr string
+	for _, p := range c.Preds {
+		if p.Left.IsConst || p.Right.IsConst || p.Left.Attr != p.Right.Attr || p.Left.Tuple == p.Right.Tuple {
+			return fd{}, false
+		}
+		switch p.Op {
+		case dc.OpEq:
+			eqAttr = p.Left.Attr
+		case dc.OpNeq:
+			neqAttr = p.Left.Attr
+		default:
+			return fd{}, false
+		}
+	}
+	if eqAttr == "" || neqAttr == "" {
+		return fd{}, false
+	}
+	lhs, ok1 := schema.Index(eqAttr)
+	rhs, ok2 := schema.Index(neqAttr)
+	if !ok1 || !ok2 {
+		return fd{}, false
+	}
+	return fd{lhs: lhs, rhs: rhs}, true
+}
+
+// Repair implements Algorithm.
+func (f *FDChase) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
+	work := dirty.Clone()
+	var fds []fd
+	for _, c := range cs {
+		if d, ok := asFD(c, work.Schema()); ok {
+			fds = append(fds, d)
+		}
+	}
+	maxPasses := f.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 10
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		changed := false
+		for _, d := range fds {
+			if chased := chaseFD(work, d); chased {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return work, nil
+}
+
+// chaseFD forces the majority right-hand side within every left-hand-side
+// group; returns whether anything changed.
+func chaseFD(t *table.Table, d fd) bool {
+	groups := make(map[string][]int)
+	var keys []string
+	for i := 0; i < t.NumRows(); i++ {
+		v := t.Get(i, d.lhs)
+		if v.IsNull() {
+			continue
+		}
+		k := v.Key()
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	sort.Strings(keys)
+	changed := false
+	for _, k := range keys {
+		rows := groups[k]
+		if len(rows) < 2 {
+			continue
+		}
+		dist := table.NewDistribution()
+		for _, i := range rows {
+			dist.Observe(t.Get(i, d.rhs))
+		}
+		major, ok := dist.Mode()
+		if !ok {
+			continue
+		}
+		for _, i := range rows {
+			cur := t.Get(i, d.rhs)
+			if !cur.IsNull() && !cur.SameContent(major) {
+				t.Set(i, d.rhs, major)
+				changed = true
+			}
+		}
+	}
+	return changed
+}

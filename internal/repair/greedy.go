@@ -1,0 +1,168 @@
+package repair
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/dc"
+	"repro/internal/table"
+)
+
+// Greedy is a holistic-cleaning baseline in the spirit of Chu, Ilyas and
+// Papotti (ICDE 2013): it builds the violation hypergraph (which cells
+// participate in which violations), repeatedly picks the cell covering the
+// most violations, and reassigns it to the candidate value that minimizes
+// the number of violations the owning tuple participates in. It stops at
+// consistency or after MaxSteps reassignments.
+type Greedy struct {
+	// MaxSteps bounds the number of cell reassignments; 0 means rows×cols.
+	MaxSteps int
+}
+
+// NewGreedy returns a Greedy with default limits.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Algorithm.
+func (g *Greedy) Name() string { return "greedy-holistic" }
+
+// Repair implements Algorithm.
+func (g *Greedy) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
+	work := dirty.Clone()
+	maxSteps := g.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = work.NumCells()
+	}
+	for step := 0; step < maxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hot, err := g.hotCells(cs, work)
+		if err != nil {
+			return nil, err
+		}
+		if len(hot) == 0 {
+			break // consistent
+		}
+		stats := table.NewStats(work)
+		progressed := false
+		// Try cells from most to least loaded; commit the first strict
+		// improvement. Join-key cells often cannot improve (no alternative
+		// value exists), so falling through to cooler cells is essential.
+		for _, cell := range hot {
+			best, improved, err := g.bestCandidate(ctx, cs, work, stats, cell)
+			if err != nil {
+				return nil, err
+			}
+			if improved {
+				work.SetRef(cell, best)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			// No cell can be improved; freeze the table state rather than
+			// thrash (deterministic termination).
+			break
+		}
+	}
+	return work, nil
+}
+
+// hotCells returns every cell participating in at least one violation,
+// ordered by descending violation count, ties by vectorization order.
+func (g *Greedy) hotCells(cs []*dc.Constraint, t *table.Table) ([]table.CellRef, error) {
+	counts := make(map[table.CellRef]int)
+	for _, c := range cs {
+		vs, err := c.ViolationsIndexed(t)
+		if err != nil {
+			return nil, err
+		}
+		attrs := c.Attributes()
+		for _, v := range vs {
+			for _, attr := range attrs {
+				col := t.Schema().MustIndex(attr)
+				counts[table.CellRef{Row: v.Row1, Col: col}]++
+				if v.Row2 != v.Row1 {
+					counts[table.CellRef{Row: v.Row2, Col: col}]++
+				}
+			}
+		}
+	}
+	refs := make([]table.CellRef, 0, len(counts))
+	for ref := range counts {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if counts[refs[a]] != counts[refs[b]] {
+			return counts[refs[a]] > counts[refs[b]]
+		}
+		return t.VecIndex(refs[a]) < t.VecIndex(refs[b])
+	})
+	return refs, nil
+}
+
+// bestCandidate evaluates the column's observed values as replacements and
+// returns the one that strictly reduces the number of violating pairs the
+// owning tuple participates in. Counting pairs (not just violated
+// constraints) gives the search gradient within a column: lowering a
+// tuple's conflicts from five partners to one is progress even though the
+// same constraint stays violated.
+func (g *Greedy) bestCandidate(ctx context.Context, cs []*dc.Constraint, t *table.Table, stats *table.Stats, cell table.CellRef) (table.Value, bool, error) {
+	old := t.GetRef(cell)
+	current, err := tupleViolationPairs(cs, t, cell.Row)
+	if err != nil {
+		return table.Null(), false, err
+	}
+	bestVal, bestViol := old, current
+	for _, e := range stats.Column(cell.Col).Entries() {
+		if err := ctx.Err(); err != nil {
+			return table.Null(), false, err
+		}
+		if e.Value.SameContent(old) {
+			continue
+		}
+		t.SetRef(cell, e.Value)
+		viol, err := tupleViolationPairs(cs, t, cell.Row)
+		t.SetRef(cell, old)
+		if err != nil {
+			return table.Null(), false, err
+		}
+		if viol < bestViol {
+			bestVal, bestViol = e.Value, viol
+		}
+	}
+	return bestVal, bestViol < current, nil
+}
+
+// tupleViolationPairs counts the violating tuple pairs row i participates
+// in, summed over constraints (single-tuple violations count once).
+func tupleViolationPairs(cs []*dc.Constraint, t *table.Table, row int) (int, error) {
+	n := 0
+	for _, c := range cs {
+		if c.SingleTuple() {
+			sat, err := c.SatisfiedPair(t, row, row)
+			if err != nil {
+				return 0, err
+			}
+			if sat {
+				n++
+			}
+			continue
+		}
+		for j := 0; j < t.NumRows(); j++ {
+			if j == row {
+				continue
+			}
+			for _, pair := range [2][2]int{{row, j}, {j, row}} {
+				sat, err := c.SatisfiedPair(t, pair[0], pair[1])
+				if err != nil {
+					return 0, err
+				}
+				if sat {
+					n++
+				}
+			}
+		}
+	}
+	return n, nil
+}

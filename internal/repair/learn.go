@@ -1,0 +1,110 @@
+package repair
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dc"
+	"repro/internal/table"
+)
+
+// TrainingExample is one supervised cleaning instance: a dirty table and
+// its ground-truth clean version (same shape).
+type TrainingExample struct {
+	Dirty, Clean *table.Table
+	DCs          []*dc.Constraint
+}
+
+// cellAccuracy scores a repair output against ground truth over the cells
+// that were actually dirty: +1 for each dirty cell restored to its clean
+// value, -1 for each originally-clean cell the repairer broke.
+func cellAccuracy(dirty, clean, output *table.Table) (float64, error) {
+	if output.NumRows() != clean.NumRows() || output.NumCols() != clean.NumCols() {
+		return 0, fmt.Errorf("repair: output shape mismatch")
+	}
+	score := 0.0
+	for i := 0; i < clean.NumRows(); i++ {
+		for j := 0; j < clean.NumCols(); j++ {
+			wasDirty := !dirty.Get(i, j).SameContent(clean.Get(i, j))
+			correct := output.Get(i, j).SameContent(clean.Get(i, j))
+			switch {
+			case wasDirty && correct:
+				score++
+			case !wasDirty && !correct:
+				score--
+			}
+		}
+	}
+	return score, nil
+}
+
+// Train tunes the log-linear weights by deterministic coordinate descent
+// over a small grid, maximizing cellAccuracy on the training examples.
+// It mirrors (at reproduction scale) HoloClean's weight learning: the real
+// system fits its factor-graph weights to observations; here the search
+// space is the three feature weights and the keep-current prior.
+//
+// Train mutates the receiver's weights and returns the best training score.
+// It is deterministic: ties keep the earlier candidate.
+func (h *HoloSim) Train(ctx context.Context, examples []TrainingExample) (float64, error) {
+	if len(examples) == 0 {
+		return 0, fmt.Errorf("repair: no training examples")
+	}
+	evaluate := func() (float64, error) {
+		total := 0.0
+		for _, ex := range examples {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			out, err := h.Repair(ctx, ex.DCs, ex.Dirty)
+			if err != nil {
+				return 0, err
+			}
+			s, err := cellAccuracy(ex.Dirty, ex.Clean, out)
+			if err != nil {
+				return 0, err
+			}
+			total += s
+		}
+		return total, nil
+	}
+
+	grids := []struct {
+		field *float64
+		cands []float64
+	}{
+		{&h.WFreq, []float64{0, 0.5, 1, 2}},
+		{&h.WCooc, []float64{1, 2, 3, 5}},
+		{&h.WViol, []float64{-1, -2, -4, -8}},
+		{&h.WPrior, []float64{0, 0.5, 1, 2}},
+	}
+
+	best, err := evaluate()
+	if err != nil {
+		return 0, err
+	}
+	// Two rounds of coordinate descent over the grid are enough to reach a
+	// fixpoint on these small grids.
+	for round := 0; round < 2; round++ {
+		for _, g := range grids {
+			orig := *g.field
+			bestVal := orig
+			for _, cand := range g.cands {
+				if cand == orig {
+					continue
+				}
+				*g.field = cand
+				score, err := evaluate()
+				if err != nil {
+					return 0, err
+				}
+				if score > best {
+					best = score
+					bestVal = cand
+				}
+			}
+			*g.field = bestVal
+		}
+	}
+	return best, nil
+}

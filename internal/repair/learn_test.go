@@ -1,0 +1,159 @@
+package repair
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/table"
+)
+
+func trainingSet(t *testing.T, n int) []TrainingExample {
+	t.Helper()
+	var out []TrainingExample
+	for i := 0; i < n; i++ {
+		clean := data.GenerateSoccer(data.SoccerConfig{Leagues: 2, TeamsPerLeague: 6, Seed: int64(100 + i)})
+		dirty, injections, err := data.Inject(clean, data.InjectSpec{
+			Rate: 0.06, Columns: []string{"Country", "City"}, Kinds: []data.ErrorKind{data.ErrorTypo}, Seed: int64(200 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(injections) == 0 {
+			continue
+		}
+		out = append(out, TrainingExample{Dirty: dirty, Clean: clean, DCs: data.SoccerDCs()})
+	}
+	return out
+}
+
+func TestCellAccuracy(t *testing.T) {
+	clean := table.MustFromStrings([]string{"A"}, [][]string{{"x"}, {"y"}})
+	dirty := clean.Clone()
+	dirty.Set(0, 0, table.String("z")) // one dirty cell
+
+	perfect := clean.Clone()
+	s, err := cellAccuracy(dirty, clean, perfect)
+	if err != nil || s != 1 {
+		t.Errorf("perfect repair score = %v, %v; want 1", s, err)
+	}
+	noop := dirty.Clone()
+	s, _ = cellAccuracy(dirty, clean, noop)
+	if s != 0 {
+		t.Errorf("no-op score = %v, want 0", s)
+	}
+	vandal := clean.Clone()
+	vandal.Set(1, 0, table.String("broken")) // broke a clean cell
+	s, _ = cellAccuracy(dirty, clean, vandal)
+	if s != 0 { // +1 restored, -1 broken
+		t.Errorf("vandal score = %v, want 0", s)
+	}
+	short := table.New(clean.Schema())
+	if _, err := cellAccuracy(dirty, clean, short); err == nil {
+		t.Error("shape mismatch must error")
+	}
+}
+
+func TestTrainImprovesOrMaintains(t *testing.T) {
+	examples := trainingSet(t, 3)
+	if len(examples) == 0 {
+		t.Skip("no training examples landed")
+	}
+	ctx := context.Background()
+
+	baseline := NewHoloSim(1)
+	baseScore := 0.0
+	for _, ex := range examples {
+		out, err := baseline.Repair(ctx, ex.DCs, ex.Dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := cellAccuracy(ex.Dirty, ex.Clean, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseScore += s
+	}
+
+	trained := NewHoloSim(1)
+	trainedScore, err := trained.Train(ctx, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainedScore < baseScore {
+		t.Errorf("training regressed: %v -> %v", baseScore, trainedScore)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	examples := trainingSet(t, 2)
+	if len(examples) == 0 {
+		t.Skip("no training examples landed")
+	}
+	a, b := NewHoloSim(1), NewHoloSim(1)
+	sa, err := a.Train(context.Background(), examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Train(context.Background(), examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb || a.WFreq != b.WFreq || a.WCooc != b.WCooc || a.WViol != b.WViol || a.WPrior != b.WPrior {
+		t.Fatalf("training nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	h := NewHoloSim(1)
+	if _, err := h.Train(context.Background(), nil); err == nil {
+		t.Error("empty training set must error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	examples := trainingSet(t, 1)
+	if len(examples) == 0 {
+		t.Skip("no training examples landed")
+	}
+	if _, err := h.Train(ctx, examples); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTrainedModelGeneralizes(t *testing.T) {
+	// Held-out instance: the trained weights must still clean a fresh
+	// table at least as well as chance (restore a majority of typos).
+	examples := trainingSet(t, 3)
+	if len(examples) == 0 {
+		t.Skip("no training examples landed")
+	}
+	trained := NewHoloSim(1)
+	if _, err := trained.Train(context.Background(), examples); err != nil {
+		t.Fatal(err)
+	}
+
+	clean := data.GenerateSoccer(data.SoccerConfig{Leagues: 2, TeamsPerLeague: 8, Seed: 999})
+	dirty, injections, err := data.Inject(clean, data.InjectSpec{
+		Rate: 0.05, Columns: []string{"Country"}, Kinds: []data.ErrorKind{data.ErrorTypo}, Seed: 998,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injections) < 2 {
+		t.Skip("too few holdout injections")
+	}
+	out, err := trained.Repair(context.Background(), data.SoccerDCs(), dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := 0
+	for _, inj := range injections {
+		if out.GetRef(inj.Ref).SameContent(inj.Clean) {
+			restored++
+		}
+	}
+	if restored*2 < len(injections) {
+		t.Errorf("holdout: restored %d/%d", restored, len(injections))
+	}
+}

@@ -1,0 +1,87 @@
+// Package repair implements the repair algorithms that T-REx explains.
+//
+// T-REx treats the repairer as a black box: everything the explainer needs
+// is the Algorithm interface below. The package provides five concrete
+// black boxes spanning the approaches cited by the paper:
+//
+//   - Algorithm1: the paper's own worked example (rule per DC, most-common
+//     and conditional-most-probable fixes) generalized to arbitrary DC sets;
+//   - HoloSim: a HoloClean-style probabilistic cleaner (detect → candidate
+//     domains → features → log-linear inference), substituting for the real
+//     HoloClean per DESIGN.md §6;
+//   - Greedy: a holistic violation-hypergraph baseline in the spirit of
+//     Chu, Ilyas and Papotti (ICDE 2013);
+//   - FDChase: an equivalence-class chase for FD-shaped DCs in the spirit
+//     of Bohannon et al. (ICDE 2007);
+//   - plus test doubles (Func) for failure injection.
+package repair
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dc"
+	"repro/internal/table"
+)
+
+// Algorithm is the black-box contract: given constraints and a dirty table,
+// produce a repaired table. Implementations must
+//
+//   - not mutate the input table (work on a clone),
+//   - be deterministic for a fixed input (all randomness seeded at
+//     construction), because Shapley values are defined over a function,
+//   - respect context cancellation on long runs.
+type Algorithm interface {
+	// Name identifies the algorithm in reports and benchmarks.
+	Name() string
+	// Repair returns the cleaned version of dirty under the constraint set
+	// cs. The returned table is freshly allocated.
+	Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error)
+}
+
+// Func adapts a function to the Algorithm interface; used by tests for
+// failure injection (errors, hangs, panics).
+type Func struct {
+	// AlgName is returned by Name.
+	AlgName string
+	// Fn is invoked by Repair.
+	Fn func(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error)
+}
+
+// Name implements Algorithm.
+func (f Func) Name() string { return f.AlgName }
+
+// Repair implements Algorithm.
+func (f Func) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
+	return f.Fn(ctx, cs, dirty)
+}
+
+// CellRepaired is the binary view Alg|t[A] of the paper (§2.1): it runs the
+// black box on (cs, dirty) and reports 1 when the cell of interest ends up
+// with the target clean value, 0 otherwise. The target is the value the
+// full repair assigned, so "repaired" means "repaired to the same value as
+// under the complete input".
+func CellRepaired(ctx context.Context, alg Algorithm, cs []*dc.Constraint, dirty *table.Table, cell table.CellRef, target table.Value) (float64, error) {
+	clean, err := alg.Repair(ctx, cs, dirty)
+	if err != nil {
+		return 0, fmt.Errorf("repair: black box %s: %w", alg.Name(), err)
+	}
+	if clean.NumRows() != dirty.NumRows() || clean.NumCols() != dirty.NumCols() {
+		return 0, fmt.Errorf("repair: black box %s changed table shape", alg.Name())
+	}
+	if clean.GetRef(cell).SameContent(target) {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// All returns one instance of every production algorithm, for the
+// black-box-agnosticism experiment (E12).
+func All(seed int64) []Algorithm {
+	return []Algorithm{
+		NewAlgorithm1(),
+		NewHoloSim(seed),
+		NewGreedy(),
+		NewFDChase(),
+	}
+}

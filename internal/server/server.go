@@ -1,0 +1,373 @@
+// Package server exposes T-REx over HTTP: a JSON API plus an embedded
+// single-page GUI with the three screens of Figure 3 (input, repair,
+// explanation) and the iterative edit loop of Figure 4. It substitutes a
+// stdlib net/http implementation for the paper's JavaScript/CSS/HTML
+// front-end and Python backend (DESIGN.md §6).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dc"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+// Server holds the in-memory session store. Create with New.
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*core.Session
+	algs     map[string]repair.Algorithm
+	nextID   int
+	// ExplainSamples is the sampling budget for cell explanations.
+	ExplainSamples int
+}
+
+// New builds a Server with the standard algorithm registry.
+func New() *Server {
+	s := &Server{
+		sessions:       make(map[string]*core.Session),
+		algs:           make(map[string]repair.Algorithm),
+		ExplainSamples: 400,
+	}
+	for _, alg := range repair.All(1) {
+		s.algs[alg.Name()] = alg
+	}
+	return s
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("POST /api/session", s.handleCreateSession)
+	mux.HandleFunc("GET /api/session/{id}", s.handleGetSession)
+	mux.HandleFunc("POST /api/session/{id}/repair", s.handleRepair)
+	mux.HandleFunc("POST /api/session/{id}/explain", s.handleExplain)
+	mux.HandleFunc("POST /api/session/{id}/edit", s.handleEdit)
+	return mux
+}
+
+// tableJSON is the wire form of a table.
+type tableJSON struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func toTableJSON(t *table.Table) tableJSON {
+	out := tableJSON{Columns: t.Schema().Names()}
+	for i := 0; i < t.NumRows(); i++ {
+		row := make([]string, t.NumCols())
+		for j := 0; j < t.NumCols(); j++ {
+			v := t.Get(i, j)
+			if v.IsNull() {
+				row[j] = ""
+			} else {
+				row[j] = v.String()
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+type sessionJSON struct {
+	ID      string    `json:"id"`
+	Table   tableJSON `json:"table"`
+	DCs     []string  `json:"dcs"`
+	History []string  `json:"history"`
+}
+
+func (s *Server) sessionJSON(id string, sess *core.Session) sessionJSON {
+	out := sessionJSON{ID: id, Table: toTableJSON(sess.Dirty()), History: sess.History}
+	for _, c := range sess.DCs() {
+		out.DCs = append(out.DCs, c.String())
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.algs))
+	for name := range s.algs {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	// Deterministic order for the UI dropdown.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": names})
+}
+
+type createSessionRequest struct {
+	CSV       string `json:"csv"`
+	DCs       string `json:"dcs"`
+	Algorithm string `json:"algorithm"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	tbl, err := table.ReadCSV(strings.NewReader(req.CSV))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dcs, err := dc.ParseSet(req.DCs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	algName := req.Algorithm
+	if algName == "" {
+		algName = "algorithm1"
+	}
+	s.mu.Lock()
+	alg, ok := s.algs[algName]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", algName))
+		return
+	}
+	sess, err := core.NewSession(alg, dcs, tbl)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.sessionJSON(id, sess))
+}
+
+func (s *Server) session(r *http.Request) (string, *core.Session, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return "", nil, fmt.Errorf("no session %q", id)
+	}
+	return id, sess, nil
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	id, sess, err := s.session(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sessionJSON(id, sess))
+}
+
+type repairResponse struct {
+	Clean    tableJSON `json:"clean"`
+	Repaired []string  `json:"repaired"` // cell names in paper notation
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	_, sess, err := s.session(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	clean, diffs, err := sess.Repair(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := repairResponse{Clean: toTableJSON(clean)}
+	for _, d := range diffs {
+		resp.Repaired = append(resp.Repaired, sess.Dirty().RefName(d.Ref))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type explainRequest struct {
+	// Cell is the cell of interest in paper notation, e.g. "t5[Country]".
+	Cell string `json:"cell"`
+	// Kind selects the report: "constraints" (default), "cells",
+	// "cells-topk", "rows", "columns", "interaction" or "toward".
+	Kind string `json:"kind"`
+	// Samples is the sampling budget for cell-based kinds.
+	Samples int `json:"samples"`
+	// Seed makes sampled reports reproducible.
+	Seed int64 `json:"seed"`
+	// K is the cutoff for "cells-topk" (default 5).
+	K int `json:"k"`
+	// Desired is the hypothetical value for "toward" (why-not analysis).
+	Desired string `json:"desired"`
+}
+
+type explainResponse struct {
+	Cell      string       `json:"cell"`
+	Target    string       `json:"target"`
+	Kind      string       `json:"kind"`
+	Algorithm string       `json:"algorithm"`
+	Entries   []core.Entry `json:"entries"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	_, sess, err := s.session(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	cell, err := sess.Dirty().ParseRefName(req.Cell)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	exp := sess.Explainer()
+	samples := req.Samples
+	if samples <= 0 {
+		samples = s.ExplainSamples
+	}
+	var report *core.Report
+	switch req.Kind {
+	case "", "constraints":
+		report, err = exp.ExplainConstraints(r.Context(), cell)
+	case "cells":
+		report, err = exp.ExplainCells(r.Context(), cell, core.CellExplainOptions{
+			Samples: samples,
+			Seed:    req.Seed,
+		})
+	case "cells-topk":
+		k := req.K
+		if k <= 0 {
+			k = 5
+		}
+		report, _, err = exp.ExplainCellsTopK(r.Context(), cell, k, core.CellExplainOptions{
+			Samples: samples,
+			Seed:    req.Seed,
+		})
+	case "rows":
+		report, err = exp.ExplainCellGroups(r.Context(), cell, exp.RowGroups(cell))
+	case "columns":
+		report, err = exp.ExplainCellGroups(r.Context(), cell, exp.ColumnGroups(cell))
+	case "toward":
+		if req.Desired == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("kind toward needs a desired value"))
+			return
+		}
+		report, err = exp.ExplainToward(r.Context(), cell, table.ParseValue(req.Desired))
+	case "interaction":
+		inter, ierr := exp.ExplainConstraintInteractions(r.Context(), cell)
+		if ierr != nil {
+			err = ierr
+			break
+		}
+		report = &core.Report{Kind: "interaction", Cell: inter.Cell, Target: inter.Target, Algorithm: inter.Algorithm}
+		for _, p := range inter.Pairs {
+			report.Entries = append(report.Entries, core.Entry{Name: "I(" + p.A + "," + p.B + ")", Shapley: p.Value})
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q", req.Kind))
+		return
+	}
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeError(w, http.StatusRequestTimeout, err)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		Cell: report.Cell, Target: report.Target, Kind: report.Kind,
+		Algorithm: report.Algorithm, Entries: report.Entries,
+	})
+}
+
+type editRequest struct {
+	// SetCell + Value edit one table cell (paper notation).
+	SetCell string `json:"setCell"`
+	Value   string `json:"value"`
+	// RemoveDC removes a constraint by ID.
+	RemoveDC string `json:"removeDC"`
+	// AddDC parses and adds a constraint.
+	AddDC string `json:"addDC"`
+}
+
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	id, sess, err := s.session(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req editRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	switch {
+	case req.SetCell != "":
+		ref, err := sess.Dirty().ParseRefName(req.SetCell)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := sess.SetCell(ref, table.ParseValue(req.Value)); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.RemoveDC != "":
+		if err := sess.RemoveDC(req.RemoveDC); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.AddDC != "":
+		if err := sess.AddDC(req.AddDC); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty edit"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sessionJSON(id, sess))
+}
+
+// ListenAndServe runs the server until the context is cancelled.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		return srv.Shutdown(context.Background())
+	}
+}

@@ -1,0 +1,75 @@
+package shapley
+
+import (
+	"context"
+	"sync"
+)
+
+// Cached memoizes a deterministic game's coalition values. Exact Shapley
+// computation revisits coalitions (ExactOne for several players of the same
+// game shares almost all of them), and permutation sampling of games with
+// few players revisits the small coalition space constantly; caching turns
+// those repeats into map lookups. Safe for concurrent use.
+//
+// Only meaningful for deterministic games — memoizing a stochastic game
+// would freeze one realization per coalition and bias the estimate toward
+// it (it stays an unbiased estimate of *some* fixed game, but no longer of
+// the expected game).
+type Cached struct {
+	// G is the underlying game.
+	G Game
+
+	mu     sync.Mutex
+	values map[string]float64
+	hits   int
+	misses int
+}
+
+// NewCached wraps g with a coalition-value cache.
+func NewCached(g Game) *Cached {
+	return &Cached{G: g, values: make(map[string]float64)}
+}
+
+// NumPlayers implements Game.
+func (c *Cached) NumPlayers() int { return c.G.NumPlayers() }
+
+// Value implements Game, consulting the cache first.
+func (c *Cached) Value(ctx context.Context, coalition []bool) (float64, error) {
+	key := coalitionKey(coalition)
+	c.mu.Lock()
+	if v, ok := c.values[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+
+	v, err := c.G.Value(ctx, coalition)
+	if err != nil {
+		return 0, err
+	}
+
+	c.mu.Lock()
+	c.misses++
+	c.values[key] = v
+	c.mu.Unlock()
+	return v, nil
+}
+
+// Stats returns cache hits and misses so far.
+func (c *Cached) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// coalitionKey packs the membership bitmap into a compact string key.
+func coalitionKey(coalition []bool) string {
+	buf := make([]byte, (len(coalition)+7)/8)
+	for i, in := range coalition {
+		if in {
+			buf[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return string(buf)
+}

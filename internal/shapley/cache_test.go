@@ -1,0 +1,129 @@
+package shapley
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func countingGame(n int, calls *atomic.Int64) Game {
+	base := randomGame(n, 77)
+	return GameFunc{N: n, Fn: func(ctx context.Context, c []bool) (float64, error) {
+		calls.Add(1)
+		return base.Value(ctx, c)
+	}}
+}
+
+func TestCachedPreservesValues(t *testing.T) {
+	var calls atomic.Int64
+	g := countingGame(5, &calls)
+	cached := NewCached(g)
+	plain, err := ExactSubsets(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCache, err := ExactSubsets(context.Background(), cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if !approxEq(plain[i], viaCache[i], 1e-12) {
+			t.Errorf("player %d: %v vs %v", i, plain[i], viaCache[i])
+		}
+	}
+}
+
+func TestCachedDeduplicatesCalls(t *testing.T) {
+	var calls atomic.Int64
+	cached := NewCached(countingGame(4, &calls))
+	// ExactOne for every player revisits the same 16 coalitions.
+	for p := 0; p < 4; p++ {
+		if _, err := ExactOne(context.Background(), cached, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := calls.Load(); got != 16 {
+		t.Errorf("underlying calls = %d, want 16 (2^4 distinct coalitions)", got)
+	}
+	hits, misses := cached.Stats()
+	if misses != 16 {
+		t.Errorf("misses = %d, want 16", misses)
+	}
+	// 4 players × 2^3 subsets × 2 evals = 64 total lookups; 48 are hits.
+	if hits != 48 {
+		t.Errorf("hits = %d, want 48", hits)
+	}
+}
+
+func TestCachedErrorNotCached(t *testing.T) {
+	boom := errors.New("boom")
+	fail := true
+	g := GameFunc{N: 2, Fn: func(context.Context, []bool) (float64, error) {
+		if fail {
+			return 0, boom
+		}
+		return 1, nil
+	}}
+	cached := NewCached(g)
+	coalition := []bool{true, false}
+	if _, err := cached.Value(context.Background(), coalition); !errors.Is(err, boom) {
+		t.Fatal("error must propagate")
+	}
+	fail = false
+	v, err := cached.Value(context.Background(), coalition)
+	if err != nil || v != 1 {
+		t.Fatalf("after recovery: %v, %v — errors must not be cached", v, err)
+	}
+}
+
+func TestCachedConcurrentAccess(t *testing.T) {
+	var calls atomic.Int64
+	cached := NewCached(countingGame(8, &calls))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			coalition := make([]bool, 8)
+			for i := 0; i < 500; i++ {
+				for b := 0; b < 8; b++ {
+					coalition[b] = (i>>uint(b))&1 == 1
+				}
+				if _, err := cached.Value(context.Background(), coalition); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if calls.Load() > 8*256 {
+		t.Errorf("unexpected call volume %d", calls.Load())
+	}
+	if cached.NumPlayers() != 8 {
+		t.Error("NumPlayers must delegate")
+	}
+}
+
+func TestCoalitionKeyDistinct(t *testing.T) {
+	a := coalitionKey([]bool{true, false, true})
+	b := coalitionKey([]bool{true, true, true})
+	c := coalitionKey([]bool{true, false, true})
+	if a == b {
+		t.Error("distinct coalitions must have distinct keys")
+	}
+	if a != c {
+		t.Error("equal coalitions must have equal keys")
+	}
+	if coalitionKey(nil) != "" {
+		t.Error("empty coalition key")
+	}
+	// 9 players spills into a second byte.
+	long := make([]bool, 9)
+	long[8] = true
+	if coalitionKey(long) == coalitionKey(make([]bool, 9)) {
+		t.Error("bit 8 must be represented")
+	}
+}

@@ -1,0 +1,134 @@
+package shapley
+
+import (
+	"context"
+	"fmt"
+)
+
+// ExactInteraction computes the pairwise Shapley interaction index
+// (Grabisch & Roubens 1999) for every pair of players:
+//
+//	I(i,j) = Σ_{S ⊆ N\{i,j}} |S|!(n-|S|-2)!/(n-1)! · Δ_{ij}v(S)
+//	Δ_{ij}v(S) = v(S∪{i,j}) − v(S∪{i}) − v(S∪{j}) + v(S)
+//
+// A positive I(i,j) means the players are complements (they achieve
+// together what neither achieves alone — the paper's {C1, C2} pair), a
+// negative value means substitutes (either suffices — C3 against the
+// {C1, C2} pathway), and zero means independence.
+//
+// The result is a symmetric matrix with I[i][i] = 0 by convention. Cost is
+// one pass over all 2^n coalitions, like ExactSubsets.
+func ExactInteraction(ctx context.Context, g Game) ([][]float64, error) {
+	n := g.NumPlayers()
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxExactSubsetPlayers {
+		return nil, fmt.Errorf("%w: %d players (max %d)", ErrTooManyPlayers, n, maxExactSubsetPlayers)
+	}
+	// Materialize all values once (2^n floats).
+	values := make([]float64, 1<<uint(n))
+	coalition := make([]bool, n)
+	for mask := range values {
+		if mask%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < n; i++ {
+			coalition[i] = mask&(1<<uint(i)) != 0
+		}
+		v, err := g.Value(ctx, coalition)
+		if err != nil {
+			return nil, fmt.Errorf("shapley: evaluating coalition %b: %w", mask, err)
+		}
+		values[mask] = v
+	}
+
+	// w2[s] = s!(n-s-2)!/(n-1)! for |S| = s over S ⊆ N \ {i,j}.
+	w2 := make([]float64, n-1)
+	if n >= 2 {
+		// w2[0] = (n-2)!/(n-1)! = 1/(n-1).
+		w2[0] = 1 / float64(n-1)
+		for s := 1; s <= n-2; s++ {
+			w2[s] = w2[s-1] * float64(s) / float64(n-1-s)
+		}
+	}
+
+	inter := make([][]float64, n)
+	for i := range inter {
+		inter[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			bi, bj := 1<<uint(i), 1<<uint(j)
+			var sum float64
+			for mask := range values {
+				if mask&bi != 0 || mask&bj != 0 {
+					continue
+				}
+				s := popcount(mask)
+				delta := values[mask|bi|bj] - values[mask|bi] - values[mask|bj] + values[mask]
+				sum += w2[s] * delta
+			}
+			inter[i][j] = sum
+			inter[j][i] = sum
+		}
+	}
+	return inter, nil
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// ExactBanzhaf computes the (non-normalized) Banzhaf value of every player:
+//
+//	B(i) = 1/2^(n-1) · Σ_{S ⊆ N\{i}} (v(S∪{i}) − v(S))
+//
+// Banzhaf weighs every coalition equally where Shapley weighs by size; the
+// two orderings usually agree but can diverge, which makes Banzhaf a cheap
+// sanity ablation for the explanation ranking.
+func ExactBanzhaf(ctx context.Context, g Game) ([]float64, error) {
+	n := g.NumPlayers()
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxExactSubsetPlayers {
+		return nil, fmt.Errorf("%w: %d players (max %d)", ErrTooManyPlayers, n, maxExactSubsetPlayers)
+	}
+	banzhaf := make([]float64, n)
+	coalition := make([]bool, n)
+	total := 1 << uint(n)
+	for mask := 0; mask < total; mask++ {
+		if mask%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < n; i++ {
+			coalition[i] = mask&(1<<uint(i)) != 0
+		}
+		v, err := g.Value(ctx, coalition)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if coalition[i] {
+				banzhaf[i] += v
+			} else {
+				banzhaf[i] -= v
+			}
+		}
+	}
+	scale := 1 / float64(total/2)
+	for i := range banzhaf {
+		banzhaf[i] *= scale
+	}
+	return banzhaf, nil
+}

@@ -1,0 +1,162 @@
+package shapley
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactInteractionPaperGame(t *testing.T) {
+	// The structure of Example 2.3: {0,1} are perfect complements (the
+	// C1+C2 pathway), and each is a substitute of the veto-ish player 2
+	// (C3). Player 3 is a dummy: all its interactions are 0.
+	inter, err := ExactInteraction(context.Background(), paperConstraintGame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter[0][1] <= 0 {
+		t.Errorf("I(C1,C2) = %v, want > 0 (complements)", inter[0][1])
+	}
+	if inter[0][2] >= 0 || inter[1][2] >= 0 {
+		t.Errorf("I(C1,C3) = %v, I(C2,C3) = %v, want < 0 (substitutes)", inter[0][2], inter[1][2])
+	}
+	for i := 0; i < 4; i++ {
+		if inter[i][3] != 0 || inter[3][i] != 0 {
+			t.Errorf("dummy interactions must be 0, got I(%d,3) = %v", i, inter[i][3])
+		}
+		if inter[i][i] != 0 {
+			t.Errorf("diagonal must be 0")
+		}
+	}
+	// Symmetry of the matrix.
+	for i := range inter {
+		for j := range inter {
+			if inter[i][j] != inter[j][i] {
+				t.Errorf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestExactInteractionAdditiveIsZero(t *testing.T) {
+	// Additive games have no interactions at all.
+	inter, err := ExactInteraction(context.Background(), additiveGame([]float64{1, -2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inter {
+		for j := range inter {
+			if math.Abs(inter[i][j]) > 1e-12 {
+				t.Errorf("I(%d,%d) = %v, want 0", i, j, inter[i][j])
+			}
+		}
+	}
+}
+
+func TestExactInteractionUnanimityPair(t *testing.T) {
+	// For the unanimity game on T = {0,1} with n = 2:
+	// I(0,1) = Δv(∅) = v({0,1}) − v({0}) − v({1}) + v(∅) = 1.
+	inter, err := ExactInteraction(context.Background(), unanimityGame(2, []int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inter[0][1]-1) > 1e-12 {
+		t.Errorf("I(0,1) = %v, want 1", inter[0][1])
+	}
+}
+
+func TestExactInteractionLimits(t *testing.T) {
+	if out, err := ExactInteraction(context.Background(), GameFunc{N: 0}); err != nil || out != nil {
+		t.Error("empty game")
+	}
+	if _, err := ExactInteraction(context.Background(), GameFunc{N: 40}); !errors.Is(err, ErrTooManyPlayers) {
+		t.Error("player cap")
+	}
+	boom := errors.New("boom")
+	bad := GameFunc{N: 3, Fn: func(context.Context, []bool) (float64, error) { return 0, boom }}
+	if _, err := ExactInteraction(context.Background(), bad); !errors.Is(err, boom) {
+		t.Error("error propagation")
+	}
+}
+
+func TestExactBanzhafKnownValues(t *testing.T) {
+	// For the paper game, Banzhaf(i) = (1/2^3)·#{S ⊆ N\{i} : i pivots}.
+	// Player 2 (C3) pivots for every S not containing {0,1} jointly:
+	// 8 − 2 = 6 → 6/8. Players 0/1 pivot for S = {1}, {1,3} (resp.
+	// {0}, {0,3}) → 2/8. Player 3 never pivots → 0.
+	banzhaf, err := ExactBanzhaf(context.Background(), paperConstraintGame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.25, 0.75, 0}
+	for i := range want {
+		if math.Abs(banzhaf[i]-want[i]) > 1e-12 {
+			t.Errorf("Banzhaf[%d] = %v, want %v", i, banzhaf[i], want[i])
+		}
+	}
+}
+
+func TestExactBanzhafAdditiveEqualsShapley(t *testing.T) {
+	// On additive games both indices return the weights.
+	w := []float64{0.5, -1, 2}
+	banzhaf, err := ExactBanzhaf(context.Background(), additiveGame(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if math.Abs(banzhaf[i]-w[i]) > 1e-12 {
+			t.Errorf("Banzhaf[%d] = %v, want %v", i, banzhaf[i], w[i])
+		}
+	}
+}
+
+func TestBanzhafDummyAxiomProperty(t *testing.T) {
+	f := func(seed uint64, np uint8) bool {
+		n := int(np)%5 + 1
+		base := randomGame(n, seed)
+		ext := GameFunc{N: n + 1, Fn: func(ctx context.Context, coalition []bool) (float64, error) {
+			return base.Value(ctx, coalition[:n])
+		}}
+		banzhaf, err := ExactBanzhaf(context.Background(), ext)
+		return err == nil && math.Abs(banzhaf[n]) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBanzhafShapleyRankAgreementOnPaperGame(t *testing.T) {
+	shap, err := ExactSubsets(context.Background(), paperConstraintGame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	banzhaf, err := ExactBanzhaf(context.Background(), paperConstraintGame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same ordering: player 2 on top, then 0/1 tied, then 3.
+	for _, pair := range [][2]int{{2, 0}, {2, 1}, {0, 3}, {1, 3}} {
+		if !(shap[pair[0]] > shap[pair[1]]) || !(banzhaf[pair[0]] > banzhaf[pair[1]]) {
+			t.Errorf("rank disagreement on pair %v", pair)
+		}
+	}
+}
+
+func TestExactBanzhafLimits(t *testing.T) {
+	if out, err := ExactBanzhaf(context.Background(), GameFunc{N: 0}); err != nil || out != nil {
+		t.Error("empty game")
+	}
+	if _, err := ExactBanzhaf(context.Background(), GameFunc{N: 40}); !errors.Is(err, ErrTooManyPlayers) {
+		t.Error("player cap")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	for _, tc := range []struct{ x, want int }{{0, 0}, {1, 1}, {3, 2}, {255, 8}, {256, 1}, {0b1010101, 4}} {
+		if got := popcount(tc.x); got != tc.want {
+			t.Errorf("popcount(%d) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}

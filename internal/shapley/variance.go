@@ -1,0 +1,162 @@
+package shapley
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+)
+
+// SampleAllAntithetic is SampleAll with antithetic permutation pairs: each
+// sampled permutation π is walked together with its reverse. For a player
+// near the front of π (small coalition) the reverse places it near the back
+// (large coalition), so the pair's marginals are negatively correlated for
+// monotone games and their average has lower variance than two independent
+// draws. The total evaluation budget matches SampleAll with the same
+// Samples (each pair costs two walks, so Samples/2 pairs are drawn).
+func SampleAllAntithetic(ctx context.Context, g StochasticGame, opts Options) ([]Estimate, error) {
+	opts = opts.withDefaults()
+	n := g.NumPlayers()
+	if n == 0 {
+		return nil, nil
+	}
+	if opts.Samples <= 0 {
+		return nil, fmt.Errorf("shapley: Samples must be positive, got %d", opts.Samples)
+	}
+	pairs := (opts.Samples + 1) / 2
+	accs, err := fanOut(ctx, opts, pairs, func(ctx context.Context, rng *rand.Rand, iters int, acc []welford) error {
+		perm := make([]int, n)
+		reversed := make([]int, n)
+		coalition := make([]bool, n)
+		marg := make([]float64, n)
+		walk := func(p []int) error {
+			for i := range coalition {
+				coalition[i] = false
+			}
+			prev, err := g.SampleValue(ctx, coalition, rng)
+			if err != nil {
+				return err
+			}
+			for _, pl := range p {
+				coalition[pl] = true
+				v, err := g.SampleValue(ctx, coalition, rng)
+				if err != nil {
+					return err
+				}
+				marg[pl] = v - prev
+				prev = v
+			}
+			return nil
+		}
+		for it := 0; it < iters; it++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			randPerm(rng, perm)
+			for i := range perm {
+				reversed[n-1-i] = perm[i]
+			}
+			if err := walk(perm); err != nil {
+				return err
+			}
+			first := append([]float64(nil), marg...)
+			if err := walk(reversed); err != nil {
+				return err
+			}
+			for p := 0; p < n; p++ {
+				// One paired sample: the average of the antithetic
+				// marginals.
+				acc[p].add((first[p] + marg[p]) / 2)
+			}
+		}
+		return nil
+	}, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Estimate, n)
+	for i := range out {
+		out[i] = accs[i].estimate(i)
+	}
+	return out, nil
+}
+
+// SamplePlayerStratified estimates one player's Shapley value with
+// stratification by coalition size (Maleki et al. 2013): the Shapley value
+// is the average over sizes s = 0..n-1 of the expected marginal
+// contribution to a uniformly random coalition of size s. Allocating an
+// equal budget to every stratum removes the variance of the size draw that
+// plain permutation sampling carries.
+func SamplePlayerStratified(ctx context.Context, g StochasticGame, player int, opts Options) (Estimate, error) {
+	opts = opts.withDefaults()
+	n := g.NumPlayers()
+	if player < 0 || player >= n {
+		return Estimate{}, fmt.Errorf("shapley: player %d out of range 0..%d", player, n-1)
+	}
+	if opts.Samples <= 0 {
+		return Estimate{}, fmt.Errorf("shapley: Samples must be positive, got %d", opts.Samples)
+	}
+	perStratum := opts.Samples / n
+	if perStratum == 0 {
+		perStratum = 1
+	}
+	others := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != player {
+			others = append(others, i)
+		}
+	}
+
+	// Per-stratum accumulators; the final estimate averages stratum means
+	// with equal weight (each size is equally likely under the Shapley
+	// distribution) and combines variances accordingly.
+	strata := make([]welford, n)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	coalition := make([]bool, n)
+	scratch := make([]int, len(others))
+	for s := 0; s < n; s++ {
+		for it := 0; it < perStratum; it++ {
+			if err := ctx.Err(); err != nil {
+				return Estimate{}, err
+			}
+			// Sample a uniform size-s subset of the other players via a
+			// partial Fisher–Yates shuffle.
+			copy(scratch, others)
+			for i := 0; i < s; i++ {
+				j := i + rng.Intn(len(scratch)-i)
+				scratch[i], scratch[j] = scratch[j], scratch[i]
+			}
+			for i := range coalition {
+				coalition[i] = false
+			}
+			for _, p := range scratch[:s] {
+				coalition[p] = true
+			}
+			without, err := g.SampleValue(ctx, coalition, rng)
+			if err != nil {
+				return Estimate{}, err
+			}
+			coalition[player] = true
+			with, err := g.SampleValue(ctx, coalition, rng)
+			if err != nil {
+				return Estimate{}, err
+			}
+			strata[s].add(with - without)
+		}
+	}
+
+	// Combine: mean = (1/n) Σ_s mean_s; Var(mean) = (1/n²) Σ_s var_s/n_s.
+	est := Estimate{Player: player}
+	var varOfMean float64
+	for s := range strata {
+		st := strata[s].estimate(player)
+		est.Mean += st.Mean / float64(n)
+		if st.N > 1 {
+			varOfMean += st.Variance / float64(st.N) / float64(n*n)
+		}
+		est.N += st.N
+	}
+	// Report Variance so that StdErr() = sqrt(Variance/N) equals the
+	// stratified standard error computed above.
+	est.Variance = varOfMean * float64(est.N)
+	return est, nil
+}

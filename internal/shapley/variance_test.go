@@ -1,0 +1,156 @@
+package shapley
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAntitheticConvergesOnPaperGame(t *testing.T) {
+	ests, err := SampleAllAntithetic(context.Background(), Deterministic{G: paperConstraintGame()}, Options{Samples: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.0 / 6, 1.0 / 6, 2.0 / 3, 0}
+	for p, w := range want {
+		if !approxEq(ests[p].Mean, w, 0.02) {
+			t.Errorf("player %d: %v, want %v", p, ests[p].Mean, w)
+		}
+	}
+}
+
+func TestAntitheticReducesVariance(t *testing.T) {
+	// On the (monotone) paper game, antithetic pairing must not increase
+	// the standard error at an equal evaluation budget; for the veto-ish
+	// player it should clearly shrink it.
+	g := Deterministic{G: paperConstraintGame()}
+	plain, err := SampleAll(context.Background(), g, Options{Samples: 4000, Seed: 17, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anti, err := SampleAllAntithetic(context.Background(), g, Options{Samples: 4000, Seed: 17, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare variance of the estimator: stderr² × N normalizes sample
+	// counts (antithetic has N/2 paired samples).
+	for p := 0; p < 4; p++ {
+		vPlain := plain[p].StdErr() * plain[p].StdErr() * float64(plain[p].N) / 2000
+		vAnti := anti[p].StdErr() * anti[p].StdErr() * float64(anti[p].N) / 2000
+		if vAnti > vPlain*1.25 {
+			t.Errorf("player %d: antithetic variance %.6g vs plain %.6g", p, vAnti, vPlain)
+		}
+	}
+}
+
+func TestAntitheticValidation(t *testing.T) {
+	g := Deterministic{G: paperConstraintGame()}
+	if _, err := SampleAllAntithetic(context.Background(), g, Options{}); err == nil {
+		t.Error("zero samples must error")
+	}
+	if out, err := SampleAllAntithetic(context.Background(), Deterministic{G: GameFunc{N: 0}}, Options{Samples: 10}); err != nil || out != nil {
+		t.Error("empty game")
+	}
+	boom := errors.New("boom")
+	bad := Deterministic{G: GameFunc{N: 2, Fn: func(context.Context, []bool) (float64, error) { return 0, boom }}}
+	if _, err := SampleAllAntithetic(context.Background(), bad, Options{Samples: 10}); !errors.Is(err, boom) {
+		t.Error("error propagation")
+	}
+}
+
+func TestStratifiedConvergesOnPaperGame(t *testing.T) {
+	g := Deterministic{G: paperConstraintGame()}
+	for p, want := range []float64{1.0 / 6, 1.0 / 6, 2.0 / 3, 0} {
+		est, err := SamplePlayerStratified(context.Background(), g, p, Options{Samples: 20000, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEq(est.Mean, want, 0.02) {
+			t.Errorf("player %d: %v, want %v", p, est.Mean, want)
+		}
+	}
+}
+
+func TestStratifiedExactOnDummy(t *testing.T) {
+	// The dummy player's marginal is 0 in every stratum: the stratified
+	// estimate is exactly 0 with zero variance.
+	g := Deterministic{G: paperConstraintGame()}
+	est, err := SamplePlayerStratified(context.Background(), g, 3, Options{Samples: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != 0 || est.Variance != 0 {
+		t.Errorf("dummy stratified estimate = %+v", est)
+	}
+}
+
+func TestStratifiedBeatsPlainOnSizeSkewedGame(t *testing.T) {
+	// A game whose marginals depend strongly on coalition size: the
+	// threshold game v(S) = 1 iff |S| >= n/2. Size stratification removes
+	// the dominant variance component for a mid-game player.
+	n := 8
+	g := Deterministic{G: GameFunc{N: n, Fn: func(_ context.Context, coalition []bool) (float64, error) {
+		c := 0
+		for _, in := range coalition {
+			if in {
+				c++
+			}
+		}
+		if c >= n/2 {
+			return 1, nil
+		}
+		return 0, nil
+	}}}
+	exact, err := ExactSubsets(context.Background(), g.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plainErr, stratErr float64
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		p, err := SamplePlayer(context.Background(), g, 0, Options{Samples: 240, Seed: int64(trial), Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SamplePlayerStratified(context.Background(), g, 0, Options{Samples: 240, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainErr += (p.Mean - exact[0]) * (p.Mean - exact[0])
+		stratErr += (s.Mean - exact[0]) * (s.Mean - exact[0])
+	}
+	if stratErr > plainErr {
+		t.Errorf("stratified MSE %.6g vs plain MSE %.6g; stratification should not hurt", stratErr/trials, plainErr/trials)
+	}
+}
+
+func TestStratifiedValidation(t *testing.T) {
+	g := Deterministic{G: paperConstraintGame()}
+	if _, err := SamplePlayerStratified(context.Background(), g, 9, Options{Samples: 10}); err == nil {
+		t.Error("player out of range")
+	}
+	if _, err := SamplePlayerStratified(context.Background(), g, 0, Options{}); err == nil {
+		t.Error("zero samples")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SamplePlayerStratified(ctx, g, 0, Options{Samples: 100}); !errors.Is(err, context.Canceled) {
+		t.Error("cancellation")
+	}
+}
+
+func TestStratifiedTinyBudget(t *testing.T) {
+	// Budget below one sample per stratum still works (one per stratum).
+	g := Deterministic{G: paperConstraintGame()}
+	est, err := SamplePlayerStratified(context.Background(), g, 2, Options{Samples: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != 4 {
+		t.Errorf("N = %d, want 4 (one per stratum)", est.N)
+	}
+	if math.IsNaN(est.Mean) {
+		t.Error("NaN mean")
+	}
+}

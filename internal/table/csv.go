@@ -1,0 +1,92 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV loads a table from CSV. The first record is the header; every
+// field is parsed with ParseValue (so numbers become ints/floats and empty
+// fields become null).
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated against the header below
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	schema, err := SchemaOf(header...)
+	if err != nil {
+		return nil, err
+	}
+	t := New(schema)
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV line %d: %w", line, err)
+		}
+		if len(record) != len(header) {
+			return nil, fmt.Errorf("table: CSV line %d has %d fields, header has %d", line, len(record), len(header))
+		}
+		row := make([]Value, len(record))
+		for j, field := range record {
+			row[j] = ParseValue(field)
+		}
+		if err := t.Append(row); err != nil {
+			return nil, fmt.Errorf("table: CSV line %d: %w", line, err)
+		}
+	}
+}
+
+// ReadCSVFile loads a table from a CSV file on disk.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSV serializes the table as CSV with a header row. Null cells are
+// written as empty fields so ReadCSV round-trips them.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.schema.Names()); err != nil {
+		return err
+	}
+	record := make([]string, t.NumCols())
+	for i := 0; i < t.NumRows(); i++ {
+		for j := 0; j < t.NumCols(); j++ {
+			v := t.rows[i][j]
+			if v.IsNull() {
+				record[j] = ""
+			} else {
+				record[j] = v.String()
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile serializes the table into a CSV file on disk.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,144 @@
+package table
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "Team,City,Year\nBarcelona,Barcelona,2019\nReal Madrid,Madrid,2019\n"
+	tbl, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 || tbl.NumCols() != 3 {
+		t.Fatalf("dims %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if got := tbl.GetByName(1, "Team"); !got.Equal(String("Real Madrid")) {
+		t.Errorf("Team[1] = %v", got)
+	}
+	if got := tbl.GetByName(0, "Year"); !got.Equal(Int(2019)) {
+		t.Errorf("Year must parse as int, got %v (%v)", got, got.Kind())
+	}
+}
+
+func TestReadCSVEmptyFieldIsNull(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader("A,B\n1,\n,x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Get(0, 1).IsNull() || !tbl.Get(1, 0).IsNull() {
+		t.Error("empty CSV fields must become null")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input must error (no header)")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,A\n1,2\n")); err == nil {
+		t.Error("duplicate header must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\n1\n")); err == nil {
+		t.Error("short row must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\n1,2,3\n")); err == nil {
+		t.Error("long row must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := MustFromStrings([]string{"Team", "City", "Place"}, [][]string{
+		{"Barcelona", "Barcelona", "1"},
+		{"Real Madrid", "", "3"},
+		{"Valencia", "Valencia", "2.5"},
+	})
+	var b strings.Builder
+	if err := orig.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(back) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", orig, back)
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.csv")
+	orig := MustFromStrings([]string{"A", "B"}, [][]string{{"x", "1"}, {"y", "2"}})
+	if err := orig.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(back) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	dirty := MustFromStrings([]string{"A", "B"}, [][]string{{"x", "1"}, {"y", "2"}})
+	clean := dirty.Clone()
+	clean.Set(0, 1, Int(9))
+	clean.Set(1, 0, String("z"))
+	diffs, err := Diff(dirty, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 2 {
+		t.Fatalf("got %d diffs", len(diffs))
+	}
+	if diffs[0].Ref != (CellRef{Row: 0, Col: 1}) || !diffs[0].Dirty.Equal(Int(1)) || !diffs[0].Clean.Equal(Int(9)) {
+		t.Errorf("diffs[0] = %+v", diffs[0])
+	}
+	out := FormatDiffs(dirty, diffs)
+	if !strings.Contains(out, "t1[B]: 1 -> 9") || !strings.Contains(out, "t2[A]: y -> z") {
+		t.Errorf("FormatDiffs output:\n%s", out)
+	}
+}
+
+func TestDiffIdenticalEmpty(t *testing.T) {
+	tbl := MustFromStrings([]string{"A"}, [][]string{{"x"}})
+	diffs, err := Diff(tbl, tbl.Clone())
+	if err != nil || len(diffs) != 0 {
+		t.Fatalf("diffs = %v, err = %v", diffs, err)
+	}
+}
+
+func TestDiffNullHandling(t *testing.T) {
+	dirty := MustFromStrings([]string{"A"}, [][]string{{""}})
+	clean := dirty.Clone()
+	diffs, err := Diff(dirty, clean)
+	if err != nil || len(diffs) != 0 {
+		t.Fatal("null vs null must not diff")
+	}
+	clean.Set(0, 0, String("v"))
+	diffs, _ = Diff(dirty, clean)
+	if len(diffs) != 1 {
+		t.Fatal("null vs value must diff")
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	a := MustFromStrings([]string{"A"}, [][]string{{"x"}})
+	b := MustFromStrings([]string{"B"}, [][]string{{"x"}})
+	if _, err := Diff(a, b); err == nil {
+		t.Error("schema mismatch must error")
+	}
+	c := MustFromStrings([]string{"A"}, [][]string{{"x"}, {"y"}})
+	if _, err := Diff(a, c); err == nil {
+		t.Error("row count mismatch must error")
+	}
+}

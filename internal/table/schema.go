@@ -1,0 +1,139 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a table schema.
+type Column struct {
+	// Name is the attribute name, e.g. "Country". Names are unique within
+	// a schema and matched case-sensitively.
+	Name string
+	// Kind is the declared kind of the column. KindNull means "untyped":
+	// any value is accepted (useful for ad-hoc CSV loads).
+	Kind Kind
+}
+
+// Schema is an ordered list of named, typed columns.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from columns, validating name uniqueness.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range s.cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("table: column %d has empty name", i)
+		}
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("table: duplicate column name %q", c.Name)
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for literals in
+// tests and examples.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SchemaOf builds an untyped schema from attribute names.
+func SchemaOf(names ...string) (*Schema, error) {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		cols[i] = Column{Name: n}
+	}
+	return NewSchema(cols...)
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Names returns the attribute names in order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Index returns the position of the named column and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex is Index that panics when the column does not exist.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("table: no column %q in schema (%s)", name, strings.Join(s.Names(), ", ")))
+	}
+	return i
+}
+
+// Equal reports whether two schemas have identical column names and kinds
+// in the same order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks a row of values against the schema: correct arity, and
+// each non-null value matching a typed column's kind (int is accepted by a
+// float column).
+func (s *Schema) Validate(row []Value) error {
+	if len(row) != len(s.cols) {
+		return fmt.Errorf("table: row has %d values, schema has %d columns", len(row), len(s.cols))
+	}
+	for i, v := range row {
+		c := s.cols[i]
+		if c.Kind == KindNull || v.IsNull() {
+			continue
+		}
+		if v.Kind() == c.Kind {
+			continue
+		}
+		if c.Kind == KindFloat && v.Kind() == KindInt {
+			continue
+		}
+		return fmt.Errorf("table: column %q expects %v, got %v (%s)", c.Name, c.Kind, v.Kind(), v)
+	}
+	return nil
+}
+
+// String renders the schema as "Name:kind, ...".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		if c.Kind == KindNull {
+			parts[i] = c.Name
+		} else {
+			parts[i] = c.Name + ":" + c.Kind.String()
+		}
+	}
+	return strings.Join(parts, ", ")
+}

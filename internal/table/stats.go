@@ -1,0 +1,236 @@
+package table
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Distribution is the empirical distribution of non-null values observed in
+// one column. It backs two needs of the reproduction:
+//
+//   - the repair rules of the paper's Algorithm 1, which assign
+//     "the most common value" (Mode) and "the most probable value given
+//     another attribute" (conditional mode); and
+//   - the Strumbelj–Kononenko sampling step of Example 2.5, which replaces
+//     out-of-coalition cells with draws from their column distribution.
+//
+// Values are kept in first-observed order so that iteration and tie-breaks
+// are deterministic.
+type Distribution struct {
+	values []Value
+	counts []int
+	index  map[string]int // Value.Key() -> position in values
+	total  int
+}
+
+// NewDistribution returns an empty distribution.
+func NewDistribution() *Distribution {
+	return &Distribution{index: make(map[string]int)}
+}
+
+// Observe adds one occurrence of v. Nulls are ignored: a null carries no
+// evidence about the column's domain.
+func (d *Distribution) Observe(v Value) {
+	if v.IsNull() {
+		return
+	}
+	k := v.Key()
+	if i, ok := d.index[k]; ok {
+		d.counts[i]++
+	} else {
+		d.index[k] = len(d.values)
+		d.values = append(d.values, v)
+		d.counts = append(d.counts, 1)
+	}
+	d.total++
+}
+
+// Total returns the number of observed (non-null) occurrences.
+func (d *Distribution) Total() int { return d.total }
+
+// Support returns the distinct observed values in first-observed order.
+func (d *Distribution) Support() []Value { return append([]Value(nil), d.values...) }
+
+// Count returns how many times v was observed.
+func (d *Distribution) Count(v Value) int {
+	if i, ok := d.index[v.Key()]; ok {
+		return d.counts[i]
+	}
+	return 0
+}
+
+// Prob returns the empirical probability of v.
+func (d *Distribution) Prob(v Value) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return float64(d.Count(v)) / float64(d.total)
+}
+
+// Mode returns the most frequent value, i.e. argmax_c P[col = c]. Ties are
+// broken toward the earliest-observed value so repairs are deterministic.
+// ok is false when the distribution is empty.
+func (d *Distribution) Mode() (v Value, ok bool) {
+	best := -1
+	for i, c := range d.counts {
+		if best < 0 || c > d.counts[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Null(), false
+	}
+	return d.values[best], true
+}
+
+// Sample draws a value proportionally to its observed frequency.
+// ok is false when the distribution is empty.
+func (d *Distribution) Sample(rng *rand.Rand) (v Value, ok bool) {
+	if d.total == 0 {
+		return Null(), false
+	}
+	target := rng.Intn(d.total)
+	for i, c := range d.counts {
+		if target < c {
+			return d.values[i], true
+		}
+		target -= c
+	}
+	return d.values[len(d.values)-1], true // unreachable; defensive
+}
+
+// SampleOther draws a value different from exclude when the support allows
+// it; if exclude is the only observed value, it is returned. This implements
+// the "replaced with random value" perturbation of Example 2.5 in a way that
+// actually perturbs whenever possible.
+func (d *Distribution) SampleOther(rng *rand.Rand, exclude Value) (Value, bool) {
+	if d.total == 0 {
+		return Null(), false
+	}
+	exKey := exclude.Key()
+	exIdx, has := d.index[exKey]
+	remaining := d.total
+	if has {
+		remaining -= d.counts[exIdx]
+	}
+	if remaining <= 0 {
+		return d.values[exIdx], true
+	}
+	target := rng.Intn(remaining)
+	for i, c := range d.counts {
+		if has && i == exIdx {
+			continue
+		}
+		if target < c {
+			return d.values[i], true
+		}
+		target -= c
+	}
+	return Null(), false // unreachable; defensive
+}
+
+// Entries returns (value, count) pairs sorted by descending count, ties by
+// first-observed order. Useful for reports.
+func (d *Distribution) Entries() []struct {
+	Value Value
+	Count int
+} {
+	type entry struct {
+		Value Value
+		Count int
+	}
+	order := make([]int, len(d.values))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return d.counts[order[a]] > d.counts[order[b]] })
+	out := make([]struct {
+		Value Value
+		Count int
+	}, len(order))
+	for i, idx := range order {
+		out[i] = entry{Value: d.values[idx], Count: d.counts[idx]}
+	}
+	return out
+}
+
+// Stats holds per-column distributions and pairwise conditional
+// distributions for one table snapshot. It is computed once from the dirty
+// table and then queried by repair algorithms and the sampler.
+type Stats struct {
+	schema *Schema
+	cols   []*Distribution
+	// cond[a][b] maps Value.Key() of a value in column a to the
+	// distribution of column b's values among rows where column a takes
+	// that value. Built lazily per (a, b) pair.
+	cond map[[2]int]map[string]*Distribution
+	rows [][]Value
+}
+
+// NewStats scans the table and builds column distributions. Conditional
+// distributions are materialized lazily on first use.
+func NewStats(t *Table) *Stats {
+	s := &Stats{
+		schema: t.Schema(),
+		cols:   make([]*Distribution, t.NumCols()),
+		cond:   make(map[[2]int]map[string]*Distribution),
+	}
+	for j := 0; j < t.NumCols(); j++ {
+		s.cols[j] = NewDistribution()
+	}
+	s.rows = make([][]Value, t.NumRows())
+	for i := 0; i < t.NumRows(); i++ {
+		s.rows[i] = t.Row(i)
+		for j, v := range s.rows[i] {
+			s.cols[j].Observe(v)
+		}
+	}
+	return s
+}
+
+// Column returns the distribution of column j.
+func (s *Stats) Column(j int) *Distribution { return s.cols[j] }
+
+// ColumnByName returns the distribution of the named column.
+func (s *Stats) ColumnByName(name string) *Distribution {
+	return s.cols[s.schema.MustIndex(name)]
+}
+
+// Conditional returns the distribution of column target among rows whose
+// column given equals val. An empty distribution is returned when val was
+// never observed in the given column.
+func (s *Stats) Conditional(given int, val Value, target int) *Distribution {
+	key := [2]int{given, target}
+	byVal, ok := s.cond[key]
+	if !ok {
+		byVal = make(map[string]*Distribution)
+		for _, row := range s.rows {
+			gv := row[given]
+			if gv.IsNull() {
+				continue
+			}
+			d, ok := byVal[gv.Key()]
+			if !ok {
+				d = NewDistribution()
+				byVal[gv.Key()] = d
+			}
+			d.Observe(row[target])
+		}
+		s.cond[key] = byVal
+	}
+	if d, ok := byVal[val.Key()]; ok {
+		return d
+	}
+	return NewDistribution()
+}
+
+// ConditionalMode returns argmax_c P[target = c | given = val], the repair
+// value used by rules 2 and 4 of the paper's Algorithm 1. When the
+// conditional distribution is empty it falls back to the unconditional mode
+// of the target column.
+func (s *Stats) ConditionalMode(given int, val Value, target int) (Value, bool) {
+	if v, ok := s.Conditional(given, val, target).Mode(); ok {
+		return v, true
+	}
+	return s.cols[target].Mode()
+}

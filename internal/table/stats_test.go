@@ -1,0 +1,236 @@
+package table
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func statsTable(t *testing.T) *Table {
+	t.Helper()
+	return MustFromStrings([]string{"City", "Country"}, [][]string{
+		{"Madrid", "Spain"},
+		{"Madrid", "Spain"},
+		{"Madrid", "España"},
+		{"Barcelona", "Spain"},
+		{"Lisbon", "Portugal"},
+		{"", "Portugal"}, // null City
+	})
+}
+
+func TestDistributionObserveAndCounts(t *testing.T) {
+	d := NewDistribution()
+	d.Observe(String("a"))
+	d.Observe(String("a"))
+	d.Observe(String("b"))
+	d.Observe(Null()) // ignored
+	if d.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", d.Total())
+	}
+	if d.Count(String("a")) != 2 || d.Count(String("b")) != 1 || d.Count(String("c")) != 0 {
+		t.Fatalf("counts wrong: a=%d b=%d c=%d", d.Count(String("a")), d.Count(String("b")), d.Count(String("c")))
+	}
+	if p := d.Prob(String("a")); math.Abs(p-2.0/3.0) > 1e-12 {
+		t.Fatalf("Prob(a) = %v", p)
+	}
+	if len(d.Support()) != 2 {
+		t.Fatalf("Support = %v", d.Support())
+	}
+}
+
+func TestDistributionMode(t *testing.T) {
+	d := NewDistribution()
+	if _, ok := d.Mode(); ok {
+		t.Fatal("empty distribution has no mode")
+	}
+	d.Observe(String("x"))
+	d.Observe(String("y"))
+	d.Observe(String("y"))
+	if m, ok := d.Mode(); !ok || !m.Equal(String("y")) {
+		t.Fatalf("Mode = %v, %v", m, ok)
+	}
+}
+
+func TestDistributionModeTieBreaksFirstObserved(t *testing.T) {
+	d := NewDistribution()
+	d.Observe(String("first"))
+	d.Observe(String("second"))
+	if m, _ := d.Mode(); !m.Equal(String("first")) {
+		t.Fatalf("tie must break to first observed, got %v", m)
+	}
+}
+
+func TestDistributionProbZeroTotal(t *testing.T) {
+	d := NewDistribution()
+	if p := d.Prob(String("a")); p != 0 {
+		t.Fatalf("Prob on empty = %v", p)
+	}
+}
+
+func TestDistributionSampleMatchesFrequencies(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 9; i++ {
+		d.Observe(String("common"))
+	}
+	d.Observe(String("rare"))
+	rng := rand.New(rand.NewSource(7))
+	common := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v, ok := d.Sample(rng)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if v.Equal(String("common")) {
+			common++
+		}
+	}
+	frac := float64(common) / n
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("sampled frequency of common = %v, want ~0.9", frac)
+	}
+}
+
+func TestDistributionSampleEmpty(t *testing.T) {
+	d := NewDistribution()
+	if _, ok := d.Sample(rand.New(rand.NewSource(1))); ok {
+		t.Fatal("sampling empty distribution must fail")
+	}
+	if _, ok := d.SampleOther(rand.New(rand.NewSource(1)), String("x")); ok {
+		t.Fatal("SampleOther on empty distribution must fail")
+	}
+}
+
+func TestDistributionSampleOtherExcludes(t *testing.T) {
+	d := NewDistribution()
+	d.Observe(String("a"))
+	d.Observe(String("b"))
+	d.Observe(String("c"))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		v, ok := d.SampleOther(rng, String("a"))
+		if !ok {
+			t.Fatal("SampleOther failed")
+		}
+		if v.Equal(String("a")) {
+			t.Fatal("SampleOther returned the excluded value despite alternatives")
+		}
+	}
+}
+
+func TestDistributionSampleOtherSingleton(t *testing.T) {
+	d := NewDistribution()
+	d.Observe(String("only"))
+	v, ok := d.SampleOther(rand.New(rand.NewSource(3)), String("only"))
+	if !ok || !v.Equal(String("only")) {
+		t.Fatalf("singleton SampleOther = %v, %v; must return the only value", v, ok)
+	}
+}
+
+func TestDistributionSampleOtherUnobservedExclude(t *testing.T) {
+	d := NewDistribution()
+	d.Observe(String("a"))
+	v, ok := d.SampleOther(rand.New(rand.NewSource(3)), String("zzz"))
+	if !ok || !v.Equal(String("a")) {
+		t.Fatalf("SampleOther with unobserved exclude = %v, %v", v, ok)
+	}
+}
+
+func TestDistributionEntriesSorted(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 3; i++ {
+		d.Observe(String("three"))
+	}
+	d.Observe(String("one"))
+	d.Observe(String("two"))
+	d.Observe(String("two"))
+	entries := d.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("Entries len = %d", len(entries))
+	}
+	if !entries[0].Value.Equal(String("three")) || entries[0].Count != 3 {
+		t.Errorf("entries[0] = %+v", entries[0])
+	}
+	if !entries[1].Value.Equal(String("two")) || entries[1].Count != 2 {
+		t.Errorf("entries[1] = %+v", entries[1])
+	}
+}
+
+func TestStatsColumnDistributions(t *testing.T) {
+	s := NewStats(statsTable(t))
+	city := s.ColumnByName("City")
+	if city.Total() != 5 { // one null excluded
+		t.Fatalf("City total = %d, want 5", city.Total())
+	}
+	if m, _ := city.Mode(); !m.Equal(String("Madrid")) {
+		t.Fatalf("City mode = %v", m)
+	}
+	if c := s.Column(1).Count(String("Spain")); c != 3 {
+		t.Fatalf("Spain count = %d", c)
+	}
+}
+
+func TestStatsConditional(t *testing.T) {
+	tbl := statsTable(t)
+	s := NewStats(tbl)
+	ci, co := tbl.Schema().MustIndex("City"), tbl.Schema().MustIndex("Country")
+	d := s.Conditional(ci, String("Madrid"), co)
+	if d.Total() != 3 || d.Count(String("Spain")) != 2 || d.Count(String("España")) != 1 {
+		t.Fatalf("conditional Country|City=Madrid wrong: total=%d", d.Total())
+	}
+	if m, ok := s.ConditionalMode(ci, String("Madrid"), co); !ok || !m.Equal(String("Spain")) {
+		t.Fatalf("ConditionalMode = %v, %v", m, ok)
+	}
+}
+
+func TestStatsConditionalUnseenFallsBack(t *testing.T) {
+	tbl := statsTable(t)
+	s := NewStats(tbl)
+	ci, co := 0, 1
+	// "Paris" never appears; fall back to unconditional Country mode.
+	m, ok := s.ConditionalMode(ci, String("Paris"), co)
+	if !ok {
+		t.Fatal("fallback mode must exist")
+	}
+	want, _ := s.Column(co).Mode()
+	if !m.Equal(want) {
+		t.Fatalf("fallback = %v, want unconditional mode %v", m, want)
+	}
+}
+
+func TestStatsConditionalSkipsNullGiven(t *testing.T) {
+	tbl := statsTable(t)
+	s := NewStats(tbl)
+	// Row with null City must not create a conditional bucket keyed by null.
+	d := s.Conditional(0, Null(), 1)
+	if d.Total() != 0 {
+		t.Fatalf("conditional on null given must be empty, got total=%d", d.Total())
+	}
+}
+
+func TestStatsSnapshotIndependentOfLaterMutation(t *testing.T) {
+	tbl := statsTable(t)
+	s := NewStats(tbl)
+	before := s.ColumnByName("City").Count(String("Madrid"))
+	tbl.SetByName(0, "City", String("Valencia"))
+	after := s.ColumnByName("City").Count(String("Madrid"))
+	if before != after {
+		t.Fatal("Stats must snapshot the table at construction")
+	}
+}
+
+func TestStatsProbabilitiesSumToOne(t *testing.T) {
+	s := NewStats(statsTable(t))
+	f := func(col uint8) bool {
+		d := s.Column(int(col) % 2)
+		sum := 0.0
+		for _, v := range d.Support() {
+			sum += d.Prob(v)
+		}
+		return d.Total() == 0 || math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CellRef addresses a single cell by row index and column index. It is the
+// "player" identity used by the cell-Shapley game: the paper vectorizes the
+// table as x_T = (t1[A1], t1[A2], ..., tn[Am]) and a CellRef is one slot of
+// that vector.
+type CellRef struct {
+	Row int
+	Col int
+}
+
+// String renders the reference as "t<row+1>[<col>]" to match the paper's
+// t5[Country] notation when a schema is not at hand.
+func (r CellRef) String() string { return fmt.Sprintf("t%d[col%d]", r.Row+1, r.Col) }
+
+// Table is a mutable in-memory relation: a schema plus rows of typed values.
+// Tables are not safe for concurrent mutation; the Shapley engine always
+// works on private clones.
+type Table struct {
+	schema *Schema
+	rows   [][]Value
+}
+
+// New creates an empty table with the given schema.
+func New(schema *Schema) *Table {
+	return &Table{schema: schema}
+}
+
+// FromStrings builds a table by parsing a rectangular grid of raw strings
+// with ParseValue. It is the main constructor for literals in tests,
+// examples and embedded datasets.
+func FromStrings(names []string, grid [][]string) (*Table, error) {
+	schema, err := SchemaOf(names...)
+	if err != nil {
+		return nil, err
+	}
+	t := New(schema)
+	for i, rawRow := range grid {
+		if len(rawRow) != len(names) {
+			return nil, fmt.Errorf("table: row %d has %d values, want %d", i, len(rawRow), len(names))
+		}
+		row := make([]Value, len(rawRow))
+		for j, raw := range rawRow {
+			row[j] = ParseValue(raw)
+		}
+		if err := t.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MustFromStrings is FromStrings that panics on error.
+func MustFromStrings(names []string, grid [][]string) *Table {
+	t, err := FromStrings(names, grid)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return t.schema.Len() }
+
+// NumCells returns rows × columns — the number of Shapley players in the
+// cell game.
+func (t *Table) NumCells() int { return len(t.rows) * t.schema.Len() }
+
+// Append validates and adds a row. The slice is copied.
+func (t *Table) Append(row []Value) error {
+	if err := t.schema.Validate(row); err != nil {
+		return err
+	}
+	t.rows = append(t.rows, append([]Value(nil), row...))
+	return nil
+}
+
+// Get returns the value at (row, col). It panics on out-of-range indexes,
+// matching slice semantics.
+func (t *Table) Get(row, col int) Value { return t.rows[row][col] }
+
+// GetRef returns the value at a cell reference.
+func (t *Table) GetRef(ref CellRef) Value { return t.rows[ref.Row][ref.Col] }
+
+// GetByName returns the value at (row, attribute name).
+func (t *Table) GetByName(row int, name string) Value {
+	return t.rows[row][t.schema.MustIndex(name)]
+}
+
+// Set overwrites the value at (row, col).
+func (t *Table) Set(row, col int, v Value) { t.rows[row][col] = v }
+
+// SetRef overwrites the value at a cell reference.
+func (t *Table) SetRef(ref CellRef, v Value) { t.rows[ref.Row][ref.Col] = v }
+
+// SetByName overwrites the value at (row, attribute name).
+func (t *Table) SetByName(row int, name string, v Value) {
+	t.rows[row][t.schema.MustIndex(name)] = v
+}
+
+// Row returns a copy of the i-th row.
+func (t *Table) Row(i int) []Value { return append([]Value(nil), t.rows[i]...) }
+
+// RowView returns the i-th row without copying. The returned slice aliases
+// the table's storage and must be treated as read-only; it is intended for
+// hot evaluation loops such as the DC interpreter.
+func (t *Table) RowView(i int) []Value { return t.rows[i] }
+
+// Clone deep-copies the table. The schema is shared (schemas are immutable
+// after construction).
+func (t *Table) Clone() *Table {
+	rows := make([][]Value, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]Value(nil), r...)
+	}
+	return &Table{schema: t.schema, rows: rows}
+}
+
+// Equal reports whether two tables have equal schemas and cell-wise
+// SameContent values.
+func (t *Table) Equal(o *Table) bool {
+	if !t.schema.Equal(o.schema) || len(t.rows) != len(o.rows) {
+		return false
+	}
+	for i := range t.rows {
+		for j := range t.rows[i] {
+			if !t.rows[i][j].SameContent(o.rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Cells returns every cell reference in vectorization order: row-major,
+// exactly the x_T order of Example 2.5.
+func (t *Table) Cells() []CellRef {
+	refs := make([]CellRef, 0, t.NumCells())
+	for i := range t.rows {
+		for j := range t.rows[i] {
+			refs = append(refs, CellRef{Row: i, Col: j})
+		}
+	}
+	return refs
+}
+
+// VecIndex maps a cell reference to its position in the vectorized table.
+func (t *Table) VecIndex(ref CellRef) int { return ref.Row*t.schema.Len() + ref.Col }
+
+// RefAt maps a vectorized position back to a cell reference.
+func (t *Table) RefAt(index int) CellRef {
+	m := t.schema.Len()
+	return CellRef{Row: index / m, Col: index % m}
+}
+
+// RefName renders a cell reference with the attribute name, e.g.
+// "t5[Country]" (rows are 1-based in the paper's notation).
+func (t *Table) RefName(ref CellRef) string {
+	return fmt.Sprintf("t%d[%s]", ref.Row+1, t.schema.Col(ref.Col).Name)
+}
+
+// ParseRefName parses the "t<row>[<Attr>]" notation back into a CellRef.
+func (t *Table) ParseRefName(s string) (CellRef, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "t") || !strings.HasSuffix(s, "]") {
+		return CellRef{}, fmt.Errorf("table: cannot parse cell reference %q (want t<row>[<Attr>])", s)
+	}
+	open := strings.IndexByte(s, '[')
+	if open < 0 {
+		return CellRef{}, fmt.Errorf("table: cannot parse cell reference %q: no '['", s)
+	}
+	var row int
+	if _, err := fmt.Sscanf(s[1:open], "%d", &row); err != nil {
+		return CellRef{}, fmt.Errorf("table: bad row in cell reference %q: %w", s, err)
+	}
+	if row < 1 || row > t.NumRows() {
+		return CellRef{}, fmt.Errorf("table: row %d out of range 1..%d", row, t.NumRows())
+	}
+	attr := s[open+1 : len(s)-1]
+	col, ok := t.schema.Index(attr)
+	if !ok {
+		return CellRef{}, fmt.Errorf("table: no attribute %q", attr)
+	}
+	return CellRef{Row: row - 1, Col: col}, nil
+}
+
+// String renders the table as an aligned text grid, for logs and the CLI.
+func (t *Table) String() string {
+	widths := make([]int, t.NumCols())
+	for j, c := range t.schema.Columns() {
+		widths[j] = len(c.Name)
+	}
+	cells := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = v.String()
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	var b strings.Builder
+	for j, c := range t.schema.Columns() {
+		if j > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[j], c.Name)
+	}
+	b.WriteByte('\n')
+	for j := range widths {
+		if j > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[j]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for j, cell := range row {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package table
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func soccerNames() []string {
+	return []string{"Team", "City", "Country", "League", "Year", "Place"}
+}
+
+func smallTable(t *testing.T) *Table {
+	t.Helper()
+	return MustFromStrings(soccerNames(), [][]string{
+		{"Barcelona", "Barcelona", "Spain", "La Liga", "2019", "1"},
+		{"Real Madrid", "Madrid", "Spain", "La Liga", "2019", "3"},
+	})
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s, err := SchemaOf("A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("B"); !ok || i != 1 {
+		t.Fatalf("Index(B) = %d, %v", i, ok)
+	}
+	if _, ok := s.Index("Z"); ok {
+		t.Fatal("Index(Z) must not exist")
+	}
+	if got := s.MustIndex("C"); got != 2 {
+		t.Fatalf("MustIndex(C) = %d", got)
+	}
+	if names := s.Names(); strings.Join(names, ",") != "A,B,C" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestSchemaDuplicateAndEmptyNames(t *testing.T) {
+	if _, err := SchemaOf("A", "A"); err == nil {
+		t.Error("duplicate column names must be rejected")
+	}
+	if _, err := NewSchema(Column{Name: ""}); err == nil {
+		t.Error("empty column name must be rejected")
+	}
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on missing column must panic")
+		}
+	}()
+	MustSchema(Column{Name: "A"}).MustIndex("missing")
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema(Column{Name: "X", Kind: KindInt}, Column{Name: "Y"})
+	b := MustSchema(Column{Name: "X", Kind: KindInt}, Column{Name: "Y"})
+	c := MustSchema(Column{Name: "X", Kind: KindString}, Column{Name: "Y"})
+	d := MustSchema(Column{Name: "X", Kind: KindInt})
+	if !a.Equal(b) {
+		t.Error("identical schemas must be Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different kinds must not be Equal")
+	}
+	if a.Equal(d) {
+		t.Error("different lengths must not be Equal")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := MustSchema(Column{Name: "N", Kind: KindInt}, Column{Name: "S", Kind: KindString}, Column{Name: "F", Kind: KindFloat}, Column{Name: "Any"})
+	if err := s.Validate([]Value{Int(1), String("x"), Float(1.5), Bool(true)}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := s.Validate([]Value{Int(1), String("x"), Int(2), Null()}); err != nil {
+		t.Errorf("int into float column must be allowed: %v", err)
+	}
+	if err := s.Validate([]Value{Null(), Null(), Null(), Null()}); err != nil {
+		t.Errorf("nulls always allowed: %v", err)
+	}
+	if err := s.Validate([]Value{String("x"), String("x"), Float(1), Null()}); err == nil {
+		t.Error("string into int column must be rejected")
+	}
+	if err := s.Validate([]Value{Int(1), String("x")}); err == nil {
+		t.Error("wrong arity must be rejected")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(Column{Name: "A", Kind: KindInt}, Column{Name: "B"})
+	if got := s.String(); got != "A:int, B" {
+		t.Errorf("Schema.String() = %q", got)
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := smallTable(t)
+	if tbl.NumRows() != 2 || tbl.NumCols() != 6 || tbl.NumCells() != 12 {
+		t.Fatalf("dims = %d x %d (%d cells)", tbl.NumRows(), tbl.NumCols(), tbl.NumCells())
+	}
+	if got := tbl.GetByName(1, "City"); !got.Equal(String("Madrid")) {
+		t.Errorf("GetByName(1, City) = %v", got)
+	}
+	if got := tbl.Get(0, 4); !got.Equal(Int(2019)) {
+		t.Errorf("Year parsed as %v (%v), want int 2019", got, got.Kind())
+	}
+	tbl.SetByName(0, "Place", Int(2))
+	if got := tbl.GetByName(0, "Place"); !got.Equal(Int(2)) {
+		t.Errorf("SetByName did not stick: %v", got)
+	}
+	ref := CellRef{Row: 1, Col: 2}
+	tbl.SetRef(ref, Null())
+	if !tbl.GetRef(ref).IsNull() {
+		t.Error("SetRef null did not stick")
+	}
+}
+
+func TestTableAppendValidates(t *testing.T) {
+	s := MustSchema(Column{Name: "N", Kind: KindInt})
+	tbl := New(s)
+	if err := tbl.Append([]Value{String("no")}); err == nil {
+		t.Error("Append must validate kinds")
+	}
+	if err := tbl.Append([]Value{Int(5)}); err != nil {
+		t.Errorf("valid append failed: %v", err)
+	}
+}
+
+func TestTableAppendCopiesRow(t *testing.T) {
+	tbl := New(MustSchema(Column{Name: "A"}))
+	row := []Value{Int(1)}
+	if err := tbl.Append(row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = Int(99)
+	if !tbl.Get(0, 0).Equal(Int(1)) {
+		t.Error("Append must copy the row slice")
+	}
+}
+
+func TestTableCloneIsDeep(t *testing.T) {
+	tbl := smallTable(t)
+	clone := tbl.Clone()
+	clone.Set(0, 0, String("Atletico"))
+	if !tbl.Get(0, 0).Equal(String("Barcelona")) {
+		t.Error("mutating clone changed original")
+	}
+	if !tbl.Clone().Equal(tbl) {
+		t.Error("clone must equal original")
+	}
+}
+
+func TestTableEqual(t *testing.T) {
+	a, b := smallTable(t), smallTable(t)
+	if !a.Equal(b) {
+		t.Error("identical tables must be Equal")
+	}
+	b.Set(1, 1, String("Sevilla"))
+	if a.Equal(b) {
+		t.Error("differing tables must not be Equal")
+	}
+	c := MustFromStrings([]string{"X"}, [][]string{{"1"}})
+	if a.Equal(c) {
+		t.Error("different schemas must not be Equal")
+	}
+	// Null-vs-null cells must compare equal under Equal (SameContent).
+	d, e := smallTable(t), smallTable(t)
+	d.Set(0, 0, Null())
+	e.Set(0, 0, Null())
+	if !d.Equal(e) {
+		t.Error("tables with matching nulls must be Equal")
+	}
+}
+
+func TestVectorizationRoundTrip(t *testing.T) {
+	tbl := smallTable(t)
+	refs := tbl.Cells()
+	if len(refs) != tbl.NumCells() {
+		t.Fatalf("Cells() returned %d refs, want %d", len(refs), tbl.NumCells())
+	}
+	for i, ref := range refs {
+		if tbl.VecIndex(ref) != i {
+			t.Errorf("VecIndex(%v) = %d, want %d", ref, tbl.VecIndex(ref), i)
+		}
+		if tbl.RefAt(i) != ref {
+			t.Errorf("RefAt(%d) = %v, want %v", i, tbl.RefAt(i), ref)
+		}
+	}
+}
+
+func TestVectorizationRowMajorOrder(t *testing.T) {
+	tbl := smallTable(t)
+	// Example 2.5: x_T = (t1[Team], t1[City], ..., t2[Team], ...).
+	if tbl.RefAt(0) != (CellRef{Row: 0, Col: 0}) {
+		t.Error("vector must start at t1[Team]")
+	}
+	if tbl.RefAt(6) != (CellRef{Row: 1, Col: 0}) {
+		t.Error("vector index 6 must be t2[Team]")
+	}
+}
+
+func TestRefNameRoundTrip(t *testing.T) {
+	tbl := smallTable(t)
+	for _, ref := range tbl.Cells() {
+		name := tbl.RefName(ref)
+		back, err := tbl.ParseRefName(name)
+		if err != nil {
+			t.Fatalf("ParseRefName(%q): %v", name, err)
+		}
+		if back != ref {
+			t.Errorf("round trip %v -> %q -> %v", ref, name, back)
+		}
+	}
+	if got := tbl.RefName(CellRef{Row: 1, Col: 2}); got != "t2[Country]" {
+		t.Errorf("RefName = %q, want t2[Country]", got)
+	}
+}
+
+func TestParseRefNameErrors(t *testing.T) {
+	tbl := smallTable(t)
+	for _, bad := range []string{"", "t[City]", "x1[City]", "t1[City", "t1[Nope]", "t0[City]", "t99[City]", "t1"} {
+		if _, err := tbl.ParseRefName(bad); err == nil {
+			t.Errorf("ParseRefName(%q) must error", bad)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	out := smallTable(t).String()
+	for _, want := range []string{"Team", "Real Madrid", "La Liga", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFromStringsRaggedRejected(t *testing.T) {
+	if _, err := FromStrings([]string{"A", "B"}, [][]string{{"1"}}); err == nil {
+		t.Error("ragged grid must be rejected")
+	}
+}
+
+func TestVecIndexBijectionProperty(t *testing.T) {
+	tbl := smallTable(t)
+	f := func(idx uint16) bool {
+		i := int(idx) % tbl.NumCells()
+		return tbl.VecIndex(tbl.RefAt(i)) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+package table
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueZeroIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be null")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("zero Value kind = %v, want KindNull", v.Kind())
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{String("Madrid"), KindString, "Madrid"},
+		{String(""), KindString, ""},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("kind %v: String() = %q, want %q", c.kind, c.v.String(), c.str)
+		}
+	}
+	if String("x").Str() != "x" {
+		t.Error("Str accessor")
+	}
+	if Int(9).IntVal() != 9 {
+		t.Error("IntVal accessor")
+	}
+	if Float(1.5).FloatVal() != 1.5 {
+		t.Error("FloatVal accessor")
+	}
+	if !Bool(true).BoolVal() {
+		t.Error("BoolVal accessor")
+	}
+}
+
+func TestValueEqualNullSemantics(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Error("NULL = NULL must be unknown (false) under Equal")
+	}
+	if Null().Equal(String("x")) || String("x").Equal(Null()) {
+		t.Error("NULL = value must be false under Equal")
+	}
+	if !Null().SameContent(Null()) {
+		t.Error("SameContent must treat null as equal to null")
+	}
+	if Null().SameContent(Int(0)) {
+		t.Error("SameContent null vs 0 must be false")
+	}
+}
+
+func TestValueEqualCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("int 3 must equal float 3.0")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("int 3 must not equal float 3.5")
+	}
+	if Int(3).Equal(String("3")) {
+		t.Error("int 3 must not equal string \"3\"")
+	}
+	if Bool(true).Equal(Int(1)) {
+		t.Error("bool true must not equal int 1")
+	}
+	if !String("a").Equal(String("a")) {
+		t.Error("string self-equality")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Int(1), Float(1.5), -1, true},
+		{Float(2.5), Int(2), 1, true},
+		{String("a"), String("b"), -1, true},
+		{String("b"), String("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Null(), Int(1), 0, false},
+		{Int(1), Null(), 0, false},
+		{String("1"), Int(1), 0, false},
+		{Bool(true), String("true"), 0, false},
+	}
+	for _, tc := range tests {
+		got, ok := tc.a.Compare(tc.b)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("Compare(%v,%v) = (%d,%v), want (%d,%v)", tc.a, tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, okx := Int(a).Compare(Int(b))
+		y, oky := Int(b).Compare(Int(a))
+		return okx && oky && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueKeyInjectiveAcrossKinds(t *testing.T) {
+	vals := []Value{Null(), String("1"), Int(1), Float(1), Bool(true), String("true"), String("NULL")}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			// Int(1) and Float(1) may legitimately collide only if we chose
+			// to unify them; we do not, so any collision is a bug.
+			t.Errorf("Key collision between %v (%v) and %v (%v)", prev, prev.Kind(), v, v.Kind())
+		}
+		seen[k] = v
+	}
+}
+
+func TestValueKeyStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return String(s).Key() == String(s).Key() && (s == "" || String(s).Key() != String(s+"x").Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Value
+	}{
+		{"", Null()},
+		{"   ", Null()},
+		{"null", Null()},
+		{"NULL", Null()},
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"2.5", Float(2.5)},
+		{"1e3", Float(1000)},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{"Madrid", String("Madrid")},
+		{"Real Madrid", String("Real Madrid")},
+		{"España", String("España")},
+		{"3rd", String("3rd")},
+	}
+	for _, tc := range tests {
+		got := ParseValue(tc.in)
+		if !got.SameContent(tc.want) || got.Kind() != tc.want.Kind() {
+			t.Errorf("ParseValue(%q) = %v (%v), want %v (%v)", tc.in, got, got.Kind(), tc.want, tc.want.Kind())
+		}
+	}
+}
+
+func TestParseValueIntRoundTrip(t *testing.T) {
+	f := func(i int64) bool {
+		v := ParseValue(strconv.FormatInt(i, 10))
+		return v.Kind() == KindInt && v.IntVal() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueAs(t *testing.T) {
+	v, err := ParseValueAs("7", KindString)
+	if err != nil || v.Kind() != KindString || v.Str() != "7" {
+		t.Errorf("ParseValueAs(7, string) = %v, %v", v, err)
+	}
+	v, err = ParseValueAs("7", KindInt)
+	if err != nil || v.IntVal() != 7 {
+		t.Errorf("ParseValueAs(7, int) = %v, %v", v, err)
+	}
+	if _, err = ParseValueAs("abc", KindInt); err == nil {
+		t.Error("ParseValueAs(abc, int) must error")
+	}
+	v, err = ParseValueAs("2.5", KindFloat)
+	if err != nil || v.FloatVal() != 2.5 {
+		t.Errorf("ParseValueAs(2.5, float) = %v, %v", v, err)
+	}
+	if _, err = ParseValueAs("xyz", KindFloat); err == nil {
+		t.Error("ParseValueAs(xyz, float) must error")
+	}
+	v, err = ParseValueAs("true", KindBool)
+	if err != nil || !v.BoolVal() {
+		t.Errorf("ParseValueAs(true, bool) = %v, %v", v, err)
+	}
+	if _, err = ParseValueAs("maybe", KindBool); err == nil {
+		t.Error("ParseValueAs(maybe, bool) must error")
+	}
+	v, err = ParseValueAs("", KindInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("ParseValueAs(empty, int) = %v, %v; want null", v, err)
+	}
+	v, err = ParseValueAs("anything", KindNull)
+	if err != nil || !v.IsNull() {
+		t.Errorf("ParseValueAs(_, KindNull) = %v, %v; want null", v, err)
+	}
+}
+
+func TestParseValueNoInfinity(t *testing.T) {
+	v := ParseValue("1e999")
+	if v.Kind() == KindFloat && math.IsInf(v.FloatVal(), 0) {
+		t.Error("ParseValue must not produce infinities")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{KindNull: "null", KindString: "string", KindInt: "int", KindFloat: "float", KindBool: "bool", Kind(99): "kind(99)"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
