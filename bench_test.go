@@ -8,6 +8,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dc"
@@ -285,6 +286,86 @@ func BenchmarkRepairAlgorithms(b *testing.B) {
 			}
 		})
 	}
+}
+
+// evalHarnessGame is bench.EvalHarnessGame over the non-allocating
+// passthrough black box: the A/B harness that isolates coalition
+// evaluation (masking, cloning, undo) from repairer cost.
+func evalHarnessGame(b *testing.B, rows int) *core.CellGame {
+	b.Helper()
+	game, err := bench.EvalHarnessGame(rows, repair.Passthrough{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return game
+}
+
+// BenchmarkCellGameEval is the tentpole A/B: one coalition evaluation
+// through the seed clone-per-evaluation path versus the pooled scratch
+// path, black-box cost excluded. The scratch path must be ≥3x faster with
+// ~0 allocs/op.
+func BenchmarkCellGameEval(b *testing.B) {
+	ctx := context.Background()
+	for _, rows := range []int{8, 32, 128} {
+		game := evalHarnessGame(b, rows)
+		coalition := make([]bool, game.NumPlayers())
+		for i := range coalition {
+			coalition[i] = i%2 == 0
+		}
+		b.Run("clone/rows="+itoa(rows), func(b *testing.B) {
+			legacy := game.CloneEval().(shapley.Game)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := legacy.Value(ctx, coalition); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("scratch/rows="+itoa(rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := game.Value(ctx, coalition); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCellGameSampling measures a full SampleAll pass (the production
+// entry point) under the three strategies: the seed clone path, the pooled
+// scratch path with full masks, and the incremental prefix walk.
+func BenchmarkCellGameSampling(b *testing.B) {
+	ctx := context.Background()
+	game := evalHarnessGame(b, 32)
+	opts := shapley.Options{Samples: 8, Workers: 1}
+	b.Run("clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts.Seed = int64(i)
+			if _, err := shapley.SampleAll(ctx, game.CloneEval(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts.Seed = int64(i)
+			if _, err := shapley.SampleAll(ctx, shapley.Deterministic{G: game}, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("walk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts.Seed = int64(i)
+			if _, err := shapley.SampleAll(ctx, game, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func itoa(n int) string {

@@ -7,6 +7,8 @@
 //	trex-bench -exp all
 //	trex-bench -exp fig1          # one experiment
 //	trex-bench -list
+//	trex-bench -perf -out BENCH_1.json   # machine-readable perf scenarios
+//	trex-bench -perf -short              # CI smoke subset, no file
 package main
 
 import (
@@ -21,14 +23,30 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id or 'all'")
-		list = flag.Bool("list", false, "list experiment ids")
+		exp   = flag.String("exp", "all", "experiment id or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids")
+		perf  = flag.Bool("perf", false, "run the perf scenarios (ns/op, allocs/op) instead of experiments")
+		out   = flag.String("out", "", "with -perf: write the JSON report to this path (e.g. BENCH_1.json)")
+		short = flag.Bool("short", false, "with -perf: skip the slow end-to-end scenarios")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range bench.IDs() {
 			fmt.Printf("%-12s %s\n", id, bench.Describe(id))
+		}
+		return
+	}
+	if *perf {
+		var err error
+		if *out != "" {
+			err = bench.WritePerfJSON(os.Stdout, *out, *short)
+		} else {
+			_, err = bench.RunPerf(os.Stdout, *short)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trex-bench: perf: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -8,6 +8,33 @@
 // that repair. See README.md for the tour, DESIGN.md for the system
 // inventory, and EXPERIMENTS.md for the paper-vs-measured record.
 //
+// # Evaluation fast path
+//
+// Cell-game evaluation is the hot loop: permutation sampling calls the
+// black box once per coalition prefix, millions of times on real tables.
+// Three layers keep that loop allocation-free and measured in
+// BENCH_<n>.json (regenerate with `trex-bench -perf -out BENCH_<n>.json`):
+//
+//   - Pooled scratch tables (internal/core): instead of Clone()-ing the
+//     dirty table per evaluation, each evaluation borrows a pooled working
+//     copy, masks absent cells in place, runs the black box, and restores
+//     only the touched cells via an undo list — zero steady-state
+//     allocations per coalition evaluation (enforced by
+//     TestCellGameEvalAllocs).
+//   - Incremental prefix walks (internal/shapley.IncrementalGame): the
+//     samplers detect games that support single-player coalition deltas
+//     and drive them through the CoalitionWalk protocol — one SetRef per
+//     permutation step instead of a full mask rebuild. Estimates are
+//     bit-identical to the legacy clone path under a fixed seed (golden
+//     equivalence tests; the clone path survives behind
+//     core.CellGame.CloneEval for cross-validation).
+//   - Packed, sharded coalition cache (internal/shapley.Cached): coalition
+//     keys are uint64 bitmasks for ≤64 players (packed bytes above) spread
+//     over 64 lock shards, so exact constraint-game enumeration no longer
+//     serializes on one mutex, and violation scans reuse their hash
+//     buckets across scans of one table generation
+//     (internal/dc.ScanIndex, keyed on table.Generation).
+//
 // Layout:
 //
 //	internal/table      typed in-memory tables, CSV, statistics, diffs

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dc"
+	"repro/internal/repair"
+	"repro/internal/shapley"
+	"repro/internal/table"
+)
+
+// PerfResult is one machine-readable benchmark row of a BENCH_<n>.json
+// file: the perf trajectory the ROADMAP asks every optimisation PR to
+// extend.
+type PerfResult struct {
+	// Name is the scenario id, e.g. "cellgame-eval/scratch/rows=32".
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// N is the iteration count the timing was measured over.
+	N int `json:"n"`
+}
+
+// PerfReport is the top-level BENCH_<n>.json document.
+type PerfReport struct {
+	// Go is the toolchain that produced the numbers.
+	Go string `json:"go"`
+	// GOARCH/GOOS identify the machine class.
+	GOARCH string `json:"goarch"`
+	GOOS   string `json:"goos"`
+	// Results are the scenario rows, in registration order.
+	Results []PerfResult `json:"results"`
+}
+
+// perfScenario is one registered micro-benchmark.
+type perfScenario struct {
+	name  string
+	bench func(b *testing.B)
+}
+
+// EvalHarnessGame builds the canonical rows×3 toy cell game (one FD, one
+// dirty cell) over the given black box. It is shared by the root A/B
+// benchmarks and the -perf scenarios so both measure the same instance.
+func EvalHarnessGame(rows int, alg repair.Algorithm) (*core.CellGame, error) {
+	grid := make([][]string, rows)
+	for i := range grid {
+		grid[i] = []string{"x", "1", "a"}
+	}
+	grid[1][1] = "2"
+	tbl := table.MustFromStrings([]string{"A", "B", "C"}, grid)
+	cs, err := dc.ParseSet("C1: !(t1.A = t2.A & t1.B != t2.B)")
+	if err != nil {
+		return nil, err
+	}
+	exp, err := core.NewExplainer(alg, cs, tbl)
+	if err != nil {
+		return nil, err
+	}
+	cell := table.CellRef{Row: 1, Col: 1}
+	return exp.NewCellGame(cell, tbl.GetRef(cell), core.ReplaceWithNull), nil
+}
+
+// perfScenarios builds the registered scenarios. short trims the expensive
+// end-to-end rows for CI smoke runs.
+func perfScenarios(short bool) ([]perfScenario, error) {
+	ctx := context.Background()
+	harness, err := EvalHarnessGame(32, repair.Passthrough{})
+	if err != nil {
+		return nil, err
+	}
+	coalition := make([]bool, harness.NumPlayers())
+	for i := range coalition {
+		coalition[i] = i%2 == 0
+	}
+	out := []perfScenario{
+		{"cellgame-eval/clone/rows=32", func(b *testing.B) {
+			legacy := harness.CloneEval()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := legacy.SampleValue(ctx, coalition, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"cellgame-eval/scratch/rows=32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Value(ctx, coalition); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"cellgame-sampleall/clone/m=8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.SampleAll(ctx, harness.CloneEval(), shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"cellgame-sampleall/walk/m=8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.SampleAll(ctx, harness, shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	// Violation scans: indexed vs cached buckets on a generated table.
+	soccer := data.GenerateSoccer(data.SoccerConfig{Leagues: 4, TeamsPerLeague: 32, Seed: 11})
+	fd := dc.MustParse("C1: !(t1.League = t2.League & t1.Country != t2.Country)")
+	out = append(out,
+		perfScenario{"violations/indexed", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fd.ViolationsIndexed(soccer); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{"violations/scan-cache", func(b *testing.B) {
+			ix := dc.NewScanIndex()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fd.ViolationsCached(soccer, ix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+
+	if !short {
+		// End-to-end cell explanation against a real black box.
+		ll, alg := dataLaLiga()
+		exp, err := core.NewExplainer(alg, ll.DCs, ll.Dirty)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, perfScenario{"explain-cells/laliga/m=64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.ExplainCells(ctx, ll.CellOfInterest, core.CellExplainOptions{Samples: 64, Seed: int64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+	return out, nil
+}
+
+// RunPerf executes every registered perf scenario via testing.Benchmark,
+// streams a human-readable line per scenario to w, and returns the
+// machine-readable report.
+func RunPerf(w io.Writer, short bool) (*PerfReport, error) {
+	scenarios, err := perfScenarios(short)
+	if err != nil {
+		return nil, err
+	}
+	report := &PerfReport{Go: runtime.Version(), GOARCH: runtime.GOARCH, GOOS: runtime.GOOS}
+	for _, s := range scenarios {
+		r := testing.Benchmark(s.bench)
+		if r.N == 0 {
+			// testing.Benchmark swallows b.Fatal into a zero result; a zero
+			// iteration count means the scenario died, and reporting NaN
+			// ns/op would hide it.
+			return nil, fmt.Errorf("bench: perf scenario %s failed", s.name)
+		}
+		row := PerfResult{
+			Name:        s.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		report.Results = append(report.Results, row)
+		fmt.Fprintf(w, "%-36s %14.1f ns/op %8d B/op %6d allocs/op\n", row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+	return report, nil
+}
+
+// WritePerfJSON runs the perf scenarios and writes the report to path as
+// indented JSON — the BENCH_<n>.json artifact of a perf PR.
+func WritePerfJSON(w io.Writer, path string, short bool) error {
+	report, err := RunPerf(w, short)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d scenarios)\n", path, len(report.Results))
+	return nil
+}

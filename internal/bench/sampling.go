@@ -83,7 +83,10 @@ func runConvergence(w io.Writer) error {
 		cmae := mae(cests, cexact)
 		tmae := mae(tests, texact)
 		fmt.Fprintf(w, "%-8d %-22.5f %-22.5f\n", m, cmae, tmae)
-		if m >= 1024 && (cmae > prevC*2 || tmae > prevT*2) {
+		// A doubling of MAE between budgets signals non-convergence only
+		// when the error is above the Monte-Carlo noise floor; at MAE<0.01
+		// on a [0,1]-bounded game, a 2x wiggle is seed luck, not a trend.
+		if m >= 1024 && ((cmae > prevC*2 && cmae > 0.01) || (tmae > prevT*2 && tmae > 0.01)) {
 			monotoneish = false
 		}
 		prevC, prevT = cmae, tmae

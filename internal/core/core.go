@@ -19,9 +19,11 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/dc"
 	"repro/internal/repair"
+	"repro/internal/shapley"
 	"repro/internal/table"
 )
 
@@ -142,7 +144,32 @@ type CellGame struct {
 	stats  *table.Stats
 	// players maps player index -> cell; defaults to all cells.
 	players []table.CellRef
+	// origs[k] is the dirty value of players[k]; the undo value the scratch
+	// path restores after masking.
+	origs []table.Value
+	// scratch pools reusable clones of the dirty table. Every evaluation
+	// borrows one, masks absent cells in place, runs the black box, and
+	// restores only the touched cells — zero steady-state allocation instead
+	// of one full Clone + O(cells) masking pass per evaluation.
+	scratch sync.Pool
 }
+
+// cellScratch is one pooled working table plus its undo list.
+type cellScratch struct {
+	tbl *table.Table
+	// touched lists the player indices currently masked, so restoration is
+	// O(|touched|) rather than O(cells).
+	touched []int
+}
+
+func (g *CellGame) getScratch() *cellScratch {
+	if sc, ok := g.scratch.Get().(*cellScratch); ok {
+		return sc
+	}
+	return &cellScratch{tbl: g.exp.Dirty.Clone()}
+}
+
+func (g *CellGame) putScratch(sc *cellScratch) { g.scratch.Put(sc) }
 
 // NewCellGame builds the cell game for a cell of interest; target must be
 // the clean value from Target.
@@ -167,9 +194,11 @@ func (e *Explainer) NewCellGame(cell table.CellRef, target table.Value, policy R
 // interest is filtered out if present.
 func (g *CellGame) RestrictPlayers(cells []table.CellRef) {
 	g.players = g.players[:0]
+	g.origs = g.origs[:0]
 	for _, ref := range cells {
 		if ref != g.cell {
 			g.players = append(g.players, ref)
+			g.origs = append(g.origs, g.exp.Dirty.GetRef(ref))
 		}
 	}
 }
@@ -197,30 +226,180 @@ func (g *CellGame) SampleValue(ctx context.Context, coalition []bool, rng *rand.
 	return g.eval(ctx, coalition, rng)
 }
 
+// replacement computes the out-of-coalition value for player k per the
+// policy.
+func (g *CellGame) replacement(k int, rng *rand.Rand) (table.Value, error) {
+	switch g.policy {
+	case ReplaceWithNull:
+		return table.Null(), nil
+	case ReplaceFromColumn:
+		if rng == nil {
+			return table.Null(), fmt.Errorf("core: ReplaceFromColumn needs an RNG")
+		}
+		v, ok := g.stats.Column(g.players[k].Col).Sample(rng)
+		if !ok {
+			v = table.Null()
+		}
+		return v, nil
+	default:
+		return table.Null(), fmt.Errorf("core: unknown replacement policy %d", g.policy)
+	}
+}
+
+// eval is the scratch-table fast path: borrow a pooled working table, mask
+// absent cells in place, run the black box, restore only the touched cells.
+// Steady state it allocates nothing (see TestCellGameEvalAllocs).
 func (g *CellGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	sc := g.getScratch()
+	sc.touched = sc.touched[:0]
+	for k, in := range coalition {
+		if in {
+			continue
+		}
+		v, err := g.replacement(k, rng)
+		if err != nil {
+			g.restore(sc)
+			g.putScratch(sc)
+			return 0, err
+		}
+		sc.tbl.SetRef(g.players[k], v)
+		sc.touched = append(sc.touched, k)
+	}
+	out, err := repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target)
+	g.restore(sc)
+	g.putScratch(sc)
+	return out, err
+}
+
+// restore undoes every masked cell of the scratch, returning it to a clean
+// copy of the dirty table.
+func (g *CellGame) restore(sc *cellScratch) {
+	for _, k := range sc.touched {
+		sc.tbl.SetRef(g.players[k], g.origs[k])
+	}
+	sc.touched = sc.touched[:0]
+}
+
+// evalClone is the seed's clone-per-evaluation path, kept for
+// cross-validation: the golden equivalence tests prove the scratch and walk
+// paths reproduce its estimates bit-for-bit. Reach it through CloneEval.
+func (g *CellGame) evalClone(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
 	masked := g.exp.Dirty.Clone()
 	for k, in := range coalition {
 		if in {
 			continue
 		}
-		ref := g.players[k]
-		switch g.policy {
-		case ReplaceWithNull:
-			masked.SetRef(ref, table.Null())
-		case ReplaceFromColumn:
-			if rng == nil {
-				return 0, fmt.Errorf("core: ReplaceFromColumn needs an RNG")
-			}
-			v, ok := g.stats.Column(ref.Col).Sample(rng)
-			if !ok {
-				v = table.Null()
-			}
-			masked.SetRef(ref, v)
-		default:
-			return 0, fmt.Errorf("core: unknown replacement policy %d", g.policy)
+		v, err := g.replacement(k, rng)
+		if err != nil {
+			return 0, err
 		}
+		masked.SetRef(g.players[k], v)
 	}
 	return repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, masked, g.cell, g.target)
+}
+
+// CloneEval returns a view of the game that evaluates through the legacy
+// clone-per-evaluation path and hides the IncrementalGame interface, so
+// samplers take their generic path. It exists for cross-validation (golden
+// equivalence tests) and A/B benchmarks against the scratch fast path.
+func (g *CellGame) CloneEval() shapley.StochasticGame { return cloneEvalGame{g} }
+
+// cloneEvalGame adapts CellGame to the seed evaluation strategy. It
+// deliberately does not implement shapley.IncrementalGame.
+type cloneEvalGame struct{ g *CellGame }
+
+// NumPlayers implements shapley.StochasticGame.
+func (c cloneEvalGame) NumPlayers() int { return c.g.NumPlayers() }
+
+// SampleValue implements shapley.StochasticGame.
+func (c cloneEvalGame) SampleValue(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	return c.g.evalClone(ctx, coalition, rng)
+}
+
+// Value implements shapley.Game under the deterministic null policy.
+func (c cloneEvalGame) Value(ctx context.Context, coalition []bool) (float64, error) {
+	if c.g.policy != ReplaceWithNull {
+		return 0, fmt.Errorf("core: deterministic Value requires ReplaceWithNull; use SampleValue for ReplaceFromColumn")
+	}
+	return c.g.evalClone(ctx, coalition, nil)
+}
+
+// NewWalk implements shapley.IncrementalGame: the samplers' permutation
+// prefix walks grow the coalition one player at a time, and under the null
+// policy each step is a single SetRef on the walk's scratch table.
+func (g *CellGame) NewWalk() shapley.CoalitionWalk {
+	return &cellWalk{g: g, sc: g.getScratch(), in: make([]bool, len(g.players))}
+}
+
+// cellWalk holds one borrowed scratch table for a worker's sequence of
+// permutation walks. Confined to one goroutine.
+type cellWalk struct {
+	g  *CellGame
+	sc *cellScratch
+	// in mirrors coalition membership; needed under ReplaceFromColumn,
+	// where every absent cell is redrawn per evaluation.
+	in []bool
+	// masked reports whether the scratch table currently has the absent
+	// cells masked (i.e. Reset has run).
+	masked bool
+}
+
+// Reset implements shapley.CoalitionWalk: empty coalition, every player
+// masked.
+func (w *cellWalk) Reset() {
+	for k := range w.in {
+		w.in[k] = false
+	}
+	if w.g.policy == ReplaceWithNull {
+		for _, ref := range w.g.players {
+			w.sc.tbl.SetRef(ref, table.Null())
+		}
+	}
+	w.masked = true
+}
+
+// Include implements shapley.CoalitionWalk: the single-cell delta. The
+// player's cell returns to its dirty value; under ReplaceFromColumn the
+// next Value stops redrawing it.
+func (w *cellWalk) Include(p int) {
+	if w.in[p] {
+		return
+	}
+	w.in[p] = true
+	w.sc.tbl.SetRef(w.g.players[p], w.g.origs[p])
+}
+
+// Value implements shapley.CoalitionWalk. Under the null policy the scratch
+// table already holds the coalition's exact masked state; under column
+// sampling every absent cell is redrawn in player order, consuming the RNG
+// exactly as the clone path's SampleValue does (the golden-equivalence
+// contract).
+func (w *cellWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) {
+	if w.g.policy != ReplaceWithNull {
+		for k, in := range w.in {
+			if in {
+				continue
+			}
+			v, err := w.g.replacement(k, rng)
+			if err != nil {
+				return 0, err
+			}
+			w.sc.tbl.SetRef(w.g.players[k], v)
+		}
+	}
+	return repair.CellRepaired(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target)
+}
+
+// Close implements shapley.CoalitionWalk: restores the scratch to the dirty
+// contents and returns it to the pool.
+func (w *cellWalk) Close() {
+	if w.masked || w.g.policy != ReplaceWithNull {
+		for k, ref := range w.g.players {
+			w.sc.tbl.SetRef(ref, w.g.origs[k])
+		}
+	}
+	w.g.putScratch(w.sc)
+	w.sc = nil
 }
 
 // RelevantCells returns the cells that can plausibly influence the repair

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/repair"
 	"repro/internal/shapley"
@@ -66,6 +67,24 @@ type GroupGame struct {
 	policy ReplacementPolicy
 	stats  *table.Stats
 	groups []CellGroup
+	// scratch pools reusable clones of the dirty table, as in CellGame:
+	// mask in place, repair, restore the touched cells.
+	scratch sync.Pool
+}
+
+// groupScratch is one pooled working table plus the undo list of masked
+// cells and their dirty values.
+type groupScratch struct {
+	tbl     *table.Table
+	touched []table.CellRef
+	origs   []table.Value
+}
+
+func (g *GroupGame) getScratch() *groupScratch {
+	if sc, ok := g.scratch.Get().(*groupScratch); ok {
+		return sc
+	}
+	return &groupScratch{tbl: g.exp.Dirty.Clone()}
 }
 
 // NewGroupGame builds the group game; target must come from Target.
@@ -107,15 +126,30 @@ func (g *GroupGame) SampleValue(ctx context.Context, coalition []bool, rng *rand
 }
 
 func (g *GroupGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
-	masked := g.exp.Dirty.Clone()
+	sc := g.getScratch()
+	v, err := g.evalOn(ctx, sc, coalition, rng)
+	// Restore in reverse: groups may overlap (the public API imposes no
+	// disjointness), so a cell masked twice has its true dirty value in the
+	// FIRST undo entry — LIFO replay lands on it last.
+	for i := len(sc.touched) - 1; i >= 0; i-- {
+		sc.tbl.SetRef(sc.touched[i], sc.origs[i])
+	}
+	sc.touched = sc.touched[:0]
+	sc.origs = sc.origs[:0]
+	g.scratch.Put(sc)
+	return v, err
+}
+
+func (g *GroupGame) evalOn(ctx context.Context, sc *groupScratch, coalition []bool, rng *rand.Rand) (float64, error) {
 	for k, in := range coalition {
 		if in {
 			continue
 		}
 		for _, ref := range g.groups[k].Cells {
+			var repl table.Value
 			switch g.policy {
 			case ReplaceWithNull:
-				masked.SetRef(ref, table.Null())
+				// repl stays null.
 			case ReplaceFromColumn:
 				if rng == nil {
 					return 0, fmt.Errorf("core: ReplaceFromColumn needs an RNG")
@@ -124,13 +158,16 @@ func (g *GroupGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) 
 				if !ok {
 					v = table.Null()
 				}
-				masked.SetRef(ref, v)
+				repl = v
 			default:
 				return 0, fmt.Errorf("core: unknown replacement policy %d", g.policy)
 			}
+			sc.touched = append(sc.touched, ref)
+			sc.origs = append(sc.origs, sc.tbl.GetRef(ref))
+			sc.tbl.SetRef(ref, repl)
 		}
 	}
-	return repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, masked, g.cell, g.target)
+	return repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target)
 }
 
 // ExplainCellGroups ranks cell groups (e.g. whole rows) by their Shapley

@@ -3,6 +3,7 @@ package dc
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/table"
 )
@@ -114,25 +115,175 @@ func (c *Constraint) equalityJoinAttrs() []string {
 	return out
 }
 
-// ViolationsIndexed is Violations accelerated with a hash partition on an
-// equality join attribute when one exists (e.g. t1.Team = t2.Team). Rows
-// are bucketed by that attribute's value and only intra-bucket pairs are
+// joinCols resolves the equality join attributes to column indexes; empty
+// when the constraint has no usable join key.
+func (c *Constraint) joinCols(t *table.Table) []int {
+	attrs := c.equalityJoinAttrs()
+	cols := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		cols = append(cols, t.Schema().MustIndex(a))
+	}
+	return cols
+}
+
+// compositeKey builds the hash-join key of row i over cols: every join
+// column's canonical Value.Key joined with a separator. ok is false when
+// any join column is null — such rows can never satisfy the equality
+// predicates, so they are excluded from bucketing entirely.
+func compositeKey(t *table.Table, row int, cols []int) (string, bool) {
+	if len(cols) == 1 {
+		v := t.Get(row, cols[0])
+		if v.IsNull() {
+			return "", false
+		}
+		return v.Key(), true
+	}
+	var b strings.Builder
+	for n, col := range cols {
+		v := t.Get(row, col)
+		if v.IsNull() {
+			return "", false
+		}
+		if n > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String(), true
+}
+
+// buildBuckets partitions rows by their composite join key over cols.
+func buildBuckets(t *table.Table, cols []int) map[string][]int {
+	buckets := make(map[string][]int)
+	for i := 0; i < t.NumRows(); i++ {
+		if key, ok := compositeKey(t, i, cols); ok {
+			buckets[key] = append(buckets[key], i)
+		}
+	}
+	return buckets
+}
+
+// ScanIndex caches the hash buckets that indexed violation scans build,
+// keyed on the table's (pointer, generation) snapshot and the join-column
+// signature. Repeated scans of an unchanged table — every constraint of a
+// set, every rule of a repair pass, the final fixpoint verification —
+// reuse the buckets instead of recomputing them from zero. Any table
+// mutation bumps the generation and invalidates the cache wholesale.
+//
+// A ScanIndex is confined to one goroutine (typically one repair run); the
+// zero value is NOT ready to use — construct with NewScanIndex.
+type ScanIndex struct {
+	tbl     *table.Table
+	gen     uint64
+	perCols map[string]map[string][]int // column signature -> join key -> rows
+	// colsOf memoizes each constraint's resolved join columns and their
+	// signature: they depend only on the constraint and the schema, and
+	// the per-row hot loops below would otherwise re-derive them per call.
+	colsOf map[*Constraint]colsEntry
+}
+
+type colsEntry struct {
+	cols []int
+	sig  string
+}
+
+// NewScanIndex returns an empty scan cache.
+func NewScanIndex() *ScanIndex {
+	return &ScanIndex{
+		perCols: make(map[string]map[string][]int),
+		colsOf:  make(map[*Constraint]colsEntry),
+	}
+}
+
+// joinColsFor resolves (memoized) c's join columns and signature over t's
+// schema. Safe across generations of one table — schemas are immutable —
+// but invalidated when the index moves to a different table.
+func (ix *ScanIndex) joinColsFor(c *Constraint, t *table.Table) ([]int, string) {
+	ix.sync(t)
+	if e, ok := ix.colsOf[c]; ok {
+		return e.cols, e.sig
+	}
+	cols := c.joinCols(t)
+	e := colsEntry{cols: cols, sig: colsSignature(cols)}
+	ix.colsOf[c] = e
+	return e.cols, e.sig
+}
+
+// sync points the index at t, dropping whatever a table or generation
+// switch invalidates.
+func (ix *ScanIndex) sync(t *table.Table) {
+	if ix.tbl == t && ix.gen == t.Generation() {
+		return
+	}
+	if ix.tbl != t {
+		// New table, possibly new schema: column resolutions are stale too.
+		clear(ix.colsOf)
+	}
+	ix.tbl = t
+	ix.gen = t.Generation()
+	clear(ix.perCols)
+}
+
+// buckets returns (building and caching as needed) the bucket partition of
+// t over cols.
+func (ix *ScanIndex) buckets(t *table.Table, cols []int, sig string) map[string][]int {
+	ix.sync(t)
+	if b, ok := ix.perCols[sig]; ok {
+		return b
+	}
+	b := buildBuckets(t, cols)
+	ix.perCols[sig] = b
+	return b
+}
+
+// colsSignature encodes a column-index list as a map key.
+func colsSignature(cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		for c >= 0x80 {
+			b.WriteByte(byte(c) | 0x80)
+			c >>= 7
+		}
+		b.WriteByte(byte(c))
+	}
+	return b.String()
+}
+
+// ViolationsIndexed is Violations accelerated with a hash partition on the
+// composite of all equality join attributes when any exist (e.g.
+// t1.Team = t2.Team ∧ t1.Year = t2.Year buckets on (Team, Year)). Rows are
+// bucketed by those attributes' values and only intra-bucket pairs are
 // checked, turning the common FD-shaped constraint from O(n²) into
 // O(n + Σ bucket²). Falls back to the naive scan when no join key exists.
 // The output order matches Violations exactly.
 func (c *Constraint) ViolationsIndexed(t *table.Table) ([]Violation, error) {
-	keys := c.equalityJoinAttrs()
-	if c.SingleTuple() || len(keys) == 0 {
+	return c.ViolationsCached(t, nil)
+}
+
+// ViolationsCached is ViolationsIndexed with an optional ScanIndex: when ix
+// is non-nil the hash buckets are reused across scans of the same table
+// generation instead of rebuilt per call.
+func (c *Constraint) ViolationsCached(t *table.Table, ix *ScanIndex) ([]Violation, error) {
+	if c.SingleTuple() {
 		return c.Violations(t)
 	}
-	col := t.Schema().MustIndex(keys[0])
-	buckets := make(map[string][]int)
-	for i := 0; i < t.NumRows(); i++ {
-		v := t.Get(i, col)
-		if v.IsNull() {
-			continue // null join keys can never satisfy the equality
+	var (
+		cols    []int
+		buckets map[string][]int
+	)
+	if ix != nil {
+		var sig string
+		cols, sig = ix.joinColsFor(c, t)
+		if len(cols) == 0 {
+			return c.Violations(t)
 		}
-		buckets[v.Key()] = append(buckets[v.Key()], i)
+		buckets = ix.buckets(t, cols, sig)
+	} else {
+		cols = c.joinCols(t)
+		if len(cols) == 0 {
+			return c.Violations(t)
+		}
+		buckets = buildBuckets(t, cols)
 	}
 	var out []Violation
 	for _, rows := range buckets {
@@ -160,12 +311,49 @@ func (c *Constraint) ViolationsIndexed(t *table.Table) ([]Violation, error) {
 	return out, nil
 }
 
-// AllViolations runs ViolationsIndexed for every constraint in order and
-// concatenates the results.
+// ViolatesRowCached is ViolatesRow restricted to the row's hash bucket when
+// the constraint has equality join attributes: only bucket partners can
+// co-satisfy the equality predicates, so the per-row check drops from
+// O(n) to O(bucket). Semantics match ViolatesRow exactly.
+func (c *Constraint) ViolatesRowCached(t *table.Table, i int, ix *ScanIndex) (bool, error) {
+	if c.SingleTuple() {
+		return c.SatisfiedPair(t, i, i)
+	}
+	if ix == nil {
+		return c.ViolatesRow(t, i)
+	}
+	cols, sig := ix.joinColsFor(c, t)
+	if len(cols) == 0 {
+		return c.ViolatesRow(t, i)
+	}
+	key, ok := compositeKey(t, i, cols)
+	if !ok {
+		// A null join key makes every equality predicate unknown: row i
+		// cannot participate in any pair violation of this constraint.
+		return false, nil
+	}
+	for _, j := range ix.buckets(t, cols, sig)[key] {
+		if j == i {
+			continue
+		}
+		if sat, err := c.SatisfiedPair(t, i, j); err != nil || sat {
+			return sat, err
+		}
+		if sat, err := c.SatisfiedPair(t, j, i); err != nil || sat {
+			return sat, err
+		}
+	}
+	return false, nil
+}
+
+// AllViolations runs the indexed scan for every constraint in order and
+// concatenates the results. One ScanIndex spans the whole pass, so
+// constraints sharing join columns share buckets.
 func AllViolations(cs []*Constraint, t *table.Table) ([]Violation, error) {
+	ix := NewScanIndex()
 	var out []Violation
 	for _, c := range cs {
-		vs, err := c.ViolationsIndexed(t)
+		vs, err := c.ViolationsCached(t, ix)
 		if err != nil {
 			return nil, err
 		}
@@ -176,8 +364,9 @@ func AllViolations(cs []*Constraint, t *table.Table) ([]Violation, error) {
 
 // Consistent reports whether the table satisfies every constraint.
 func Consistent(cs []*Constraint, t *table.Table) (bool, error) {
+	ix := NewScanIndex()
 	for _, c := range cs {
-		vs, err := c.ViolationsIndexed(t)
+		vs, err := c.ViolationsCached(t, ix)
 		if err != nil {
 			return false, err
 		}

@@ -331,3 +331,149 @@ func TestOpEvalTruthTable(t *testing.T) {
 		}
 	}
 }
+
+// TestViolationsIndexedCompositeKey exercises a two-attribute join where
+// the FIRST attribute is non-selective (constant column) and the second
+// carries all the selectivity. Bucketing on keys[0] alone would put every
+// row in one bucket; the composite key must still produce exactly the
+// naive scan's answer, and a probe constraint confirms rows differing only
+// in the second join attribute never pair up.
+func TestViolationsIndexedCompositeKey(t *testing.T) {
+	c := MustParse("C1: !(t1.A = t2.A & t1.B = t2.B & t1.C != t2.C)")
+	tbl := table.MustFromStrings([]string{"A", "B", "C"}, [][]string{
+		{"k", "1", "x"},
+		{"k", "1", "y"}, // violates with row 0 (same A,B; different C)
+		{"k", "2", "x"},
+		{"k", "2", "x"}, // same A,B as row 2 but same C: no violation
+		{"k", "3", "z"},
+		{"k", "", "w"}, // null second key: excluded from bucketing
+	})
+	naive, err := c.Violations(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := c.ViolationsIndexed(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive) != len(indexed) {
+		t.Fatalf("naive %v vs indexed %v", naive, indexed)
+	}
+	for i := range naive {
+		if naive[i] != indexed[i] {
+			t.Fatalf("order mismatch at %d: %v vs %v", i, naive[i], indexed[i])
+		}
+	}
+	if len(indexed) != 2 { // (0,1) and (1,0)
+		t.Fatalf("violations = %v, want the (t1,t2) pair both ways", indexed)
+	}
+	if indexed[0].Row1 != 0 || indexed[0].Row2 != 1 {
+		t.Fatalf("first violation = %v", indexed[0])
+	}
+}
+
+// TestViolationsIndexedCompositeKeyProperty randomizes two-join-attribute
+// tables (with nulls) and checks the composite-key scan against the naive
+// one.
+func TestViolationsIndexedCompositeKeyProperty(t *testing.T) {
+	c := MustParse("!(t1.A = t2.A & t1.B = t2.B & t1.C != t2.C)")
+	f := func(seed int64, nRows uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRows)%14 + 1
+		letters := []string{"x", "y", ""}
+		grid := make([][]string, n)
+		for i := range grid {
+			grid[i] = []string{letters[rng.Intn(3)], letters[rng.Intn(3)], letters[rng.Intn(3)]}
+		}
+		tbl := table.MustFromStrings([]string{"A", "B", "C"}, grid)
+		naive, err1 := c.Violations(tbl)
+		indexed, err2 := c.ViolationsIndexed(tbl)
+		if err1 != nil || err2 != nil || len(naive) != len(indexed) {
+			return false
+		}
+		for i := range naive {
+			if naive[i] != indexed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanIndexReuse verifies the bucket cache: same generation -> reuse;
+// any mutation -> rebuild. Reuse is observed through correctness after
+// mutation (stale buckets would miss the new violation).
+func TestScanIndexReuse(t *testing.T) {
+	tbl := paperDirty(t)
+	cs := paperDCs(t)
+	ix := NewScanIndex()
+	for _, c := range cs {
+		cached, err := c.ViolationsCached(tbl, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := c.ViolationsIndexed(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cached) != len(plain) {
+			t.Fatalf("%s: cached %d vs plain %d", c.ID, len(cached), len(plain))
+		}
+		for i := range plain {
+			if cached[i].Row1 != plain[i].Row1 || cached[i].Row2 != plain[i].Row2 {
+				t.Fatalf("%s: mismatch at %d", c.ID, i)
+			}
+		}
+	}
+	// Mutate: a row that now collides on C1's join key (Team).
+	gen := tbl.Generation()
+	tbl.SetByName(3, "Team", table.String("Real Madrid"))
+	if tbl.Generation() == gen {
+		t.Fatal("Set must bump the generation")
+	}
+	c := ByID(cs, "C1")
+	after, err := c.ViolationsCached(tbl, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := c.ViolationsIndexed(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(plain) {
+		t.Fatalf("stale buckets after mutation: cached %d vs plain %d", len(after), len(plain))
+	}
+}
+
+// TestViolatesRowCachedMatches checks the bucketed per-row violation test
+// against the full-scan original on every row and constraint, with and
+// without a shared index, across a mutation.
+func TestViolatesRowCachedMatches(t *testing.T) {
+	tbl := paperDirty(t)
+	cs := paperDCs(t)
+	ix := NewScanIndex()
+	check := func() {
+		t.Helper()
+		for _, c := range cs {
+			for i := 0; i < tbl.NumRows(); i++ {
+				plain, err1 := c.ViolatesRow(tbl, i)
+				cached, err2 := c.ViolatesRowCached(tbl, i, ix)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if plain != cached {
+					t.Errorf("%s row %d: plain %v cached %v", c.ID, i, plain, cached)
+				}
+			}
+		}
+	}
+	check()
+	tbl.SetByName(4, "City", table.String("Madrid"))
+	check()
+	// Null join key: never a pair violation.
+	tbl.SetByName(5, "Team", table.Null())
+	check()
+}

@@ -152,11 +152,15 @@ func (a *RuleRepair) Repair(ctx context.Context, cs []*dc.Constraint, dirty *tab
 	if maxPasses <= 0 {
 		maxPasses = 10
 	}
+	// One scan cache spans the whole run: rules triggered by constraints
+	// with the same join columns share buckets, and the final no-change
+	// fixpoint pass re-reads them without rebuilding.
+	ix := dc.NewScanIndex()
 	for pass := 0; pass < maxPasses; pass++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		changed, err := a.pass(ctx, present, work)
+		changed, err := a.pass(ctx, present, work, ix)
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +171,7 @@ func (a *RuleRepair) Repair(ctx context.Context, cs []*dc.Constraint, dirty *tab
 	return work, nil
 }
 
-func (a *RuleRepair) pass(ctx context.Context, present map[string]*dc.Constraint, work *table.Table) (bool, error) {
+func (a *RuleRepair) pass(ctx context.Context, present map[string]*dc.Constraint, work *table.Table, ix *dc.ScanIndex) (bool, error) {
 	changed := false
 	// Statistics reflect the *current* working table so cascaded repairs
 	// see each other's effects; they are rebuilt lazily after mutations.
@@ -199,7 +203,7 @@ func (a *RuleRepair) pass(ctx context.Context, present map[string]*dc.Constraint
 		// since earlier fixes within the rule may have resolved it. Rows
 		// that start violating mid-rule are picked up by the next fixpoint
 		// pass.
-		vs, err := c.ViolationsIndexed(work)
+		vs, err := c.ViolationsCached(work, ix)
 		if err != nil {
 			return false, err
 		}
@@ -218,7 +222,7 @@ func (a *RuleRepair) pass(ctx context.Context, present map[string]*dc.Constraint
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
-			violates, err := c.ViolatesRow(work, row)
+			violates, err := c.ViolatesRowCached(work, row, ix)
 			if err != nil {
 				return false, err
 			}

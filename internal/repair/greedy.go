@@ -32,11 +32,12 @@ func (g *Greedy) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.T
 	if maxSteps <= 0 {
 		maxSteps = work.NumCells()
 	}
+	ix := dc.NewScanIndex()
 	for step := 0; step < maxSteps; step++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		hot, err := g.hotCells(cs, work)
+		hot, err := g.hotCells(cs, work, ix)
 		if err != nil {
 			return nil, err
 		}
@@ -70,10 +71,10 @@ func (g *Greedy) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.T
 
 // hotCells returns every cell participating in at least one violation,
 // ordered by descending violation count, ties by vectorization order.
-func (g *Greedy) hotCells(cs []*dc.Constraint, t *table.Table) ([]table.CellRef, error) {
+func (g *Greedy) hotCells(cs []*dc.Constraint, t *table.Table, ix *dc.ScanIndex) ([]table.CellRef, error) {
 	counts := make(map[table.CellRef]int)
 	for _, c := range cs {
-		vs, err := c.ViolationsIndexed(t)
+		vs, err := c.ViolationsCached(t, ix)
 		if err != nil {
 			return nil, err
 		}

@@ -68,11 +68,12 @@ func (h *HoloSim) Name() string { return "holosim" }
 func (h *HoloSim) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
 	work := dirty.Clone()
 	rng := rand.New(rand.NewSource(h.seed))
+	ix := dc.NewScanIndex()
 	for round := 0; round < h.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		suspects, err := h.detect(cs, work)
+		suspects, err := h.detect(cs, work, ix)
 		if err != nil {
 			return nil, err
 		}
@@ -127,10 +128,10 @@ func suspectAttrs(c *dc.Constraint) []string {
 }
 
 // detect returns the suspect cells in deterministic (vectorization) order.
-func (h *HoloSim) detect(cs []*dc.Constraint, t *table.Table) ([]table.CellRef, error) {
+func (h *HoloSim) detect(cs []*dc.Constraint, t *table.Table, ix *dc.ScanIndex) ([]table.CellRef, error) {
 	suspect := make(map[table.CellRef]bool)
 	for _, c := range cs {
-		vs, err := c.ViolationsIndexed(t)
+		vs, err := c.ViolationsCached(t, ix)
 		if err != nil {
 			return nil, err
 		}

@@ -134,7 +134,7 @@ func TestHoloSimDomainCapRespected(t *testing.T) {
 func TestHoloSimDetectFindsSuspects(t *testing.T) {
 	ll := data.NewLaLiga()
 	h := NewHoloSim(1)
-	suspects, err := h.detect(ll.DCs, ll.Dirty)
+	suspects, err := h.detect(ll.DCs, ll.Dirty, dc.NewScanIndex())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,21 @@ func (f Func) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Tabl
 	return f.Fn(ctx, cs, dirty)
 }
 
+// Passthrough is the identity black box: it returns the input table
+// unchanged (and unallocated). It exists for benchmarks and allocation
+// tests that need to isolate the coalition-evaluation harness from any
+// repairer cost; it deliberately violates the "freshly allocated" return
+// contract, which is harmless for measurement.
+type Passthrough struct{}
+
+// Name implements Algorithm.
+func (Passthrough) Name() string { return "passthrough" }
+
+// Repair implements Algorithm.
+func (Passthrough) Repair(_ context.Context, _ []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
+	return dirty, nil
+}
+
 // CellRepaired is the binary view Alg|t[A] of the paper (§2.1): it runs the
 // black box on (cs, dirty) and reports 1 when the cell of interest ends up
 // with the target clean value, 0 otherwise. The target is the value the

@@ -5,11 +5,22 @@ import (
 	"sync"
 )
 
+// cacheShards is the lock-striping factor. Exact constraint-game
+// enumeration fans evaluations across workers; a single mutex serializes
+// them, while 64 shards keep contention negligible for any realistic
+// worker count. Must be a power of two.
+const cacheShards = 64
+
 // Cached memoizes a deterministic game's coalition values. Exact Shapley
 // computation revisits coalitions (ExactOne for several players of the same
 // game shares almost all of them), and permutation sampling of games with
 // few players revisits the small coalition space constantly; caching turns
 // those repeats into map lookups. Safe for concurrent use.
+//
+// Coalitions of games with at most 64 players are keyed by a packed uint64
+// bitmask (no allocation on lookup); wider games fall back to a packed byte
+// string. Entries are spread over 64 lock shards so concurrent enumeration
+// does not serialize on one mutex.
 //
 // Only meaningful for deterministic games — memoizing a stochastic game
 // would freeze one realization per coalition and bias the estimate toward
@@ -19,15 +30,32 @@ type Cached struct {
 	// G is the underlying game.
 	G Game
 
+	wide   bool // more than 64 players: string keys instead of uint64
+	shards [cacheShards]cacheShard
+}
+
+// cacheShard is one lock stripe. The padding keeps adjacent shards off the
+// same cache line so uncontended locks don't false-share.
+type cacheShard struct {
 	mu     sync.Mutex
-	values map[string]float64
+	packed map[uint64]float64
+	byStr  map[string]float64
 	hits   int
 	misses int
+	_      [24]byte
 }
 
 // NewCached wraps g with a coalition-value cache.
 func NewCached(g Game) *Cached {
-	return &Cached{G: g, values: make(map[string]float64)}
+	c := &Cached{G: g, wide: g.NumPlayers() > 64}
+	for i := range c.shards {
+		if c.wide {
+			c.shards[i].byStr = make(map[string]float64)
+		} else {
+			c.shards[i].packed = make(map[uint64]float64)
+		}
+	}
+	return c
 }
 
 // NumPlayers implements Game.
@@ -35,35 +63,102 @@ func (c *Cached) NumPlayers() int { return c.G.NumPlayers() }
 
 // Value implements Game, consulting the cache first.
 func (c *Cached) Value(ctx context.Context, coalition []bool) (float64, error) {
-	key := coalitionKey(coalition)
-	c.mu.Lock()
-	if v, ok := c.values[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	if c.wide {
+		return c.valueWide(ctx, coalition)
+	}
+	key := packCoalition(coalition)
+	s := &c.shards[mix64(key)&(cacheShards-1)]
+	s.mu.Lock()
+	if v, ok := s.packed[key]; ok {
+		s.hits++
+		s.mu.Unlock()
 		return v, nil
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 
 	v, err := c.G.Value(ctx, coalition)
 	if err != nil {
 		return 0, err
 	}
 
-	c.mu.Lock()
-	c.misses++
-	c.values[key] = v
-	c.mu.Unlock()
+	s.mu.Lock()
+	s.misses++
+	s.packed[key] = v
+	s.mu.Unlock()
 	return v, nil
 }
 
-// Stats returns cache hits and misses so far.
-func (c *Cached) Stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+func (c *Cached) valueWide(ctx context.Context, coalition []bool) (float64, error) {
+	key := coalitionKey(coalition)
+	s := &c.shards[mixString(key)&(cacheShards-1)]
+	s.mu.Lock()
+	if v, ok := s.byStr[key]; ok {
+		s.hits++
+		s.mu.Unlock()
+		return v, nil
+	}
+	s.mu.Unlock()
+
+	v, err := c.G.Value(ctx, coalition)
+	if err != nil {
+		return 0, err
+	}
+
+	s.mu.Lock()
+	s.misses++
+	s.byStr[key] = v
+	s.mu.Unlock()
+	return v, nil
 }
 
-// coalitionKey packs the membership bitmap into a compact string key.
+// Stats returns cache hits and misses so far, summed over all shards.
+func (c *Cached) Stats() (hits, misses int) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// packCoalition folds a ≤64-player membership slice into a uint64 bitmask.
+func packCoalition(coalition []bool) uint64 {
+	var key uint64
+	for i, in := range coalition {
+		if in {
+			key |= 1 << uint(i)
+		}
+	}
+	return key
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap bijective scrambler so shard
+// selection sees all key bits (low bits alone would put the small
+// coalitions of an enumeration in a handful of shards).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// mixString is FNV-1a over the packed key bytes, for the >64-player
+// fallback.
+func mixString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// coalitionKey packs the membership bitmap into a compact string key, for
+// games too wide for a single uint64.
 func coalitionKey(coalition []bool) string {
 	buf := make([]byte, (len(coalition)+7)/8)
 	for i, in := range coalition {

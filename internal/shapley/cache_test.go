@@ -127,3 +127,81 @@ func TestCoalitionKeyDistinct(t *testing.T) {
 		t.Error("bit 8 must be represented")
 	}
 }
+
+// TestCachedWideGame exercises the >64-player fallback (string keys) and
+// checks packed/wide keys agree with the underlying game.
+func TestCachedWideGame(t *testing.T) {
+	n := 70
+	g := GameFunc{N: n, Fn: func(_ context.Context, c []bool) (float64, error) {
+		s := 0.0
+		for i, in := range c {
+			if in {
+				s += float64(i + 1)
+			}
+		}
+		return s, nil
+	}}
+	cached := NewCached(g)
+	coalition := make([]bool, n)
+	coalition[0], coalition[65], coalition[69] = true, true, true
+	want := 1.0 + 66 + 70
+	for round := 0; round < 2; round++ {
+		v, err := cached.Value(context.Background(), coalition)
+		if err != nil || v != want {
+			t.Fatalf("round %d: %v, %v (want %v)", round, v, err, want)
+		}
+	}
+	hits, misses := cached.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits %d misses %d, want 1/1", hits, misses)
+	}
+}
+
+// TestPackCoalition checks the uint64 key is injective over distinct
+// memberships and matches the byte-string key's bits.
+func TestPackCoalition(t *testing.T) {
+	a := []bool{true, false, true, false, false, false, false, false, true}
+	if packCoalition(a) != 0b100000101 {
+		t.Errorf("packCoalition = %b", packCoalition(a))
+	}
+	if packCoalition(nil) != 0 {
+		t.Error("empty coalition must pack to 0")
+	}
+	full := make([]bool, 64)
+	full[63] = true
+	if packCoalition(full) != 1<<63 {
+		t.Error("bit 63 must be representable")
+	}
+}
+
+// TestCachedShardedConcurrency hammers all shards from many goroutines; the
+// race detector plus deterministic totals validate the striping.
+func TestCachedShardedConcurrency(t *testing.T) {
+	var calls atomic.Int64
+	cached := NewCached(countingGame(12, &calls))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			coalition := make([]bool, 12)
+			for i := 0; i < 4096; i++ {
+				for b := 0; b < 12; b++ {
+					coalition[b] = (i>>uint(b))&1 == 1
+				}
+				if _, err := cached.Value(context.Background(), coalition); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := cached.Stats()
+	if hits+misses != 8*4096 {
+		t.Errorf("lookups = %d, want %d", hits+misses, 8*4096)
+	}
+	if misses < 4096 || calls.Load() > 8*4096 {
+		t.Errorf("misses %d calls %d out of range", misses, calls.Load())
+	}
+}

@@ -1,0 +1,78 @@
+package shapley
+
+import (
+	"context"
+	"math/rand"
+)
+
+// IncrementalGame is a StochasticGame that can evaluate coalition *prefixes*
+// incrementally. Permutation sampling only ever grows a coalition by one
+// player per step, so a game that maintains its evaluation state in place
+// (e.g. a scratch table with masked cells) can accept a single-player delta
+// instead of re-applying the full membership mask on every evaluation.
+// SampleAll, SamplePlayer and SampleTopK detect this interface and switch to
+// the walk protocol below; the estimates are bit-identical to the generic
+// path for any conforming implementation (see the equivalence contract on
+// CoalitionWalk).
+type IncrementalGame interface {
+	StochasticGame
+	// NewWalk returns a fresh walk handle. Handles are confined to a single
+	// goroutine; the sampler allocates one per worker. Callers must Close
+	// the walk when done so pooled resources are returned.
+	NewWalk() CoalitionWalk
+}
+
+// CoalitionWalk is the incremental-evaluation protocol: Reset to the empty
+// coalition, Include players one at a time, and Value the current prefix.
+//
+// Equivalence contract: for any sequence of Reset/Include calls producing
+// membership set S, Value(ctx, rng) must return exactly what
+// SampleValue(ctx, mask(S), rng) would return, consuming rng identically.
+// This is what makes the sampler's fast path produce bit-identical
+// estimates under a fixed seed.
+type CoalitionWalk interface {
+	// Reset empties the coalition, starting a new permutation walk.
+	Reset()
+	// Include adds player p to the coalition. Adding an already-included
+	// player is a no-op.
+	Include(p int)
+	// Value evaluates one realization of the characteristic function on the
+	// current coalition, drawing any randomness from rng.
+	Value(ctx context.Context, rng *rand.Rand) (float64, error)
+	// Close releases the walk's resources (scratch tables back to pools).
+	Close()
+}
+
+// walkOrNil returns a CoalitionWalk when g supports incremental prefix
+// evaluation, nil otherwise.
+func walkOrNil(g StochasticGame) CoalitionWalk {
+	if ig, ok := g.(IncrementalGame); ok {
+		return ig.NewWalk()
+	}
+	return nil
+}
+
+// walkMarginal samples one marginal contribution for player under perm via
+// the walk protocol: build the preceding-players prefix, evaluate without
+// and with the player, return the difference. Shared by SamplePlayer and
+// SampleTopK so the walk sequence (and its RNG consumption) cannot diverge
+// between them.
+func walkMarginal(ctx context.Context, walk CoalitionWalk, perm []int, player int, rng *rand.Rand) (float64, error) {
+	walk.Reset()
+	for _, p := range perm {
+		if p == player {
+			break
+		}
+		walk.Include(p)
+	}
+	without, err := walk.Value(ctx, rng)
+	if err != nil {
+		return 0, err
+	}
+	walk.Include(player)
+	with, err := walk.Value(ctx, rng)
+	if err != nil {
+		return 0, err
+	}
+	return with - without, nil
+}

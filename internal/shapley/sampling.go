@@ -105,9 +105,20 @@ func (o Options) withDefaults() Options {
 }
 
 // hoeffdingSamples returns the m sufficient for P(|mean−μ| ≥ ε) ≤ δ with
-// marginals in [−r, r]: m ≥ (2r²/ε²)·ln(2/δ).
+// marginals in [−r, r]: m ≥ (2r²/ε²)·ln(2/δ). Tiny ε overflows the float
+// bound past what an int can hold (converting +Inf to int is
+// implementation-defined and lands negative on amd64); the result is
+// clamped to MaxInt so callers keep their own Samples budget instead of
+// computing a negative one.
 func hoeffdingSamples(eps, delta, r float64) int {
-	return int(math.Ceil(2 * r * r / (eps * eps) * math.Log(2/delta)))
+	m := math.Ceil(2 * r * r / (eps * eps) * math.Log(2/delta))
+	if math.IsNaN(m) || m >= float64(math.MaxInt) {
+		return math.MaxInt
+	}
+	if m < 1 {
+		return 1
+	}
+	return int(m)
 }
 
 // welford accumulates mean and variance in one pass (numerically stable).
@@ -169,6 +180,21 @@ func SamplePlayer(ctx context.Context, g StochasticGame, player int, opts Option
 	}
 	accs, err := fanOut(ctx, opts, budget, func(ctx context.Context, rng *rand.Rand, iters int, acc []welford) error {
 		perm := make([]int, n)
+		if walk := walkOrNil(g); walk != nil {
+			defer walk.Close()
+			for it := 0; it < iters; it++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				randPerm(rng, perm)
+				m, err := walkMarginal(ctx, walk, perm, player, rng)
+				if err != nil {
+					return err
+				}
+				acc[0].add(m)
+			}
+			return nil
+		}
 		coalition := make([]bool, n)
 		for it := 0; it < iters; it++ {
 			if err := ctx.Err(); err != nil {
@@ -219,6 +245,33 @@ func SampleAll(ctx context.Context, g StochasticGame, opts Options) ([]Estimate,
 	}
 	accs, err := fanOut(ctx, opts, opts.Samples, func(ctx context.Context, rng *rand.Rand, iters int, acc []welford) error {
 		perm := make([]int, n)
+		if walk := walkOrNil(g); walk != nil {
+			// Incremental fast path: the prefix walk grows by exactly one
+			// player per step, so each step hands the game a single-cell
+			// delta instead of a full coalition mask.
+			defer walk.Close()
+			for it := 0; it < iters; it++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				randPerm(rng, perm)
+				walk.Reset()
+				prev, err := walk.Value(ctx, rng)
+				if err != nil {
+					return err
+				}
+				for _, p := range perm {
+					walk.Include(p)
+					v, err := walk.Value(ctx, rng)
+					if err != nil {
+						return err
+					}
+					acc[p].add(v - prev)
+					prev = v
+				}
+			}
+			return nil
+		}
 		coalition := make([]bool, n)
 		for it := 0; it < iters; it++ {
 			if err := ctx.Err(); err != nil {

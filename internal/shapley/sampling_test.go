@@ -328,3 +328,23 @@ func TestSampleAllParallelMatchesVarianceScale(t *testing.T) {
 		}
 	}
 }
+
+// TestHoeffdingTinyEpsilonRegression: a very small Epsilon used to overflow
+// the Hoeffding sample bound into a negative int (float Inf -> int is
+// implementation-defined), silently zeroing the sampling budget. The bound
+// must clamp so the caller's Samples budget survives.
+func TestHoeffdingTinyEpsilonRegression(t *testing.T) {
+	for _, eps := range []float64{1e-300, 1e-12} {
+		if h := hoeffdingSamples(eps, 0.05, 1); h <= 0 {
+			t.Fatalf("hoeffdingSamples(%g) = %d, must stay positive", eps, h)
+		}
+	}
+	g := Deterministic{G: paperConstraintGame()}
+	est, err := SamplePlayer(context.Background(), g, 1, Options{Samples: 50, Seed: 3, Epsilon: 1e-300, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != 50 {
+		t.Fatalf("tiny epsilon must clamp to the Samples budget: N = %d, want 50", est.N)
+	}
+}

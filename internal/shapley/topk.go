@@ -159,6 +159,23 @@ func topKRound(ctx context.Context, g StochasticGame, active []bool, accs []welf
 	iters := opts.Samples * len(players)
 	merged, err := fanOut(ctx, opts, iters, func(ctx context.Context, rng *rand.Rand, iters int, acc []welford) error {
 		perm := make([]int, n)
+		if walk := walkOrNil(g); walk != nil {
+			defer walk.Close()
+			for it := 0; it < iters; it++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				slot := rng.Intn(len(players))
+				player := players[slot]
+				randPerm(rng, perm)
+				m, err := walkMarginal(ctx, walk, perm, player, rng)
+				if err != nil {
+					return err
+				}
+				acc[slot].add(m)
+			}
+			return nil
+		}
 		coalition := make([]bool, n)
 		for it := 0; it < iters; it++ {
 			if err := ctx.Err(); err != nil {

@@ -20,10 +20,14 @@ func (r CellRef) String() string { return fmt.Sprintf("t%d[col%d]", r.Row+1, r.C
 
 // Table is a mutable in-memory relation: a schema plus rows of typed values.
 // Tables are not safe for concurrent mutation; the Shapley engine always
-// works on private clones.
+// works on private clones or pooled scratch copies.
 type Table struct {
 	schema *Schema
 	rows   [][]Value
+	// gen counts mutations. Index structures built over a table (e.g. the
+	// violation-scan buckets in package dc) key their cache on (table,
+	// generation) and rebuild only when the generation moved.
+	gen uint64
 }
 
 // New creates an empty table with the given schema.
@@ -83,8 +87,14 @@ func (t *Table) Append(row []Value) error {
 		return err
 	}
 	t.rows = append(t.rows, append([]Value(nil), row...))
+	t.gen++
 	return nil
 }
+
+// Generation returns the table's mutation counter. Any Set/Append bumps it,
+// so (pointer, generation) identifies one immutable snapshot of the
+// contents — the invalidation key used by scan caches.
+func (t *Table) Generation() uint64 { return t.gen }
 
 // Get returns the value at (row, col). It panics on out-of-range indexes,
 // matching slice semantics.
@@ -99,14 +109,21 @@ func (t *Table) GetByName(row int, name string) Value {
 }
 
 // Set overwrites the value at (row, col).
-func (t *Table) Set(row, col int, v Value) { t.rows[row][col] = v }
+func (t *Table) Set(row, col int, v Value) {
+	t.rows[row][col] = v
+	t.gen++
+}
 
 // SetRef overwrites the value at a cell reference.
-func (t *Table) SetRef(ref CellRef, v Value) { t.rows[ref.Row][ref.Col] = v }
+func (t *Table) SetRef(ref CellRef, v Value) {
+	t.rows[ref.Row][ref.Col] = v
+	t.gen++
+}
 
 // SetByName overwrites the value at (row, attribute name).
 func (t *Table) SetByName(row int, name string, v Value) {
 	t.rows[row][t.schema.MustIndex(name)] = v
+	t.gen++
 }
 
 // Row returns a copy of the i-th row.

@@ -257,3 +257,37 @@ func TestVecIndexBijectionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGenerationBumps(t *testing.T) {
+	tbl := MustFromStrings([]string{"A", "B"}, [][]string{{"x", "1"}})
+	g0 := tbl.Generation()
+	tbl.Set(0, 0, String("y"))
+	g1 := tbl.Generation()
+	if g1 == g0 {
+		t.Error("Set must bump generation")
+	}
+	tbl.SetRef(CellRef{Row: 0, Col: 1}, Int(2))
+	g2 := tbl.Generation()
+	if g2 == g1 {
+		t.Error("SetRef must bump generation")
+	}
+	tbl.SetByName(0, "A", String("z"))
+	if tbl.Generation() == g2 {
+		t.Error("SetByName must bump generation")
+	}
+	g3 := tbl.Generation()
+	if err := tbl.Append([]Value{String("w"), Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Generation() == g3 {
+		t.Error("Append must bump generation")
+	}
+	// Reads must not bump.
+	g4 := tbl.Generation()
+	_ = tbl.Get(0, 0)
+	_ = tbl.Row(0)
+	_ = tbl.Clone()
+	if tbl.Generation() != g4 {
+		t.Error("reads must not bump generation")
+	}
+}
