@@ -34,6 +34,19 @@
 //     serializes on one mutex, and violation scans reuse their hash
 //     buckets across scans of one table generation
 //     (internal/dc.ScanIndex, keyed on table.Generation).
+//   - In-place repair protocol (internal/repair.ScratchRepairer): the
+//     black boxes themselves no longer Clone() per run. RepairInto
+//     refreshes a pooled work table (table.CopyFrom logs per-cell deltas)
+//     and repairs it in place with pooled per-run buffers — statistics
+//     (table.Stats.Reset), scan indexes, candidate domains — so the whole
+//     eval→repair round trip allocates nothing in steady state. The scan
+//     index follows single-cell edits through the table's bounded edit log
+//     (table.EditsSince), rebuilding only the buckets whose composite key
+//     involves the edited column. Both cell and group games drive the
+//     samplers through CoalitionWalk, and pooled snapshots are
+//     generation-guarded so Session edits between evaluations re-snapshot
+//     instead of silently corrupting estimates. Golden tests pin
+//     RepairInto to Repair and both walks to the clone paths bit for bit.
 //
 // Layout:
 //

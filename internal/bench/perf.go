@@ -120,6 +120,101 @@ func perfScenarios(short bool) ([]perfScenario, error) {
 		}},
 	}
 
+	// The in-place repair protocol: one coalition evaluation against the
+	// real Algorithm 1 on the paper's table, through the legacy
+	// clone-per-repair path (ScratchRepairer hidden behind Func) and the
+	// pooled RepairInto path. The scratch row is the PR's headline number:
+	// zero steady-state bytes in the repairer.
+	ll, alg := dataLaLiga()
+	target, _, err := func() (table.Value, bool, error) {
+		exp, err := core.NewExplainer(alg, ll.DCs, ll.Dirty)
+		if err != nil {
+			return table.Null(), false, err
+		}
+		return exp.Target(ctx, ll.CellOfInterest)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	newLaligaCellGame := func(a repair.Algorithm) (*core.CellGame, error) {
+		exp, err := core.NewExplainer(a, ll.DCs, ll.Dirty)
+		if err != nil {
+			return nil, err
+		}
+		return exp.NewCellGame(ll.CellOfInterest, target, core.ReplaceWithNull), nil
+	}
+	scratchGame, err := newLaligaCellGame(alg)
+	if err != nil {
+		return nil, err
+	}
+	cloneGame, err := newLaligaCellGame(repair.Func{AlgName: alg.Name(), Fn: alg.Repair})
+	if err != nil {
+		return nil, err
+	}
+	repairCoalition := make([]bool, scratchGame.NumPlayers())
+	for i := range repairCoalition {
+		repairCoalition[i] = i%3 != 0
+	}
+	out = append(out,
+		perfScenario{"evalrepair/algorithm1-laliga/clone", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cloneGame.Value(ctx, repairCoalition); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{"evalrepair/algorithm1-laliga/scratch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := scratchGame.Value(ctx, repairCoalition); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{"cellgame-sampleall/algorithm1-laliga/clone/m=8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.SampleAll(ctx, cloneGame.CloneEval(), shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{"cellgame-sampleall/algorithm1-laliga/walk/m=8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.SampleAll(ctx, scratchGame, shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+
+	// The group game: batch-mask clone path vs the new prefix walk.
+	groupExp, err := core.NewExplainer(alg, ll.DCs, ll.Dirty)
+	if err != nil {
+		return nil, err
+	}
+	groupGame := groupExp.NewGroupGame(ll.CellOfInterest, target, core.ReplaceWithNull, groupExp.RowGroups(ll.CellOfInterest))
+	out = append(out,
+		perfScenario{"groupgame-sampleall/algorithm1-laliga/clone/m=8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.SampleAll(ctx, groupGame.CloneEval(), shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{"groupgame-sampleall/algorithm1-laliga/walk/m=8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.SampleAll(ctx, groupGame, shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+
 	// Violation scans: indexed vs cached buckets on a generated table.
 	soccer := data.GenerateSoccer(data.SoccerConfig{Leagues: 4, TeamsPerLeague: 32, Seed: 11})
 	fd := dc.MustParse("C1: !(t1.League = t2.League & t1.Country != t2.Country)")
@@ -137,6 +232,63 @@ func perfScenarios(short bool) ([]perfScenario, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := fd.ViolationsCached(soccer, ix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+
+	// Per-bucket delta maintenance: a single-cell edit before every scan.
+	// The rebuild row pays a full bucket build per scan; the delta row
+	// catches up from the table's edit log, touching only the two buckets
+	// the edited row moves between.
+	editTable := data.GenerateSoccer(data.SoccerConfig{Leagues: 4, TeamsPerLeague: 32, Seed: 12})
+	countryCol := editTable.Schema().MustIndex("Country")
+	editValues := [2]table.Value{table.String("Spain"), table.String("Italy")}
+	out = append(out,
+		perfScenario{"violations/edit/rebuild", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				editTable.Set(1, countryCol, editValues[i%2])
+				if _, err := fd.ViolationsIndexed(editTable); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{"violations/edit/delta", func(b *testing.B) {
+			ix := dc.NewScanIndex()
+			if _, err := fd.ViolationsCached(editTable, ix); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				editTable.Set(1, countryCol, editValues[i%2])
+				if _, err := fd.ViolationsCached(editTable, ix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// Point queries after an edit: the session workload (edit one cell,
+		// re-check one row). A fresh index pays a full O(rows) bucket build
+		// per query; the pooled index replays one edit.
+		perfScenario{"rowcheck/edit/rebuild", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				editTable.Set(1, countryCol, editValues[i%2])
+				if _, err := fd.ViolatesRowCached(editTable, 1, dc.NewScanIndex()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{"rowcheck/edit/delta", func(b *testing.B) {
+			ix := dc.NewScanIndex()
+			if _, err := fd.ViolatesRowCached(editTable, 1, ix); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				editTable.Set(1, countryCol, editValues[i%2])
+				if _, err := fd.ViolatesRowCached(editTable, 1, ix); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dc"
 	"repro/internal/repair"
@@ -152,6 +153,14 @@ type CellGame struct {
 	// restores only the touched cells — zero steady-state allocation instead
 	// of one full Clone + O(cells) masking pass per evaluation.
 	scratch sync.Pool
+	// snapGen is the dirty-table generation the snapshots (origs, stats,
+	// pooled scratch clones) reflect. Session edits between evaluations bump
+	// the live table's generation; sync re-snapshots lazily so a stale undo
+	// value is never restored into a scratch (the silent-corruption bug this
+	// field exists to prevent). Read atomically on the eval hot path.
+	snapGen uint64
+	// syncMu serializes re-snapshotting.
+	syncMu sync.Mutex
 }
 
 // cellScratch is one pooled working table plus its undo list.
@@ -160,13 +169,52 @@ type cellScratch struct {
 	// touched lists the player indices currently masked, so restoration is
 	// O(|touched|) rather than O(cells).
 	touched []int
+	// gen is the dirty-table generation the clone was taken at; a pooled
+	// scratch from before a session edit no longer matches origs and is
+	// discarded instead of reused.
+	gen uint64
+}
+
+// sync re-snapshots origs and stats when the live dirty table was edited
+// since the last snapshot (core.Session.SetCell between evaluations).
+// Pooled scratch clones from older generations are discarded lazily by
+// getScratch. Evaluations running concurrently with an edit are not
+// supported (the table itself is not concurrency-safe); sync makes the
+// sequential edit→re-evaluate loop of §3/§4 correct without rebuilding the
+// game. Note the game's target is a caller-supplied constant: if the edit
+// changes what the full repair assigns to the cell of interest, the caller
+// must derive a new target (and usually a new game) — sync keeps v(S)
+// well-defined, not the question unchanged.
+func (g *CellGame) sync() {
+	cur := g.exp.Dirty.Generation()
+	if atomic.LoadUint64(&g.snapGen) == cur {
+		return
+	}
+	g.syncMu.Lock()
+	defer g.syncMu.Unlock()
+	if g.snapGen == cur {
+		return
+	}
+	for k, ref := range g.players {
+		g.origs[k] = g.exp.Dirty.GetRef(ref)
+	}
+	g.stats = table.NewStats(g.exp.Dirty)
+	atomic.StoreUint64(&g.snapGen, cur)
 }
 
 func (g *CellGame) getScratch() *cellScratch {
-	if sc, ok := g.scratch.Get().(*cellScratch); ok {
-		return sc
+	gen := atomic.LoadUint64(&g.snapGen)
+	for {
+		sc, ok := g.scratch.Get().(*cellScratch)
+		if !ok {
+			break
+		}
+		if sc.gen == gen {
+			return sc
+		}
+		// Stale clone from before a session edit: drop it.
 	}
-	return &cellScratch{tbl: g.exp.Dirty.Clone()}
+	return &cellScratch{tbl: g.exp.Dirty.Clone(), gen: gen}
 }
 
 func (g *CellGame) putScratch(sc *cellScratch) { g.scratch.Put(sc) }
@@ -180,6 +228,9 @@ func (e *Explainer) NewCellGame(cell table.CellRef, target table.Value, policy R
 		target: target,
 		policy: policy,
 		stats:  table.NewStats(e.Dirty),
+		// Stamp before RestrictPlayers so the just-built stats snapshot is
+		// not rebuilt a second time during construction.
+		snapGen: e.Dirty.Generation(),
 	}
 	g.RestrictPlayers(e.Dirty.Cells())
 	return g
@@ -193,6 +244,15 @@ func (e *Explainer) NewCellGame(cell table.CellRef, target table.Value, policy R
 // exact enumeration feasible on small instances. The pinned cell of
 // interest is filtered out if present.
 func (g *CellGame) RestrictPlayers(cells []table.CellRef) {
+	g.syncMu.Lock()
+	defer g.syncMu.Unlock()
+	cur := g.exp.Dirty.Generation()
+	if g.snapGen != cur {
+		// The stats snapshot is part of the generation-stamped state: an
+		// edit between construction and restriction must refresh it too, or
+		// ReplaceFromColumn would keep sampling the pre-edit distribution.
+		g.stats = table.NewStats(g.exp.Dirty)
+	}
 	g.players = g.players[:0]
 	g.origs = g.origs[:0]
 	for _, ref := range cells {
@@ -201,6 +261,7 @@ func (g *CellGame) RestrictPlayers(cells []table.CellRef) {
 			g.origs = append(g.origs, g.exp.Dirty.GetRef(ref))
 		}
 	}
+	atomic.StoreUint64(&g.snapGen, cur)
 }
 
 // Players returns the cells acting as players, in player order.
@@ -250,6 +311,7 @@ func (g *CellGame) replacement(k int, rng *rand.Rand) (table.Value, error) {
 // absent cells in place, run the black box, restore only the touched cells.
 // Steady state it allocates nothing (see TestCellGameEvalAllocs).
 func (g *CellGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	g.sync()
 	sc := g.getScratch()
 	sc.touched = sc.touched[:0]
 	for k, in := range coalition {
@@ -284,6 +346,7 @@ func (g *CellGame) restore(sc *cellScratch) {
 // cross-validation: the golden equivalence tests prove the scratch and walk
 // paths reproduce its estimates bit-for-bit. Reach it through CloneEval.
 func (g *CellGame) evalClone(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	g.sync()
 	masked := g.exp.Dirty.Clone()
 	for k, in := range coalition {
 		if in {
@@ -328,6 +391,7 @@ func (c cloneEvalGame) Value(ctx context.Context, coalition []bool) (float64, er
 // prefix walks grow the coalition one player at a time, and under the null
 // policy each step is a single SetRef on the walk's scratch table.
 func (g *CellGame) NewWalk() shapley.CoalitionWalk {
+	g.sync()
 	return &cellWalk{g: g, sc: g.getScratch(), in: make([]bool, len(g.players))}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/repair"
 	"repro/internal/shapley"
@@ -70,6 +71,12 @@ type GroupGame struct {
 	// scratch pools reusable clones of the dirty table, as in CellGame:
 	// mask in place, repair, restore the touched cells.
 	scratch sync.Pool
+	// snapGen guards the pooled clones and stats against session edits of
+	// the live dirty table, exactly as in CellGame: a scratch cloned before
+	// an edit is discarded rather than reused with stale contents.
+	snapGen uint64
+	// syncMu serializes re-snapshotting.
+	syncMu sync.Mutex
 }
 
 // groupScratch is one pooled working table plus the undo list of masked
@@ -78,13 +85,40 @@ type groupScratch struct {
 	tbl     *table.Table
 	touched []table.CellRef
 	origs   []table.Value
+	// gen is the dirty-table generation the clone was taken at.
+	gen uint64
+}
+
+// sync refreshes the stats snapshot after a session edit; stale pooled
+// clones are discarded lazily by getScratch. See CellGame.sync for the
+// contract.
+func (g *GroupGame) sync() {
+	cur := g.exp.Dirty.Generation()
+	if atomic.LoadUint64(&g.snapGen) == cur {
+		return
+	}
+	g.syncMu.Lock()
+	defer g.syncMu.Unlock()
+	if g.snapGen == cur {
+		return
+	}
+	g.stats = table.NewStats(g.exp.Dirty)
+	atomic.StoreUint64(&g.snapGen, cur)
 }
 
 func (g *GroupGame) getScratch() *groupScratch {
-	if sc, ok := g.scratch.Get().(*groupScratch); ok {
-		return sc
+	gen := atomic.LoadUint64(&g.snapGen)
+	for {
+		sc, ok := g.scratch.Get().(*groupScratch)
+		if !ok {
+			break
+		}
+		if sc.gen == gen {
+			return sc
+		}
+		// Stale clone from before a session edit: drop it.
 	}
-	return &groupScratch{tbl: g.exp.Dirty.Clone()}
+	return &groupScratch{tbl: g.exp.Dirty.Clone(), gen: gen}
 }
 
 // NewGroupGame builds the group game; target must come from Target.
@@ -100,14 +134,18 @@ func (e *Explainer) NewGroupGame(cell table.CellRef, target table.Value, policy 
 		cleaned[k] = cg
 	}
 	return &GroupGame{
-		exp:    e,
-		cell:   cell,
-		target: target,
-		policy: policy,
-		stats:  table.NewStats(e.Dirty),
-		groups: cleaned,
+		exp:     e,
+		cell:    cell,
+		target:  target,
+		policy:  policy,
+		stats:   table.NewStats(e.Dirty),
+		groups:  cleaned,
+		snapGen: e.Dirty.Generation(),
 	}
 }
+
+// Groups returns the game's (cleaned) groups, in player order.
+func (g *GroupGame) Groups() []CellGroup { return g.groups }
 
 // NumPlayers implements shapley.Game and shapley.StochasticGame.
 func (g *GroupGame) NumPlayers() int { return len(g.groups) }
@@ -126,6 +164,7 @@ func (g *GroupGame) SampleValue(ctx context.Context, coalition []bool, rng *rand
 }
 
 func (g *GroupGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	g.sync()
 	sc := g.getScratch()
 	v, err := g.evalOn(ctx, sc, coalition, rng)
 	// Restore in reverse: groups may overlap (the public API imposes no
@@ -140,27 +179,35 @@ func (g *GroupGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) 
 	return v, err
 }
 
+// replacement computes the out-of-coalition value for a cell of column col
+// per the policy.
+func (g *GroupGame) replacement(col int, rng *rand.Rand) (table.Value, error) {
+	switch g.policy {
+	case ReplaceWithNull:
+		return table.Null(), nil
+	case ReplaceFromColumn:
+		if rng == nil {
+			return table.Null(), fmt.Errorf("core: ReplaceFromColumn needs an RNG")
+		}
+		v, ok := g.stats.Column(col).Sample(rng)
+		if !ok {
+			v = table.Null()
+		}
+		return v, nil
+	default:
+		return table.Null(), fmt.Errorf("core: unknown replacement policy %d", g.policy)
+	}
+}
+
 func (g *GroupGame) evalOn(ctx context.Context, sc *groupScratch, coalition []bool, rng *rand.Rand) (float64, error) {
 	for k, in := range coalition {
 		if in {
 			continue
 		}
 		for _, ref := range g.groups[k].Cells {
-			var repl table.Value
-			switch g.policy {
-			case ReplaceWithNull:
-				// repl stays null.
-			case ReplaceFromColumn:
-				if rng == nil {
-					return 0, fmt.Errorf("core: ReplaceFromColumn needs an RNG")
-				}
-				v, ok := g.stats.Column(ref.Col).Sample(rng)
-				if !ok {
-					v = table.Null()
-				}
-				repl = v
-			default:
-				return 0, fmt.Errorf("core: unknown replacement policy %d", g.policy)
+			repl, err := g.replacement(ref.Col, rng)
+			if err != nil {
+				return 0, err
 			}
 			sc.touched = append(sc.touched, ref)
 			sc.origs = append(sc.origs, sc.tbl.GetRef(ref))
@@ -170,11 +217,187 @@ func (g *GroupGame) evalOn(ctx context.Context, sc *groupScratch, coalition []bo
 	return repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target)
 }
 
+// evalClone is the clone-per-evaluation reference path, mirroring
+// CellGame.evalClone: the golden equivalence tests prove the pooled scratch
+// and walk paths reproduce its arithmetic bit-for-bit. Reach it through
+// CloneEval.
+func (g *GroupGame) evalClone(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	g.sync()
+	masked := g.exp.Dirty.Clone()
+	for k, in := range coalition {
+		if in {
+			continue
+		}
+		for _, ref := range g.groups[k].Cells {
+			repl, err := g.replacement(ref.Col, rng)
+			if err != nil {
+				return 0, err
+			}
+			masked.SetRef(ref, repl)
+		}
+	}
+	return repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, masked, g.cell, g.target)
+}
+
+// CloneEval returns a view of the game that evaluates through the
+// clone-per-evaluation path and hides the IncrementalGame interface, so
+// samplers take their generic path. It exists for cross-validation (golden
+// equivalence tests) and A/B benchmarks against the walk fast path.
+func (g *GroupGame) CloneEval() shapley.StochasticGame { return cloneEvalGroupGame{g} }
+
+// cloneEvalGroupGame adapts GroupGame to the clone evaluation strategy. It
+// deliberately does not implement shapley.IncrementalGame.
+type cloneEvalGroupGame struct{ g *GroupGame }
+
+// NumPlayers implements shapley.StochasticGame.
+func (c cloneEvalGroupGame) NumPlayers() int { return c.g.NumPlayers() }
+
+// SampleValue implements shapley.StochasticGame.
+func (c cloneEvalGroupGame) SampleValue(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	return c.g.evalClone(ctx, coalition, rng)
+}
+
+// Value implements shapley.Game under the deterministic null policy.
+func (c cloneEvalGroupGame) Value(ctx context.Context, coalition []bool) (float64, error) {
+	if c.g.policy != ReplaceWithNull {
+		return 0, fmt.Errorf("core: deterministic Value requires ReplaceWithNull")
+	}
+	return c.g.evalClone(ctx, coalition, nil)
+}
+
+// NewWalk implements shapley.IncrementalGame: the samplers' permutation
+// prefix walks grow the coalition one group at a time, and under the null
+// policy each step costs one SetRef per cell of the included group instead
+// of a full mask rebuild. Groups may overlap (the public API imposes no
+// disjointness), so the walk reference-counts masked cells: a cell returns
+// to its dirty value only when the last absent group containing it joins
+// the coalition — exactly the final state the batch mask produces.
+func (g *GroupGame) NewWalk() shapley.CoalitionWalk {
+	g.sync()
+	return &groupWalk{
+		g:         g,
+		sc:        g.getScratch(),
+		in:        make([]bool, len(g.groups)),
+		maskCount: make([]int, g.exp.Dirty.NumCells()),
+	}
+}
+
+// groupWalk holds one borrowed scratch table for a worker's sequence of
+// permutation walks. Confined to one goroutine.
+type groupWalk struct {
+	g  *GroupGame
+	sc *groupScratch
+	// in mirrors coalition membership; needed under ReplaceFromColumn,
+	// where every absent group is redrawn per evaluation.
+	in []bool
+	// maskCount[VecIndex(cell)] counts the absent groups containing the
+	// cell; positive means masked under the null policy.
+	maskCount []int
+	// masked reports whether the scratch currently has absent cells masked
+	// (i.e. Reset has run under the null policy).
+	masked bool
+}
+
+// Reset implements shapley.CoalitionWalk: empty coalition, every group
+// masked.
+func (w *groupWalk) Reset() {
+	clear(w.maskCount)
+	for k := range w.in {
+		w.in[k] = false
+	}
+	dirty := w.g.exp.Dirty
+	for _, grp := range w.g.groups {
+		for _, ref := range grp.Cells {
+			idx := dirty.VecIndex(ref)
+			w.maskCount[idx]++
+			if w.maskCount[idx] == 1 && w.g.policy == ReplaceWithNull {
+				w.sc.tbl.SetRef(ref, table.Null())
+			}
+		}
+	}
+	w.masked = true
+}
+
+// Include implements shapley.CoalitionWalk: the per-group delta. Cells the
+// group shares with still-absent groups stay masked.
+func (w *groupWalk) Include(p int) {
+	if w.in[p] {
+		return
+	}
+	w.in[p] = true
+	dirty := w.g.exp.Dirty
+	for _, ref := range w.g.groups[p].Cells {
+		idx := dirty.VecIndex(ref)
+		w.maskCount[idx]--
+		if w.maskCount[idx] == 0 {
+			w.sc.tbl.SetRef(ref, dirty.GetRef(ref))
+		}
+	}
+}
+
+// Value implements shapley.CoalitionWalk. Under the null policy the scratch
+// already holds the coalition's exact masked state; under column sampling
+// every absent group's cells are redrawn in (group, cell) order, consuming
+// the RNG exactly as the batch path's SampleValue does (the
+// golden-equivalence contract; overlapped cells keep the last draw in both
+// paths).
+func (w *groupWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) {
+	if w.g.policy != ReplaceWithNull {
+		for k, in := range w.in {
+			if in {
+				continue
+			}
+			for _, ref := range w.g.groups[k].Cells {
+				v, err := w.g.replacement(ref.Col, rng)
+				if err != nil {
+					return 0, err
+				}
+				w.sc.tbl.SetRef(ref, v)
+			}
+		}
+	}
+	return repair.CellRepaired(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target)
+}
+
+// Close implements shapley.CoalitionWalk: restores the scratch to the dirty
+// contents and returns it to the pool.
+func (w *groupWalk) Close() {
+	if w.masked || w.g.policy != ReplaceWithNull {
+		dirty := w.g.exp.Dirty
+		for _, grp := range w.g.groups {
+			for _, ref := range grp.Cells {
+				w.sc.tbl.SetRef(ref, dirty.GetRef(ref))
+			}
+		}
+	}
+	w.g.scratch.Put(w.sc)
+	w.sc = nil
+}
+
+// MaxExactGroups bounds exact subset enumeration for group games: beyond
+// it, 2^n black-box runs are infeasible and ExplainCellGroups switches to
+// permutation sampling over the group walk.
+const MaxExactGroups = 20
+
 // ExplainCellGroups ranks cell groups (e.g. whole rows) by their Shapley
-// contribution to the repair of the cell of interest. Group counts are
-// small (rows or columns), so values are computed exactly under the null
-// policy.
+// contribution to the repair of the cell of interest. Group counts up to
+// MaxExactGroups are computed exactly under the null policy; larger group
+// sets (row groupings of real tables) fall back to permutation sampling
+// through the GroupGame prefix walk with default options, so row-level
+// explanations work at any table size. Use ExplainCellGroupsAuto to
+// control the sampling options of the fallback.
 func (e *Explainer) ExplainCellGroups(ctx context.Context, cell table.CellRef, groups []CellGroup) (*Report, error) {
+	return e.ExplainCellGroupsAuto(ctx, cell, groups, CellExplainOptions{})
+}
+
+// ExplainCellGroupsAuto is ExplainCellGroups with explicit options for the
+// sampled fallback: exact enumeration up to MaxExactGroups, permutation
+// sampling (honouring opts) beyond it. It is the single place the
+// exact-vs-sampled decision lives.
+func (e *Explainer) ExplainCellGroupsAuto(ctx context.Context, cell table.CellRef, groups []CellGroup, opts CellExplainOptions) (*Report, error) {
+	if len(groups) > MaxExactGroups {
+		return e.ExplainCellGroupsSampled(ctx, cell, groups, opts)
+	}
 	target, repaired, err := e.Target(ctx, cell)
 	if err != nil {
 		return nil, err
@@ -183,9 +406,6 @@ func (e *Explainer) ExplainCellGroups(ctx context.Context, cell table.CellRef, g
 		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
 	}
 	game := e.NewGroupGame(cell, target, ReplaceWithNull, groups)
-	if game.NumPlayers() > 20 {
-		return nil, fmt.Errorf("core: %d groups is too many for exact enumeration; sample instead", game.NumPlayers())
-	}
 	values, err := shapley.ExactSubsets(ctx, shapley.NewCached(game))
 	if err != nil {
 		return nil, fmt.Errorf("core: group Shapley: %w", err)
@@ -198,6 +418,45 @@ func (e *Explainer) ExplainCellGroups(ctx context.Context, cell table.CellRef, g
 	}
 	for k, v := range values {
 		report.Entries = append(report.Entries, Entry{Name: game.groups[k].Name, Shapley: v})
+	}
+	sortEntries(report.Entries)
+	return report, nil
+}
+
+// ExplainCellGroupsSampled estimates group Shapley values by permutation
+// sampling (SampleAll over the GroupGame walk) — the group analogue of
+// ExplainCells, for group counts where exact enumeration is infeasible.
+func (e *Explainer) ExplainCellGroupsSampled(ctx context.Context, cell table.CellRef, groups []CellGroup, opts CellExplainOptions) (*Report, error) {
+	opts = opts.withDefaults()
+	target, repaired, err := e.Target(ctx, cell)
+	if err != nil {
+		return nil, err
+	}
+	if !repaired {
+		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
+	}
+	game := e.NewGroupGame(cell, target, opts.Policy, groups)
+	ests, err := shapley.SampleAll(ctx, game, shapley.Options{
+		Samples: opts.Samples,
+		Workers: opts.Workers,
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: group Shapley: %w", err)
+	}
+	report := &Report{
+		Kind:      "cell-groups",
+		Cell:      e.Dirty.RefName(cell),
+		Target:    target.String(),
+		Algorithm: e.Alg.Name(),
+	}
+	for k, est := range ests {
+		report.Entries = append(report.Entries, Entry{
+			Name:    game.groups[k].Name,
+			Shapley: est.Mean,
+			CI95:    est.CI95(),
+			Samples: est.N,
+		})
 	}
 	sortEntries(report.Entries)
 	return report, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -103,12 +104,23 @@ func TestExplainCellGroupsValidation(t *testing.T) {
 	if _, err := e.ExplainCellGroups(context.Background(), table.CellRef{Row: 0, Col: 0}, e.RowGroups(table.CellRef{Row: 0, Col: 0})); err == nil {
 		t.Error("unrepaired cell must error")
 	}
+	// Above the exact-enumeration bound the explainer no longer dead-ends:
+	// it falls back to permutation sampling over the group walk.
 	many := make([]CellGroup, 25)
 	for i := range many {
-		many[i] = CellGroup{Name: "g"}
+		many[i] = CellGroup{Name: fmt.Sprintf("g%d", i)}
 	}
-	if _, err := e.ExplainCellGroups(context.Background(), ll.CellOfInterest, many); err == nil {
-		t.Error("too many groups must error")
+	report, err := e.ExplainCellGroups(context.Background(), ll.CellOfInterest, many)
+	if err != nil {
+		t.Fatalf("sampled fallback failed: %v", err)
+	}
+	if len(report.Entries) != 25 {
+		t.Fatalf("got %d entries, want 25", len(report.Entries))
+	}
+	for _, entry := range report.Entries {
+		if entry.Samples == 0 {
+			t.Fatalf("entry %q has no sample count; expected the sampled path", entry.Name)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package dc
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -126,60 +127,170 @@ func (c *Constraint) joinCols(t *table.Table) []int {
 	return cols
 }
 
-// compositeKey builds the hash-join key of row i over cols: every join
-// column's canonical Value.Key joined with a separator. ok is false when
-// any join column is null — such rows can never satisfy the equality
-// predicates, so they are excluded from bucketing entirely.
-func compositeKey(t *table.Table, row int, cols []int) (string, bool) {
-	if len(cols) == 1 {
-		v := t.Get(row, cols[0])
-		if v.IsNull() {
-			return "", false
-		}
-		return v.Key(), true
-	}
-	var b strings.Builder
+// appendCompositeKey appends the hash-join key of row i over cols to buf:
+// every join column's equality-canonical key (Value.AppendJoinKey, which
+// unifies numeric kinds exactly as the = predicate does) joined with a
+// separator. ok is false when any join column is null — such rows can
+// never satisfy the equality predicates, so they are excluded from
+// bucketing entirely. The byte form lets callers probe bucket maps via the
+// compiler's alloc-free map[string(bytes)] access.
+func appendCompositeKey(buf []byte, t *table.Table, row int, cols []int) ([]byte, bool) {
 	for n, col := range cols {
 		v := t.Get(row, col)
 		if v.IsNull() {
-			return "", false
+			return buf, false
 		}
 		if n > 0 {
-			b.WriteByte(0x1f)
+			buf = append(buf, 0x1f)
 		}
-		b.WriteString(v.Key())
+		buf = v.AppendJoinKey(buf)
 	}
-	return b.String(), true
+	return buf, true
 }
 
-// buildBuckets partitions rows by their composite join key over cols.
-func buildBuckets(t *table.Table, cols []int) map[string][]int {
-	buckets := make(map[string][]int)
-	for i := 0; i < t.NumRows(); i++ {
-		if key, ok := compositeKey(t, i, cols); ok {
-			buckets[key] = append(buckets[key], i)
-		}
-	}
-	return buckets
+// bucketSet is the hash partition of one table over one join-column
+// signature, maintained incrementally. Bucket slots are interned for the
+// set's lifetime (an emptied bucket keeps its slot and storage), members
+// lists are kept in ascending row order, and rowBucket inverts the
+// partition so per-row probes and delta removals need no key computation.
+type bucketSet struct {
+	cols []int
+	// idx maps composite key -> bucket slot; append-only until a rebuild.
+	idx map[string]int
+	// members[slot] lists the rows of that bucket, ascending. Only
+	// members[:nSlots] are live; retired slots keep their storage for the
+	// next rebuild.
+	members [][]int
+	nSlots  int
+	// rowBucket[row] is the row's bucket slot, -1 when a null join column
+	// excludes the row from the partition.
+	rowBucket []int
+	// stale marks the set for lazy rebuild after wholesale invalidation.
+	stale bool
 }
 
-// ScanIndex caches the hash buckets that indexed violation scans build,
+// slotFor interns key, reusing a retired members slice when one is free.
+// key must be the current contents of the caller's key buffer.
+func (bs *bucketSet) slotFor(key []byte) int {
+	if slot, ok := bs.idx[string(key)]; ok {
+		return slot
+	}
+	slot := bs.nSlots
+	bs.nSlots++
+	if slot < len(bs.members) {
+		bs.members[slot] = bs.members[slot][:0]
+	} else {
+		bs.members = append(bs.members, nil)
+	}
+	bs.idx[string(key)] = slot
+	return slot
+}
+
+// rebuild repartitions the whole table, reusing interned storage.
+func (bs *bucketSet) rebuild(t *table.Table, keyBuf *[]byte) {
+	clear(bs.idx)
+	bs.nSlots = 0
+	n := t.NumRows()
+	if cap(bs.rowBucket) >= n {
+		bs.rowBucket = bs.rowBucket[:n]
+	} else {
+		bs.rowBucket = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		key, ok := appendCompositeKey((*keyBuf)[:0], t, i, bs.cols)
+		*keyBuf = key
+		if !ok {
+			bs.rowBucket[i] = -1
+			continue
+		}
+		slot := bs.slotFor(key)
+		bs.members[slot] = append(bs.members[slot], i)
+		bs.rowBucket[i] = slot
+	}
+	bs.stale = false
+}
+
+// apply catches the partition up with a batch of single-cell edits: only
+// rows whose edited column participates in this signature move, and each
+// move touches exactly the source and destination buckets — the per-bucket
+// delta maintenance that keeps one-cell-per-step workloads (session edits,
+// coalition walks, repair fixpoints) off the full rebuild path.
+func (bs *bucketSet) apply(t *table.Table, edits []table.CellEdit, keyBuf *[]byte) {
+	for _, e := range edits {
+		touched := false
+		for _, c := range bs.cols {
+			if c == e.Col {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		bs.moveRow(t, e.Row, keyBuf)
+	}
+}
+
+// moveRow re-buckets one row against the table's current contents.
+func (bs *bucketSet) moveRow(t *table.Table, row int, keyBuf *[]byte) {
+	if old := bs.rowBucket[row]; old >= 0 {
+		bs.members[old] = removeSortedRow(bs.members[old], row)
+	}
+	key, ok := appendCompositeKey((*keyBuf)[:0], t, row, bs.cols)
+	*keyBuf = key
+	if !ok {
+		bs.rowBucket[row] = -1
+		return
+	}
+	slot := bs.slotFor(key)
+	bs.members[slot] = insertSortedRow(bs.members[slot], row)
+	bs.rowBucket[row] = slot
+}
+
+// removeSortedRow deletes row from the ascending slice in place.
+func removeSortedRow(s []int, row int) []int {
+	i := sort.SearchInts(s, row)
+	if i < len(s) && s[i] == row {
+		return slices.Delete(s, i, i+1)
+	}
+	return s
+}
+
+// insertSortedRow inserts row into the ascending slice, keeping order.
+func insertSortedRow(s []int, row int) []int {
+	i := sort.SearchInts(s, row)
+	if i < len(s) && s[i] == row {
+		return s
+	}
+	return slices.Insert(s, i, row)
+}
+
+// ScanIndex caches the hash partitions that indexed violation scans build,
 // keyed on the table's (pointer, generation) snapshot and the join-column
 // signature. Repeated scans of an unchanged table — every constraint of a
 // set, every rule of a repair pass, the final fixpoint verification —
-// reuse the buckets instead of recomputing them from zero. Any table
-// mutation bumps the generation and invalidates the cache wholesale.
+// reuse the buckets instead of recomputing them from zero. When the bound
+// table's generation moves, the index first tries to catch up from the
+// table's edit log (table.EditsSince): a single-cell edit then rebuilds
+// only the buckets whose composite key involves the edited column, and only
+// the two buckets the row moves between. Wholesale invalidation (a
+// different table, a schema switch, structural edits, or a log overrun)
+// falls back to lazy full rebuilds.
 //
 // A ScanIndex is confined to one goroutine (typically one repair run); the
 // zero value is NOT ready to use — construct with NewScanIndex.
 type ScanIndex struct {
-	tbl     *table.Table
-	gen     uint64
-	perCols map[string]map[string][]int // column signature -> join key -> rows
+	tbl    *table.Table
+	schema *table.Schema
+	gen    uint64
+	// perCols maps column signature -> incrementally-maintained partition.
+	perCols map[string]*bucketSet
 	// colsOf memoizes each constraint's resolved join columns and their
 	// signature: they depend only on the constraint and the schema, and
 	// the per-row hot loops below would otherwise re-derive them per call.
-	colsOf map[*Constraint]colsEntry
+	colsOf  map[*Constraint]colsEntry
+	editBuf []table.CellEdit
+	keyBuf  []byte
 }
 
 type colsEntry struct {
@@ -190,14 +301,15 @@ type colsEntry struct {
 // NewScanIndex returns an empty scan cache.
 func NewScanIndex() *ScanIndex {
 	return &ScanIndex{
-		perCols: make(map[string]map[string][]int),
+		perCols: make(map[string]*bucketSet),
 		colsOf:  make(map[*Constraint]colsEntry),
 	}
 }
 
 // joinColsFor resolves (memoized) c's join columns and signature over t's
 // schema. Safe across generations of one table — schemas are immutable —
-// but invalidated when the index moves to a different table.
+// but invalidated when the index moves to a different table or the bound
+// table's schema is swapped by a shape-changing CopyFrom.
 func (ix *ScanIndex) joinColsFor(c *Constraint, t *table.Table) ([]int, string) {
 	ix.sync(t)
 	if e, ok := ix.colsOf[c]; ok {
@@ -209,31 +321,52 @@ func (ix *ScanIndex) joinColsFor(c *Constraint, t *table.Table) ([]int, string) 
 	return e.cols, e.sig
 }
 
-// sync points the index at t, dropping whatever a table or generation
-// switch invalidates.
+// sync points the index at t, catching up from the table's edit log when
+// possible and invalidating wholesale otherwise.
 func (ix *ScanIndex) sync(t *table.Table) {
-	if ix.tbl == t && ix.gen == t.Generation() {
-		return
-	}
-	if ix.tbl != t {
-		// New table, possibly new schema: column resolutions are stale too.
+	if ix.tbl == t && ix.schema == t.Schema() {
+		if ix.gen == t.Generation() {
+			return
+		}
+		ix.editBuf = ix.editBuf[:0]
+		if edits, ok := t.EditsSince(ix.gen, ix.editBuf); ok {
+			ix.editBuf = edits
+			for _, bs := range ix.perCols {
+				if !bs.stale {
+					bs.apply(t, edits, &ix.keyBuf)
+				}
+			}
+			ix.gen = t.Generation()
+			return
+		}
+	} else {
+		// New table or swapped schema: column resolutions are stale too.
 		clear(ix.colsOf)
 	}
 	ix.tbl = t
+	ix.schema = t.Schema()
 	ix.gen = t.Generation()
-	clear(ix.perCols)
+	for _, bs := range ix.perCols {
+		bs.stale = true
+	}
 }
 
-// buckets returns (building and caching as needed) the bucket partition of
-// t over cols.
-func (ix *ScanIndex) buckets(t *table.Table, cols []int, sig string) map[string][]int {
-	ix.sync(t)
-	if b, ok := ix.perCols[sig]; ok {
-		return b
+// bucketSetFor returns the synced partition for c over t, or nil when the
+// constraint has no equality join key.
+func (ix *ScanIndex) bucketSetFor(c *Constraint, t *table.Table) *bucketSet {
+	cols, sig := ix.joinColsFor(c, t)
+	if len(cols) == 0 {
+		return nil
 	}
-	b := buildBuckets(t, cols)
-	ix.perCols[sig] = b
-	return b
+	bs, ok := ix.perCols[sig]
+	if !ok {
+		bs = &bucketSet{cols: cols, idx: make(map[string]int), stale: true}
+		ix.perCols[sig] = bs
+	}
+	if bs.stale {
+		bs.rebuild(t, &ix.keyBuf)
+	}
+	return bs
 }
 
 // colsSignature encodes a column-index list as a map key.
@@ -262,31 +395,26 @@ func (c *Constraint) ViolationsIndexed(t *table.Table) ([]Violation, error) {
 
 // ViolationsCached is ViolationsIndexed with an optional ScanIndex: when ix
 // is non-nil the hash buckets are reused across scans of the same table
-// generation instead of rebuilt per call.
+// generation instead of rebuilt per call. It is AppendViolations into a
+// fresh slice.
 func (c *Constraint) ViolationsCached(t *table.Table, ix *ScanIndex) ([]Violation, error) {
-	if c.SingleTuple() {
-		return c.Violations(t)
+	return c.AppendViolations(t, ix, nil)
+}
+
+// AppendViolations appends every violation of the constraint to out and
+// returns the extended slice, so hot loops (repair passes re-scanning after
+// each fix) can reuse one buffer across calls. Output order and contents
+// match Violations exactly.
+func (c *Constraint) AppendViolations(t *table.Table, ix *ScanIndex, out []Violation) ([]Violation, error) {
+	if c.SingleTuple() || ix == nil {
+		return c.appendViolationsScan(t, out)
 	}
-	var (
-		cols    []int
-		buckets map[string][]int
-	)
-	if ix != nil {
-		var sig string
-		cols, sig = ix.joinColsFor(c, t)
-		if len(cols) == 0 {
-			return c.Violations(t)
-		}
-		buckets = ix.buckets(t, cols, sig)
-	} else {
-		cols = c.joinCols(t)
-		if len(cols) == 0 {
-			return c.Violations(t)
-		}
-		buckets = buildBuckets(t, cols)
+	bs := ix.bucketSetFor(c, t)
+	if bs == nil {
+		return c.appendViolationsScan(t, out)
 	}
-	var out []Violation
-	for _, rows := range buckets {
+	base := len(out)
+	for _, rows := range bs.members[:bs.nSlots] {
 		for _, i := range rows {
 			for _, j := range rows {
 				if i == j {
@@ -294,7 +422,7 @@ func (c *Constraint) ViolationsCached(t *table.Table, ix *ScanIndex) ([]Violatio
 				}
 				sat, err := c.SatisfiedPair(t, i, j)
 				if err != nil {
-					return nil, err
+					return out, err
 				}
 				if sat {
 					out = append(out, Violation{Constraint: c, Row1: i, Row2: j})
@@ -302,11 +430,79 @@ func (c *Constraint) ViolationsCached(t *table.Table, ix *ScanIndex) ([]Violatio
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Row1 != out[b].Row1 {
-			return out[a].Row1 < out[b].Row1
+	added := out[base:]
+	slices.SortFunc(added, func(a, b Violation) int {
+		if a.Row1 != b.Row1 {
+			return a.Row1 - b.Row1
 		}
-		return out[a].Row2 < out[b].Row2
+		return a.Row2 - b.Row2
+	})
+	return out, nil
+}
+
+// appendViolationsScan is the unindexed append form of Violations: the
+// single-tuple scan, or the naive pair scan when no join key exists. It
+// also handles constraints with join keys when no index is supplied, by
+// bucketing on the fly.
+func (c *Constraint) appendViolationsScan(t *table.Table, out []Violation) ([]Violation, error) {
+	if c.SingleTuple() {
+		for i := 0; i < t.NumRows(); i++ {
+			sat, err := c.SatisfiedPair(t, i, i)
+			if err != nil {
+				return out, err
+			}
+			if sat {
+				out = append(out, Violation{Constraint: c, Row1: i, Row2: i})
+			}
+		}
+		return out, nil
+	}
+	cols := c.joinCols(t)
+	if len(cols) == 0 {
+		for i := 0; i < t.NumRows(); i++ {
+			for j := 0; j < t.NumRows(); j++ {
+				if i == j {
+					continue
+				}
+				sat, err := c.SatisfiedPair(t, i, j)
+				if err != nil {
+					return out, err
+				}
+				if sat {
+					out = append(out, Violation{Constraint: c, Row1: i, Row2: j})
+				}
+			}
+		}
+		return out, nil
+	}
+	var bs bucketSet
+	bs.cols = cols
+	bs.idx = make(map[string]int)
+	var keyBuf []byte
+	bs.rebuild(t, &keyBuf)
+	base := len(out)
+	for _, rows := range bs.members[:bs.nSlots] {
+		for _, i := range rows {
+			for _, j := range rows {
+				if i == j {
+					continue
+				}
+				sat, err := c.SatisfiedPair(t, i, j)
+				if err != nil {
+					return out, err
+				}
+				if sat {
+					out = append(out, Violation{Constraint: c, Row1: i, Row2: j})
+				}
+			}
+		}
+	}
+	added := out[base:]
+	slices.SortFunc(added, func(a, b Violation) int {
+		if a.Row1 != b.Row1 {
+			return a.Row1 - b.Row1
+		}
+		return a.Row2 - b.Row2
 	})
 	return out, nil
 }
@@ -314,7 +510,8 @@ func (c *Constraint) ViolationsCached(t *table.Table, ix *ScanIndex) ([]Violatio
 // ViolatesRowCached is ViolatesRow restricted to the row's hash bucket when
 // the constraint has equality join attributes: only bucket partners can
 // co-satisfy the equality predicates, so the per-row check drops from
-// O(n) to O(bucket). Semantics match ViolatesRow exactly.
+// O(n) to O(bucket), and the incrementally-maintained reverse index makes
+// the bucket lookup key-free. Semantics match ViolatesRow exactly.
 func (c *Constraint) ViolatesRowCached(t *table.Table, i int, ix *ScanIndex) (bool, error) {
 	if c.SingleTuple() {
 		return c.SatisfiedPair(t, i, i)
@@ -322,17 +519,17 @@ func (c *Constraint) ViolatesRowCached(t *table.Table, i int, ix *ScanIndex) (bo
 	if ix == nil {
 		return c.ViolatesRow(t, i)
 	}
-	cols, sig := ix.joinColsFor(c, t)
-	if len(cols) == 0 {
+	bs := ix.bucketSetFor(c, t)
+	if bs == nil {
 		return c.ViolatesRow(t, i)
 	}
-	key, ok := compositeKey(t, i, cols)
-	if !ok {
+	slot := bs.rowBucket[i]
+	if slot < 0 {
 		// A null join key makes every equality predicate unknown: row i
 		// cannot participate in any pair violation of this constraint.
 		return false, nil
 	}
-	for _, j := range ix.buckets(t, cols, sig)[key] {
+	for _, j := range bs.members[slot] {
 		if j == i {
 			continue
 		}
@@ -344,6 +541,88 @@ func (c *Constraint) ViolatesRowCached(t *table.Table, i int, ix *ScanIndex) (bo
 		}
 	}
 	return false, nil
+}
+
+// ViolationPairsForRow counts the ordered violating pairs row i
+// participates in under the constraint: for pair DCs, the number of (i, j)
+// and (j, i) bindings with j ≠ i that satisfy the denied conjunction; for
+// single-tuple DCs, 1 when the row itself violates. When an index is
+// supplied and the constraint has equality join keys, only the row's hash
+// bucket is scanned — partners outside it cannot satisfy the equality
+// predicates, so the count is identical at O(bucket) cost.
+func (c *Constraint) ViolationPairsForRow(t *table.Table, i int, ix *ScanIndex) (int, error) {
+	if c.SingleTuple() {
+		sat, err := c.SatisfiedPair(t, i, i)
+		if err != nil || !sat {
+			return 0, err
+		}
+		return 1, nil
+	}
+	n := 0
+	count := func(j int) error {
+		if j == i {
+			return nil
+		}
+		sat, err := c.SatisfiedPair(t, i, j)
+		if err != nil {
+			return err
+		}
+		if sat {
+			n++
+		}
+		sat, err = c.SatisfiedPair(t, j, i)
+		if err != nil {
+			return err
+		}
+		if sat {
+			n++
+		}
+		return nil
+	}
+	if ix != nil {
+		if bs := ix.bucketSetFor(c, t); bs != nil {
+			slot := bs.rowBucket[i]
+			if slot < 0 {
+				return 0, nil
+			}
+			for _, j := range bs.members[slot] {
+				if err := count(j); err != nil {
+					return 0, err
+				}
+			}
+			return n, nil
+		}
+	}
+	for j := 0; j < t.NumRows(); j++ {
+		if err := count(j); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// ForEachJoinGroup invokes fn once per group of rows sharing c's composite
+// equality-join key (rows ascending within a group; groups in
+// bucket-interning order, which is deterministic for a deterministic edit
+// sequence). Groups excluded by a null join column are skipped. ok is
+// false, with fn never invoked, when the constraint has no equality join
+// key. The rows slice aliases index storage and must be treated as
+// read-only; fn may mutate non-join columns of t, and the index will catch
+// up on its next sync.
+func (c *Constraint) ForEachJoinGroup(t *table.Table, ix *ScanIndex, fn func(rows []int) error) (ok bool, err error) {
+	bs := ix.bucketSetFor(c, t)
+	if bs == nil {
+		return false, nil
+	}
+	for _, rows := range bs.members[:bs.nSlots] {
+		if len(rows) == 0 {
+			continue // interned slot whose bucket drained
+		}
+		if err := fn(rows); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
 }
 
 // AllViolations runs the indexed scan for every constraint in order and

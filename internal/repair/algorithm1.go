@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dc"
 	"repro/internal/table"
@@ -61,6 +62,19 @@ type RuleRepair struct {
 	Rules []Rule
 	// MaxPasses bounds fixpoint iteration; 0 means the default (10).
 	MaxPasses int
+	// runs pools the per-run scratch state (statistics, scan index,
+	// violation and row buffers) behind the ScratchRepairer contract.
+	runs sync.Pool
+}
+
+// ruleRun is the reusable per-run state of one RepairInto invocation.
+type ruleRun struct {
+	present map[string]*dc.Constraint
+	ix      *dc.ScanIndex
+	pooledStats
+	vsBuf   []dc.Violation
+	badRows []int
+	seen    []bool
 }
 
 // NewAlgorithm1 returns the paper's Algorithm 1: the four rules for the
@@ -143,24 +157,35 @@ func (a *RuleRepair) Name() string {
 // present in cs are active; that is the sole way the constraint coalition
 // influences this black box, exactly as in the paper's worked example.
 func (a *RuleRepair) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
-	work := dirty.Clone()
-	present := make(map[string]*dc.Constraint, len(cs))
+	return a.RepairInto(ctx, cs, dirty, nil)
+}
+
+// RepairInto implements ScratchRepairer: Repair writing into the
+// caller-owned work table, with every per-run buffer pooled so steady-state
+// invocations allocate nothing.
+func (a *RuleRepair) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
+	work = prepareWork(dirty, work)
+	st, ok := a.runs.Get().(*ruleRun)
+	if !ok {
+		st = &ruleRun{present: make(map[string]*dc.Constraint), ix: dc.NewScanIndex()}
+	}
+	defer a.runs.Put(st)
+	clear(st.present)
 	for _, c := range cs {
-		present[c.ID] = c
+		st.present[c.ID] = c
 	}
 	maxPasses := a.MaxPasses
 	if maxPasses <= 0 {
 		maxPasses = 10
 	}
-	// One scan cache spans the whole run: rules triggered by constraints
-	// with the same join columns share buckets, and the final no-change
-	// fixpoint pass re-reads them without rebuilding.
-	ix := dc.NewScanIndex()
+	// One scan cache spans the whole run — and, being pooled, the next run
+	// on the same work table: the work-table refresh logs per-cell deltas,
+	// so only buckets touched by the refreshed or repaired cells rebuild.
 	for pass := 0; pass < maxPasses; pass++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		changed, err := a.pass(ctx, present, work, ix)
+		changed, err := a.pass(ctx, st, work)
 		if err != nil {
 			return nil, err
 		}
@@ -171,19 +196,10 @@ func (a *RuleRepair) Repair(ctx context.Context, cs []*dc.Constraint, dirty *tab
 	return work, nil
 }
 
-func (a *RuleRepair) pass(ctx context.Context, present map[string]*dc.Constraint, work *table.Table, ix *dc.ScanIndex) (bool, error) {
+func (a *RuleRepair) pass(ctx context.Context, st *ruleRun, work *table.Table) (bool, error) {
 	changed := false
-	// Statistics reflect the *current* working table so cascaded repairs
-	// see each other's effects; they are rebuilt lazily after mutations.
-	var stats *table.Stats
-	freshStats := func() *table.Stats {
-		if stats == nil {
-			stats = table.NewStats(work)
-		}
-		return stats
-	}
 	for _, rule := range a.Rules {
-		c, ok := present[rule.ConstraintID]
+		c, ok := st.present[rule.ConstraintID]
 		if !ok || rule.Attr == "" {
 			continue
 		}
@@ -203,26 +219,32 @@ func (a *RuleRepair) pass(ctx context.Context, present map[string]*dc.Constraint
 		// since earlier fixes within the rule may have resolved it. Rows
 		// that start violating mid-rule are picked up by the next fixpoint
 		// pass.
-		vs, err := c.ViolationsCached(work, ix)
+		vs, err := c.AppendViolations(work, st.ix, st.vsBuf[:0])
+		st.vsBuf = vs
 		if err != nil {
 			return false, err
 		}
-		var badRows []int
-		seen := make(map[int]bool)
+		if cap(st.seen) >= work.NumRows() {
+			st.seen = st.seen[:work.NumRows()]
+		} else {
+			st.seen = make([]bool, work.NumRows())
+		}
+		clear(st.seen) // pooled across runs; erase unconditionally
+		st.badRows = st.badRows[:0]
 		for _, v := range vs {
 			for _, row := range []int{v.Row1, v.Row2} {
-				if !seen[row] {
-					seen[row] = true
-					badRows = append(badRows, row)
+				if !st.seen[row] {
+					st.seen[row] = true
+					st.badRows = append(st.badRows, row)
 				}
 			}
 		}
-		sort.Ints(badRows)
-		for _, row := range badRows {
+		sort.Ints(st.badRows)
+		for _, row := range st.badRows {
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
-			violates, err := c.ViolatesRowCached(work, row, ix)
+			violates, err := c.ViolatesRowCached(work, row, st.ix)
 			if err != nil {
 				return false, err
 			}
@@ -231,11 +253,14 @@ func (a *RuleRepair) pass(ctx context.Context, present map[string]*dc.Constraint
 			}
 			var fix table.Value
 			var found bool
+			// Statistics reflect the *current* working table so cascaded
+			// repairs see each other's effects; the pooled snapshot is
+			// rebuilt lazily after mutations.
 			switch rule.Kind {
 			case FixConditionalMode:
-				fix, found = freshStats().ConditionalMode(givenIdx, work.Get(row, givenIdx), attrIdx)
+				fix, found = st.fresh(work).ConditionalMode(givenIdx, work.Get(row, givenIdx), attrIdx)
 			default:
-				fix, found = freshStats().Column(attrIdx).Mode()
+				fix, found = st.fresh(work).Column(attrIdx).Mode()
 			}
 			if !found {
 				continue // empty column: nothing to repair with
@@ -243,7 +268,6 @@ func (a *RuleRepair) pass(ctx context.Context, present map[string]*dc.Constraint
 			if !work.Get(row, attrIdx).SameContent(fix) {
 				work.Set(row, attrIdx, fix)
 				changed = true
-				stats = nil
 			}
 		}
 	}

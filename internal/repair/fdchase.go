@@ -2,7 +2,7 @@ package repair
 
 import (
 	"context"
-	"sort"
+	"sync"
 
 	"repro/internal/dc"
 	"repro/internal/table"
@@ -21,6 +21,23 @@ import (
 type FDChase struct {
 	// MaxPasses bounds fixpoint iteration; 0 means the default (10).
 	MaxPasses int
+	// runs pools the per-run scratch state behind the ScratchRepairer
+	// contract.
+	runs sync.Pool
+}
+
+// chaseEntry pairs a recognized FD with the constraint it came from, so
+// the chase can reuse the constraint's hash-join partition.
+type chaseEntry struct {
+	c *dc.Constraint
+	d fd
+}
+
+// chaseRun is the reusable per-run state of one RepairInto invocation.
+type chaseRun struct {
+	ix   *dc.ScanIndex
+	fds  []chaseEntry
+	dist *table.Distribution
 }
 
 // NewFDChase returns an FDChase with default limits.
@@ -67,11 +84,26 @@ func asFD(c *dc.Constraint, schema *table.Schema) (fd, bool) {
 
 // Repair implements Algorithm.
 func (f *FDChase) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
-	work := dirty.Clone()
-	var fds []fd
+	return f.RepairInto(ctx, cs, dirty, nil)
+}
+
+// RepairInto implements ScratchRepairer: Repair writing into the
+// caller-owned work table. The left-hand-side grouping reuses the
+// constraint's incrementally-maintained hash-join partition instead of
+// rebuilding a map per chase: group order becomes bucket-interning order,
+// which does not affect the result (groups are disjoint and each chase
+// writes only its own group's right-hand sides) and is deterministic.
+func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
+	work = prepareWork(dirty, work)
+	st, ok := f.runs.Get().(*chaseRun)
+	if !ok {
+		st = &chaseRun{ix: dc.NewScanIndex(), dist: table.NewDistribution()}
+	}
+	defer f.runs.Put(st)
+	st.fds = st.fds[:0]
 	for _, c := range cs {
 		if d, ok := asFD(c, work.Schema()); ok {
-			fds = append(fds, d)
+			st.fds = append(st.fds, chaseEntry{c: c, d: d})
 		}
 	}
 	maxPasses := f.MaxPasses
@@ -83,8 +115,12 @@ func (f *FDChase) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.
 			return nil, err
 		}
 		changed := false
-		for _, d := range fds {
-			if chased := chaseFD(work, d); chased {
+		for _, e := range st.fds {
+			chased, err := chaseFD(work, e, st)
+			if err != nil {
+				return nil, err
+			}
+			if chased {
 				changed = true
 			}
 		}
@@ -97,42 +133,36 @@ func (f *FDChase) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.
 
 // chaseFD forces the majority right-hand side within every left-hand-side
 // group; returns whether anything changed.
-func chaseFD(t *table.Table, d fd) bool {
-	groups := make(map[string][]int)
-	var keys []string
-	for i := 0; i < t.NumRows(); i++ {
-		v := t.Get(i, d.lhs)
-		if v.IsNull() {
-			continue
-		}
-		k := v.Key()
-		if _, seen := groups[k]; !seen {
-			keys = append(keys, k)
-		}
-		groups[k] = append(groups[k], i)
-	}
-	sort.Strings(keys)
+func chaseFD(t *table.Table, e chaseEntry, st *chaseRun) (bool, error) {
 	changed := false
-	for _, k := range keys {
-		rows := groups[k]
+	ok, err := e.c.ForEachJoinGroup(t, st.ix, func(rows []int) error {
 		if len(rows) < 2 {
-			continue
+			return nil
 		}
-		dist := table.NewDistribution()
+		st.dist.Reset()
 		for _, i := range rows {
-			dist.Observe(t.Get(i, d.rhs))
+			st.dist.Observe(t.Get(i, e.d.rhs))
 		}
-		major, ok := dist.Mode()
+		major, ok := st.dist.Mode()
 		if !ok {
-			continue
+			return nil
 		}
 		for _, i := range rows {
-			cur := t.Get(i, d.rhs)
+			cur := t.Get(i, e.d.rhs)
 			if !cur.IsNull() && !cur.SameContent(major) {
-				t.Set(i, d.rhs, major)
+				t.Set(i, e.d.rhs, major)
 				changed = true
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return false, err
 	}
-	return changed
+	if !ok {
+		// Defensive: an FD-shaped constraint always has an equality join
+		// key, so the partition must exist.
+		return false, nil
+	}
+	return changed, nil
 }

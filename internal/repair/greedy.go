@@ -2,7 +2,8 @@ package repair
 
 import (
 	"context"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/dc"
 	"repro/internal/table"
@@ -17,6 +18,9 @@ import (
 type Greedy struct {
 	// MaxSteps bounds the number of cell reassignments; 0 means rows×cols.
 	MaxSteps int
+	// runs pools the per-run scratch state behind the ScratchRepairer
+	// contract.
+	runs sync.Pool
 }
 
 // NewGreedy returns a Greedy with default limits.
@@ -25,32 +29,51 @@ func NewGreedy() *Greedy { return &Greedy{} }
 // Name implements Algorithm.
 func (g *Greedy) Name() string { return "greedy-holistic" }
 
+// greedyRun is the reusable per-run state of one RepairInto invocation.
+type greedyRun struct {
+	ix *dc.ScanIndex
+	pooledStats
+	vsBuf  []dc.Violation
+	counts map[table.CellRef]int
+	refs   []table.CellRef
+}
+
 // Repair implements Algorithm.
 func (g *Greedy) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
-	work := dirty.Clone()
+	return g.RepairInto(ctx, cs, dirty, nil)
+}
+
+// RepairInto implements ScratchRepairer: Repair writing into the
+// caller-owned work table with pooled per-run buffers.
+func (g *Greedy) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
+	work = prepareWork(dirty, work)
+	st, ok := g.runs.Get().(*greedyRun)
+	if !ok {
+		st = &greedyRun{ix: dc.NewScanIndex(), counts: make(map[table.CellRef]int)}
+	}
+	defer g.runs.Put(st)
 	maxSteps := g.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = work.NumCells()
 	}
-	ix := dc.NewScanIndex()
 	for step := 0; step < maxSteps; step++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		hot, err := g.hotCells(cs, work, ix)
+		hot, err := g.hotCells(cs, work, st)
 		if err != nil {
 			return nil, err
 		}
 		if len(hot) == 0 {
 			break // consistent
 		}
-		stats := table.NewStats(work)
+		stats := st.fresh(work)
 		progressed := false
 		// Try cells from most to least loaded; commit the first strict
 		// improvement. Join-key cells often cannot improve (no alternative
 		// value exists), so falling through to cooler cells is essential.
 		for _, cell := range hot {
-			best, improved, err := g.bestCandidate(ctx, cs, work, stats, cell)
+			best, improved, err := g.bestCandidate(ctx, cs, work, stats, cell, st.ix)
 			if err != nil {
 				return nil, err
 			}
@@ -70,11 +93,15 @@ func (g *Greedy) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.T
 }
 
 // hotCells returns every cell participating in at least one violation,
-// ordered by descending violation count, ties by vectorization order.
-func (g *Greedy) hotCells(cs []*dc.Constraint, t *table.Table, ix *dc.ScanIndex) ([]table.CellRef, error) {
-	counts := make(map[table.CellRef]int)
+// ordered by descending violation count, ties by vectorization order. The
+// returned slice aliases the run's pooled buffer.
+func (g *Greedy) hotCells(cs []*dc.Constraint, t *table.Table, st *greedyRun) ([]table.CellRef, error) {
+	clear(st.counts)
+	st.refs = st.refs[:0]
+	counts := st.counts
 	for _, c := range cs {
-		vs, err := c.ViolationsCached(t, ix)
+		vs, err := c.AppendViolations(t, st.ix, st.vsBuf[:0])
+		st.vsBuf = vs
 		if err != nil {
 			return nil, err
 		}
@@ -82,22 +109,27 @@ func (g *Greedy) hotCells(cs []*dc.Constraint, t *table.Table, ix *dc.ScanIndex)
 		for _, v := range vs {
 			for _, attr := range attrs {
 				col := t.Schema().MustIndex(attr)
-				counts[table.CellRef{Row: v.Row1, Col: col}]++
+				ref := table.CellRef{Row: v.Row1, Col: col}
+				if counts[ref] == 0 {
+					st.refs = append(st.refs, ref)
+				}
+				counts[ref]++
 				if v.Row2 != v.Row1 {
-					counts[table.CellRef{Row: v.Row2, Col: col}]++
+					ref = table.CellRef{Row: v.Row2, Col: col}
+					if counts[ref] == 0 {
+						st.refs = append(st.refs, ref)
+					}
+					counts[ref]++
 				}
 			}
 		}
 	}
-	refs := make([]table.CellRef, 0, len(counts))
-	for ref := range counts {
-		refs = append(refs, ref)
-	}
-	sort.Slice(refs, func(a, b int) bool {
-		if counts[refs[a]] != counts[refs[b]] {
-			return counts[refs[a]] > counts[refs[b]]
+	refs := st.refs
+	slices.SortFunc(refs, func(a, b table.CellRef) int {
+		if counts[a] != counts[b] {
+			return counts[b] - counts[a]
 		}
-		return t.VecIndex(refs[a]) < t.VecIndex(refs[b])
+		return t.VecIndex(a) - t.VecIndex(b)
 	})
 	return refs, nil
 }
@@ -108,9 +140,9 @@ func (g *Greedy) hotCells(cs []*dc.Constraint, t *table.Table, ix *dc.ScanIndex)
 // constraints) gives the search gradient within a column: lowering a
 // tuple's conflicts from five partners to one is progress even though the
 // same constraint stays violated.
-func (g *Greedy) bestCandidate(ctx context.Context, cs []*dc.Constraint, t *table.Table, stats *table.Stats, cell table.CellRef) (table.Value, bool, error) {
+func (g *Greedy) bestCandidate(ctx context.Context, cs []*dc.Constraint, t *table.Table, stats *table.Stats, cell table.CellRef, ix *dc.ScanIndex) (table.Value, bool, error) {
 	old := t.GetRef(cell)
-	current, err := tupleViolationPairs(cs, t, cell.Row)
+	current, err := tupleViolationPairs(cs, t, cell.Row, ix)
 	if err != nil {
 		return table.Null(), false, err
 	}
@@ -123,7 +155,7 @@ func (g *Greedy) bestCandidate(ctx context.Context, cs []*dc.Constraint, t *tabl
 			continue
 		}
 		t.SetRef(cell, e.Value)
-		viol, err := tupleViolationPairs(cs, t, cell.Row)
+		viol, err := tupleViolationPairs(cs, t, cell.Row, ix)
 		t.SetRef(cell, old)
 		if err != nil {
 			return table.Null(), false, err
@@ -136,8 +168,12 @@ func (g *Greedy) bestCandidate(ctx context.Context, cs []*dc.Constraint, t *tabl
 }
 
 // tupleViolationPairs counts the violating tuple pairs row i participates
-// in, summed over constraints (single-tuple violations count once).
-func tupleViolationPairs(cs []*dc.Constraint, t *table.Table, row int) (int, error) {
+// in, summed over constraints (single-tuple violations count once). When an
+// index is supplied, pair constraints with equality join keys are counted
+// over the row's hash bucket only — partners outside the bucket cannot
+// satisfy the equality predicates, so the count is identical and the probe
+// drops from O(rows) to O(bucket).
+func tupleViolationPairs(cs []*dc.Constraint, t *table.Table, row int, ix *dc.ScanIndex) (int, error) {
 	n := 0
 	for _, c := range cs {
 		if c.SingleTuple() {
@@ -150,20 +186,11 @@ func tupleViolationPairs(cs []*dc.Constraint, t *table.Table, row int) (int, err
 			}
 			continue
 		}
-		for j := 0; j < t.NumRows(); j++ {
-			if j == row {
-				continue
-			}
-			for _, pair := range [2][2]int{{row, j}, {j, row}} {
-				sat, err := c.SatisfiedPair(t, pair[0], pair[1])
-				if err != nil {
-					return 0, err
-				}
-				if sat {
-					n++
-				}
-			}
+		m, err := c.ViolationPairsForRow(t, row, ix)
+		if err != nil {
+			return 0, err
 		}
+		n += m
 	}
 	return n, nil
 }

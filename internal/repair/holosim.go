@@ -4,7 +4,8 @@ import (
 	"context"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/dc"
 	"repro/internal/table"
@@ -46,6 +47,34 @@ type HoloSim struct {
 	// algorithm deterministic per instance while avoiding systematic bias
 	// between equal-scored candidates.
 	seed int64
+	// runs pools the per-run scratch state (rng, statistics, scan index,
+	// suspect and candidate buffers) behind the ScratchRepairer contract.
+	runs sync.Pool
+}
+
+// holoRun is the reusable per-run state of one RepairInto invocation. The
+// rng is re-seeded at the top of every run, so pooled reuse cannot leak
+// randomness between runs — determinism per (cs, dirty) input is preserved.
+type holoRun struct {
+	rng *rand.Rand
+	ix  *dc.ScanIndex
+	pooledStats
+	vsBuf      []dc.Violation
+	suspectSet map[table.CellRef]bool
+	suspects   []table.CellRef
+	domain     []table.Value
+	domainSeen map[string]bool
+	keyBuf     []byte
+}
+
+// newHoloRun builds an empty run state seeded for one HoloSim instance.
+func newHoloRun(seed int64) *holoRun {
+	return &holoRun{
+		rng:        rand.New(rand.NewSource(seed)),
+		ix:         dc.NewScanIndex(),
+		suspectSet: make(map[table.CellRef]bool),
+		domainSeen: make(map[string]bool),
+	}
 }
 
 // NewHoloSim constructs a HoloSim with the default feature weights.
@@ -66,34 +95,48 @@ func (h *HoloSim) Name() string { return "holosim" }
 
 // Repair implements Algorithm.
 func (h *HoloSim) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error) {
-	work := dirty.Clone()
-	rng := rand.New(rand.NewSource(h.seed))
-	ix := dc.NewScanIndex()
+	return h.RepairInto(ctx, cs, dirty, nil)
+}
+
+// RepairInto implements ScratchRepairer: Repair writing into the
+// caller-owned work table with pooled per-run buffers.
+func (h *HoloSim) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
+	work = prepareWork(dirty, work)
+	st, ok := h.runs.Get().(*holoRun)
+	if !ok {
+		st = newHoloRun(h.seed)
+	}
+	defer h.runs.Put(st)
+	st.rng.Seed(h.seed)
 	for round := 0; round < h.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		suspects, err := h.detect(cs, work, ix)
+		suspects, err := h.detect(cs, work, st)
 		if err != nil {
 			return nil, err
 		}
 		if len(suspects) == 0 {
 			break
 		}
-		stats := table.NewStats(work)
+		// The snapshot is refreshed only after a committed change, exactly
+		// as the historical clone path did: score's transient probes bump
+		// the table generation without changing content, so a lazy
+		// generation check would rebuild once per suspect for nothing.
+		stats := st.fresh(work)
 		changed := false
 		for _, cell := range suspects {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			best, ok, err := h.infer(cs, work, stats, cell, rng)
+			best, ok, err := h.infer(cs, work, stats, cell, st)
 			if err != nil {
 				return nil, err
 			}
 			if ok && !work.GetRef(cell).SameContent(best) {
 				work.SetRef(cell, best)
 				changed = true
-				stats = table.NewStats(work)
+				stats = st.fresh(work)
 			}
 		}
 		if !changed {
@@ -127,11 +170,14 @@ func suspectAttrs(c *dc.Constraint) []string {
 	return out
 }
 
-// detect returns the suspect cells in deterministic (vectorization) order.
-func (h *HoloSim) detect(cs []*dc.Constraint, t *table.Table, ix *dc.ScanIndex) ([]table.CellRef, error) {
-	suspect := make(map[table.CellRef]bool)
+// detect returns the suspect cells in deterministic (vectorization) order,
+// accumulating into the run's pooled buffers.
+func (h *HoloSim) detect(cs []*dc.Constraint, t *table.Table, st *holoRun) ([]table.CellRef, error) {
+	clear(st.suspectSet)
+	st.suspects = st.suspects[:0]
 	for _, c := range cs {
-		vs, err := c.ViolationsCached(t, ix)
+		vs, err := c.AppendViolations(t, st.ix, st.vsBuf[:0])
+		st.vsBuf = vs
 		if err != nil {
 			return nil, err
 		}
@@ -142,25 +188,27 @@ func (h *HoloSim) detect(cs []*dc.Constraint, t *table.Table, ix *dc.ScanIndex) 
 		for _, v := range vs {
 			for _, attr := range attrs {
 				col := t.Schema().MustIndex(attr)
-				suspect[table.CellRef{Row: v.Row1, Col: col}] = true
-				suspect[table.CellRef{Row: v.Row2, Col: col}] = true
+				for _, row := range []int{v.Row1, v.Row2} {
+					ref := table.CellRef{Row: row, Col: col}
+					if !st.suspectSet[ref] {
+						st.suspectSet[ref] = true
+						st.suspects = append(st.suspects, ref)
+					}
+				}
 			}
 		}
 	}
-	out := make([]table.CellRef, 0, len(suspect))
-	for ref := range suspect {
-		out = append(out, ref)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		return t.VecIndex(out[a]) < t.VecIndex(out[b])
+	out := st.suspects
+	slices.SortFunc(out, func(a, b table.CellRef) int {
+		return t.VecIndex(a) - t.VecIndex(b)
 	})
 	return out, nil
 }
 
 // infer scores the candidate domain of one suspect cell and returns the
 // argmax candidate.
-func (h *HoloSim) infer(cs []*dc.Constraint, t *table.Table, stats *table.Stats, cell table.CellRef, rng *rand.Rand) (table.Value, bool, error) {
-	candidates := h.domain(t, stats, cell)
+func (h *HoloSim) infer(cs []*dc.Constraint, t *table.Table, stats *table.Stats, cell table.CellRef, st *holoRun) (table.Value, bool, error) {
+	candidates := h.domain(t, stats, cell, st)
 	if len(candidates) == 0 {
 		return table.Null(), false, nil
 	}
@@ -171,7 +219,7 @@ func (h *HoloSim) infer(cs []*dc.Constraint, t *table.Table, stats *table.Stats,
 	}
 	best := scored{s: math.Inf(-1)}
 	for _, cand := range candidates {
-		score, err := h.score(cs, t, stats, cell, cand)
+		score, err := h.score(cs, t, stats, cell, cand, st)
 		if err != nil {
 			return table.Null(), false, err
 		}
@@ -180,7 +228,7 @@ func (h *HoloSim) infer(cs []*dc.Constraint, t *table.Table, stats *table.Stats,
 		}
 		// Deterministic per-run jitter breaks exact ties without biasing
 		// the ordering of distinct scores.
-		score += rng.Float64() * 1e-9
+		score += st.rng.Float64() * 1e-9
 		if score > best.s {
 			best = scored{v: cand, s: score}
 		}
@@ -190,15 +238,24 @@ func (h *HoloSim) infer(cs []*dc.Constraint, t *table.Table, stats *table.Stats,
 
 // domain builds the candidate set: current value, values of the column
 // co-occurring with the tuple's other attribute values, then column values
-// by global frequency, capped at DomainCap.
-func (h *HoloSim) domain(t *table.Table, stats *table.Stats, cell table.CellRef) []table.Value {
-	var out []table.Value
-	seen := make(map[string]bool)
+// by global frequency, capped at DomainCap. The returned slice aliases the
+// run's pooled buffer and is only valid until the next call.
+func (h *HoloSim) domain(t *table.Table, stats *table.Stats, cell table.CellRef, st *holoRun) []table.Value {
+	out := st.domain[:0]
+	seen := st.domainSeen
+	clear(seen)
+	defer func() { st.domain = out }()
 	add := func(v table.Value) {
-		if v.IsNull() || seen[v.Key()] {
+		if v.IsNull() {
 			return
 		}
-		seen[v.Key()] = true
+		// Alloc-free duplicate probe via the pooled key buffer; only the
+		// insert of a genuinely new candidate materializes a key string.
+		st.keyBuf = v.AppendKey(st.keyBuf[:0])
+		if seen[string(st.keyBuf)] {
+			return
+		}
+		seen[string(st.keyBuf)] = true
 		out = append(out, v)
 	}
 	add(t.GetRef(cell))
@@ -224,7 +281,7 @@ func (h *HoloSim) domain(t *table.Table, stats *table.Stats, cell table.CellRef)
 }
 
 // score computes the weighted feature sum for assigning cand to cell.
-func (h *HoloSim) score(cs []*dc.Constraint, t *table.Table, stats *table.Stats, cell table.CellRef, cand table.Value) (float64, error) {
+func (h *HoloSim) score(cs []*dc.Constraint, t *table.Table, stats *table.Stats, cell table.CellRef, cand table.Value, st *holoRun) (float64, error) {
 	freq := stats.Column(cell.Col).Prob(cand)
 
 	// Average leave-one-out co-occurrence probability with the tuple's
@@ -257,12 +314,15 @@ func (h *HoloSim) score(cs []*dc.Constraint, t *table.Table, stats *table.Stats,
 		cooc /= float64(coocN)
 	}
 
-	// Violations the candidate assignment would leave the tuple in.
+	// Violations the candidate assignment would leave the tuple in. The
+	// probe mutates the work table transiently; the pooled scan index
+	// follows both the probe and the restore as single-bucket deltas, so
+	// each check stays O(bucket) instead of O(rows).
 	old := t.GetRef(cell)
 	t.SetRef(cell, cand)
 	viol := 0
 	for _, c := range cs {
-		bad, err := c.ViolatesRow(t, cell.Row)
+		bad, err := c.ViolatesRowCached(t, cell.Row, st.ix)
 		if err != nil {
 			t.SetRef(cell, old)
 			return 0, err

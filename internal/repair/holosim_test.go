@@ -125,7 +125,7 @@ func TestHoloSimDomainCapRespected(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := table.NewStats(ll.Dirty)
-	dom := h.domain(ll.Dirty, stats, table.CellRef{Row: 4, Col: 2})
+	dom := h.domain(ll.Dirty, stats, table.CellRef{Row: 4, Col: 2}, newHoloRun(h.seed))
 	if len(dom) > 2 {
 		t.Fatalf("domain size %d exceeds cap", len(dom))
 	}
@@ -134,7 +134,7 @@ func TestHoloSimDomainCapRespected(t *testing.T) {
 func TestHoloSimDetectFindsSuspects(t *testing.T) {
 	ll := data.NewLaLiga()
 	h := NewHoloSim(1)
-	suspects, err := h.detect(ll.DCs, ll.Dirty, dc.NewScanIndex())
+	suspects, err := h.detect(ll.DCs, ll.Dirty, newHoloRun(h.seed))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package repair
+
+const raceEnabled = false

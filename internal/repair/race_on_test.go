@@ -1,0 +1,7 @@
+//go:build race
+
+package repair
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-budget tests skip because instrumentation itself allocates.
+const raceEnabled = true

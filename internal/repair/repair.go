@@ -14,11 +14,36 @@
 //   - FDChase: an equivalence-class chase for FD-shaped DCs in the spirit
 //     of Bohannon et al. (ICDE 2007);
 //   - plus test doubles (Func) for failure injection.
+//
+// # The in-place repair protocol
+//
+// All four production black boxes additionally implement ScratchRepairer,
+// the zero-allocation contract the Shapley evaluation loop runs against:
+// RepairInto refreshes a caller-owned work table from the dirty input and
+// repairs it in place, while every per-run buffer the algorithm needs
+// (statistics, scan indexes, candidate domains, violation lists) is pooled
+// inside the implementation. The rules of the contract:
+//
+//   - dirty is never mutated; only work is. work == nil allocates a fresh
+//     clone, so Repair(ctx, cs, dirty) ≡ RepairInto(ctx, cs, dirty, nil)
+//     and the two paths are behaviourally identical (golden-tested).
+//   - the returned table is work itself (or the fresh clone); callers that
+//     recycle it across calls hit the steady-state zero-allocation path,
+//     because the work-table refresh (table.CopyFrom) logs per-cell deltas
+//     that keep the pooled dc.ScanIndex on its incremental bucket path.
+//   - determinism is preserved: for a fixed (cs, dirty) input the output
+//     is byte-identical to Repair's, whatever state the pooled buffers
+//     carry over — Shapley values are defined over a function, so any
+//     carried-over nondeterminism would corrupt the explanation.
+//   - implementations are safe for concurrent RepairInto calls (the run
+//     state is a sync.Pool), but a single work table must not be shared by
+//     concurrent callers.
 package repair
 
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/dc"
 	"repro/internal/table"
@@ -37,6 +62,53 @@ type Algorithm interface {
 	// Repair returns the cleaned version of dirty under the constraint set
 	// cs. The returned table is freshly allocated.
 	Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.Table) (*table.Table, error)
+}
+
+// ScratchRepairer is the in-place extension of Algorithm: RepairInto
+// copies dirty into work (allocating only when work is nil or its shape
+// cannot be reused), repairs work in place, and returns it. See the package
+// comment for the full contract. CellRepaired detects this interface and
+// recycles one pooled work table across evaluations, which removes the
+// per-evaluation Clone() from the repair hot path.
+type ScratchRepairer interface {
+	Algorithm
+	// RepairInto is Repair writing into caller-owned scratch storage. The
+	// returned table is work when work != nil, a fresh table otherwise.
+	RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error)
+}
+
+// pooledStats is the generation-checked statistics snapshot shared by the
+// black boxes' pooled run states: fresh returns statistics for work's
+// current contents, rebuilding the pooled snapshot (table.Stats.Reset)
+// only when the table pointer or generation moved since the last call.
+type pooledStats struct {
+	stats *table.Stats
+	tbl   *table.Table
+	gen   uint64
+}
+
+func (p *pooledStats) fresh(work *table.Table) *table.Stats {
+	if p.stats == nil {
+		p.stats = table.NewStats(work)
+	} else if p.tbl != work || p.gen != work.Generation() {
+		p.stats.Reset(work)
+	} else {
+		return p.stats
+	}
+	p.tbl = work
+	p.gen = work.Generation()
+	return p.stats
+}
+
+// prepareWork refreshes work from dirty for an in-place repair run,
+// handling the nil (allocate) and aliased (defensive clone) cases shared by
+// every ScratchRepairer implementation.
+func prepareWork(dirty, work *table.Table) *table.Table {
+	if work == nil || work == dirty {
+		return dirty.Clone()
+	}
+	work.CopyFrom(dirty)
+	return work
 }
 
 // Func adapts a function to the Algorithm interface; used by tests for
@@ -71,16 +143,47 @@ func (Passthrough) Repair(_ context.Context, _ []*dc.Constraint, dirty *table.Ta
 	return dirty, nil
 }
 
+// workPool recycles the work tables CellRepaired hands to ScratchRepairer
+// black boxes. Tables of any shape share the pool: RepairInto's refresh
+// resizes a mismatched table in place, so a mixed workload merely warms the
+// pool toward the shapes it actually evaluates.
+var workPool sync.Pool
+
 // CellRepaired is the binary view Alg|t[A] of the paper (§2.1): it runs the
 // black box on (cs, dirty) and reports 1 when the cell of interest ends up
 // with the target clean value, 0 otherwise. The target is the value the
 // full repair assigned, so "repaired" means "repaired to the same value as
 // under the complete input".
+//
+// When the black box implements ScratchRepairer the repair runs in a
+// pooled work table instead of a fresh clone, making the whole
+// evaluation→repair round trip allocation-free in steady state — the hot
+// path of every Shapley sampling loop.
 func CellRepaired(ctx context.Context, alg Algorithm, cs []*dc.Constraint, dirty *table.Table, cell table.CellRef, target table.Value) (float64, error) {
-	clean, err := alg.Repair(ctx, cs, dirty)
+	sr, ok := alg.(ScratchRepairer)
+	if !ok {
+		clean, err := alg.Repair(ctx, cs, dirty)
+		if err != nil {
+			return 0, fmt.Errorf("repair: black box %s: %w", alg.Name(), err)
+		}
+		return cellRepairedResult(alg, dirty, clean, cell, target)
+	}
+	work, _ := workPool.Get().(*table.Table)
+	clean, err := sr.RepairInto(ctx, cs, dirty, work)
 	if err != nil {
+		if work != nil {
+			workPool.Put(work)
+		}
 		return 0, fmt.Errorf("repair: black box %s: %w", alg.Name(), err)
 	}
+	out, err := cellRepairedResult(alg, dirty, clean, cell, target)
+	workPool.Put(clean)
+	return out, err
+}
+
+// cellRepairedResult checks the repaired shape and reads off the binary
+// view for the cell of interest.
+func cellRepairedResult(alg Algorithm, dirty, clean *table.Table, cell table.CellRef, target table.Value) (float64, error) {
 	if clean.NumRows() != dirty.NumRows() || clean.NumCols() != dirty.NumCols() {
 		return 0, fmt.Errorf("repair: black box %s changed table shape", alg.Name())
 	}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,10 +21,23 @@ import (
 	"repro/internal/table"
 )
 
-// Server holds the in-memory session store. Create with New.
+// session pairs one core.Session with the mutex that serializes access to
+// it: core.Session is not safe for concurrent use, and concurrent requests
+// against one session id (repair racing an edit) are routine for a shared
+// server. Distinct sessions proceed in parallel; only the registry map is
+// behind the server-wide lock.
+type session struct {
+	mu   sync.Mutex
+	sess *core.Session
+}
+
+// Server holds the in-memory session store. Create with New. The handler
+// is safe for concurrent requests across and within sessions; the repair
+// black boxes in the shared registry are stateless per run (their scratch
+// state is pooled internally), so sessions share them freely.
 type Server struct {
 	mu       sync.Mutex
-	sessions map[string]*core.Session
+	sessions map[string]*session
 	algs     map[string]repair.Algorithm
 	nextID   int
 	// ExplainSamples is the sampling budget for cell explanations.
@@ -33,7 +47,7 @@ type Server struct {
 // New builds a Server with the standard algorithm registry.
 func New() *Server {
 	s := &Server{
-		sessions:       make(map[string]*core.Session),
+		sessions:       make(map[string]*session),
 		algs:           make(map[string]repair.Algorithm),
 		ExplainSamples: 400,
 	}
@@ -112,11 +126,7 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	// Deterministic order for the UI dropdown.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": names})
 }
 
@@ -158,32 +168,39 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	entry := &session{sess: sess}
 	s.mu.Lock()
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
-	s.sessions[id] = sess
+	s.sessions[id] = entry
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.sessionJSON(id, sess))
+	entry.mu.Lock()
+	resp := s.sessionJSON(id, sess)
+	entry.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) session(r *http.Request) (string, *core.Session, error) {
+func (s *Server) session(r *http.Request) (string, *session, error) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	sess, ok := s.sessions[id]
+	entry, ok := s.sessions[id]
 	s.mu.Unlock()
 	if !ok {
 		return "", nil, fmt.Errorf("no session %q", id)
 	}
-	return id, sess, nil
+	return id, entry, nil
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	id, sess, err := s.session(r)
+	id, entry, err := s.session(r)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sessionJSON(id, sess))
+	entry.mu.Lock()
+	resp := s.sessionJSON(id, entry.sess)
+	entry.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type repairResponse struct {
@@ -192,11 +209,14 @@ type repairResponse struct {
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
-	_, sess, err := s.session(r)
+	_, entry, err := s.session(r)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	sess := entry.sess
 	clean, diffs, err := sess.Repair(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -234,7 +254,7 @@ type explainResponse struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	_, sess, err := s.session(r)
+	_, entry, err := s.session(r)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -244,6 +264,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	sess := entry.sess
 	cell, err := sess.Dirty().ParseRefName(req.Cell)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -272,10 +295,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			Samples: samples,
 			Seed:    req.Seed,
 		})
-	case "rows":
-		report, err = exp.ExplainCellGroups(r.Context(), cell, exp.RowGroups(cell))
-	case "columns":
-		report, err = exp.ExplainCellGroups(r.Context(), cell, exp.ColumnGroups(cell))
+	case "rows", "columns":
+		groups := exp.RowGroups(cell)
+		if req.Kind == "columns" {
+			groups = exp.ColumnGroups(cell)
+		}
+		// Exact when feasible; the request's sampling budget and seed apply
+		// to the fallback.
+		report, err = exp.ExplainCellGroupsAuto(r.Context(), cell, groups, core.CellExplainOptions{
+			Samples: samples,
+			Seed:    req.Seed,
+		})
 	case "toward":
 		if req.Desired == "" {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("kind toward needs a desired value"))
@@ -321,7 +351,7 @@ type editRequest struct {
 }
 
 func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
-	id, sess, err := s.session(r)
+	id, entry, err := s.session(r)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -331,6 +361,9 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	sess := entry.sess
 	switch {
 	case req.SetCell != "":
 		ref, err := sess.Dirty().ParseRefName(req.SetCell)

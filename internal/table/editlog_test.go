@@ -1,0 +1,240 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func editTestTable(t *testing.T) *Table {
+	t.Helper()
+	return MustFromStrings([]string{"A", "B"}, [][]string{
+		{"x", "1"}, {"y", "2"}, {"z", "3"},
+	})
+}
+
+// TestEditsSinceBasics covers the contract: empty window, per-edit
+// coverage, structural invalidation, and eviction of old history.
+func TestEditsSinceBasics(t *testing.T) {
+	tbl := editTestTable(t)
+	gen := tbl.Generation()
+	if edits, ok := tbl.EditsSince(gen, nil); !ok || len(edits) != 0 {
+		t.Fatalf("unchanged table: edits=%v ok=%v", edits, ok)
+	}
+	tbl.Set(1, 0, String("q"))
+	tbl.SetRef(CellRef{Row: 2, Col: 1}, Int(9))
+	edits, ok := tbl.EditsSince(gen, nil)
+	if !ok || len(edits) != 2 {
+		t.Fatalf("edits=%v ok=%v, want 2 edits", edits, ok)
+	}
+	if edits[0].Row != 1 || edits[0].Col != 0 || edits[1].Row != 2 || edits[1].Col != 1 {
+		t.Fatalf("edit contents wrong: %+v", edits)
+	}
+	if edits[0].Gen <= gen || edits[1].Gen != tbl.Generation() {
+		t.Fatalf("edit generations wrong: %+v (gen %d)", edits, tbl.Generation())
+	}
+	// A later caller sees only the suffix.
+	suffix, ok := tbl.EditsSince(edits[0].Gen, nil)
+	if !ok || len(suffix) != 1 || suffix[0].Row != 2 {
+		t.Fatalf("suffix=%v ok=%v", suffix, ok)
+	}
+	// Append is structural: history before it is unusable.
+	if err := tbl.Append([]Value{String("w"), Int(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.EditsSince(gen, nil); ok {
+		t.Fatal("append must invalidate delta history")
+	}
+	if edits, ok := tbl.EditsSince(tbl.Generation(), nil); !ok || len(edits) != 0 {
+		t.Fatal("current generation must be catch-up-able after append")
+	}
+}
+
+// TestEditsSinceEviction fills the ring past capacity: old anchors must
+// report lost history, recent anchors must still replay.
+func TestEditsSinceEviction(t *testing.T) {
+	tbl := editTestTable(t)
+	old := tbl.Generation()
+	for i := 0; i < 600; i++ { // > editLogWindow
+		tbl.Set(i%3, i%2, String(fmt.Sprintf("v%d", i)))
+	}
+	if _, ok := tbl.EditsSince(old, nil); ok {
+		t.Fatal("evicted history must not be replayable")
+	}
+	mid := tbl.Generation()
+	tbl.Set(0, 0, String("tail"))
+	edits, ok := tbl.EditsSince(mid, nil)
+	if !ok || len(edits) != 1 {
+		t.Fatalf("recent anchor: edits=%v ok=%v", edits, ok)
+	}
+}
+
+// TestCopyFromMatchesClone fuzzes CopyFrom against Clone across shape
+// matches, shape changes, and repeated refreshes of one target: contents
+// must always end Equal, and shape-matching refreshes must log exactly the
+// changed cells so scan indexes can delta-catch-up.
+func TestCopyFromMatchesClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := func(rows int) *Table {
+		grid := make([][]string, rows)
+		for i := range grid {
+			grid[i] = []string{fmt.Sprint(rng.Intn(3)), fmt.Sprint(rng.Intn(3))}
+		}
+		return MustFromStrings([]string{"A", "B"}, grid)
+	}
+	work := mk(4)
+	for round := 0; round < 50; round++ {
+		src := mk(2 + rng.Intn(4))
+		gen := work.Generation()
+		sameShape := src.NumRows() == work.NumRows() && src.Schema().Equal(work.Schema())
+		work.CopyFrom(src)
+		if !work.Equal(src) {
+			t.Fatalf("round %d: CopyFrom result differs from source", round)
+		}
+		edits, ok := work.EditsSince(gen, nil)
+		if sameShape {
+			if !ok {
+				t.Fatalf("round %d: shape-matching refresh lost delta history", round)
+			}
+			// Exactly the strictly-changed cells must be logged: replaying
+			// the log over the pre-copy contents is what keeps scan indexes
+			// on the delta path, so spurious or missing entries both break
+			// incremental consumers.
+			logged := map[CellRef]bool{}
+			for _, e := range edits {
+				logged[CellRef{Row: e.Row, Col: e.Col}] = true
+			}
+			if len(logged) != len(edits) {
+				t.Fatalf("round %d: duplicate log entries for one refresh", round)
+			}
+		} else if ok && len(edits) == 0 && work.Generation() != gen {
+			t.Fatalf("round %d: shape change must either invalidate or log", round)
+		}
+	}
+}
+
+// TestCopyFromSelf is a no-op.
+func TestCopyFromSelf(t *testing.T) {
+	tbl := editTestTable(t)
+	gen := tbl.Generation()
+	tbl.CopyFrom(tbl)
+	if tbl.Generation() != gen {
+		t.Fatal("self-copy must be a no-op")
+	}
+}
+
+// TestCopyFromKindSensitive pins the representation-faithful diff: values
+// whose SameContent unifies (int vs float) must still be copied, because
+// hash-join keys distinguish them.
+func TestCopyFromKindSensitive(t *testing.T) {
+	a := MustFromStrings([]string{"A"}, [][]string{{"1"}})
+	b := a.Clone()
+	b.Set(0, 0, Float(1))
+	if !a.Get(0, 0).SameContent(b.Get(0, 0)) {
+		t.Fatal("fixture assumption: 1 and 1.0 share content")
+	}
+	a.CopyFrom(b)
+	if a.Get(0, 0).Kind() != KindFloat {
+		t.Fatalf("kind not copied: %v", a.Get(0, 0).Kind())
+	}
+}
+
+// TestStatsResetMatchesFresh drives the pooled-statistics contract: after
+// any sequence of Resets against different table states, every query must
+// answer exactly as a freshly-built Stats would.
+func TestStatsResetMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	grid := make([][]string, 8)
+	for i := range grid {
+		grid[i] = []string{fmt.Sprint(rng.Intn(3)), fmt.Sprint(rng.Intn(4)), fmt.Sprint(rng.Intn(2))}
+	}
+	tbl := MustFromStrings([]string{"A", "B", "C"}, grid)
+	pooled := NewStats(tbl)
+	for round := 0; round < 30; round++ {
+		tbl.Set(rng.Intn(tbl.NumRows()), rng.Intn(tbl.NumCols()), String(fmt.Sprint(rng.Intn(4))))
+		if rng.Intn(3) == 0 {
+			tbl.Set(rng.Intn(tbl.NumRows()), rng.Intn(tbl.NumCols()), Null())
+		}
+		pooled.Reset(tbl)
+		fresh := NewStats(tbl)
+		for j := 0; j < tbl.NumCols(); j++ {
+			p, f := pooled.Column(j), fresh.Column(j)
+			if p.Total() != f.Total() {
+				t.Fatalf("round %d col %d: total %d vs %d", round, j, p.Total(), f.Total())
+			}
+			ps, fs := p.Support(), f.Support()
+			if len(ps) != len(fs) {
+				t.Fatalf("round %d col %d: support %v vs %v", round, j, ps, fs)
+			}
+			for k := range ps {
+				if !ps[k].SameContent(fs[k]) || p.Count(ps[k]) != f.Count(fs[k]) {
+					t.Fatalf("round %d col %d: support order/count mismatch %v vs %v", round, j, ps, fs)
+				}
+			}
+			pm, pok := p.Mode()
+			fm, fok := f.Mode()
+			if pok != fok || (pok && !pm.SameContent(fm)) {
+				t.Fatalf("round %d col %d: mode %v/%v vs %v/%v", round, j, pm, pok, fm, fok)
+			}
+			// Sampling must consume the RNG identically.
+			r1 := rand.New(rand.NewSource(int64(round)))
+			r2 := rand.New(rand.NewSource(int64(round)))
+			for n := 0; n < 5; n++ {
+				v1, ok1 := p.Sample(r1)
+				v2, ok2 := f.Sample(r2)
+				if ok1 != ok2 || (ok1 && !v1.SameContent(v2)) {
+					t.Fatalf("round %d col %d: sample diverged", round, j)
+				}
+			}
+		}
+		// Conditional distributions, including a never-observed value.
+		for g := 0; g < tbl.NumCols(); g++ {
+			for target := 0; target < tbl.NumCols(); target++ {
+				if g == target {
+					continue
+				}
+				for _, val := range append(pooled.Column(g).Support(), String("never-seen")) {
+					pc := pooled.Conditional(g, val, target)
+					fc := fresh.Conditional(g, val, target)
+					if pc.Total() != fc.Total() {
+						t.Fatalf("round %d cond(%d=%v,%d): total %d vs %d", round, g, val, target, pc.Total(), fc.Total())
+					}
+					pm, pok := pc.Mode()
+					fm, fok := fc.Mode()
+					if pok != fok || (pok && !pm.SameContent(fm)) {
+						t.Fatalf("round %d cond mode mismatch", round)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistributionResetReuse pins the interning behaviour: values dropped
+// by a Reset must not leak into later queries.
+func TestDistributionResetReuse(t *testing.T) {
+	d := NewDistribution()
+	d.Observe(String("a"))
+	d.Observe(String("a"))
+	d.Observe(String("b"))
+	d.Reset()
+	if d.Total() != 0 {
+		t.Fatal("reset must clear totals")
+	}
+	if _, ok := d.Mode(); ok {
+		t.Fatal("reset distribution has no mode")
+	}
+	if got := len(d.Support()); got != 0 {
+		t.Fatalf("support after reset: %d values", got)
+	}
+	d.Observe(String("b"))
+	if v, ok := d.Mode(); !ok || v.Str() != "b" {
+		t.Fatalf("mode after re-observe: %v %v", v, ok)
+	}
+	if d.Count(String("a")) != 0 {
+		t.Fatal("stale value leaked a count")
+	}
+	if d.Prob(String("b")) != 1 {
+		t.Fatalf("prob = %v, want 1", d.Prob(String("b")))
+	}
+}

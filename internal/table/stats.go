@@ -16,16 +16,40 @@ import (
 //
 // Values are kept in first-observed order so that iteration and tie-breaks
 // are deterministic.
+//
+// A Distribution is reusable: Reset clears the observations while keeping
+// the value interning table, so pooled statistics rebuilt over successive
+// repair states (repair.ScratchRepairer) allocate nothing once every value
+// in the column's domain has been seen at least once. All query methods see
+// only values observed since the last Reset, exactly as a fresh
+// Distribution would.
 type Distribution struct {
-	values []Value
-	counts []int
-	index  map[string]int // Value.Key() -> position in values
+	// index interns Value.Key() -> slot. It is append-only over the
+	// distribution's lifetime; slots for values absent from the current
+	// epoch simply hold a zero count and are not in active.
+	index     map[string]int
+	slotValue []Value
+	slotCount []int
+	// active lists the slots observed this epoch, in first-observed order —
+	// the iteration order of every query method.
+	active []int
 	total  int
+	keyBuf []byte
 }
 
 // NewDistribution returns an empty distribution.
 func NewDistribution() *Distribution {
 	return &Distribution{index: make(map[string]int)}
+}
+
+// Reset forgets every observation while retaining interned values, so a
+// pooled distribution can be rebuilt without reallocating.
+func (d *Distribution) Reset() {
+	for _, s := range d.active {
+		d.slotCount[s] = 0
+	}
+	d.active = d.active[:0]
+	d.total = 0
 }
 
 // Observe adds one occurrence of v. Nulls are ignored: a null carries no
@@ -34,14 +58,18 @@ func (d *Distribution) Observe(v Value) {
 	if v.IsNull() {
 		return
 	}
-	k := v.Key()
-	if i, ok := d.index[k]; ok {
-		d.counts[i]++
-	} else {
-		d.index[k] = len(d.values)
-		d.values = append(d.values, v)
-		d.counts = append(d.counts, 1)
+	d.keyBuf = v.AppendKey(d.keyBuf[:0])
+	s, ok := d.index[string(d.keyBuf)] // alloc-free map probe
+	if !ok {
+		s = len(d.slotValue)
+		d.index[string(d.keyBuf)] = s
+		d.slotValue = append(d.slotValue, v)
+		d.slotCount = append(d.slotCount, 0)
 	}
+	if d.slotCount[s] == 0 {
+		d.active = append(d.active, s)
+	}
+	d.slotCount[s]++
 	d.total++
 }
 
@@ -49,12 +77,24 @@ func (d *Distribution) Observe(v Value) {
 func (d *Distribution) Total() int { return d.total }
 
 // Support returns the distinct observed values in first-observed order.
-func (d *Distribution) Support() []Value { return append([]Value(nil), d.values...) }
+func (d *Distribution) Support() []Value {
+	out := make([]Value, 0, len(d.active))
+	for _, s := range d.active {
+		out = append(out, d.slotValue[s])
+	}
+	return out
+}
 
 // Count returns how many times v was observed.
 func (d *Distribution) Count(v Value) int {
-	if i, ok := d.index[v.Key()]; ok {
-		return d.counts[i]
+	if d.total == 0 {
+		// Also keeps every query method on an empty distribution free of
+		// keyBuf writes, so the shared emptyDist is truly read-only.
+		return 0
+	}
+	d.keyBuf = v.AppendKey(d.keyBuf[:0])
+	if s, ok := d.index[string(d.keyBuf)]; ok {
+		return d.slotCount[s]
 	}
 	return 0
 }
@@ -72,15 +112,15 @@ func (d *Distribution) Prob(v Value) float64 {
 // ok is false when the distribution is empty.
 func (d *Distribution) Mode() (v Value, ok bool) {
 	best := -1
-	for i, c := range d.counts {
-		if best < 0 || c > d.counts[best] {
-			best = i
+	for _, s := range d.active {
+		if best < 0 || d.slotCount[s] > d.slotCount[best] {
+			best = s
 		}
 	}
 	if best < 0 {
 		return Null(), false
 	}
-	return d.values[best], true
+	return d.slotValue[best], true
 }
 
 // Sample draws a value proportionally to its observed frequency.
@@ -90,13 +130,13 @@ func (d *Distribution) Sample(rng *rand.Rand) (v Value, ok bool) {
 		return Null(), false
 	}
 	target := rng.Intn(d.total)
-	for i, c := range d.counts {
-		if target < c {
-			return d.values[i], true
+	for _, s := range d.active {
+		if target < d.slotCount[s] {
+			return d.slotValue[s], true
 		}
-		target -= c
+		target -= d.slotCount[s]
 	}
-	return d.values[len(d.values)-1], true // unreachable; defensive
+	return d.slotValue[d.active[len(d.active)-1]], true // unreachable; defensive
 }
 
 // SampleOther draws a value different from exclude when the support allows
@@ -107,24 +147,24 @@ func (d *Distribution) SampleOther(rng *rand.Rand, exclude Value) (Value, bool) 
 	if d.total == 0 {
 		return Null(), false
 	}
-	exKey := exclude.Key()
-	exIdx, has := d.index[exKey]
+	d.keyBuf = exclude.AppendKey(d.keyBuf[:0])
+	exSlot, has := d.index[string(d.keyBuf)]
 	remaining := d.total
 	if has {
-		remaining -= d.counts[exIdx]
+		remaining -= d.slotCount[exSlot]
 	}
 	if remaining <= 0 {
-		return d.values[exIdx], true
+		return d.slotValue[exSlot], true
 	}
 	target := rng.Intn(remaining)
-	for i, c := range d.counts {
-		if has && i == exIdx {
+	for _, s := range d.active {
+		if has && s == exSlot {
 			continue
 		}
-		if target < c {
-			return d.values[i], true
+		if target < d.slotCount[s] {
+			return d.slotValue[s], true
 		}
-		target -= c
+		target -= d.slotCount[s]
 	}
 	return Null(), false // unreachable; defensive
 }
@@ -139,53 +179,99 @@ func (d *Distribution) Entries() []struct {
 		Value Value
 		Count int
 	}
-	order := make([]int, len(d.values))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return d.counts[order[a]] > d.counts[order[b]] })
+	order := append([]int(nil), d.active...)
+	sort.SliceStable(order, func(a, b int) bool { return d.slotCount[order[a]] > d.slotCount[order[b]] })
 	out := make([]struct {
 		Value Value
 		Count int
 	}, len(order))
-	for i, idx := range order {
-		out[i] = entry{Value: d.values[idx], Count: d.counts[idx]}
+	for i, s := range order {
+		out[i] = entry{Value: d.slotValue[s], Count: d.slotCount[s]}
 	}
 	return out
 }
 
+// emptyDist is the shared read-only result for conditional lookups on a
+// never-observed value. Every query method is a true read on an empty
+// distribution (Count/Prob/SampleOther bail out before touching their key
+// scratch), so sharing it across goroutines is safe; Observe on the shared
+// instance would corrupt unrelated lookups, so it is never handed to code
+// that builds distributions.
+var emptyDist = NewDistribution()
+
+// condEntry is one conditional distribution, valid for the stats epoch it
+// was last built in.
+type condEntry struct {
+	epoch uint64
+	d     *Distribution
+}
+
+// condCache holds the lazily-built conditional distributions of one
+// (given, target) column pair. Entries are interned for the lifetime of the
+// Stats so epoch rebuilds reuse their storage.
+type condCache struct {
+	builtEpoch uint64 // epoch the cache was last (re)built for; 0 = never
+	byKey      map[string]*condEntry
+}
+
 // Stats holds per-column distributions and pairwise conditional
 // distributions for one table snapshot. It is computed once from the dirty
-// table and then queried by repair algorithms and the sampler.
+// table and then queried by repair algorithms and the sampler; Reset
+// re-snapshots a (possibly pooled) Stats against the table's current
+// contents, reusing all interned storage, so steady-state refreshes inside
+// the in-place repair protocol allocate nothing.
 type Stats struct {
 	schema *Schema
 	cols   []*Distribution
-	// cond[a][b] maps Value.Key() of a value in column a to the
-	// distribution of column b's values among rows where column a takes
-	// that value. Built lazily per (a, b) pair.
-	cond map[[2]int]map[string]*Distribution
-	rows [][]Value
+	// cond[(a, b)] caches the distribution of column b's values among rows
+	// where column a takes a given value. Built lazily per (a, b) pair, per
+	// epoch.
+	cond   map[[2]int]*condCache
+	rows   [][]Value
+	epoch  uint64
+	keyBuf []byte
 }
 
 // NewStats scans the table and builds column distributions. Conditional
 // distributions are materialized lazily on first use.
 func NewStats(t *Table) *Stats {
-	s := &Stats{
-		schema: t.Schema(),
-		cols:   make([]*Distribution, t.NumCols()),
-		cond:   make(map[[2]int]map[string]*Distribution),
+	s := &Stats{cond: make(map[[2]int]*condCache)}
+	s.Reset(t)
+	return s
+}
+
+// Reset re-snapshots the stats against t's current contents, equivalent to
+// NewStats(t) but reusing every interned map and slice.
+func (s *Stats) Reset(t *Table) {
+	s.epoch++
+	s.schema = t.Schema()
+	if len(s.cols) != t.NumCols() {
+		s.cols = make([]*Distribution, t.NumCols())
+		for j := range s.cols {
+			s.cols[j] = NewDistribution()
+		}
+	} else {
+		for _, d := range s.cols {
+			d.Reset()
+		}
 	}
-	for j := 0; j < t.NumCols(); j++ {
-		s.cols[j] = NewDistribution()
+	if cap(s.rows) >= t.NumRows() {
+		s.rows = s.rows[:t.NumRows()]
+	} else {
+		s.rows = make([][]Value, t.NumRows())
 	}
-	s.rows = make([][]Value, t.NumRows())
 	for i := 0; i < t.NumRows(); i++ {
-		s.rows[i] = t.Row(i)
+		src := t.RowView(i)
+		if cap(s.rows[i]) >= len(src) {
+			s.rows[i] = s.rows[i][:len(src)]
+		} else {
+			s.rows[i] = make([]Value, len(src))
+		}
+		copy(s.rows[i], src)
 		for j, v := range s.rows[i] {
 			s.cols[j].Observe(v)
 		}
 	}
-	return s
 }
 
 // Column returns the distribution of column j.
@@ -198,30 +284,40 @@ func (s *Stats) ColumnByName(name string) *Distribution {
 
 // Conditional returns the distribution of column target among rows whose
 // column given equals val. An empty distribution is returned when val was
-// never observed in the given column.
+// never observed in the given column; it is shared and must be treated as
+// read-only.
 func (s *Stats) Conditional(given int, val Value, target int) *Distribution {
 	key := [2]int{given, target}
-	byVal, ok := s.cond[key]
+	cc, ok := s.cond[key]
 	if !ok {
-		byVal = make(map[string]*Distribution)
+		cc = &condCache{byKey: make(map[string]*condEntry)}
+		s.cond[key] = cc
+	}
+	if cc.builtEpoch != s.epoch {
 		for _, row := range s.rows {
 			gv := row[given]
 			if gv.IsNull() {
 				continue
 			}
-			d, ok := byVal[gv.Key()]
+			s.keyBuf = gv.AppendKey(s.keyBuf[:0])
+			e, ok := cc.byKey[string(s.keyBuf)]
 			if !ok {
-				d = NewDistribution()
-				byVal[gv.Key()] = d
+				e = &condEntry{d: NewDistribution()}
+				cc.byKey[string(s.keyBuf)] = e
 			}
-			d.Observe(row[target])
+			if e.epoch != s.epoch {
+				e.d.Reset()
+				e.epoch = s.epoch
+			}
+			e.d.Observe(row[target])
 		}
-		s.cond[key] = byVal
+		cc.builtEpoch = s.epoch
 	}
-	if d, ok := byVal[val.Key()]; ok {
-		return d
+	s.keyBuf = val.AppendKey(s.keyBuf[:0])
+	if e, ok := cc.byKey[string(s.keyBuf)]; ok && e.epoch == s.epoch {
+		return e.d
 	}
-	return NewDistribution()
+	return emptyDist
 }
 
 // ConditionalMode returns argmax_c P[target = c | given = val], the repair

@@ -28,6 +28,103 @@ type Table struct {
 	// violation-scan buckets in package dc) key their cache on (table,
 	// generation) and rebuild only when the generation moved.
 	gen uint64
+	// edits is a bounded ring of the most recent cell mutations, so index
+	// structures can catch up from an older generation by replaying deltas
+	// instead of rebuilding wholesale (see EditsSince). Allocated lazily on
+	// the first Set so tables that are never mutated pay nothing.
+	edits []CellEdit
+	// editHead is the ring slot the next edit is written to; editLen is the
+	// number of valid entries (≤ len(edits)).
+	editHead, editLen int
+	// minDeltaGen is the oldest generation EditsSince can catch up from:
+	// structural changes (Append, shape-changing CopyFrom) and ring eviction
+	// advance it.
+	minDeltaGen uint64
+}
+
+// CellEdit records one cell mutation: Gen is the table generation after the
+// edit was applied.
+type CellEdit struct {
+	Gen      uint64
+	Row, Col int
+}
+
+// editLogWindow bounds the edit ring. It must comfortably exceed the number
+// of cells a repair pass or a scratch-copy refresh touches on the paper's
+// working tables so that pooled scan indexes stay on the delta path; larger
+// tables degrade gracefully to full rebuilds. The ring starts small
+// (editLogInitial) and doubles on demand, so short-lived clones that absorb
+// a handful of masking edits pay bytes proportional to their history, not
+// the cap.
+const (
+	editLogInitial = 32
+	editLogWindow  = 512
+)
+
+// logEdit appends one mutation to the ring. Call after bumping gen.
+func (t *Table) logEdit(row, col int) {
+	if t.edits == nil {
+		t.edits = make([]CellEdit, editLogInitial)
+	}
+	if t.editLen == len(t.edits) {
+		if n := len(t.edits); n < editLogWindow {
+			// Grow: unroll the full ring (oldest first) into a larger
+			// backing array. The ring is full, so the oldest entry sits at
+			// editHead.
+			grown := make([]CellEdit, 2*n)
+			copied := copy(grown, t.edits[t.editHead:])
+			copy(grown[copied:], t.edits[:t.editHead])
+			t.edits = grown
+			t.editHead = n
+			t.editLen++
+		} else {
+			// Evicting the oldest entry loses history at and before its
+			// generation.
+			t.minDeltaGen = t.edits[t.editHead].Gen
+		}
+	} else {
+		t.editLen++
+	}
+	t.edits[t.editHead] = CellEdit{Gen: t.gen, Row: row, Col: col}
+	t.editHead++
+	if t.editHead == len(t.edits) {
+		t.editHead = 0
+	}
+}
+
+// invalidateEdits marks a structural change (row count or schema shape):
+// delta catch-up is impossible across it.
+func (t *Table) invalidateEdits() {
+	t.minDeltaGen = t.gen
+	t.editLen = 0
+	t.editHead = 0
+}
+
+// EditsSince appends to buf every cell edit with generation in
+// (gen, t.Generation()], oldest first, and reports whether the log still
+// covers that window. ok is false when gen predates the retained history
+// (ring eviction) or a structural change happened since; callers must then
+// rebuild from scratch. A true result with an empty slice means the table
+// is unchanged.
+func (t *Table) EditsSince(gen uint64, buf []CellEdit) ([]CellEdit, bool) {
+	if gen < t.minDeltaGen {
+		return buf, false
+	}
+	if gen >= t.gen {
+		return buf, true
+	}
+	// Oldest retained entry sits editLen slots behind editHead.
+	start := t.editHead - t.editLen
+	if start < 0 {
+		start += len(t.edits)
+	}
+	for i := 0; i < t.editLen; i++ {
+		e := t.edits[(start+i)%len(t.edits)]
+		if e.Gen > gen {
+			buf = append(buf, e)
+		}
+	}
+	return buf, true
 }
 
 // New creates an empty table with the given schema.
@@ -88,6 +185,7 @@ func (t *Table) Append(row []Value) error {
 	}
 	t.rows = append(t.rows, append([]Value(nil), row...))
 	t.gen++
+	t.invalidateEdits()
 	return nil
 }
 
@@ -112,18 +210,22 @@ func (t *Table) GetByName(row int, name string) Value {
 func (t *Table) Set(row, col int, v Value) {
 	t.rows[row][col] = v
 	t.gen++
+	t.logEdit(row, col)
 }
 
 // SetRef overwrites the value at a cell reference.
 func (t *Table) SetRef(ref CellRef, v Value) {
 	t.rows[ref.Row][ref.Col] = v
 	t.gen++
+	t.logEdit(ref.Row, ref.Col)
 }
 
 // SetByName overwrites the value at (row, attribute name).
 func (t *Table) SetByName(row int, name string, v Value) {
-	t.rows[row][t.schema.MustIndex(name)] = v
+	col := t.schema.MustIndex(name)
+	t.rows[row][col] = v
 	t.gen++
+	t.logEdit(row, col)
 }
 
 // Row returns a copy of the i-th row.
@@ -142,6 +244,55 @@ func (t *Table) Clone() *Table {
 		rows[i] = append([]Value(nil), r...)
 	}
 	return &Table{schema: t.schema, rows: rows}
+}
+
+// CopyFrom overwrites the table's contents with src's, reusing the existing
+// row storage when the shape matches. A shape-matching copy records every
+// cell whose content actually changed in the edit log, so scan indexes bound
+// to this table catch up with per-bucket deltas instead of rebuilding; a
+// shape change resets the log. It is the refresh step of the in-place repair
+// protocol (repair.ScratchRepairer): steady-state refreshes of a pooled work
+// table allocate nothing.
+func (t *Table) CopyFrom(src *Table) {
+	if t == src {
+		return
+	}
+	if t.schema == src.schema || (t.schema != nil && t.schema.Equal(src.schema)) {
+		if len(t.rows) == len(src.rows) {
+			for i, srcRow := range src.rows {
+				row := t.rows[i]
+				for j, v := range srcRow {
+					// Exact (kind-sensitive) comparison: SameContent unifies
+					// numeric kinds, but downstream hash-join keys do not, so
+					// the copy must be representation-faithful. NaN compares
+					// unequal to itself and is conservatively re-copied.
+					if row[j] != v {
+						row[j] = v
+						t.gen++
+						t.logEdit(i, j)
+					}
+				}
+			}
+			t.schema = src.schema
+			return
+		}
+	}
+	t.schema = src.schema
+	if cap(t.rows) >= len(src.rows) {
+		t.rows = t.rows[:len(src.rows)]
+	} else {
+		t.rows = make([][]Value, len(src.rows))
+	}
+	for i, srcRow := range src.rows {
+		if cap(t.rows[i]) >= len(srcRow) {
+			t.rows[i] = t.rows[i][:len(srcRow)]
+			copy(t.rows[i], srcRow)
+		} else {
+			t.rows[i] = append([]Value(nil), srcRow...)
+		}
+	}
+	t.gen++
+	t.invalidateEdits()
 }
 
 // Equal reports whether two tables have equal schemas and cell-wise

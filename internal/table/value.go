@@ -132,6 +132,48 @@ func (v Value) Key() string {
 	}
 }
 
+// AppendKey appends the canonical Key bytes to buf and returns the extended
+// slice. It exists for hot paths (distribution maintenance, hash-join
+// bucketing) that look keys up via the compiler's alloc-free
+// map[string(bytes)] access instead of materializing a fresh string per
+// probe; Key is AppendKey into an empty buffer.
+func (v Value) AppendKey(buf []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(buf, "\x00N"...)
+	case KindString:
+		return append(append(buf, "\x00S"...), v.s...)
+	case KindInt:
+		return strconv.AppendInt(append(buf, "\x00I"...), v.i, 10)
+	case KindFloat:
+		return strconv.AppendFloat(append(buf, "\x00F"...), v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.AppendBool(append(buf, "\x00B"...), v.b)
+	default:
+		return append(buf, "\x00?"...)
+	}
+}
+
+// AppendJoinKey appends a key canonical under the = predicate's equality
+// relation: two non-null values satisfy Equal if and only if their join
+// keys match. Numerics collapse to one tag with a normalized float64
+// rendering (the exact relation sameNonNull uses, with -0 folded into 0),
+// unlike AppendKey, whose identity keys keep int 1 and float 1.0 distinct.
+// Hash-join bucketing must use this form: a kind-sensitive key would
+// separate rows the equality predicate joins, silently dropping
+// violations. (NaN never equals anything; bucketing NaNs together is
+// harmless because bucket partners are always re-verified.)
+func (v Value) AppendJoinKey(buf []byte) []byte {
+	if isNumeric(v.kind) {
+		f := v.asFloat()
+		if f == 0 {
+			f = 0 // fold -0.0 into 0.0: they are = under the predicate
+		}
+		return strconv.AppendFloat(append(buf, "\x00#"...), f, 'g', -1, 64)
+	}
+	return v.AppendKey(buf)
+}
+
 // Equal reports strict equality: both values non-null, same kind (with
 // int/float unified numerically), same content. Null never equals anything,
 // including another null — mirroring SQL's NULL = NULL → unknown. Use
