@@ -9,6 +9,7 @@
 //	trex-bench -list
 //	trex-bench -perf -out BENCH_1.json   # machine-readable perf scenarios
 //	trex-bench -perf -short              # CI smoke subset, no file
+//	trex-bench -gate BENCH_3.json -against BENCH_2.json   # perf-regression gate
 package main
 
 import (
@@ -23,14 +24,28 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id or 'all'")
-		list  = flag.Bool("list", false, "list experiment ids")
-		perf  = flag.Bool("perf", false, "run the perf scenarios (ns/op, allocs/op) instead of experiments")
-		out   = flag.String("out", "", "with -perf: write the JSON report to this path (e.g. BENCH_1.json)")
-		short = flag.Bool("short", false, "with -perf: skip the slow end-to-end scenarios")
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids")
+		perf    = flag.Bool("perf", false, "run the perf scenarios (ns/op, allocs/op) instead of experiments")
+		out     = flag.String("out", "", "with -perf: write the JSON report to this path (e.g. BENCH_1.json)")
+		short   = flag.Bool("short", false, "with -perf: skip the slow end-to-end scenarios")
+		gate    = flag.String("gate", "", "compare this BENCH_<n>.json against -against and fail on regression")
+		against = flag.String("against", "", "with -gate: the baseline BENCH_<n>.json")
+		tol     = flag.Float64("gate-tolerance", 0.25, "with -gate: allowed ns/op regression fraction")
 	)
 	flag.Parse()
 
+	if *gate != "" {
+		if *against == "" {
+			fmt.Fprintln(os.Stderr, "trex-bench: -gate requires -against <baseline.json>")
+			os.Exit(2)
+		}
+		if err := bench.Gate(os.Stdout, *against, *gate, *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "trex-bench: gate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range bench.IDs() {
 			fmt.Printf("%-12s %s\n", id, bench.Describe(id))

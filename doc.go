@@ -39,14 +39,56 @@
 //     refreshes a pooled work table (table.CopyFrom logs per-cell deltas)
 //     and repairs it in place with pooled per-run buffers — statistics
 //     (table.Stats.Reset), scan indexes, candidate domains — so the whole
-//     eval→repair round trip allocates nothing in steady state. The scan
-//     index follows single-cell edits through the table's bounded edit log
-//     (table.EditsSince), rebuilding only the buckets whose composite key
-//     involves the edited column. Both cell and group games drive the
-//     samplers through CoalitionWalk, and pooled snapshots are
-//     generation-guarded so Session edits between evaluations re-snapshot
-//     instead of silently corrupting estimates. Golden tests pin
-//     RepairInto to Repair and both walks to the clone paths bit for bit.
+//     eval→repair round trip allocates nothing in steady state. Both cell
+//     and group games drive the samplers through CoalitionWalk, and pooled
+//     snapshots are generation-guarded so Session edits between
+//     evaluations re-snapshot instead of silently corrupting estimates.
+//     Golden tests pin RepairInto to Repair and both walks to the clone
+//     paths bit for bit.
+//
+// # The violation index
+//
+// Violation detection — "which pairs jointly satisfy a denied
+// conjunction?" — is the inner question of every repair pass and every
+// coalition evaluation. It is answered by three stacked layers in
+// internal/dc, each maintained incrementally off the table's bounded edit
+// log (table.EditsSince) and each with a strictly coarser invalidation
+// trigger than the one below:
+//
+//   - bucketSet: one hash partition of the table over one join-column
+//     signature (the composite of a constraint's t1.A = t2.A attributes,
+//     canonicalized so int 1 ≡ float 1.0 and ±0.0 collapse; null and NaN
+//     join cells exclude the row, since NULL = x is unknown and
+//     NaN ≠ NaN). A cell edit moves one row between two buckets; only a
+//     structural change (row count, schema) or edit-log overrun forces a
+//     rebuild.
+//   - ScanIndex: the per-goroutine cache of bucketSets keyed on (table
+//     pointer, generation) plus, per constraint, the memoized join-column
+//     resolution and the compiled predicate kernel (Kernel): every
+//     operand's column index resolved once, evaluation running
+//     predicate-at-a-time over a bucket's candidate rows with the fixed
+//     operand hoisted and compared through typed column views
+//     (table.IntCol/FloatCol/StringCol). Kernels and column resolutions
+//     are schema-scoped — re-pointing the index at a clone recompiles
+//     nothing — while buckets are table-scoped. The interpreted evaluator
+//     (Predicate.Eval / SatisfiedPair) remains the cross-validation
+//     reference: every nil-index scan runs it, and property tests fuzz
+//     kernel against interpreter across randomized schemas, NaN/±0.0
+//     values and all six operators.
+//   - LiveViolationSet: the materialized answer — per-(constraint, table)
+//     violation-pair lists, sorted (Row1, Row2). A cell edit retracts the
+//     edited row's pairs and re-derives them against the row's current
+//     bucket; a full re-derivation (first query, log overrun, table
+//     switch) fans out across disjoint buckets on a worker pool for large
+//     tables. Lists are golden-tested bit-identical to full rescans under
+//     randomized edit sequences. All four black boxes consume it (the
+//     rule and detect loops read lists, the FD chase visits only
+//     violating groups), core.Session serves it to the edit loop
+//     (Session.Violations, GET /api/session/{id}/violations), and the
+//     Shapley samplers drive it implicitly: every mask/unmask SetRef and
+//     every work-table refresh lands in the edit log, so the pooled run
+//     state of the next repair pays per-edit maintenance instead of
+//     per-bucket-squared rescans.
 //
 // Layout:
 //

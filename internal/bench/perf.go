@@ -268,6 +268,24 @@ func perfScenarios(short bool) ([]perfScenario, error) {
 				}
 			}
 		}},
+		// The live violation index: the same edit-per-scan workload, but the
+		// violation *list* is maintained too — an edit retracts and
+		// re-derives one row's pairs instead of re-checking every
+		// intra-bucket pair. This row is the PR 3 headline against
+		// violations/edit/delta.
+		perfScenario{"violations/edit/live", func(b *testing.B) {
+			live := dc.NewLiveViolationSet()
+			if _, err := live.Violations(fd, editTable); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				editTable.Set(1, countryCol, editValues[i%2])
+				if _, err := live.Violations(fd, editTable); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		// Point queries after an edit: the session workload (edit one cell,
 		// re-check one row). A fresh index pays a full O(rows) bucket build
 		// per query; the pooled index replays one edit.
@@ -289,6 +307,58 @@ func perfScenarios(short bool) ([]perfScenario, error) {
 			for i := 0; i < b.N; i++ {
 				editTable.Set(1, countryCol, editValues[i%2])
 				if _, err := fd.ViolatesRowCached(editTable, 1, ix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+
+	// Large-table scans: the pair-check inner loop dominates here, so these
+	// rows isolate the compiled-kernel win and the parallel full
+	// derivation. 128 leagues × 24 teams = 3072 rows, FD-shaped buckets of
+	// 24 rows each (large enough to cross the live set's parallel-derive
+	// threshold). The fixtures are built inside each scenario, behind
+	// ResetTimer: megabytes of eagerly-retained setup would shift GC pacing
+	// for every allocation-heavy scenario measured in the same process.
+	bigSoccer := func() (*table.Table, *dc.Constraint) {
+		big := data.GenerateSoccer(data.SoccerConfig{Leagues: 128, TeamsPerLeague: 24, Seed: 13})
+		return big, dc.MustParse("C1: !(t1.League = t2.League & t1.Country != t2.Country)")
+	}
+	out = append(out,
+		perfScenario{"violations/scan-cache/large", func(b *testing.B) {
+			big, bigFD := bigSoccer()
+			ix := dc.NewScanIndex()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bigFD.ViolationsCached(big, ix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{"violations/live/derive/large", func(b *testing.B) {
+			big, bigFD := bigSoccer()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				live := dc.NewLiveViolationSet()
+				if _, err := live.Violations(bigFD, big); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{"violations/edit/live/large", func(b *testing.B) {
+			big, bigFD := bigSoccer()
+			live := dc.NewLiveViolationSet()
+			if _, err := live.Violations(bigFD, big); err != nil {
+				b.Fatal(err)
+			}
+			col := big.Schema().MustIndex("Country")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				big.Set(7, col, editValues[i%2])
+				if _, err := live.Violations(bigFD, big); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -324,6 +394,9 @@ func RunPerf(w io.Writer, short bool) (*PerfReport, error) {
 	}
 	report := &PerfReport{Go: runtime.Version(), GOARCH: runtime.GOARCH, GOOS: runtime.GOOS}
 	for _, s := range scenarios {
+		// Start every scenario from a collected heap so one scenario's
+		// garbage does not skew the GC pacing of the next.
+		runtime.GC()
 		r := testing.Benchmark(s.bench)
 		if r.N == 0 {
 			// testing.Benchmark swallows b.Fatal into a zero result; a zero
@@ -345,19 +418,46 @@ func RunPerf(w io.Writer, short bool) (*PerfReport, error) {
 }
 
 // WritePerfJSON runs the perf scenarios and writes the report to path as
-// indented JSON — the BENCH_<n>.json artifact of a perf PR.
+// indented JSON — the BENCH_<n>.json artifact of a perf PR. The report is
+// staged in a sibling temp file created *before* the scenarios run, so an
+// unwritable destination fails in milliseconds instead of after minutes
+// of benchmarking, and only renamed over path on full success: a failed
+// run can neither clobber a pre-existing report nor leave a truncated
+// one, and every write and close error is fatal — CI uploads this file as
+// an artifact, and a silent write failure would upload nothing while the
+// job reports green.
 func WritePerfJSON(w io.Writer, path string, short bool) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("bench: creating perf report %s: %w", tmp, err)
+	}
+	discard := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
 	report, err := RunPerf(w, short)
 	if err != nil {
+		discard()
 		return err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
+		discard()
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
+	if _, err := f.Write(data); err != nil {
+		discard()
+		return fmt.Errorf("bench: writing perf report %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("bench: closing perf report %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("bench: publishing perf report %s: %w", path, err)
 	}
 	fmt.Fprintf(w, "wrote %s (%d scenarios)\n", path, len(report.Results))
 	return nil

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// GateResult is one compared scenario of a perf gate run.
+type GateResult struct {
+	Name    string
+	OldNs   float64
+	NewNs   float64
+	Ratio   float64 // NewNs / OldNs
+	Regress bool
+}
+
+// Gate compares two BENCH_<n>.json reports and fails when any scenario
+// present in both regressed by more than tolerance in ns/op (tolerance
+// 0.25 = fail above 1.25× the old time). Scenarios that exist on only one
+// side are reported but never fail the gate: new PRs add rows, and rows
+// the tracked series dropped are a review question, not a build break.
+// Same-machine artifacts are assumed — the gate compares two committed
+// files from one perf run environment, not a fresh run against history.
+func Gate(w io.Writer, oldPath, newPath string, tolerance float64) error {
+	oldReport, err := readPerfJSON(oldPath)
+	if err != nil {
+		return err
+	}
+	newReport, err := readPerfJSON(newPath)
+	if err != nil {
+		return err
+	}
+	results, onlyOld, onlyNew := CompareReports(oldReport, newReport, tolerance)
+	if len(results) == 0 {
+		return fmt.Errorf("bench: gate: %s and %s share no scenarios", oldPath, newPath)
+	}
+	var failed []GateResult
+	for _, r := range results {
+		status := "ok"
+		if r.Regress {
+			status = "REGRESSION"
+			failed = append(failed, r)
+		}
+		fmt.Fprintf(w, "%-44s %12.1f -> %12.1f ns/op  %6.2fx  %s\n", r.Name, r.OldNs, r.NewNs, r.Ratio, status)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "%-44s dropped from the tracked series\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "%-44s new scenario (no baseline)\n", name)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("bench: gate: %d scenario(s) regressed beyond %.0f%%: %s",
+			len(failed), tolerance*100, failed[0].Name)
+	}
+	return nil
+}
+
+// CompareReports pairs up the scenarios of two reports by name. Results
+// are in the old report's order; the extra name lists are sorted.
+func CompareReports(oldReport, newReport *PerfReport, tolerance float64) (results []GateResult, onlyOld, onlyNew []string) {
+	newByName := make(map[string]PerfResult, len(newReport.Results))
+	for _, r := range newReport.Results {
+		newByName[r.Name] = r
+	}
+	matched := make(map[string]bool)
+	for _, o := range oldReport.Results {
+		n, ok := newByName[o.Name]
+		if !ok {
+			onlyOld = append(onlyOld, o.Name)
+			continue
+		}
+		matched[o.Name] = true
+		r := GateResult{Name: o.Name, OldNs: o.NsPerOp, NewNs: n.NsPerOp}
+		if o.NsPerOp > 0 {
+			r.Ratio = n.NsPerOp / o.NsPerOp
+			r.Regress = r.Ratio > 1+tolerance
+		}
+		results = append(results, r)
+	}
+	for _, n := range newReport.Results {
+		if !matched[n.Name] {
+			onlyNew = append(onlyNew, n.Name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return results, onlyOld, onlyNew
+}
+
+// readPerfJSON loads a BENCH_<n>.json report.
+func readPerfJSON(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading perf report: %w", err)
+	}
+	var report PerfReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("bench: parsing perf report %s: %w", path, err)
+	}
+	if len(report.Results) == 0 {
+		return nil, fmt.Errorf("bench: perf report %s has no results", path)
+	}
+	return &report, nil
+}

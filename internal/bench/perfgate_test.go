@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rows []PerfResult) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(&PerfReport{Go: "gotest", Results: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []PerfResult{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 1000},
+		{Name: "dropped", NsPerOp: 5},
+	})
+	newPath := writeReport(t, dir, "new.json", []PerfResult{
+		{Name: "a", NsPerOp: 120},   // +20% < 25%: ok
+		{Name: "b", NsPerOp: 400},   // improvement
+		{Name: "fresh", NsPerOp: 9}, // new row: never fails
+	})
+	var out bytes.Buffer
+	if err := Gate(&out, oldPath, newPath, 0.25); err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"dropped from the tracked series", "new scenario"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("gate output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []PerfResult{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 100},
+	})
+	newPath := writeReport(t, dir, "new.json", []PerfResult{
+		{Name: "a", NsPerOp: 126}, // +26% > 25%: regression
+		{Name: "b", NsPerOp: 99},
+	})
+	var out bytes.Buffer
+	err := Gate(&out, oldPath, newPath, 0.25)
+	if err == nil {
+		t.Fatalf("gate must fail on a >25%% regression\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("unexpected gate failure shape: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateErrorsOnBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", []PerfResult{{Name: "a", NsPerOp: 1}})
+	if err := Gate(os.Stderr, filepath.Join(dir, "missing.json"), good, 0.25); err == nil {
+		t.Fatal("gate must fail on a missing baseline")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Gate(os.Stderr, good, empty, 0.25); err == nil {
+		t.Fatal("gate must fail on an empty report")
+	}
+	disjoint := writeReport(t, dir, "disjoint.json", []PerfResult{{Name: "z", NsPerOp: 1}})
+	var out bytes.Buffer
+	if err := Gate(&out, good, disjoint, 0.25); err == nil {
+		t.Fatal("gate must fail when no scenarios are shared")
+	}
+}
+
+// TestWritePerfJSONFailsFastOnUnwritablePath is the satellite regression
+// test: an unwritable output path must fail before any benchmark runs
+// (the file is created up front), with a non-nil error for main to turn
+// into a non-zero exit.
+func TestWritePerfJSONFailsFastOnUnwritablePath(t *testing.T) {
+	var out bytes.Buffer
+	err := WritePerfJSON(&out, filepath.Join(t.TempDir(), "no-such-dir", "x.json"), true)
+	if err == nil {
+		t.Fatal("WritePerfJSON must fail on an unwritable path")
+	}
+	if !strings.Contains(err.Error(), "creating perf report") {
+		t.Fatalf("error %q does not indicate a create failure", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("scenarios ran before the path was validated:\n%s", out.String())
+	}
+}

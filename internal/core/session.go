@@ -19,6 +19,9 @@ type Session struct {
 	dirty *table.Table
 	// History records one line per edit, oldest first.
 	History []string
+	// live materializes the session's violation lists and maintains them
+	// incrementally across SetCell edits (allocated on first use).
+	live *dc.LiveViolationSet
 }
 
 // NewSession starts an iterative session; the table is cloned so caller
@@ -82,6 +85,38 @@ func (s *Session) AddDC(text string) error {
 	s.dcs = append(s.dcs, c)
 	s.History = append(s.History, "added "+c.String())
 	return nil
+}
+
+// Violations returns the current violations of every session constraint
+// over the live dirty table, in constraint order and (Row1, Row2) order
+// within a constraint — the inspection view of the iterative loop ("what
+// is still broken?"). The lists are materialized once and then maintained
+// incrementally: each SetCell retracts and re-derives only the edited
+// row's pairs, so polling this between edits costs per-edit, not
+// per-table, work. The returned slice is owned by the caller.
+func (s *Session) Violations() ([]dc.Violation, error) {
+	if s.live == nil {
+		s.live = dc.NewLiveViolationSet()
+	}
+	var out []dc.Violation
+	for _, c := range s.dcs {
+		var err error
+		out, err = s.live.Append(c, s.dirty, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Consistent reports whether the session's dirty table currently satisfies
+// every constraint, off the same incrementally-maintained lists.
+func (s *Session) Consistent() (bool, error) {
+	vs, err := s.Violations()
+	if err != nil {
+		return false, err
+	}
+	return len(vs) == 0, nil
 }
 
 // Repair runs the black box on the session's current state.

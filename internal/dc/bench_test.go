@@ -52,6 +52,95 @@ func BenchmarkViolationsIndexed(b *testing.B) {
 	}
 }
 
+// BenchmarkBucketScanKernelVsInterpreted isolates the pair-check inner
+// loop on one shared bucket list: the compiled columnar kernel against the
+// interpreted SatisfiedPair, same pairs, same table.
+func BenchmarkBucketScanKernelVsInterpreted(b *testing.B) {
+	c := MustParse("!(t1.League = t2.League & t1.Country != t2.Country)")
+	tbl := benchTable(512)
+	rows := make([]int, 0, 256)
+	for i := 0; i < tbl.NumRows(); i += 2 {
+		rows = append(rows, i) // every even row: one league's bucket
+	}
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hits := 0
+			for _, r := range rows {
+				for _, s := range rows {
+					if r == s {
+						continue
+					}
+					sat, err := c.SatisfiedPair(tbl, r, s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if sat {
+						hits++
+					}
+				}
+			}
+		}
+	})
+	b.Run("kernel", func(b *testing.B) {
+		kern, err := compileKernel(c, tbl.Schema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		alive := make([]bool, len(rows))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hits := 0
+			for n, r := range rows {
+				for m := range alive {
+					alive[m] = m != n
+				}
+				kern.Filter(tbl, 0, r, rows, alive)
+				for _, a := range alive {
+					if a {
+						hits++
+					}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkLiveViolationEdit measures the per-edit steady state of the
+// live set against re-scanning every intra-bucket pair per query.
+func BenchmarkLiveViolationEdit(b *testing.B) {
+	c := MustParse("!(t1.League = t2.League & t1.Country != t2.Country)")
+	tbl := benchTable(512)
+	countryCol := tbl.Schema().MustIndex("Country")
+	vals := [2]table.Value{table.String("Country0"), table.String("Flip")}
+	b.Run("scan-cache", func(b *testing.B) {
+		ix := NewScanIndex()
+		if _, err := c.ViolationsCached(tbl, ix); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl.Set(3, countryCol, vals[i%2])
+			if _, err := c.ViolationsCached(tbl, ix); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		live := NewLiveViolationSet()
+		if _, err := live.Violations(c, tbl); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl.Set(3, countryCol, vals[i%2])
+			if _, err := live.Violations(c, tbl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkParse(b *testing.B) {
 	const src = "C4: !(t1.Team != t2.Team & t1.Year = t2.Year & t1.League = t2.League & t1.Place = t2.Place)"
 	b.ReportAllocs()

@@ -1,0 +1,150 @@
+package dc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// partitionOf flattens a bucketSet to a row → sorted-co-members view, the
+// semantic content of the partition (slot numbering is allowed to differ
+// between a replayed and a rebuilt set: interning order depends on
+// history).
+func partitionOf(t *testing.T, bs *bucketSet, tbl *table.Table) [][]int {
+	t.Helper()
+	out := make([][]int, tbl.NumRows())
+	for row := 0; row < tbl.NumRows(); row++ {
+		slot := bs.rowBucket[row]
+		if slot < 0 {
+			continue
+		}
+		members := bs.members[slot]
+		found := false
+		for _, m := range members {
+			if m == row {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("row %d claims slot %d but is not in its members %v", row, slot, members)
+		}
+		out[row] = members
+	}
+	// Invariant: every member list is ascending and consistent with
+	// rowBucket; retired slots must not leak rows.
+	total := 0
+	for slot := 0; slot < bs.nSlots; slot++ {
+		rows := bs.members[slot]
+		for i, r := range rows {
+			if i > 0 && rows[i-1] >= r {
+				t.Fatalf("slot %d members not strictly ascending: %v", slot, rows)
+			}
+			if bs.rowBucket[r] != slot {
+				t.Fatalf("slot %d lists row %d, but rowBucket[%d] = %d", slot, r, r, bs.rowBucket[r])
+			}
+			total++
+		}
+	}
+	excluded := 0
+	for _, s := range bs.rowBucket {
+		if s < 0 {
+			excluded++
+		}
+	}
+	if total+excluded != tbl.NumRows() {
+		t.Fatalf("partition covers %d rows + %d excluded, table has %d", total, excluded, tbl.NumRows())
+	}
+	return out
+}
+
+// assertSamePartition compares the replayed and rebuilt partitions row by
+// row.
+func assertSamePartition(t *testing.T, label string, replayed, rebuilt *bucketSet, tbl *table.Table) {
+	t.Helper()
+	a := partitionOf(t, replayed, tbl)
+	b := partitionOf(t, rebuilt, tbl)
+	for row := range a {
+		if (a[row] == nil) != (b[row] == nil) {
+			t.Fatalf("%s: row %d: replayed excluded=%v, rebuilt excluded=%v", label, row, a[row] == nil, b[row] == nil)
+		}
+		if fmt.Sprint(a[row]) != fmt.Sprint(b[row]) {
+			t.Fatalf("%s: row %d: replayed bucket %v, rebuilt bucket %v", label, row, a[row], b[row])
+		}
+	}
+}
+
+// TestBucketReplayEquivalentToRebuild is the satellite fuzz: replaying an
+// edit batch through bucketSet.apply — which re-keys each edited row from
+// the *final* table state, once per logged edit — must yield the same
+// partition as a from-scratch rebuild. The batch generator is biased
+// toward the suspicious histories: repeated edits to the same row/column,
+// edits that move a row out of a bucket and back into it, null and NaN
+// transitions, and interleaved edits to multiple signature columns.
+func TestBucketReplayEquivalentToRebuild(t *testing.T) {
+	values := []table.Value{
+		table.String("k0"), table.String("k1"), table.String("k2"),
+		table.Int(7), table.Float(7.0), table.Float(0.0),
+		table.Float(math.Copysign(0, -1)), table.Float(math.NaN()), table.Null(),
+	}
+	signatures := [][]int{{0}, {1}, {0, 1}, {0, 2}, {0, 1, 2}}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		nRows := 4 + rng.Intn(16)
+		grid := make([][]string, nRows)
+		for i := range grid {
+			grid[i] = []string{
+				fmt.Sprintf("k%d", rng.Intn(3)),
+				fmt.Sprintf("k%d", rng.Intn(2)),
+				fmt.Sprintf("k%d", rng.Intn(2)),
+			}
+		}
+		tbl := table.MustFromStrings([]string{"A", "B", "C"}, grid)
+
+		var keyBuf []byte
+		replayed := make([]*bucketSet, len(signatures))
+		for s, cols := range signatures {
+			replayed[s] = &bucketSet{cols: cols, idx: make(map[string]int)}
+			replayed[s].rebuild(tbl, &keyBuf)
+		}
+		gen := tbl.Generation()
+
+		for batch := 0; batch < 10; batch++ {
+			// One batch: a burst of edits with deliberate repetition.
+			focusRow := rng.Intn(nRows)
+			focusCol := rng.Intn(3)
+			nEdits := 1 + rng.Intn(12)
+			for e := 0; e < nEdits; e++ {
+				row, col := focusRow, focusCol
+				switch rng.Intn(4) {
+				case 0:
+					// Out-and-back: overwrite with the current value's
+					// neighbour, then restore the original.
+					was := tbl.Get(row, col)
+					tbl.Set(row, col, values[rng.Intn(len(values))])
+					tbl.Set(row, col, was)
+				case 1:
+					// Same row/column again.
+					tbl.Set(row, col, values[rng.Intn(len(values))])
+				default:
+					tbl.Set(rng.Intn(nRows), rng.Intn(3), values[rng.Intn(len(values))])
+				}
+			}
+
+			edits, ok := tbl.EditsSince(gen, nil)
+			if !ok {
+				t.Fatalf("trial %d batch %d: edit log overran inside the window", trial, batch)
+			}
+			gen = tbl.Generation()
+			for s, cols := range signatures {
+				replayed[s].apply(tbl, edits, &keyBuf)
+				rebuilt := &bucketSet{cols: cols, idx: make(map[string]int)}
+				rebuilt.rebuild(tbl, &keyBuf)
+				assertSamePartition(t, fmt.Sprintf("trial %d batch %d sig %v", trial, batch, cols), replayed[s], rebuilt, tbl)
+			}
+		}
+	}
+}

@@ -130,14 +130,19 @@ func (c *Constraint) joinCols(t *table.Table) []int {
 // appendCompositeKey appends the hash-join key of row i over cols to buf:
 // every join column's equality-canonical key (Value.AppendJoinKey, which
 // unifies numeric kinds exactly as the = predicate does) joined with a
-// separator. ok is false when any join column is null — such rows can
-// never satisfy the equality predicates, so they are excluded from
-// bucketing entirely. The byte form lets callers probe bucket maps via the
-// compiler's alloc-free map[string(bytes)] access.
+// separator. ok is false when any join column is null or NaN — such rows
+// can never satisfy the equality predicates (NULL = x is unknown and
+// NaN ≠ NaN), so they are excluded from bucketing entirely. Keying NaN
+// rows into a shared bucket instead would be sound only for consumers that
+// re-verify every pair; consumers that trust the partition as an equality
+// grouping (ForEachJoinGroup, the FD chase) would treat NaN rows as
+// joined when the = predicate says they never are. The byte form lets
+// callers probe bucket maps via the compiler's alloc-free
+// map[string(bytes)] access.
 func appendCompositeKey(buf []byte, t *table.Table, row int, cols []int) ([]byte, bool) {
 	for n, col := range cols {
 		v := t.Get(row, col)
-		if v.IsNull() {
+		if v.IsNull() || v.IsNaN() {
 			return buf, false
 		}
 		if n > 0 {
@@ -285,17 +290,25 @@ type ScanIndex struct {
 	gen    uint64
 	// perCols maps column signature -> incrementally-maintained partition.
 	perCols map[string]*bucketSet
-	// colsOf memoizes each constraint's resolved join columns and their
-	// signature: they depend only on the constraint and the schema, and
-	// the per-row hot loops below would otherwise re-derive them per call.
+	// colsOf memoizes each constraint's resolved join columns, their
+	// signature, and the compiled predicate kernel: all three depend only
+	// on the constraint and the schema, and the per-row hot loops below
+	// would otherwise re-derive them per call.
 	colsOf  map[*Constraint]colsEntry
 	editBuf []table.CellEdit
 	keyBuf  []byte
+	// alive is the shared survivor mask for columnar bucket filtering.
+	alive []bool
 }
 
 type colsEntry struct {
 	cols []int
 	sig  string
+	// kern is the constraint body compiled against the table's schema;
+	// kernErr records a compile failure (unknown attribute), surfaced on
+	// use with the interpreter's error text.
+	kern    *Kernel
+	kernErr error
 }
 
 // NewScanIndex returns an empty scan cache.
@@ -306,19 +319,48 @@ func NewScanIndex() *ScanIndex {
 	}
 }
 
-// joinColsFor resolves (memoized) c's join columns and signature over t's
-// schema. Safe across generations of one table — schemas are immutable —
-// but invalidated when the index moves to a different table or the bound
-// table's schema is swapped by a shape-changing CopyFrom.
-func (ix *ScanIndex) joinColsFor(c *Constraint, t *table.Table) ([]int, string) {
+// maxColsEntries bounds the per-constraint memo of a long-lived index;
+// beyond it (a server session cycling AddDC/RemoveDC forever) the memo is
+// dropped rather than pinning a compiled kernel for every constraint ever
+// queried.
+const maxColsEntries = 256
+
+// entryFor resolves (memoized) c's join columns, signature and compiled
+// kernel over t's schema. Safe across generations of one table — schemas
+// are immutable — but invalidated when the index moves to a different
+// table or the bound table's schema is swapped by a shape-changing
+// CopyFrom.
+func (ix *ScanIndex) entryFor(c *Constraint, t *table.Table) colsEntry {
 	ix.sync(t)
 	if e, ok := ix.colsOf[c]; ok {
-		return e.cols, e.sig
+		return e
+	}
+	if len(ix.colsOf) >= maxColsEntries {
+		clear(ix.colsOf)
 	}
 	cols := c.joinCols(t)
 	e := colsEntry{cols: cols, sig: colsSignature(cols)}
+	e.kern, e.kernErr = compileKernel(c, t.Schema())
 	ix.colsOf[c] = e
-	return e.cols, e.sig
+	return e
+}
+
+// kernelFor returns c's compiled predicate kernel over t's schema.
+func (ix *ScanIndex) kernelFor(c *Constraint, t *table.Table) (*Kernel, error) {
+	e := ix.entryFor(c, t)
+	return e.kern, e.kernErr
+}
+
+// aliveFor returns the shared survivor mask resized to n, every entry true.
+func (ix *ScanIndex) aliveFor(n int) []bool {
+	if cap(ix.alive) < n {
+		ix.alive = make([]bool, n)
+	}
+	ix.alive = ix.alive[:n]
+	for i := range ix.alive {
+		ix.alive[i] = true
+	}
+	return ix.alive
 }
 
 // sync points the index at t, catching up from the table's edit log when
@@ -339,8 +381,10 @@ func (ix *ScanIndex) sync(t *table.Table) {
 			ix.gen = t.Generation()
 			return
 		}
-	} else {
-		// New table or swapped schema: column resolutions are stale too.
+	} else if ix.schema != t.Schema() {
+		// Column resolutions and compiled kernels are schema-scoped, not
+		// table-scoped: pointing the index at a clone (which shares its
+		// source's schema) must not recompile every constraint per run.
 		clear(ix.colsOf)
 	}
 	ix.tbl = t
@@ -354,14 +398,14 @@ func (ix *ScanIndex) sync(t *table.Table) {
 // bucketSetFor returns the synced partition for c over t, or nil when the
 // constraint has no equality join key.
 func (ix *ScanIndex) bucketSetFor(c *Constraint, t *table.Table) *bucketSet {
-	cols, sig := ix.joinColsFor(c, t)
-	if len(cols) == 0 {
+	e := ix.entryFor(c, t)
+	if len(e.cols) == 0 {
 		return nil
 	}
-	bs, ok := ix.perCols[sig]
+	bs, ok := ix.perCols[e.sig]
 	if !ok {
-		bs = &bucketSet{cols: cols, idx: make(map[string]int), stale: true}
-		ix.perCols[sig] = bs
+		bs = &bucketSet{cols: e.cols, idx: make(map[string]int), stale: true}
+		ix.perCols[e.sig] = bs
 	}
 	if bs.stale {
 		bs.rebuild(t, &ix.keyBuf)
@@ -404,7 +448,9 @@ func (c *Constraint) ViolationsCached(t *table.Table, ix *ScanIndex) ([]Violatio
 // AppendViolations appends every violation of the constraint to out and
 // returns the extended slice, so hot loops (repair passes re-scanning after
 // each fix) can reuse one buffer across calls. Output order and contents
-// match Violations exactly.
+// match Violations exactly. With an index, intra-bucket pairs are checked
+// through the compiled columnar kernel; without one, the interpreted scan
+// runs (the cross-validation reference).
 func (c *Constraint) AppendViolations(t *table.Table, ix *ScanIndex, out []Violation) ([]Violation, error) {
 	if c.SingleTuple() || ix == nil {
 		return c.appendViolationsScan(t, out)
@@ -413,30 +459,30 @@ func (c *Constraint) AppendViolations(t *table.Table, ix *ScanIndex, out []Viola
 	if bs == nil {
 		return c.appendViolationsScan(t, out)
 	}
+	kern, err := ix.kernelFor(c, t)
+	if err != nil {
+		return out, err
+	}
 	base := len(out)
 	for _, rows := range bs.members[:bs.nSlots] {
-		for _, i := range rows {
-			for _, j := range rows {
-				if i == j {
-					continue
-				}
-				sat, err := c.SatisfiedPair(t, i, j)
-				if err != nil {
-					return out, err
-				}
-				if sat {
+		if len(rows) < 2 {
+			continue
+		}
+		alive := ix.aliveFor(len(rows))
+		for n, i := range rows {
+			for m := range alive {
+				alive[m] = m != n
+			}
+			kern.Filter(t, 0, i, rows, alive)
+			for m, j := range rows {
+				if alive[m] {
 					out = append(out, Violation{Constraint: c, Row1: i, Row2: j})
 				}
 			}
 		}
 	}
 	added := out[base:]
-	slices.SortFunc(added, func(a, b Violation) int {
-		if a.Row1 != b.Row1 {
-			return a.Row1 - b.Row1
-		}
-		return a.Row2 - b.Row2
-	})
+	slices.SortFunc(added, violationOrder)
 	return out, nil
 }
 
@@ -498,12 +544,7 @@ func (c *Constraint) appendViolationsScan(t *table.Table, out []Violation) ([]Vi
 		}
 	}
 	added := out[base:]
-	slices.SortFunc(added, func(a, b Violation) int {
-		if a.Row1 != b.Row1 {
-			return a.Row1 - b.Row1
-		}
-		return a.Row2 - b.Row2
-	})
+	slices.SortFunc(added, violationOrder)
 	return out, nil
 }
 
@@ -525,19 +566,21 @@ func (c *Constraint) ViolatesRowCached(t *table.Table, i int, ix *ScanIndex) (bo
 	}
 	slot := bs.rowBucket[i]
 	if slot < 0 {
-		// A null join key makes every equality predicate unknown: row i
-		// cannot participate in any pair violation of this constraint.
+		// A null join key makes every equality predicate unknown, and a NaN
+		// join key can never satisfy = : row i cannot participate in any
+		// pair violation of this constraint.
 		return false, nil
+	}
+	kern, err := ix.kernelFor(c, t)
+	if err != nil {
+		return false, err
 	}
 	for _, j := range bs.members[slot] {
 		if j == i {
 			continue
 		}
-		if sat, err := c.SatisfiedPair(t, i, j); err != nil || sat {
-			return sat, err
-		}
-		if sat, err := c.SatisfiedPair(t, j, i); err != nil || sat {
-			return sat, err
+		if kern.Pair(t, i, j) || kern.Pair(t, j, i) {
+			return true, nil
 		}
 	}
 	return false, nil
@@ -585,9 +628,19 @@ func (c *Constraint) ViolationPairsForRow(t *table.Table, i int, ix *ScanIndex) 
 			if slot < 0 {
 				return 0, nil
 			}
+			kern, err := ix.kernelFor(c, t)
+			if err != nil {
+				return 0, err
+			}
 			for _, j := range bs.members[slot] {
-				if err := count(j); err != nil {
-					return 0, err
+				if j == i {
+					continue
+				}
+				if kern.Pair(t, i, j) {
+					n++
+				}
+				if kern.Pair(t, j, i) {
+					n++
 				}
 			}
 			return n, nil

@@ -1,0 +1,386 @@
+package dc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Compiled columnar predicate kernels.
+//
+// The interpreted evaluator (Predicate.Eval via SatisfiedPair) resolves
+// attribute names through the schema map, allocates row views and walks the
+// three-valued-logic switch once per predicate per pair — fine for the
+// naive reference scan, but it is the inner loop of every bucketed
+// violation scan, and ROADMAP names it the dominant cost on large tables.
+//
+// A Kernel is the compiled form of one constraint body over one schema:
+// every operand's column index is resolved once at compile time, and
+// evaluation runs predicate-at-a-time over a bucket's candidate rows
+// ("column-at-a-time"): the operand side that is fixed for the whole bucket
+// scan — a constant, or an attribute of the anchored row — is hoisted out
+// of the row loop and compared against the candidates through the table's
+// typed column views (table.FloatCol/StringCol), so the common
+// FD-shaped predicates reduce to a float or string comparison per
+// candidate with no schema lookups and no Value method dispatch.
+//
+// Kernels implement exactly the interpreted semantics — three-valued
+// logic, numeric kind unification, NaN and ±0.0 behaviour — and the
+// interpreted path is kept alive (Violations, appendViolationsScan, and
+// every nil-ScanIndex call) as the cross-validation reference; the
+// property tests in kernel_test.go fuzz the two against each other over
+// randomized schemas, tables and operators.
+
+// kernelPred is one compiled conjunct: operand columns resolved, constants
+// captured.
+type kernelPred struct {
+	op Op
+	// lCol/rCol are the operand column indexes, -1 for constants.
+	lCol, rCol int
+	// lTuple/rTuple bind a non-const operand to tuple 0 (t1) or 1 (t2).
+	lTuple, rTuple int
+	// lConst/rConst hold constant operands.
+	lConst, rConst table.Value
+}
+
+// Kernel is a constraint body compiled against one schema. Kernels are
+// immutable after compilation and safe for concurrent use (the parallel
+// full-derivation path of LiveViolationSet shares one kernel across
+// workers).
+type Kernel struct {
+	preds []kernelPred
+}
+
+// compileKernel resolves every operand of c against schema. The error text
+// for an unknown attribute matches the interpreter's, so callers surface
+// the same failure whichever path runs.
+func compileKernel(c *Constraint, schema *table.Schema) (*Kernel, error) {
+	k := &Kernel{preds: make([]kernelPred, 0, len(c.Preds))}
+	resolve := func(o Operand) (col, tuple int, cst table.Value, err error) {
+		if o.IsConst {
+			return -1, 0, o.Const, nil
+		}
+		idx, ok := schema.Index(o.Attr)
+		if !ok {
+			return 0, 0, table.Null(), fmt.Errorf("dc: attribute %q not in schema (%s)", o.Attr, schema)
+		}
+		return idx, o.Tuple, table.Null(), nil
+	}
+	for _, p := range c.Preds {
+		var kp kernelPred
+		var err error
+		kp.op = p.Op
+		if kp.lCol, kp.lTuple, kp.lConst, err = resolve(p.Left); err != nil {
+			return nil, err
+		}
+		if kp.rCol, kp.rTuple, kp.rConst, err = resolve(p.Right); err != nil {
+			return nil, err
+		}
+		k.preds = append(k.preds, kp)
+	}
+	return k, nil
+}
+
+// opSat collapses Op.Eval's (sat, known) to the conjunction's view:
+// satisfied-and-known. Unknown (nulls, incomparable kinds) fails the
+// conjunction, so it folds to false.
+func opSat(op Op, a, b table.Value) bool {
+	switch op {
+	case OpEq:
+		return a.Equal(b) // Equal is already false on nulls
+	case OpNeq:
+		if a.IsNull() || b.IsNull() {
+			return false
+		}
+		return !a.Equal(b)
+	default:
+		c, ok := a.Compare(b)
+		if !ok {
+			return false
+		}
+		return orderSat(op, c)
+	}
+}
+
+// operand reads one compiled side for the pair binding (i=t1, j=t2).
+func (p *kernelPred) left(t *table.Table, i, j int) table.Value {
+	switch {
+	case p.lCol < 0:
+		return p.lConst
+	case p.lTuple == 0:
+		return t.Get(i, p.lCol)
+	default:
+		return t.Get(j, p.lCol)
+	}
+}
+
+func (p *kernelPred) right(t *table.Table, i, j int) table.Value {
+	switch {
+	case p.rCol < 0:
+		return p.rConst
+	case p.rTuple == 0:
+		return t.Get(i, p.rCol)
+	default:
+		return t.Get(j, p.rCol)
+	}
+}
+
+// Pair reports whether the compiled body holds for rows (i, j) bound to
+// (t1, t2) — the kernel form of Constraint.SatisfiedPair, minus the error
+// return (compilation already resolved every attribute).
+func (k *Kernel) Pair(t *table.Table, i, j int) bool {
+	for idx := range k.preds {
+		p := &k.preds[idx]
+		if !opSat(p.op, p.left(t, i, j), p.right(t, i, j)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Filter evaluates the body column-at-a-time for the pairs that bind row
+// fixed to tuple fixedTuple (0 = t1, 1 = t2) and each cand[n] to the other
+// tuple, clearing alive[n] for every pair that fails the conjunction.
+// Entries whose alive flag is already false are skipped, so callers can
+// pre-mask (e.g. the candidate equal to fixed). len(alive) must equal
+// len(cand). Predicates run in constraint order with an early exit once no
+// candidate survives.
+func (k *Kernel) Filter(t *table.Table, fixedTuple, fixed int, cand []int, alive []bool) {
+	for idx := range k.preds {
+		p := &k.preds[idx]
+		lVaries := p.lCol >= 0 && p.lTuple != fixedTuple
+		rVaries := p.rCol >= 0 && p.rTuple != fixedTuple
+		var any bool
+		switch {
+		case !lVaries && !rVaries:
+			// Both sides fixed for the whole bucket: one evaluation decides
+			// every pair.
+			a := fixedOperand(t, fixed, p.lCol, p.lConst)
+			b := fixedOperand(t, fixed, p.rCol, p.rConst)
+			if opSat(p.op, a, b) {
+				any = anyAlive(alive)
+			} else {
+				clearAlive(alive)
+			}
+		case lVaries && rVaries:
+			// Both sides read the candidate tuple (e.g. t2.A = t2.B).
+			lv, rv := t.Col(p.lCol), t.Col(p.rCol)
+			for n, r := range cand {
+				if !alive[n] {
+					continue
+				}
+				if !opSat(p.op, lv.Value(r), rv.Value(r)) {
+					alive[n] = false
+				} else {
+					any = true
+				}
+			}
+		case lVaries:
+			b := fixedOperand(t, fixed, p.rCol, p.rConst)
+			any = filterOne(t, p.op, b, p.lCol, true, cand, alive)
+		default:
+			a := fixedOperand(t, fixed, p.lCol, p.lConst)
+			any = filterOne(t, p.op, a, p.rCol, false, cand, alive)
+		}
+		if !any {
+			return
+		}
+	}
+}
+
+// fixedOperand resolves an operand that does not vary across the bucket
+// scan: a constant, or an attribute of the anchored row.
+func fixedOperand(t *table.Table, fixed, col int, cst table.Value) table.Value {
+	if col < 0 {
+		return cst
+	}
+	return t.Get(fixed, col)
+}
+
+// filterOne is the hoisted inner loop: compare the fixed value against
+// column col of every alive candidate. varyingIsLeft selects the operand
+// order (candidate op fixed vs fixed op candidate). Returns whether any
+// candidate survived.
+func filterOne(t *table.Table, op Op, fixed table.Value, col int, varyingIsLeft bool, cand []int, alive []bool) bool {
+	any := false
+	if fixed.IsNull() {
+		// A null operand makes every comparison unknown: the predicate fails
+		// for the whole bucket.
+		clearAlive(alive)
+		return false
+	}
+	switch op {
+	case OpEq:
+		// Equality is symmetric; specialize on the fixed side's kind so the
+		// loop is a raw float or string comparison through the typed views.
+		if f, ok := fixed.Num(); ok {
+			fc := t.FloatCol(col)
+			for n, r := range cand {
+				if !alive[n] {
+					continue
+				}
+				// !ok covers null and non-numeric kinds, both of which the =
+				// predicate rejects against a numeric operand; NaN compares
+				// unequal to itself, matching Value.Equal.
+				if g, ok := fc.At(r); ok && g == f {
+					any = true
+				} else {
+					alive[n] = false
+				}
+			}
+			return any
+		}
+		if fixed.Kind() == table.KindString {
+			s := fixed.Str()
+			sc := t.StringCol(col)
+			for n, r := range cand {
+				if !alive[n] {
+					continue
+				}
+				if g, ok := sc.At(r); ok && g == s {
+					any = true
+				} else {
+					alive[n] = false
+				}
+			}
+			return any
+		}
+		cv := t.Col(col)
+		for n, r := range cand {
+			if !alive[n] {
+				continue
+			}
+			if fixed.Equal(cv.Value(r)) {
+				any = true
+			} else {
+				alive[n] = false
+			}
+		}
+		return any
+	case OpNeq:
+		// != is symmetric but needs the null distinction (null ≠ x is
+		// unknown, string ≠ int is a known true), so it stays on the untyped
+		// view; Value.Equal is a single switch.
+		cv := t.Col(col)
+		for n, r := range cand {
+			if !alive[n] {
+				continue
+			}
+			b := cv.Value(r)
+			if !b.IsNull() && !fixed.Equal(b) {
+				any = true
+			} else {
+				alive[n] = false
+			}
+		}
+		return any
+	}
+	// Order comparisons: specialize numeric and string, mirroring
+	// Value.Compare (numeric unification; NaN falls through both < and > to
+	// the equal branch; incomparable kinds are unknown).
+	if f, ok := fixed.Num(); ok {
+		fc := t.FloatCol(col)
+		for n, r := range cand {
+			if !alive[n] {
+				continue
+			}
+			g, ok := fc.At(r)
+			if !ok {
+				alive[n] = false
+				continue
+			}
+			var c int
+			a, b := f, g
+			if varyingIsLeft {
+				a, b = g, f
+			}
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+			if orderSat(op, c) {
+				any = true
+			} else {
+				alive[n] = false
+			}
+		}
+		return any
+	}
+	if fixed.Kind() == table.KindString {
+		s := fixed.Str()
+		sc := t.StringCol(col)
+		for n, r := range cand {
+			if !alive[n] {
+				continue
+			}
+			g, ok := sc.At(r)
+			if !ok {
+				alive[n] = false
+				continue
+			}
+			var c int
+			if varyingIsLeft {
+				c = strings.Compare(g, s)
+			} else {
+				c = strings.Compare(s, g)
+			}
+			if orderSat(op, c) {
+				any = true
+			} else {
+				alive[n] = false
+			}
+		}
+		return any
+	}
+	// Bool (or exotic) fixed operand: generic comparison loop.
+	cv := t.Col(col)
+	for n, r := range cand {
+		if !alive[n] {
+			continue
+		}
+		a, b := fixed, cv.Value(r)
+		if varyingIsLeft {
+			a, b = b, a
+		}
+		if opSat(op, a, b) {
+			any = true
+		} else {
+			alive[n] = false
+		}
+	}
+	return any
+}
+
+// orderSat applies an order operator to a three-way comparison result.
+func orderSat(op Op, c int) bool {
+	switch op {
+	case OpLt:
+		return c < 0
+	case OpLeq:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGeq:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+func anyAlive(alive []bool) bool {
+	for _, a := range alive {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+func clearAlive(alive []bool) {
+	for n := range alive {
+		alive[n] = false
+	}
+}

@@ -1,0 +1,151 @@
+package dc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// randomKernelValue draws from a pool chosen to stress every comparison
+// edge: NULLs, NaN, ±0.0, int/float twins, empty strings, bools, and
+// lexical decoys.
+func randomKernelValue(rng *rand.Rand) table.Value {
+	pool := []table.Value{
+		table.Null(),
+		table.Float(math.NaN()),
+		table.Float(0.0),
+		table.Float(math.Copysign(0, -1)),
+		table.Int(0),
+		table.Int(1),
+		table.Int(-7),
+		table.Float(1.0),
+		table.Float(1.5),
+		table.String(""),
+		table.String("a"),
+		table.String("b"),
+		table.String("1"),
+		table.String("NaN"),
+		table.Bool(false),
+		table.Bool(true),
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+// randomKernelConstraint builds a constraint with 1–3 predicates over
+// random operand shapes: t1/t2 attributes (same or different columns) and
+// constants, across all six operators.
+func randomKernelConstraint(rng *rand.Rand, attrs []string) *Constraint {
+	nPreds := 1 + rng.Intn(3)
+	c := &Constraint{ID: "R"}
+	for p := 0; p < nPreds; p++ {
+		operand := func() Operand {
+			if rng.Intn(4) == 0 {
+				return ConstOperand(randomKernelValue(rng))
+			}
+			return AttrOperand(rng.Intn(2), attrs[rng.Intn(len(attrs))])
+		}
+		c.Preds = append(c.Preds, Predicate{
+			Left:  operand(),
+			Op:    Op(rng.Intn(6)),
+			Right: operand(),
+		})
+	}
+	return c
+}
+
+// TestKernelMatchesInterpreterProperty is the satellite property test: on
+// randomized schemas and tables the compiled kernel must agree with the
+// interpreted SatisfiedPair for every ordered pair, and Filter must agree
+// with per-pair evaluation in both tuple orientations with arbitrary
+// pre-masked candidates.
+func TestKernelMatchesInterpreterProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		nCols := 1 + rng.Intn(4)
+		attrs := make([]string, nCols)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("A%d", i)
+		}
+		schema := mustSchema(t, attrs...)
+		tbl := table.New(schema)
+		nRows := 2 + rng.Intn(8)
+		for i := 0; i < nRows; i++ {
+			row := make([]table.Value, nCols)
+			for j := range row {
+				row[j] = randomKernelValue(rng)
+			}
+			if err := tbl.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := randomKernelConstraint(rng, attrs)
+		kern, err := compileKernel(c, schema)
+		if err != nil {
+			t.Fatalf("trial %d: compile %s: %v", trial, c, err)
+		}
+
+		// Every ordered pair, including the self pair (the single-tuple
+		// binding).
+		for i := 0; i < nRows; i++ {
+			for j := 0; j < nRows; j++ {
+				want, err := c.SatisfiedPair(tbl, i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := kern.Pair(tbl, i, j); got != want {
+					t.Fatalf("trial %d: %s: pair (%d,%d): kernel %v, interpreter %v\ntable:\n%s",
+						trial, c, i, j, got, want, tbl)
+				}
+			}
+		}
+
+		// Filter against a random candidate list with random pre-masking, in
+		// both orientations (fixed row bound to t1 and to t2).
+		for rep := 0; rep < 4; rep++ {
+			fixed := rng.Intn(nRows)
+			fixedTuple := rng.Intn(2)
+			nCand := 1 + rng.Intn(nRows)
+			cand := make([]int, nCand)
+			alive := make([]bool, nCand)
+			pre := make([]bool, nCand)
+			for n := range cand {
+				cand[n] = rng.Intn(nRows)
+				pre[n] = rng.Intn(8) != 0
+				alive[n] = pre[n]
+			}
+			kern.Filter(tbl, fixedTuple, fixed, cand, alive)
+			for n, r := range cand {
+				i, j := fixed, r
+				if fixedTuple == 1 {
+					i, j = r, fixed
+				}
+				sat, err := c.SatisfiedPair(tbl, i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := pre[n] && sat
+				if alive[n] != want {
+					t.Fatalf("trial %d: %s: filter fixedTuple=%d fixed=%d cand[%d]=%d: got %v, want %v (pre %v)\ntable:\n%s",
+						trial, c, fixedTuple, fixed, n, r, alive[n], want, pre[n], tbl)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelUnknownAttribute pins the compile error to the interpreter's
+// text, so whichever path runs the caller sees the same failure.
+func TestKernelUnknownAttribute(t *testing.T) {
+	schema := mustSchema(t, "A")
+	c := &Constraint{ID: "C1", Preds: []Predicate{{
+		Left: AttrOperand(0, "Nope"), Op: OpEq, Right: AttrOperand(1, "Nope"),
+	}}}
+	if _, err := compileKernel(c, schema); err == nil {
+		t.Fatal("compileKernel must fail on unknown attribute")
+	} else if want := `dc: attribute "Nope" not in schema (A)`; err.Error() != want {
+		t.Fatalf("error %q, want %q", err, want)
+	}
+}

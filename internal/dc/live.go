@@ -1,0 +1,512 @@
+package dc
+
+import (
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/table"
+)
+
+// LiveViolationSet is the answer-maintenance layer of the violation index:
+// where ScanIndex keeps the hash *partitions* incremental, a
+// LiveViolationSet keeps the violation *lists* themselves materialized
+// per (constraint, table) and maintains them under single-cell edits from
+// the table's bounded edit log — the dynamic-query-answering shape of
+// Berkholz/Keppeler/Schweikardt applied to the denial-constraint fragment.
+//
+// A cell edit retracts only the pairs involving the edited row and
+// re-derives that row against its destination bucket through the compiled
+// predicate kernel, so repair fixpoints and coalition walks pay per-edit
+// cost for their "what is violated now?" queries instead of re-checking
+// every intra-bucket pair. Edits to columns a constraint never mentions
+// cost nothing. When the edit log no longer covers the gap (ring overrun,
+// structural change, a different table) the affected lists fall back to a
+// full re-derivation, which for large tables fans out across disjoint
+// buckets on a worker pool.
+//
+// Lists are bit-identical to Constraint.AppendViolations output (itself
+// golden-tested against the naive interpreted scan): sorted by (Row1,
+// Row2), one entry per ordered violating pair.
+//
+// A LiveViolationSet is confined to one goroutine, like the ScanIndex it
+// wraps; the worker pool inside a full derivation only ever reads.
+type LiveViolationSet struct {
+	ix     *ScanIndex
+	tbl    *table.Table
+	schema *table.Schema
+	gen    uint64
+	lists  map[*Constraint]*liveList
+	// Workers caps the full-derivation pool; 0 means GOMAXPROCS (clamped).
+	Workers int
+	// MinRows overrides the materialization threshold (0 means
+	// liveMinRows). Tests set 1 to force list maintenance on small tables.
+	MinRows int
+
+	// Pooled scratch for delta application.
+	editBuf     []table.CellEdit
+	touchedRows []int
+	touchedMask []bool
+	newPairs    []Violation
+	slotSeen    []bool
+	slotOrder   []int
+}
+
+// liveList is one constraint's materialized violation list.
+type liveList struct {
+	valid bool
+	pairs []Violation
+	// merge is the swap buffer for retract+merge passes.
+	merge []Violation
+	// colRelevant[col] reports whether the constraint mentions the column:
+	// edits elsewhere cannot change this list.
+	colRelevant []bool
+}
+
+// liveMinRows is the table size below which the set answers queries
+// straight from the kernel-accelerated ScanIndex instead of materializing
+// lists: on tiny tables (the paper's worked examples, coalition scratch
+// copies of them) the per-edit retract/derive/merge bookkeeping costs more
+// than the intra-bucket pair scan it avoids. The cutover is a pure
+// strategy choice — both paths are golden-tested identical — keyed on the
+// current row count only, so it is deterministic per table state.
+const liveMinRows = 64
+
+// liveParallelRows is the table size above which a full derivation fans
+// out across buckets; below it the goroutine handoff costs more than the
+// scan.
+const liveParallelRows = 2048
+
+// maxLiveLists bounds the per-constraint map of a pooled set; beyond it
+// the set forgets everything rather than track dead constraints forever.
+const maxLiveLists = 128
+
+// NewLiveViolationSet returns an empty live set with its own ScanIndex.
+func NewLiveViolationSet() *LiveViolationSet {
+	return &LiveViolationSet{
+		ix:    NewScanIndex(),
+		lists: make(map[*Constraint]*liveList),
+	}
+}
+
+// Index exposes the underlying ScanIndex so callers can run point probes
+// (ViolatesRowCached, ViolationPairsForRow) against the same buckets the
+// live lists are derived from. The index shares the set's goroutine
+// confinement.
+func (s *LiveViolationSet) Index() *ScanIndex { return s.ix }
+
+// bypass reports whether t is below the materialization threshold.
+func (s *LiveViolationSet) bypass(t *table.Table) bool {
+	min := s.MinRows
+	if min <= 0 {
+		min = liveMinRows
+	}
+	return t.NumRows() < min
+}
+
+// Violations returns the current violation list of c over t, synced to
+// t's generation. The returned slice aliases the set's storage: it is
+// valid until the next call on the set after a table edit, and must not
+// be mutated. Use Append for a caller-owned copy.
+func (s *LiveViolationSet) Violations(c *Constraint, t *table.Table) ([]Violation, error) {
+	if s.bypass(t) {
+		var err error
+		s.newPairs, err = c.AppendViolations(t, s.ix, s.newPairs[:0])
+		return s.newPairs, err
+	}
+	l, err := s.listFor(c, t)
+	if err != nil {
+		return nil, err
+	}
+	return l.pairs, nil
+}
+
+// Append appends the current violation list of c over t to out and
+// returns the extended slice — the drop-in replacement for
+// Constraint.AppendViolations in repair hot loops, with delta maintenance
+// underneath.
+func (s *LiveViolationSet) Append(c *Constraint, t *table.Table, out []Violation) ([]Violation, error) {
+	if s.bypass(t) {
+		return c.AppendViolations(t, s.ix, out)
+	}
+	l, err := s.listFor(c, t)
+	if err != nil {
+		return out, err
+	}
+	return append(out, l.pairs...), nil
+}
+
+// ForEachViolatingGroup invokes fn over the join groups (hash buckets) of
+// c that currently contain at least one violating pair, in ascending
+// order of the group's first violating row — except below the
+// materialization threshold, where it is cheaper to visit *every*
+// non-empty group (in bucket-interning order) than to track which ones
+// violate. fn must therefore be a no-op on violation-free groups and must
+// not depend on visit order beyond determinism; the FD chase satisfies
+// both by construction. ok is false, with fn never invoked, when the
+// constraint has no equality join key. The rows slice aliases index
+// storage and is read-only; fn may mutate the table, and the set catches
+// up on its next sync.
+func (s *LiveViolationSet) ForEachViolatingGroup(c *Constraint, t *table.Table, fn func(rows []int) error) (bool, error) {
+	if s.bypass(t) {
+		// Below the materialization threshold visiting every group is
+		// cheaper than tracking which ones violate; violation-free groups
+		// are no-ops for every consumer of this iterator.
+		return c.ForEachJoinGroup(t, s.ix, fn)
+	}
+	l, err := s.listFor(c, t)
+	if err != nil {
+		return false, err
+	}
+	bs := s.ix.bucketSetFor(c, t)
+	if bs == nil {
+		return false, nil
+	}
+	if cap(s.slotSeen) >= bs.nSlots {
+		s.slotSeen = s.slotSeen[:bs.nSlots]
+	} else {
+		s.slotSeen = make([]bool, bs.nSlots)
+	}
+	s.slotOrder = s.slotOrder[:0]
+	for _, v := range l.pairs {
+		slot := bs.rowBucket[v.Row1]
+		if slot >= 0 && !s.slotSeen[slot] {
+			s.slotSeen[slot] = true
+			s.slotOrder = append(s.slotOrder, slot)
+		}
+	}
+	defer func() {
+		for _, slot := range s.slotOrder {
+			s.slotSeen[slot] = false
+		}
+	}()
+	for _, slot := range s.slotOrder {
+		if err := fn(bs.members[slot]); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// listFor syncs the set to t and returns c's list, deriving it in full
+// when it is missing or invalidated.
+func (s *LiveViolationSet) listFor(c *Constraint, t *table.Table) (*liveList, error) {
+	s.sync(t)
+	l, ok := s.lists[c]
+	if !ok {
+		if len(s.lists) >= maxLiveLists {
+			clear(s.lists)
+		}
+		l = &liveList{}
+		s.lists[c] = l
+	}
+	if !l.valid {
+		if err := s.derive(c, l, t); err != nil {
+			return nil, err
+		}
+		l.valid = true
+	}
+	return l, nil
+}
+
+// sync points the set at t, replaying the edit log into every valid list
+// when possible and invalidating wholesale otherwise.
+func (s *LiveViolationSet) sync(t *table.Table) {
+	if s.tbl == t && s.schema == t.Schema() {
+		if s.gen == t.Generation() {
+			return
+		}
+		s.editBuf = s.editBuf[:0]
+		if edits, ok := t.EditsSince(s.gen, s.editBuf); ok {
+			s.editBuf = edits
+			for c, l := range s.lists {
+				if !l.valid {
+					continue
+				}
+				if err := s.applyList(c, l, t, edits); err != nil {
+					// Deterministic per-constraint failure (compile error):
+					// fall back to full derivation, which surfaces the same
+					// error when the constraint is actually queried.
+					l.valid = false
+				}
+			}
+			s.gen = t.Generation()
+			return
+		}
+	}
+	s.tbl = t
+	s.schema = t.Schema()
+	s.gen = t.Generation()
+	for _, l := range s.lists {
+		l.valid = false
+	}
+}
+
+// applyList catches one list up with a batch of edits: retract every pair
+// involving a touched row, then re-derive those rows against their
+// current buckets.
+func (s *LiveViolationSet) applyList(c *Constraint, l *liveList, t *table.Table, edits []table.CellEdit) error {
+	s.touchedRows = s.touchedRows[:0]
+	for _, e := range edits {
+		if e.Col < len(l.colRelevant) && l.colRelevant[e.Col] {
+			s.touchedRows = append(s.touchedRows, e.Row)
+		}
+	}
+	if len(s.touchedRows) == 0 {
+		return nil
+	}
+	sort.Ints(s.touchedRows)
+	s.touchedRows = slices.Compact(s.touchedRows)
+
+	n := t.NumRows()
+	if cap(s.touchedMask) >= n {
+		s.touchedMask = s.touchedMask[:n]
+	} else {
+		s.touchedMask = make([]bool, n)
+	}
+	mask := s.touchedMask
+	for _, r := range s.touchedRows {
+		mask[r] = true
+	}
+	defer func() {
+		for _, r := range s.touchedRows {
+			mask[r] = false
+		}
+	}()
+
+	// Retract: drop every pair involving a touched row, in place.
+	keep := l.pairs[:0]
+	for _, v := range l.pairs {
+		if !mask[v.Row1] && !mask[v.Row2] {
+			keep = append(keep, v)
+		}
+	}
+	l.pairs = keep
+
+	// Re-derive the touched rows against the table's current state. Pairs
+	// between two untouched rows are unchanged by construction (no cell in
+	// a constraint-mentioned column moved), so this restores exactly the
+	// full-rescan answer.
+	s.newPairs = s.newPairs[:0]
+	if c.SingleTuple() {
+		kern, err := s.ix.kernelFor(c, t)
+		if err != nil {
+			return err
+		}
+		for _, r := range s.touchedRows {
+			if kern.Pair(t, r, r) {
+				s.newPairs = append(s.newPairs, Violation{Constraint: c, Row1: r, Row2: r})
+			}
+		}
+	} else {
+		bs := s.ix.bucketSetFor(c, t)
+		kern, err := s.ix.kernelFor(c, t)
+		if err != nil {
+			return err
+		}
+		derivePartner := func(r, j int) {
+			if j == r {
+				return
+			}
+			// A touched partner below r already derived this unordered pair
+			// (both orders) on its own iteration.
+			if mask[j] && j < r {
+				return
+			}
+			if kern.Pair(t, r, j) {
+				s.newPairs = append(s.newPairs, Violation{Constraint: c, Row1: r, Row2: j})
+			}
+			if kern.Pair(t, j, r) {
+				s.newPairs = append(s.newPairs, Violation{Constraint: c, Row1: j, Row2: r})
+			}
+		}
+		for _, r := range s.touchedRows {
+			if bs != nil {
+				slot := bs.rowBucket[r]
+				if slot < 0 {
+					// Null/NaN join key: r participates in no pair.
+					continue
+				}
+				for _, j := range bs.members[slot] {
+					derivePartner(r, j)
+				}
+				continue
+			}
+			// No join key: every row is a candidate partner.
+			for j := 0; j < n; j++ {
+				derivePartner(r, j)
+			}
+		}
+	}
+	slices.SortFunc(s.newPairs, violationOrder)
+
+	// Merge the sorted additions into the sorted survivors.
+	l.merge = mergeViolations(l.merge[:0], l.pairs, s.newPairs)
+	l.pairs, l.merge = l.merge, l.pairs
+	return nil
+}
+
+// derive recomputes one list from scratch: the kernel-compiled bucket scan
+// (fanned out across disjoint buckets for large tables), the naive kernel
+// scan when the constraint has no join key, or the per-row scan for
+// single-tuple constraints. Output is sorted by (Row1, Row2), bit-identical
+// to AppendViolations.
+func (s *LiveViolationSet) derive(c *Constraint, l *liveList, t *table.Table) error {
+	// Refresh the column-relevance mask against the current schema.
+	schema := t.Schema()
+	if cap(l.colRelevant) >= schema.Len() {
+		l.colRelevant = l.colRelevant[:schema.Len()]
+		clear(l.colRelevant)
+	} else {
+		l.colRelevant = make([]bool, schema.Len())
+	}
+	for _, attr := range c.Attributes() {
+		if idx, ok := schema.Index(attr); ok {
+			l.colRelevant[idx] = true
+		}
+	}
+
+	l.pairs = l.pairs[:0]
+	kern, err := s.ix.kernelFor(c, t)
+	if err != nil {
+		return err
+	}
+	n := t.NumRows()
+	if c.SingleTuple() {
+		for r := 0; r < n; r++ {
+			if kern.Pair(t, r, r) {
+				l.pairs = append(l.pairs, Violation{Constraint: c, Row1: r, Row2: r})
+			}
+		}
+		return nil
+	}
+	bs := s.ix.bucketSetFor(c, t)
+	if bs == nil {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && kern.Pair(t, i, j) {
+					l.pairs = append(l.pairs, Violation{Constraint: c, Row1: i, Row2: j})
+				}
+			}
+		}
+		return nil
+	}
+	slots := bs.members[:bs.nSlots]
+	workers := s.deriveWorkers(n, len(slots))
+	if workers <= 1 {
+		alive := s.ix.aliveFor(0)
+		for _, rows := range slots {
+			l.pairs = scanBucket(kern, c, t, rows, &alive, l.pairs)
+		}
+		s.ix.alive = alive
+	} else {
+		l.pairs = deriveParallel(kern, c, t, slots, workers, l.pairs)
+	}
+	slices.SortFunc(l.pairs, violationOrder)
+	return nil
+}
+
+// deriveWorkers picks the fan-out for a full derivation.
+func (s *LiveViolationSet) deriveWorkers(rows, buckets int) int {
+	if rows < liveParallelRows {
+		return 1
+	}
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w > buckets {
+		w = buckets
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scanBucket appends every ordered violating pair inside one bucket,
+// resizing the caller's alive mask as needed.
+func scanBucket(kern *Kernel, c *Constraint, t *table.Table, rows []int, alive *[]bool, out []Violation) []Violation {
+	if len(rows) < 2 {
+		return out
+	}
+	a := *alive
+	if cap(a) < len(rows) {
+		a = make([]bool, len(rows))
+	}
+	a = a[:len(rows)]
+	*alive = a
+	for n, i := range rows {
+		for m := range a {
+			a[m] = m != n
+		}
+		kern.Filter(t, 0, i, rows, a)
+		for m, j := range rows {
+			if a[m] {
+				out = append(out, Violation{Constraint: c, Row1: i, Row2: j})
+			}
+		}
+	}
+	return out
+}
+
+// deriveParallel fans the bucket scans of one full derivation across a
+// worker pool. Buckets are disjoint row sets, so workers share nothing but
+// the read-only table, partition and kernel; outputs are concatenated and
+// sorted by the caller, which makes the result independent of scheduling.
+func deriveParallel(kern *Kernel, c *Constraint, t *table.Table, slots [][]int, workers int, out []Violation) []Violation {
+	var next atomic.Int64
+	results := make([][]Violation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []Violation
+			var alive []bool
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(slots) {
+					break
+				}
+				local = scanBucket(kern, c, t, slots[i], &alive, local)
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// violationOrder is the canonical (Row1, Row2) order of every violation
+// list.
+func violationOrder(a, b Violation) int {
+	if a.Row1 != b.Row1 {
+		return a.Row1 - b.Row1
+	}
+	return a.Row2 - b.Row2
+}
+
+// mergeViolations merges two (Row1, Row2)-sorted lists into dst.
+func mergeViolations(dst, a, b []Violation) []Violation {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if violationOrder(a[i], b[j]) <= 0 {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}

@@ -67,10 +67,13 @@ type RuleRepair struct {
 	runs sync.Pool
 }
 
-// ruleRun is the reusable per-run state of one RepairInto invocation.
+// ruleRun is the reusable per-run state of one RepairInto invocation. The
+// live violation set answers the per-rule "what is violated now?" query
+// from delta-maintained lists (each fix retracts and re-derives one row's
+// pairs), and its inner scan index serves the point probes.
 type ruleRun struct {
 	present map[string]*dc.Constraint
-	ix      *dc.ScanIndex
+	live    *dc.LiveViolationSet
 	pooledStats
 	vsBuf   []dc.Violation
 	badRows []int
@@ -167,7 +170,7 @@ func (a *RuleRepair) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty,
 	work = prepareWork(dirty, work)
 	st, ok := a.runs.Get().(*ruleRun)
 	if !ok {
-		st = &ruleRun{present: make(map[string]*dc.Constraint), ix: dc.NewScanIndex()}
+		st = &ruleRun{present: make(map[string]*dc.Constraint), live: dc.NewLiveViolationSet()}
 	}
 	defer a.runs.Put(st)
 	clear(st.present)
@@ -178,9 +181,10 @@ func (a *RuleRepair) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty,
 	if maxPasses <= 0 {
 		maxPasses = 10
 	}
-	// One scan cache spans the whole run — and, being pooled, the next run
-	// on the same work table: the work-table refresh logs per-cell deltas,
-	// so only buckets touched by the refreshed or repaired cells rebuild.
+	// One live violation set spans the whole run — and, being pooled, the
+	// next run on the same work table: the work-table refresh logs per-cell
+	// deltas, so only the violation pairs of refreshed or repaired rows are
+	// retracted and re-derived between fixpoint steps.
 	for pass := 0; pass < maxPasses; pass++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -214,12 +218,12 @@ func (a *RuleRepair) pass(ctx context.Context, st *ruleRun, work *table.Table) (
 				return false, fmt.Errorf("repair: rule %v: no attribute %q", rule, rule.Given)
 			}
 		}
-		// One indexed scan finds the rows violating this rule's trigger;
-		// each is re-verified against the current state before fixing,
-		// since earlier fixes within the rule may have resolved it. Rows
-		// that start violating mid-rule are picked up by the next fixpoint
-		// pass.
-		vs, err := c.AppendViolations(work, st.ix, st.vsBuf[:0])
+		// The live set answers "what does this rule's trigger violate now?"
+		// from its delta-maintained list; each row is re-verified against
+		// the current state before fixing, since earlier fixes within the
+		// rule may have resolved it. Rows that start violating mid-rule are
+		// picked up by the next fixpoint pass.
+		vs, err := st.live.Append(c, work, st.vsBuf[:0])
 		st.vsBuf = vs
 		if err != nil {
 			return false, err
@@ -244,7 +248,7 @@ func (a *RuleRepair) pass(ctx context.Context, st *ruleRun, work *table.Table) (
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
-			violates, err := c.ViolatesRowCached(work, row, st.ix)
+			violates, err := c.ViolatesRowCached(work, row, st.live.Index())
 			if err != nil {
 				return false, err
 			}

@@ -33,9 +33,15 @@ type chaseEntry struct {
 	d fd
 }
 
-// chaseRun is the reusable per-run state of one RepairInto invocation.
+// chaseRun is the reusable per-run state of one RepairInto invocation. The
+// live violation set steers each chase pass to exactly the groups that
+// currently contain a violating pair: a group whose non-null right-hand
+// sides already agree is a chase no-op (the majority is the shared value
+// and SameContent skips every row), so skipping violation-free groups
+// leaves the output bit-identical while the fixpoint's final verification
+// pass costs per-edit instead of per-group work.
 type chaseRun struct {
-	ix   *dc.ScanIndex
+	live *dc.LiveViolationSet
 	fds  []chaseEntry
 	dist *table.Distribution
 }
@@ -88,16 +94,19 @@ func (f *FDChase) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.
 }
 
 // RepairInto implements ScratchRepairer: Repair writing into the
-// caller-owned work table. The left-hand-side grouping reuses the
-// constraint's incrementally-maintained hash-join partition instead of
-// rebuilding a map per chase: group order becomes bucket-interning order,
-// which does not affect the result (groups are disjoint and each chase
-// writes only its own group's right-hand sides) and is deterministic.
+// caller-owned work table. The left-hand-side grouping reuses the live
+// set's incrementally-maintained hash-join partition, and each pass
+// visits only groups currently containing a violating pair (all non-empty
+// groups below the live set's materialization threshold). Group visit
+// order — first-violating-row order, or bucket-interning order on small
+// tables — does not affect the result: groups are disjoint and each chase
+// writes only its own group's right-hand sides, so the fixpoint is
+// deterministic either way.
 func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
 	work = prepareWork(dirty, work)
 	st, ok := f.runs.Get().(*chaseRun)
 	if !ok {
-		st = &chaseRun{ix: dc.NewScanIndex(), dist: table.NewDistribution()}
+		st = &chaseRun{live: dc.NewLiveViolationSet(), dist: table.NewDistribution()}
 	}
 	defer f.runs.Put(st)
 	st.fds = st.fds[:0]
@@ -132,10 +141,12 @@ func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, wo
 }
 
 // chaseFD forces the majority right-hand side within every left-hand-side
-// group; returns whether anything changed.
+// group that currently violates the FD; returns whether anything changed.
+// Violation-free groups are provably no-ops (their non-null right-hand
+// sides agree up to SameContent) and are skipped via the live set.
 func chaseFD(t *table.Table, e chaseEntry, st *chaseRun) (bool, error) {
 	changed := false
-	ok, err := e.c.ForEachJoinGroup(t, st.ix, func(rows []int) error {
+	ok, err := st.live.ForEachViolatingGroup(e.c, t, func(rows []int) error {
 		if len(rows) < 2 {
 			return nil
 		}

@@ -30,8 +30,10 @@ func NewGreedy() *Greedy { return &Greedy{} }
 func (g *Greedy) Name() string { return "greedy-holistic" }
 
 // greedyRun is the reusable per-run state of one RepairInto invocation.
+// The hypergraph rebuild after every reassignment reads the live violation
+// set, so only the reassigned row's pairs are re-derived per step.
 type greedyRun struct {
-	ix *dc.ScanIndex
+	live *dc.LiveViolationSet
 	pooledStats
 	vsBuf  []dc.Violation
 	counts map[table.CellRef]int
@@ -49,7 +51,7 @@ func (g *Greedy) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, wor
 	work = prepareWork(dirty, work)
 	st, ok := g.runs.Get().(*greedyRun)
 	if !ok {
-		st = &greedyRun{ix: dc.NewScanIndex(), counts: make(map[table.CellRef]int)}
+		st = &greedyRun{live: dc.NewLiveViolationSet(), counts: make(map[table.CellRef]int)}
 	}
 	defer g.runs.Put(st)
 	maxSteps := g.MaxSteps
@@ -73,7 +75,7 @@ func (g *Greedy) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, wor
 		// improvement. Join-key cells often cannot improve (no alternative
 		// value exists), so falling through to cooler cells is essential.
 		for _, cell := range hot {
-			best, improved, err := g.bestCandidate(ctx, cs, work, stats, cell, st.ix)
+			best, improved, err := g.bestCandidate(ctx, cs, work, stats, cell, st.live.Index())
 			if err != nil {
 				return nil, err
 			}
@@ -100,7 +102,7 @@ func (g *Greedy) hotCells(cs []*dc.Constraint, t *table.Table, st *greedyRun) ([
 	st.refs = st.refs[:0]
 	counts := st.counts
 	for _, c := range cs {
-		vs, err := c.AppendViolations(t, st.ix, st.vsBuf[:0])
+		vs, err := st.live.Append(c, t, st.vsBuf[:0])
 		st.vsBuf = vs
 		if err != nil {
 			return nil, err

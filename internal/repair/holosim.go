@@ -54,10 +54,13 @@ type HoloSim struct {
 
 // holoRun is the reusable per-run state of one RepairInto invocation. The
 // rng is re-seeded at the top of every run, so pooled reuse cannot leak
-// randomness between runs — determinism per (cs, dirty) input is preserved.
+// randomness between runs — determinism per (cs, dirty) input is
+// preserved. Error detection reads the live violation set, so each
+// committed repair retracts and re-derives only the repaired row's pairs
+// before the next detect round.
 type holoRun struct {
-	rng *rand.Rand
-	ix  *dc.ScanIndex
+	rng  *rand.Rand
+	live *dc.LiveViolationSet
 	pooledStats
 	vsBuf      []dc.Violation
 	suspectSet map[table.CellRef]bool
@@ -71,7 +74,7 @@ type holoRun struct {
 func newHoloRun(seed int64) *holoRun {
 	return &holoRun{
 		rng:        rand.New(rand.NewSource(seed)),
-		ix:         dc.NewScanIndex(),
+		live:       dc.NewLiveViolationSet(),
 		suspectSet: make(map[table.CellRef]bool),
 		domainSeen: make(map[string]bool),
 	}
@@ -176,7 +179,7 @@ func (h *HoloSim) detect(cs []*dc.Constraint, t *table.Table, st *holoRun) ([]ta
 	clear(st.suspectSet)
 	st.suspects = st.suspects[:0]
 	for _, c := range cs {
-		vs, err := c.AppendViolations(t, st.ix, st.vsBuf[:0])
+		vs, err := st.live.Append(c, t, st.vsBuf[:0])
 		st.vsBuf = vs
 		if err != nil {
 			return nil, err
@@ -322,7 +325,7 @@ func (h *HoloSim) score(cs []*dc.Constraint, t *table.Table, stats *table.Stats,
 	t.SetRef(cell, cand)
 	viol := 0
 	for _, c := range cs {
-		bad, err := c.ViolatesRowCached(t, cell.Row, st.ix)
+		bad, err := c.ViolatesRowCached(t, cell.Row, st.live.Index())
 		if err != nil {
 			t.SetRef(cell, old)
 			return 0, err

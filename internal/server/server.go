@@ -65,6 +65,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/session", s.handleCreateSession)
 	mux.HandleFunc("GET /api/session/{id}", s.handleGetSession)
 	mux.HandleFunc("POST /api/session/{id}/repair", s.handleRepair)
+	mux.HandleFunc("GET /api/session/{id}/violations", s.handleViolations)
 	mux.HandleFunc("POST /api/session/{id}/explain", s.handleExplain)
 	mux.HandleFunc("POST /api/session/{id}/edit", s.handleEdit)
 	return mux
@@ -225,6 +226,43 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	resp := repairResponse{Clean: toTableJSON(clean)}
 	for _, d := range diffs {
 		resp.Repaired = append(resp.Repaired, sess.Dirty().RefName(d.Ref))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// violationJSON is the wire form of one violating pair.
+type violationJSON struct {
+	Constraint string `json:"constraint"`
+	Row1       int    `json:"row1"`
+	Row2       int    `json:"row2"`
+}
+
+type violationsResponse struct {
+	Consistent bool            `json:"consistent"`
+	Violations []violationJSON `json:"violations"`
+}
+
+// handleViolations answers "what is still broken?" for the edit loop: the
+// session's live violation lists, maintained incrementally across edits
+// rather than rescanned per poll.
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	_, entry, err := s.session(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	entry.mu.Lock()
+	vs, err := entry.sess.Violations()
+	entry.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := violationsResponse{Consistent: len(vs) == 0, Violations: []violationJSON{}}
+	for _, v := range vs {
+		resp.Violations = append(resp.Violations, violationJSON{
+			Constraint: v.Constraint.ID, Row1: v.Row1 + 1, Row2: v.Row2 + 1,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

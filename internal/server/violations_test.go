@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func getViolations(t *testing.T, url string) violationsResponse {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("violations: %d", resp.StatusCode)
+	}
+	var out violationsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestViolationsEndpoint drives the live-violation view through the edit
+// loop: the paper table starts inconsistent, fixing the dirty cells drains
+// the list, and re-dirtying a cell brings it back.
+func TestViolationsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	sess := createSession(t, ts)
+	url := ts.URL + "/api/session/" + sess.ID + "/violations"
+
+	out := getViolations(t, url)
+	if out.Consistent || len(out.Violations) == 0 {
+		t.Fatalf("paper table must start with violations: %+v", out)
+	}
+	for _, v := range out.Violations {
+		if v.Constraint == "" || v.Row1 < 1 || v.Row2 < 1 {
+			t.Fatalf("malformed violation row: %+v", v)
+		}
+	}
+
+	// Repair the two dirty cells of the paper example by hand.
+	for _, edit := range []editRequest{
+		{SetCell: "t5[City]", Value: "Madrid"},
+		{SetCell: "t5[Country]", Value: "Spain"},
+		{SetCell: "t4[Country]", Value: "Spain"},
+	} {
+		if status, raw := post(t, ts.URL+"/api/session/"+sess.ID+"/edit", edit, nil); status != http.StatusOK {
+			t.Fatalf("edit %+v: %d %s", edit, status, raw)
+		}
+	}
+	out = getViolations(t, url)
+	if !out.Consistent || len(out.Violations) != 0 {
+		t.Fatalf("hand-repaired table must be consistent: %+v", out)
+	}
+
+	// Re-dirty one cell: the incremental list must re-derive its pairs.
+	if status, raw := post(t, ts.URL+"/api/session/"+sess.ID+"/edit",
+		editRequest{SetCell: "t5[Country]", Value: "España"}, nil); status != http.StatusOK {
+		t.Fatalf("re-dirty: %d %s", status, raw)
+	}
+	out = getViolations(t, url)
+	if out.Consistent || len(out.Violations) == 0 {
+		t.Fatalf("re-dirtied table must violate again: %+v", out)
+	}
+
+	// Unknown session id.
+	resp, err := http.Get(ts.URL + "/api/session/nope/violations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: %d", resp.StatusCode)
+	}
+}

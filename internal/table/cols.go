@@ -1,0 +1,80 @@
+package table
+
+// Typed column views: zero-copy accessors over the table's row-major
+// storage that expose one column under a fixed runtime type. They exist for
+// compiled evaluation loops (the dc predicate kernels) that compare one
+// hoisted operand against every row of a hash bucket: the view resolves the
+// column index once and each probe is a direct cell load plus a kind check,
+// with none of the per-call schema lookups of the interpreted path.
+//
+// Views hold the table pointer, not a rows snapshot, so they stay valid
+// across Set edits and shape-preserving CopyFrom refreshes; like RowView,
+// the values they read alias live storage and callers must not hold them
+// across a concurrent mutation.
+
+// ColView is the untyped view: direct cell access for one column.
+type ColView struct {
+	t   *Table
+	col int
+}
+
+// Col returns the untyped view of column col.
+func (t *Table) Col(col int) ColView { return ColView{t: t, col: col} }
+
+// Value returns the cell at (row, col) without a row-slice round trip.
+func (c ColView) Value(row int) Value { return c.t.rows[row][c.col] }
+
+// IntCol is the int-typed view of one column.
+type IntCol struct {
+	t   *Table
+	col int
+}
+
+// IntCol returns the int-typed view of column col.
+func (t *Table) IntCol(col int) IntCol { return IntCol{t: t, col: col} }
+
+// At returns the cell as an int64; ok is false when the cell is not a
+// KindInt value (nulls, floats and other kinds report false — callers that
+// want numeric unification should use FloatCol).
+func (c IntCol) At(row int) (int64, bool) {
+	v := c.t.rows[row][c.col]
+	if v.kind != KindInt {
+		return 0, false
+	}
+	return v.i, true
+}
+
+// FloatCol is the numeric view of one column: ints promote to float64,
+// exactly the unification the = predicate and Value.Compare apply.
+type FloatCol struct {
+	t   *Table
+	col int
+}
+
+// FloatCol returns the numeric view of column col.
+func (t *Table) FloatCol(col int) FloatCol { return FloatCol{t: t, col: col} }
+
+// At returns the cell as a float64 (ints promoted); ok is false for nulls
+// and non-numeric kinds.
+func (c FloatCol) At(row int) (float64, bool) {
+	return c.t.rows[row][c.col].Num()
+}
+
+// StringCol is the string-typed view of one column.
+type StringCol struct {
+	t   *Table
+	col int
+}
+
+// StringCol returns the string-typed view of column col.
+func (t *Table) StringCol(col int) StringCol { return StringCol{t: t, col: col} }
+
+// At returns the cell as a string; ok is false for nulls and non-string
+// kinds.
+func (c StringCol) At(row int) (string, bool) {
+	v := c.t.rows[row][c.col]
+	if v.kind != KindString {
+		return "", false
+	}
+	return v.s, true
+}

@@ -1,0 +1,103 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+func colsFixture(t *testing.T) *Table {
+	t.Helper()
+	tbl := New(MustSchema(Column{Name: "A"}, Column{Name: "B"}, Column{Name: "C"}))
+	rows := [][]Value{
+		{Int(1), Float(1.5), String("x")},
+		{Float(2.0), Null(), String("")},
+		{Null(), Int(-3), Null()},
+		{String("7"), Float(math.NaN()), Bool(true)},
+	}
+	for _, r := range rows {
+		if err := tbl.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestTypedColumnViews(t *testing.T) {
+	tbl := colsFixture(t)
+
+	ic := tbl.IntCol(0)
+	if v, ok := ic.At(0); !ok || v != 1 {
+		t.Fatalf("IntCol.At(0) = %d, %v; want 1, true", v, ok)
+	}
+	if _, ok := ic.At(1); ok {
+		t.Fatal("IntCol must reject floats")
+	}
+	if _, ok := ic.At(2); ok {
+		t.Fatal("IntCol must reject nulls")
+	}
+	if _, ok := ic.At(3); ok {
+		t.Fatal("IntCol must reject strings")
+	}
+
+	fc := tbl.FloatCol(0)
+	if v, ok := fc.At(0); !ok || v != 1.0 {
+		t.Fatalf("FloatCol must promote ints: got %v, %v", v, ok)
+	}
+	if v, ok := fc.At(1); !ok || v != 2.0 {
+		t.Fatalf("FloatCol.At(1) = %v, %v; want 2, true", v, ok)
+	}
+	if _, ok := fc.At(2); ok {
+		t.Fatal("FloatCol must reject nulls")
+	}
+	if _, ok := fc.At(3); ok {
+		t.Fatal("FloatCol must reject strings")
+	}
+	if v, ok := tbl.FloatCol(1).At(3); !ok || !math.IsNaN(v) {
+		t.Fatalf("FloatCol must pass NaN through: got %v, %v", v, ok)
+	}
+
+	sc := tbl.StringCol(2)
+	if v, ok := sc.At(0); !ok || v != "x" {
+		t.Fatalf("StringCol.At(0) = %q, %v; want x, true", v, ok)
+	}
+	if v, ok := sc.At(1); !ok || v != "" {
+		t.Fatalf("StringCol must accept empty strings: got %q, %v", v, ok)
+	}
+	if _, ok := sc.At(2); ok {
+		t.Fatal("StringCol must reject nulls")
+	}
+	if _, ok := sc.At(3); ok {
+		t.Fatal("StringCol must reject bools")
+	}
+
+	// Views follow live edits: they hold the table, not a snapshot.
+	tbl.Set(0, 0, Int(42))
+	if v, ok := ic.At(0); !ok || v != 42 {
+		t.Fatalf("IntCol must observe edits: got %d, %v", v, ok)
+	}
+	if got := tbl.Col(0).Value(0); !got.SameContent(Int(42)) {
+		t.Fatalf("ColView must observe edits: got %v", got)
+	}
+}
+
+func TestValueIsNaNAndNum(t *testing.T) {
+	if !Float(math.NaN()).IsNaN() {
+		t.Fatal("Float(NaN).IsNaN() = false")
+	}
+	for _, v := range []Value{Null(), Int(0), Float(0), String("NaN"), Bool(false)} {
+		if v.IsNaN() {
+			t.Fatalf("%v.IsNaN() = true", v)
+		}
+	}
+	if f, ok := Int(-2).Num(); !ok || f != -2 {
+		t.Fatalf("Int(-2).Num() = %v, %v", f, ok)
+	}
+	if f, ok := Float(2.5).Num(); !ok || f != 2.5 {
+		t.Fatalf("Float(2.5).Num() = %v, %v", f, ok)
+	}
+	for _, v := range []Value{Null(), String("1"), Bool(true)} {
+		if _, ok := v.Num(); ok {
+			t.Fatalf("%v.Num() ok = true", v)
+		}
+	}
+}

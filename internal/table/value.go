@@ -94,6 +94,25 @@ func (v Value) FloatVal() float64 { return v.f }
 // BoolVal returns the underlying bool; it is only meaningful for KindBool.
 func (v Value) BoolVal() bool { return v.b }
 
+// IsNaN reports whether the value is a float NaN. NaN is the one non-null
+// value the = predicate can never satisfy (NaN ≠ NaN), so hash-join
+// partitions treat it like null — see dc's appendCompositeKey.
+func (v Value) IsNaN() bool { return v.kind == KindFloat && math.IsNaN(v.f) }
+
+// Num returns the value as a float64 under the numeric unification the =
+// predicate and Compare use (ints promote); ok is false for nulls and
+// non-numeric kinds.
+func (v Value) Num() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, true
+	case KindInt:
+		return float64(v.i), true
+	default:
+		return 0, false
+	}
+}
+
 // String renders the value for display. Null renders as the SQL-ish "NULL".
 func (v Value) String() string {
 	switch v.kind {
@@ -161,8 +180,8 @@ func (v Value) AppendKey(buf []byte) []byte {
 // unlike AppendKey, whose identity keys keep int 1 and float 1.0 distinct.
 // Hash-join bucketing must use this form: a kind-sensitive key would
 // separate rows the equality predicate joins, silently dropping
-// violations. (NaN never equals anything; bucketing NaNs together is
-// harmless because bucket partners are always re-verified.)
+// violations. NaN never equals anything, so partition builders exclude NaN
+// cells before keying (IsNaN), the same way they exclude nulls.
 func (v Value) AppendJoinKey(buf []byte) []byte {
 	if isNumeric(v.kind) {
 		f := v.asFloat()
