@@ -32,6 +32,7 @@ func main() {
 		gate    = flag.String("gate", "", "compare this BENCH_<n>.json against -against and fail on regression")
 		against = flag.String("against", "", "with -gate: the baseline BENCH_<n>.json")
 		tol     = flag.Float64("gate-tolerance", 0.25, "with -gate: allowed ns/op regression fraction")
+		workers = flag.Int("workers", 0, "with -perf: engine parallelism for the multi-core scenarios; 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -55,9 +56,9 @@ func main() {
 	if *perf {
 		var err error
 		if *out != "" {
-			err = bench.WritePerfJSON(os.Stdout, *out, *short)
+			err = bench.WritePerfJSON(os.Stdout, *out, *short, *workers)
 		} else {
-			_, err = bench.RunPerf(os.Stdout, *short)
+			_, err = bench.RunPerf(os.Stdout, *short, *workers)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trex-bench: perf: %v\n", err)

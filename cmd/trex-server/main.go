@@ -22,13 +22,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "per-session engine parallelism (sampling fan-out and parallel repair passes); 0 = GOMAXPROCS")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	srv := server.New()
+	srv.Workers = *workers
 	fmt.Printf("T-REx demo listening on %s\n", *addr)
-	if err := server.New().ListenAndServe(ctx, *addr); err != nil {
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "trex-server:", err)
 		os.Exit(1)
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dc"
+	"repro/internal/exec"
 	"repro/internal/repair"
 	"repro/internal/table"
 )
@@ -43,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		kind      = fs.String("kind", "constraints", "explanation kind: constraints or cells")
 		samples   = fs.Int("samples", 500, "permutation samples for cell explanations")
 		seed      = fs.Int64("seed", 1, "sampling seed")
+		workers   = fs.Int("workers", 0, "engine parallelism (sampling fan-out and parallel repair passes); 0 = GOMAXPROCS — never changes results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +92,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// One engine for the whole invocation: parallel repair bucket passes
+	// and a coalition cache shared across the repair and explain phases.
+	exp.Engine = exec.NewEngine(*workers)
 	ctx := context.Background()
 
 	clean, diffs, err := exp.Repair(ctx)
@@ -119,7 +124,7 @@ func run(args []string, out io.Writer) error {
 	case "constraints":
 		report, err = exp.ExplainConstraints(ctx, cell)
 	case "cells":
-		report, err = exp.ExplainCells(ctx, cell, core.CellExplainOptions{Samples: *samples, Seed: *seed})
+		report, err = exp.ExplainCells(ctx, cell, core.CellExplainOptions{Samples: *samples, Seed: *seed, Workers: *workers})
 	default:
 		return fmt.Errorf("unknown -kind %q", *kind)
 	}

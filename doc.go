@@ -46,6 +46,49 @@
 //     Golden tests pin RepairInto to Repair and both walks to the clone
 //     paths bit for bit.
 //
+// # The session execution engine
+//
+// Above the evaluation fast path sits internal/exec: one Engine per
+// iterative session (core.Session constructs and owns it; every
+// Session.Explainer carries it) that owns the compute and cache all of the
+// session's hot paths draw from:
+//
+//   - Shared coalition cache (exec.CoalitionCache): one generation-keyed
+//     cache spanning *all* of a session's games, keyed by (interned game
+//     descriptor, packed coalition) — a single uint64 bitmask up to 64
+//     players, packed []uint64 words above (allocation-free lookups; the
+//     same packed keys replaced the per-game cache's string fallback).
+//     Where per-game caches died with their game, this one survives it:
+//     the constraint ranking, the interaction matrix, the Banzhaf
+//     ablation, the why-not search and repeat explains of the same cell
+//     all enumerate the same characteristic function and hit each other's
+//     values. Invalidation is by table generation, lazily per shard:
+//     Session.SetCell bumps the dirty table's mutation counter and no
+//     value computed before the bump can satisfy a lookup after it
+//     (hammer-tested under -race).
+//   - Bounded worker pool (exec.Pool): one global helper budget per
+//     session, borrowed non-blockingly so nested fan-outs (sampler workers
+//     whose repair passes parallelize) degrade to caller-only execution
+//     instead of oversubscribing. Repair black boxes reach it through
+//     repair.PartitionedRepairer: all four fan the live set's full
+//     violation derivations across disjoint buckets, and the FD chase
+//     additionally computes per-group majorities concurrently, applying
+//     them serially in the serial pass's group order. The serial path
+//     remains the golden cross-validation reference — parallel output is
+//     bit-identical by contract and by test.
+//   - Deterministic parallel sampling (internal/shapley): the samplers'
+//     fan-out schedules a chunk grid whose size and RNG streams depend
+//     only on (Samples, Seed); chunk accumulators merge in chunk order, so
+//     Workers=1 and Workers=N produce bit-identical estimates (CI asserts
+//     this). One-marginal samplers (SamplePlayer, TopK) additionally morph
+//     walks coalition-to-coalition through shapley.DeltaWalk (Exclude),
+//     and the group walk restores its mask baseline from a precomputed
+//     layout copy instead of re-walking every group per sample.
+//
+// Parallelism and caching are scheduling choices, never semantic ones:
+// every layer's parallel/cached path is pinned bit-for-bit to its serial,
+// uncached reference.
+//
 // # The violation index
 //
 // Violation detection — "which pairs jointly satisfy a denied
@@ -93,6 +136,7 @@
 // Layout:
 //
 //	internal/table      typed in-memory tables, CSV, statistics, diffs
+//	internal/exec       session engine: shared coalition cache, worker pool
 //	internal/dc         denial-constraint language and evaluation
 //	internal/dcdiscover FastDCs-flavoured constraint mining
 //	internal/repair     the black boxes: Algorithm 1, HoloSim, baselines

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dc"
+	"repro/internal/exec"
 	"repro/internal/repair"
 	"repro/internal/shapley"
 	"repro/internal/table"
@@ -73,8 +74,9 @@ func EvalHarnessGame(rows int, alg repair.Algorithm) (*core.CellGame, error) {
 }
 
 // perfScenarios builds the registered scenarios. short trims the expensive
-// end-to-end rows for CI smoke runs.
-func perfScenarios(short bool) ([]perfScenario, error) {
+// end-to-end rows for CI smoke runs; workers is the engine parallelism of
+// the multi-core rows (0 = GOMAXPROCS).
+func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 	ctx := context.Background()
 	harness, err := EvalHarnessGame(32, repair.Passthrough{})
 	if err != nil {
@@ -365,6 +367,57 @@ func perfScenarios(short bool) ([]perfScenario, error) {
 		}},
 	)
 
+	// The >64-player coalition cache hit: the packed []uint64 key replacing
+	// the old string fallback (which allocated a key string per lookup).
+	out = append(out, perfScenario{"cache/wide/hit", func(b *testing.B) {
+		n := 96
+		cached := shapley.NewCached(shapley.GameFunc{N: n, Fn: func(_ context.Context, c []bool) (float64, error) {
+			s := 0.0
+			for i, in := range c {
+				if in {
+					s += float64(i)
+				}
+			}
+			return s, nil
+		}})
+		coalition := make([]bool, n)
+		for i := range coalition {
+			coalition[i] = i%3 == 0
+		}
+		if _, err := cached.Value(ctx, coalition); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cached.Value(ctx, coalition); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+
+	// The session engine's shared coalition cache: after one constraint
+	// ranking warms the session, every further constraint screen (repeat
+	// ranking, Banzhaf, interactions) enumerates against pure cache hits —
+	// only the Target() repair re-runs.
+	out = append(out, perfScenario{"explain-constraints/laliga/shared-cache", func(b *testing.B) {
+		ll, alg := dataLaLiga()
+		sess, err := core.NewSession(alg, ll.DCs, ll.Dirty)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Explainer().ExplainConstraints(ctx, ll.CellOfInterest); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Explainer().ExplainConstraints(ctx, ll.CellOfInterest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+
 	if !short {
 		// End-to-end cell explanation against a real black box.
 		ll, alg := dataLaLiga()
@@ -380,15 +433,49 @@ func perfScenarios(short bool) ([]perfScenario, error) {
 				}
 			}
 		}})
+
+		// The multi-core headline: the same large explain-cells workload
+		// serial and fanned across the engine's workers. The chunked
+		// fan-out makes both rows produce bit-identical estimates, so the
+		// ns/op ratio is pure scheduling win. Fixtures built lazily inside
+		// the scenario (see the large-scan comment above).
+		largeExplain := func(workers int) func(b *testing.B) {
+			return func(b *testing.B) {
+				big := data.GenerateSoccer(data.SoccerConfig{Leagues: 4, TeamsPerLeague: 12, Seed: 17})
+				country := big.Schema().MustIndex("Country")
+				cell := table.CellRef{Row: 5, Col: country}
+				big.Set(cell.Row, cell.Col, table.String("Wrongland"))
+				cs := data.SoccerDCs()
+				exp, err := core.NewExplainer(repair.NewRuleRepair(cs), cs, big)
+				if err != nil {
+					b.Fatal(err)
+				}
+				exp.Engine = exec.NewEngine(workers)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := exp.ExplainCells(ctx, cell, core.CellExplainOptions{
+						Samples: 32, Seed: int64(i), Workers: workers, RestrictToRelevant: true,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		out = append(out,
+			perfScenario{"explain-cells/soccer48/m=32/workers=1", largeExplain(1)},
+			perfScenario{"explain-cells/soccer48/m=32/workers=auto", largeExplain(workers)},
+		)
 	}
 	return out, nil
 }
 
 // RunPerf executes every registered perf scenario via testing.Benchmark,
 // streams a human-readable line per scenario to w, and returns the
-// machine-readable report.
-func RunPerf(w io.Writer, short bool) (*PerfReport, error) {
-	scenarios, err := perfScenarios(short)
+// machine-readable report. workers configures the multi-core rows (0 =
+// GOMAXPROCS).
+func RunPerf(w io.Writer, short bool, workers int) (*PerfReport, error) {
+	scenarios, err := perfScenarios(short, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -426,7 +513,7 @@ func RunPerf(w io.Writer, short bool) (*PerfReport, error) {
 // one, and every write and close error is fatal — CI uploads this file as
 // an artifact, and a silent write failure would upload nothing while the
 // job reports green.
-func WritePerfJSON(w io.Writer, path string, short bool) error {
+func WritePerfJSON(w io.Writer, path string, short bool, workers int) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -436,7 +523,7 @@ func WritePerfJSON(w io.Writer, path string, short bool) error {
 		f.Close()
 		os.Remove(tmp)
 	}
-	report, err := RunPerf(w, short)
+	report, err := RunPerf(w, short, workers)
 	if err != nil {
 		discard()
 		return err

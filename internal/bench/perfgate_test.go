@@ -91,7 +91,7 @@ func TestGateErrorsOnBadInputs(t *testing.T) {
 // into a non-zero exit.
 func TestWritePerfJSONFailsFastOnUnwritablePath(t *testing.T) {
 	var out bytes.Buffer
-	err := WritePerfJSON(&out, filepath.Join(t.TempDir(), "no-such-dir", "x.json"), true)
+	err := WritePerfJSON(&out, filepath.Join(t.TempDir(), "no-such-dir", "x.json"), true, 0)
 	if err == nil {
 		t.Fatal("WritePerfJSON must fail on an unwritable path")
 	}

@@ -19,10 +19,13 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/dc"
+	"repro/internal/exec"
 	"repro/internal/repair"
 	"repro/internal/shapley"
 	"repro/internal/table"
@@ -37,6 +40,78 @@ type Explainer struct {
 	DCs []*dc.Constraint
 	// Dirty is T_d.
 	Dirty *table.Table
+	// Engine, when set, is the session execution layer every hot path
+	// draws from: exact enumerations memoize coalition values in its
+	// *shared* generation-keyed cache (surviving this explainer and this
+	// game), and repairs fan disjoint-bucket passes across its bounded
+	// worker pool. Session.Explainer wires it; a nil Engine degrades to
+	// per-game caches and serial repair, preserving all semantics.
+	Engine *exec.Engine
+}
+
+// pool returns the session worker pool (the nil serial pool without an
+// engine).
+func (e *Explainer) pool() *exec.Pool { return e.Engine.Pool() }
+
+// cachedGame wraps a deterministic game with the session's shared
+// coalition cache under the given game descriptor, falling back to a
+// private per-game cache when the explainer has no engine. desc must come
+// from gameDesc so equal descriptors imply equal characteristic functions
+// at any fixed table generation.
+func (e *Explainer) cachedGame(desc string, g shapley.Game) shapley.Game {
+	return e.Engine.CachedGame(desc, e.Dirty.Generation, g)
+}
+
+// gameDesc builds the shared-cache descriptor of a game: the kind-specific
+// parts plus everything every game's characteristic function closes over —
+// the black box and the full constraint set (cell and group games depend
+// on the DCs through the repair; the constraint game's player roster *is*
+// the DC list, so editing constraints re-keys every game). Table contents
+// are deliberately absent: they are covered by the generation stamp.
+//
+// Every component is length-prefixed: descriptors must be *injective* in
+// their components — two distinct games interning one cache ID would
+// silently serve each other's coalition values — and parts carry
+// user-controlled text (constraint strings, group names) that could
+// otherwise alias the framing.
+func (e *Explainer) gameDesc(kind string, parts ...string) string {
+	var b strings.Builder
+	b.WriteString(kind)
+	writePart := func(p string) {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	for _, p := range parts {
+		writePart(p)
+	}
+	writePart(e.Alg.Name())
+	for _, c := range e.DCs {
+		writePart(c.String())
+	}
+	return b.String()
+}
+
+// refDesc renders a cell reference for descriptors (row/col indexes, not
+// names: stable under column renames within one session, cheap to build).
+func refDesc(ref table.CellRef) string {
+	return strconv.Itoa(ref.Row) + "," + strconv.Itoa(ref.Col)
+}
+
+// targetDesc renders a target value for descriptors through its
+// kind-tagged identity key: Value.String would collapse String("5"),
+// Int(5) and Float(5.0) into "5", aliasing games whose characteristic
+// functions differ (SameContent is kind-sensitive across non-numeric
+// kinds).
+func targetDesc(v table.Value) string { return string(v.AppendKey(nil)) }
+
+// constraintGameDesc is the shared descriptor of NewConstraintGame(cell,
+// target): one descriptor — not one per report kind — so the constraint
+// ranking, the Banzhaf ablation, the interaction matrix and the why-not
+// search all draw from one pool of memoized coalition values.
+func (e *Explainer) constraintGameDesc(cell table.CellRef, target table.Value) string {
+	return e.gameDesc("constraint-game", "cell="+refDesc(cell), "target="+targetDesc(target))
 }
 
 // NewExplainer validates the inputs and builds an Explainer.
@@ -54,9 +129,18 @@ func NewExplainer(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Table
 }
 
 // Repair runs the black box on the full input and returns the clean table
-// together with the repaired cells (the "blue cells" of Figure 2b).
+// together with the repaired cells (the "blue cells" of Figure 2b). With a
+// session engine and a PartitionedRepairer black box, disjoint-bucket
+// passes run on the engine pool — bit-identical to the serial repair by
+// the PartitionedRepairer contract.
 func (e *Explainer) Repair(ctx context.Context) (*table.Table, []table.CellDiff, error) {
-	clean, err := e.Alg.Repair(ctx, e.DCs, e.Dirty)
+	var clean *table.Table
+	var err error
+	if pr, ok := e.Alg.(repair.PartitionedRepairer); ok && e.Engine.Workers() > 1 {
+		clean, err = pr.RepairIntoParallel(ctx, e.DCs, e.Dirty, nil, e.Engine.Pool())
+	} else {
+		clean, err = e.Alg.Repair(ctx, e.DCs, e.Dirty)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: repairing: %w", err)
 	}
@@ -109,7 +193,7 @@ func (g *ConstraintGame) Value(ctx context.Context, coalition []bool) (float64, 
 			subset = append(subset, g.exp.DCs[i])
 		}
 	}
-	return repair.CellRepaired(ctx, g.exp.Alg, subset, g.exp.Dirty, g.cell, g.target)
+	return repair.CellRepairedWith(ctx, g.exp.Alg, subset, g.exp.Dirty, g.cell, g.target, g.exp.pool())
 }
 
 // ReplacementPolicy selects what happens to cells outside a coalition in
@@ -327,7 +411,7 @@ func (g *CellGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) (
 		sc.tbl.SetRef(g.players[k], v)
 		sc.touched = append(sc.touched, k)
 	}
-	out, err := repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target)
+	out, err := repair.CellRepairedWith(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target, g.exp.pool())
 	g.restore(sc)
 	g.putScratch(sc)
 	return out, err
@@ -433,6 +517,21 @@ func (w *cellWalk) Include(p int) {
 	w.sc.tbl.SetRef(w.g.players[p], w.g.origs[p])
 }
 
+// Exclude implements shapley.DeltaWalk: the inverse single-cell delta,
+// letting samplers morph one sample's coalition into the next instead of
+// re-masking every player from the empty coalition. Under the null policy
+// the cell returns to Null; under ReplaceFromColumn the next Value simply
+// resumes redrawing it.
+func (w *cellWalk) Exclude(p int) {
+	if !w.in[p] {
+		return
+	}
+	w.in[p] = false
+	if w.g.policy == ReplaceWithNull {
+		w.sc.tbl.SetRef(w.g.players[p], table.Null())
+	}
+}
+
 // Value implements shapley.CoalitionWalk. Under the null policy the scratch
 // table already holds the coalition's exact masked state; under column
 // sampling every absent cell is redrawn in player order, consuming the RNG
@@ -451,7 +550,7 @@ func (w *cellWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) {
 			w.sc.tbl.SetRef(w.g.players[k], v)
 		}
 	}
-	return repair.CellRepaired(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target)
+	return repair.CellRepairedWith(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool())
 }
 
 // Close implements shapley.CoalitionWalk: restores the scratch to the dirty

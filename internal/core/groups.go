@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +13,32 @@ import (
 	"repro/internal/shapley"
 	"repro/internal/table"
 )
+
+// groupsDesc fingerprints a group roster for the shared coalition cache:
+// names plus exact membership (vector indexes), so two rosters share
+// memoized coalition values only when they are the same grouping. Names
+// are length-prefixed and cell counts explicit, keeping the fingerprint
+// injective even when a caller's group name contains the separators
+// (";3:a,b#2:…" cannot alias ";1:a…" framing).
+func groupsDesc(t *table.Table, groups []CellGroup) string {
+	var b strings.Builder
+	for _, g := range groups {
+		b.WriteByte(';')
+		b.WriteString(strconv.Itoa(len(g.Name)))
+		b.WriteByte(':')
+		b.WriteString(g.Name)
+		b.WriteByte('#')
+		b.WriteString(strconv.Itoa(len(g.Cells)))
+		b.WriteByte(':')
+		for i, ref := range g.Cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(t.VecIndex(ref)))
+		}
+	}
+	return b.String()
+}
 
 // CellGroup is a named set of cells treated as one Shapley player. Rows
 // and columns are the natural groupings for tables: "how much did tuple t3
@@ -68,6 +96,11 @@ type GroupGame struct {
 	policy ReplacementPolicy
 	stats  *table.Stats
 	groups []CellGroup
+	// layout is the precomputed flat-cell geometry of the walks: group
+	// membership and overlap counts are fixed at construction, so walks
+	// restore their mask baseline by one memcpy instead of re-walking
+	// every group per permutation.
+	layout groupLayout
 	// scratch pools reusable clones of the dirty table, as in CellGame:
 	// mask in place, repair, restore the touched cells.
 	scratch sync.Pool
@@ -77,6 +110,44 @@ type GroupGame struct {
 	snapGen uint64
 	// syncMu serializes re-snapshotting.
 	syncMu sync.Mutex
+}
+
+// groupLayout is the static geometry of a group game's player cells — the
+// incremental group walk's precomputation. Values are never stored here
+// (they are read live from the dirty table, which session edits may move);
+// only the shape is, which NewGroupGame fixes.
+type groupLayout struct {
+	// flat is the deduplicated list of every cell appearing in some group.
+	flat []table.CellRef
+	// base[i] counts the occurrences of flat[i] across all groups — the
+	// all-groups-absent mask-count baseline a walk Reset copies wholesale.
+	base []int32
+	// groupIdx[k] lists, per occurrence, the flat indexes of group k's
+	// cells.
+	groupIdx [][]int32
+}
+
+// buildGroupLayout flattens the (cleaned) groups of a game.
+func buildGroupLayout(t *table.Table, groups []CellGroup) groupLayout {
+	lo := groupLayout{groupIdx: make([][]int32, len(groups))}
+	byVec := make(map[int]int32)
+	for k, g := range groups {
+		idxs := make([]int32, 0, len(g.Cells))
+		for _, ref := range g.Cells {
+			vi := t.VecIndex(ref)
+			fi, ok := byVec[vi]
+			if !ok {
+				fi = int32(len(lo.flat))
+				byVec[vi] = fi
+				lo.flat = append(lo.flat, ref)
+				lo.base = append(lo.base, 0)
+			}
+			lo.base[fi]++
+			idxs = append(idxs, fi)
+		}
+		lo.groupIdx[k] = idxs
+	}
+	return lo
 }
 
 // groupScratch is one pooled working table plus the undo list of masked
@@ -140,6 +211,7 @@ func (e *Explainer) NewGroupGame(cell table.CellRef, target table.Value, policy 
 		policy:  policy,
 		stats:   table.NewStats(e.Dirty),
 		groups:  cleaned,
+		layout:  buildGroupLayout(e.Dirty, cleaned),
 		snapGen: e.Dirty.Generation(),
 	}
 }
@@ -214,7 +286,7 @@ func (g *GroupGame) evalOn(ctx context.Context, sc *groupScratch, coalition []bo
 			sc.tbl.SetRef(ref, repl)
 		}
 	}
-	return repair.CellRepaired(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target)
+	return repair.CellRepairedWith(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target, g.exp.pool())
 }
 
 // evalClone is the clone-per-evaluation reference path, mirroring
@@ -272,13 +344,19 @@ func (c cloneEvalGroupGame) Value(ctx context.Context, coalition []bool) (float6
 // disjointness), so the walk reference-counts masked cells: a cell returns
 // to its dirty value only when the last absent group containing it joins
 // the coalition — exactly the final state the batch mask produces.
+//
+// The walk is incremental in both directions (shapley.DeltaWalk): Exclude
+// re-masks a group, which lets the one-marginal samplers morph between
+// consecutive samples' coalitions instead of re-walking all groups per
+// sample, and Reset restores the all-absent mask baseline with one copy of
+// the precomputed layout counts.
 func (g *GroupGame) NewWalk() shapley.CoalitionWalk {
 	g.sync()
 	return &groupWalk{
 		g:         g,
 		sc:        g.getScratch(),
 		in:        make([]bool, len(g.groups)),
-		maskCount: make([]int, g.exp.Dirty.NumCells()),
+		maskCount: make([]int32, len(g.layout.flat)),
 	}
 }
 
@@ -290,29 +368,26 @@ type groupWalk struct {
 	// in mirrors coalition membership; needed under ReplaceFromColumn,
 	// where every absent group is redrawn per evaluation.
 	in []bool
-	// maskCount[VecIndex(cell)] counts the absent groups containing the
-	// cell; positive means masked under the null policy.
-	maskCount []int
+	// maskCount[i] counts the absent groups containing layout.flat[i];
+	// positive means masked under the null policy.
+	maskCount []int32
 	// masked reports whether the scratch currently has absent cells masked
 	// (i.e. Reset has run under the null policy).
 	masked bool
 }
 
 // Reset implements shapley.CoalitionWalk: empty coalition, every group
-// masked.
+// masked. The mask counts are restored by copying the layout baseline and
+// the distinct player cells nulled once each — no per-group re-walk.
 func (w *groupWalk) Reset() {
-	clear(w.maskCount)
+	lo := &w.g.layout
+	copy(w.maskCount, lo.base)
 	for k := range w.in {
 		w.in[k] = false
 	}
-	dirty := w.g.exp.Dirty
-	for _, grp := range w.g.groups {
-		for _, ref := range grp.Cells {
-			idx := dirty.VecIndex(ref)
-			w.maskCount[idx]++
-			if w.maskCount[idx] == 1 && w.g.policy == ReplaceWithNull {
-				w.sc.tbl.SetRef(ref, table.Null())
-			}
+	if w.g.policy == ReplaceWithNull {
+		for _, ref := range lo.flat {
+			w.sc.tbl.SetRef(ref, table.Null())
 		}
 	}
 	w.masked = true
@@ -325,12 +400,30 @@ func (w *groupWalk) Include(p int) {
 		return
 	}
 	w.in[p] = true
+	lo := &w.g.layout
 	dirty := w.g.exp.Dirty
-	for _, ref := range w.g.groups[p].Cells {
-		idx := dirty.VecIndex(ref)
-		w.maskCount[idx]--
-		if w.maskCount[idx] == 0 {
-			w.sc.tbl.SetRef(ref, dirty.GetRef(ref))
+	for _, fi := range lo.groupIdx[p] {
+		w.maskCount[fi]--
+		if w.maskCount[fi] == 0 {
+			w.sc.tbl.SetRef(lo.flat[fi], dirty.GetRef(lo.flat[fi]))
+		}
+	}
+}
+
+// Exclude implements shapley.DeltaWalk: the inverse per-group delta. A
+// cell re-masks (under the null policy) when its first absent group
+// reappears; cells still covered by other absent groups were masked
+// already.
+func (w *groupWalk) Exclude(p int) {
+	if !w.in[p] {
+		return
+	}
+	w.in[p] = false
+	lo := &w.g.layout
+	for _, fi := range lo.groupIdx[p] {
+		w.maskCount[fi]++
+		if w.maskCount[fi] == 1 && w.g.policy == ReplaceWithNull {
+			w.sc.tbl.SetRef(lo.flat[fi], table.Null())
 		}
 	}
 }
@@ -356,7 +449,7 @@ func (w *groupWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) 
 			}
 		}
 	}
-	return repair.CellRepaired(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target)
+	return repair.CellRepairedWith(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool())
 }
 
 // Close implements shapley.CoalitionWalk: restores the scratch to the dirty
@@ -364,10 +457,8 @@ func (w *groupWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) 
 func (w *groupWalk) Close() {
 	if w.masked || w.g.policy != ReplaceWithNull {
 		dirty := w.g.exp.Dirty
-		for _, grp := range w.g.groups {
-			for _, ref := range grp.Cells {
-				w.sc.tbl.SetRef(ref, dirty.GetRef(ref))
-			}
+		for _, ref := range w.g.layout.flat {
+			w.sc.tbl.SetRef(ref, dirty.GetRef(ref))
 		}
 	}
 	w.g.scratch.Put(w.sc)
@@ -406,7 +497,9 @@ func (e *Explainer) ExplainCellGroupsAuto(ctx context.Context, cell table.CellRe
 		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
 	}
 	game := e.NewGroupGame(cell, target, ReplaceWithNull, groups)
-	values, err := shapley.ExactSubsets(ctx, shapley.NewCached(game))
+	desc := e.gameDesc("group-game-exact",
+		"cell="+refDesc(cell), "target="+targetDesc(target), groupsDesc(e.Dirty, game.groups))
+	values, err := shapley.ExactSubsets(ctx, e.cachedGame(desc, game))
 	if err != nil {
 		return nil, fmt.Errorf("core: group Shapley: %w", err)
 	}

@@ -73,7 +73,7 @@ func (e *Explainer) ExplainConstraintInteractions(ctx context.Context, cell tabl
 	if !repaired {
 		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
 	}
-	game := shapley.NewCached(e.NewConstraintGame(cell, target))
+	game := e.cachedGame(e.constraintGameDesc(cell, target), e.NewConstraintGame(cell, target))
 	matrix, err := shapley.ExactInteraction(ctx, game)
 	if err != nil {
 		return nil, fmt.Errorf("core: constraint interactions: %w", err)
@@ -122,7 +122,7 @@ func (e *Explainer) ExplainConstraintsBanzhaf(ctx context.Context, cell table.Ce
 	if !repaired {
 		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
 	}
-	game := shapley.NewCached(e.NewConstraintGame(cell, target))
+	game := e.cachedGame(e.constraintGameDesc(cell, target), e.NewConstraintGame(cell, target))
 	values, err := shapley.ExactBanzhaf(ctx, game)
 	if err != nil {
 		return nil, fmt.Errorf("core: constraint Banzhaf: %w", err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/shapley"
@@ -94,7 +95,7 @@ func (e *Explainer) ExplainConstraints(ctx context.Context, cell table.CellRef) 
 	if !repaired {
 		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
 	}
-	game := shapley.NewCached(e.NewConstraintGame(cell, target))
+	game := e.cachedGame(e.constraintGameDesc(cell, target), e.NewConstraintGame(cell, target))
 	values, err := shapley.ExactSubsets(ctx, game)
 	if err != nil {
 		return nil, fmt.Errorf("core: constraint Shapley: %w", err)
@@ -195,7 +196,9 @@ func (e *Explainer) ExplainCellsExact(ctx context.Context, cell table.CellRef, r
 	if restrict {
 		game.RestrictPlayers(e.RelevantCells(cell))
 	}
-	values, err := shapley.ExactSubsets(ctx, shapley.NewCached(game))
+	desc := e.gameDesc("cell-game-exact",
+		"cell="+refDesc(cell), "target="+targetDesc(target), "restrict="+strconv.FormatBool(restrict))
+	values, err := shapley.ExactSubsets(ctx, e.cachedGame(desc, game))
 	if err != nil {
 		return nil, fmt.Errorf("core: exact cell Shapley: %w", err)
 	}

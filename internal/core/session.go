@@ -5,14 +5,17 @@ import (
 	"fmt"
 
 	"repro/internal/dc"
+	"repro/internal/exec"
 	"repro/internal/repair"
 	"repro/internal/table"
 )
 
 // Session models the iterative debugging loop of §3/§4: users inspect an
 // explanation, edit the constraints or the dirty table, re-repair and
-// re-explain. A Session owns a mutable copy of the inputs and tracks the
-// edit history.
+// re-explain. A Session owns a mutable copy of the inputs, the edit
+// history, and the session execution engine (internal/exec): one shared
+// generation-keyed coalition cache plus one bounded worker pool spanning
+// every explainer and game derived from the session.
 type Session struct {
 	alg   repair.Algorithm
 	dcs   []*dc.Constraint
@@ -22,20 +25,49 @@ type Session struct {
 	// live materializes the session's violation lists and maintains them
 	// incrementally across SetCell edits (allocated on first use).
 	live *dc.LiveViolationSet
+	// engine is the session execution layer; every Explainer() carries it.
+	engine *exec.Engine
 }
 
-// NewSession starts an iterative session; the table is cloned so caller
-// data is never mutated.
+// SessionOptions configures a session's execution engine.
+type SessionOptions struct {
+	// Workers is the engine's parallelism budget — the worker pool repair
+	// black boxes fan disjoint-bucket passes across, and the default
+	// sampling fan-out of the session's explainers. 0 means GOMAXPROCS.
+	// Parallelism never changes results (see the PartitionedRepairer and
+	// fan-out determinism contracts); 1 forces fully serial execution.
+	Workers int
+}
+
+// NewSession starts an iterative session with default engine options; the
+// table is cloned so caller data is never mutated.
 func NewSession(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Table) (*Session, error) {
+	return NewSessionWith(alg, dcs, dirty, SessionOptions{})
+}
+
+// NewSessionWith is NewSession with explicit engine options.
+func NewSessionWith(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Table, opts SessionOptions) (*Session, error) {
 	if _, err := NewExplainer(alg, dcs, dirty); err != nil {
 		return nil, err
 	}
-	return &Session{alg: alg, dcs: append([]*dc.Constraint(nil), dcs...), dirty: dirty.Clone()}, nil
+	return &Session{
+		alg:    alg,
+		dcs:    append([]*dc.Constraint(nil), dcs...),
+		dirty:  dirty.Clone(),
+		engine: exec.NewEngine(opts.Workers),
+	}, nil
 }
 
-// Explainer returns an Explainer over the session's current state.
+// Engine exposes the session's execution engine (cache statistics for the
+// UI, the pool for advanced callers).
+func (s *Session) Engine() *exec.Engine { return s.engine }
+
+// Explainer returns an Explainer over the session's current state, wired
+// to the session engine: its games share the session's coalition cache —
+// keyed by game identity and invalidated by the dirty table's generation,
+// which every SetCell bumps — and its repairs run on the session pool.
 func (s *Session) Explainer() *Explainer {
-	return &Explainer{Alg: s.alg, DCs: s.dcs, Dirty: s.dirty}
+	return &Explainer{Alg: s.alg, DCs: s.dcs, Dirty: s.dirty, Engine: s.engine}
 }
 
 // Dirty returns the session's current dirty table (live; edits via SetCell).
@@ -64,6 +96,9 @@ func (s *Session) RemoveDC(id string) error {
 	}
 	s.dcs = dc.Without(s.dcs, id)
 	s.History = append(s.History, "removed "+id)
+	// Constraint edits re-key every game descriptor without bumping the
+	// table generation; drop the now-unreachable coalition values.
+	s.engine.InvalidateCache()
 	return nil
 }
 
@@ -84,6 +119,8 @@ func (s *Session) AddDC(text string) error {
 	}
 	s.dcs = append(s.dcs, c)
 	s.History = append(s.History, "added "+c.String())
+	// See RemoveDC: constraint edits re-key every game descriptor.
+	s.engine.InvalidateCache()
 	return nil
 }
 

@@ -64,7 +64,7 @@ func (e *Explainer) ExplainToward(ctx context.Context, cell table.CellRef, desir
 	if desired.IsNull() {
 		return nil, fmt.Errorf("core: desired value must be non-null")
 	}
-	game := shapley.NewCached(e.NewConstraintGame(cell, desired))
+	game := e.cachedGame(e.constraintGameDesc(cell, desired), e.NewConstraintGame(cell, desired))
 	values, err := shapley.ExactSubsets(ctx, game)
 	if err != nil {
 		return nil, fmt.Errorf("core: why-not Shapley: %w", err)
@@ -96,7 +96,7 @@ func (e *Explainer) Achievable(ctx context.Context, cell table.CellRef, desired 
 	if n > 20 {
 		return false, nil, fmt.Errorf("core: %d constraints is too many for subset search", n)
 	}
-	game := e.NewConstraintGame(cell, desired)
+	game := e.cachedGame(e.constraintGameDesc(cell, desired), e.NewConstraintGame(cell, desired))
 	// Order masks by popcount so the first witness is minimal in size.
 	masks := make([]int, 0, 1<<uint(n))
 	for mask := 0; mask < 1<<uint(n); mask++ {

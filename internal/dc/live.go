@@ -39,8 +39,14 @@ type LiveViolationSet struct {
 	schema *table.Schema
 	gen    uint64
 	lists  map[*Constraint]*liveList
-	// Workers caps the full-derivation pool; 0 means GOMAXPROCS (clamped).
+	// Workers caps the full-derivation fan-out; 0 means GOMAXPROCS
+	// (clamped), unless Pool is set, whose budget then applies.
 	Workers int
+	// Pool, when set, supplies the goroutines of a full derivation's
+	// disjoint-bucket fan-out instead of ad-hoc spawning — the session
+	// engine's bounded worker pool, plugged in per run by the repair black
+	// boxes (repair.PartitionedRepairer). Its budget caps the fan-out.
+	Pool Runner
 	// MinRows overrides the materialization threshold (0 means
 	// liveMinRows). Tests set 1 to force list maintenance on small tables.
 	MinRows int
@@ -52,6 +58,17 @@ type LiveViolationSet struct {
 	newPairs    []Violation
 	slotSeen    []bool
 	slotOrder   []int
+}
+
+// Runner abstracts a bounded worker pool (exec.Pool) without importing it,
+// keeping dc below the execution layer: Map runs fn(task) for every task
+// in [0, tasks) — concurrently up to Workers goroutines, the caller
+// included — and returns when all have completed.
+type Runner interface {
+	// Workers returns the pool's worker budget.
+	Workers() int
+	// Map runs fn over the task range and waits for completion.
+	Map(tasks int, fn func(task int))
 }
 
 // liveList is one constraint's materialized violation list.
@@ -156,13 +173,37 @@ func (s *LiveViolationSet) ForEachViolatingGroup(c *Constraint, t *table.Table, 
 		// are no-ops for every consumer of this iterator.
 		return c.ForEachJoinGroup(t, s.ix, fn)
 	}
-	l, err := s.listFor(c, t)
+	bs, slots, err := s.violatingSlots(c, t)
 	if err != nil {
 		return false, err
 	}
-	bs := s.ix.bucketSetFor(c, t)
 	if bs == nil {
 		return false, nil
+	}
+	for _, slot := range slots {
+		if err := fn(bs.members[slot]); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// violatingSlots is the shared core of ForEachViolatingGroup and
+// AppendViolatingGroups: the bucket partition of c over t plus the slots
+// currently containing at least one violating pair, in ascending order of
+// each slot's first violating row. Keeping it in one place keeps the
+// serial iterator and the parallel partition exposure on the same ordering
+// invariant — the bit-identity contract of the parallel chase. A nil
+// bucketSet (no equality join key) comes back with no error; the slot
+// slice aliases s.slotOrder and is valid until the next call on the set.
+func (s *LiveViolationSet) violatingSlots(c *Constraint, t *table.Table) (*bucketSet, []int, error) {
+	l, err := s.listFor(c, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	bs := s.ix.bucketSetFor(c, t)
+	if bs == nil {
+		return nil, nil, nil
 	}
 	if cap(s.slotSeen) >= bs.nSlots {
 		s.slotSeen = s.slotSeen[:bs.nSlots]
@@ -177,17 +218,39 @@ func (s *LiveViolationSet) ForEachViolatingGroup(c *Constraint, t *table.Table, 
 			s.slotOrder = append(s.slotOrder, slot)
 		}
 	}
-	defer func() {
-		for _, slot := range s.slotOrder {
-			s.slotSeen[slot] = false
-		}
-	}()
+	// slotSeen is only needed while deduplicating; reset it here so every
+	// caller inherits a clean mask.
 	for _, slot := range s.slotOrder {
-		if err := fn(bs.members[slot]); err != nil {
-			return true, err
-		}
+		s.slotSeen[slot] = false
 	}
-	return true, nil
+	return bs, s.slotOrder, nil
+}
+
+// AppendViolatingGroups appends to dst the join groups (hash buckets) of c
+// that currently contain at least one violating pair, in ascending order
+// of each group's first violating row — exactly the visit order of
+// ForEachViolatingGroup's materialized path. It is the bucket-partition
+// exposure the parallel repair path consumes: groups are disjoint row
+// sets, so a PartitionedRepairer can compute per-group fixes concurrently
+// and apply them serially in this order, bit-identical to the serial pass.
+//
+// ok is false — with dst returned unchanged — when the constraint has no
+// equality join key or the table is below the materialization threshold;
+// callers fall back to the serial ForEachViolatingGroup there. The row
+// slices alias index storage: read-only, valid until the table is mutated
+// and the set re-synced.
+func (s *LiveViolationSet) AppendViolatingGroups(c *Constraint, t *table.Table, dst [][]int) ([][]int, bool, error) {
+	if s.bypass(t) {
+		return dst, false, nil
+	}
+	bs, slots, err := s.violatingSlots(c, t)
+	if err != nil || bs == nil {
+		return dst, false, err
+	}
+	for _, slot := range slots {
+		dst = append(dst, bs.members[slot])
+	}
+	return dst, true, nil
 }
 
 // listFor syncs the set to t and returns c's list, deriving it in full
@@ -402,18 +465,23 @@ func (s *LiveViolationSet) derive(c *Constraint, l *liveList, t *table.Table) er
 		}
 		s.ix.alive = alive
 	} else {
-		l.pairs = deriveParallel(kern, c, t, slots, workers, l.pairs)
+		l.pairs = deriveParallel(kern, c, t, slots, workers, s.Pool, l.pairs)
 	}
 	slices.SortFunc(l.pairs, violationOrder)
 	return nil
 }
 
-// deriveWorkers picks the fan-out for a full derivation.
+// deriveWorkers picks the fan-out for a full derivation: the explicit
+// Workers override, else the plugged-in pool's budget, else a clamped
+// GOMAXPROCS.
 func (s *LiveViolationSet) deriveWorkers(rows, buckets int) int {
 	if rows < liveParallelRows {
 		return 1
 	}
 	w := s.Workers
+	if w <= 0 && s.Pool != nil {
+		w = s.Pool.Workers()
+	}
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 		if w > 8 {
@@ -456,30 +524,39 @@ func scanBucket(kern *Kernel, c *Constraint, t *table.Table, rows []int, alive *
 }
 
 // deriveParallel fans the bucket scans of one full derivation across a
-// worker pool. Buckets are disjoint row sets, so workers share nothing but
-// the read-only table, partition and kernel; outputs are concatenated and
-// sorted by the caller, which makes the result independent of scheduling.
-func deriveParallel(kern *Kernel, c *Constraint, t *table.Table, slots [][]int, workers int, out []Violation) []Violation {
+// worker pool — the session engine's bounded pool when one is plugged in,
+// ad-hoc goroutines otherwise. Buckets are disjoint row sets, so workers
+// share nothing but the read-only table, partition and kernel; outputs are
+// concatenated and sorted by the caller, which makes the result
+// independent of scheduling.
+func deriveParallel(kern *Kernel, c *Constraint, t *table.Table, slots [][]int, workers int, pool Runner, out []Violation) []Violation {
 	var next atomic.Int64
 	results := make([][]Violation, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var local []Violation
-			var alive []bool
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(slots) {
-					break
-				}
-				local = scanBucket(kern, c, t, slots[i], &alive, local)
+	worker := func(w int) {
+		var local []Violation
+		var alive []bool
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(slots) {
+				break
 			}
-			results[w] = local
-		}(w)
+			local = scanBucket(kern, c, t, slots[i], &alive, local)
+		}
+		results[w] = local
 	}
-	wg.Wait()
+	if pool != nil {
+		pool.Map(workers, worker)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				worker(w)
+			}(w)
+		}
+		wg.Wait()
+	}
 	for _, r := range results {
 		out = append(out, r...)
 	}

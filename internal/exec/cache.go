@@ -1,0 +1,237 @@
+package exec
+
+import (
+	"context"
+	"slices"
+	"sync"
+
+	"repro/internal/shapley"
+)
+
+// cacheShards is the lock-striping factor of the shared cache; must be a
+// power of two. Matches the per-game cache's striping so exact-enumeration
+// fan-out never serializes on one mutex.
+const cacheShards = 64
+
+// CoalitionCache memoizes deterministic coalition values across *all* of a
+// session's games, keyed by (gameID, packed coalition) and stamped with
+// the table generation the value was computed at. Where the per-game
+// shapley.Cached is built and discarded with its game, this cache survives
+// the game: re-explaining a cell, switching between the constraint and the
+// interaction screen, or re-running an exact group report after an
+// unrelated edit was rolled back all hit values an earlier game already
+// paid a black-box run for.
+//
+// Invalidation is by generation, lazily per shard: the first lookup
+// carrying a new generation clears the shard, so Session.SetCell costs
+// nothing up front and no stale value can ever be returned (the hammer
+// test in core proves this under -race). Safe for concurrent use.
+type CoalitionCache struct {
+	shards [cacheShards]ccShard
+}
+
+// ccShard is one lock stripe; the padding keeps adjacent shards off the
+// same cache line.
+type ccShard struct {
+	mu sync.Mutex
+	// gen is the generation the shard's entries belong to; a lookup with a
+	// different generation clears the shard first.
+	gen    uint64
+	narrow map[narrowKey]float64
+	wide   map[uint64][]wideGameEntry
+	// wbuf is the shard-local packing scratch (guarded by mu), keeping
+	// wide lookups allocation-free.
+	wbuf   []uint64
+	hits   uint64
+	misses uint64
+	_      [24]byte
+}
+
+// narrowKey identifies a ≤64-player coalition of one game.
+type narrowKey struct {
+	game uint64
+	bits uint64
+}
+
+// wideGameEntry is one >64-player entry: the owning game, the packed
+// membership words, and the memoized value.
+type wideGameEntry struct {
+	game  uint64
+	words []uint64
+	v     float64
+}
+
+// NewCoalitionCache returns an empty shared cache.
+func NewCoalitionCache() *CoalitionCache {
+	c := &CoalitionCache{}
+	for i := range c.shards {
+		c.shards[i].narrow = make(map[narrowKey]float64)
+		c.shards[i].wide = make(map[uint64][]wideGameEntry)
+	}
+	return c
+}
+
+// mix64 is the SplitMix64 finalizer (same scrambler as the per-game
+// cache), so shard selection sees every key bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// syncGen prepares the shard for an access at generation gen (callers hold
+// mu). Entries from an older generation are cleared — generations are
+// monotonic, so they can never be asked for again. An access *older* than
+// the shard (a value computed before a concurrent edit landed) reports
+// false: the caller treats it as a miss or drops the store instead of
+// resurrecting history.
+func (s *ccShard) syncGen(gen uint64) bool {
+	if s.gen == gen {
+		return true
+	}
+	if gen < s.gen {
+		return false
+	}
+	clear(s.narrow)
+	clear(s.wide)
+	s.gen = gen
+	return true
+}
+
+// packNarrow folds a ≤64-player membership into one word.
+func packNarrow(coalition []bool) uint64 {
+	var bits uint64
+	for i, in := range coalition {
+		if in {
+			bits |= 1 << uint(i)
+		}
+	}
+	return bits
+}
+
+// Lookup returns the memoized value of (game, coalition) at generation
+// gen, if present.
+func (c *CoalitionCache) Lookup(game, gen uint64, coalition []bool) (float64, bool) {
+	if len(coalition) <= 64 {
+		key := narrowKey{game: game, bits: packNarrow(coalition)}
+		s := &c.shards[mix64(key.bits^mix64(key.game))&(cacheShards-1)]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.syncGen(gen) {
+			s.misses++
+			return 0, false
+		}
+		v, ok := s.narrow[key]
+		if ok {
+			s.hits++
+		} else {
+			s.misses++
+		}
+		return v, ok
+	}
+	h := shapley.HashCoalition(coalition) ^ mix64(game)
+	s := &c.shards[h&(cacheShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.syncGen(gen) {
+		s.misses++
+		return 0, false
+	}
+	s.wbuf = shapley.AppendPacked(s.wbuf[:0], coalition)
+	for _, e := range s.wide[h] {
+		if e.game == game && slices.Equal(e.words, s.wbuf) {
+			s.hits++
+			return e.v, true
+		}
+	}
+	s.misses++
+	return 0, false
+}
+
+// Store memoizes the value of (game, coalition) computed at generation
+// gen. A store carrying a generation older than the shard's is dropped —
+// the table moved on while the value was being computed.
+func (c *CoalitionCache) Store(game, gen uint64, coalition []bool, v float64) {
+	if len(coalition) <= 64 {
+		key := narrowKey{game: game, bits: packNarrow(coalition)}
+		s := &c.shards[mix64(key.bits^mix64(key.game))&(cacheShards-1)]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.syncGen(gen) {
+			s.narrow[key] = v
+		}
+		return
+	}
+	h := shapley.HashCoalition(coalition) ^ mix64(game)
+	s := &c.shards[h&(cacheShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.syncGen(gen) {
+		return
+	}
+	s.wbuf = shapley.AppendPacked(s.wbuf[:0], coalition)
+	for _, e := range s.wide[h] {
+		if e.game == game && slices.Equal(e.words, s.wbuf) {
+			return
+		}
+	}
+	s.wide[h] = append(s.wide[h], wideGameEntry{game: game, words: slices.Clone(s.wbuf), v: v})
+}
+
+// Clear drops every entry (hit/miss statistics survive). Used when game
+// identity itself moves — a session's constraint-set edit re-keys every
+// game descriptor, turning all stored values into unreachable dead weight
+// that a generation bump would never collect (generations track table
+// edits only).
+func (c *CoalitionCache) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		clear(s.narrow)
+		clear(s.wide)
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns cumulative hits and misses summed over shards.
+func (c *CoalitionCache) Stats() (hits, misses uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// CachedGame is a shapley.Game view over one game's slice of the shared
+// cache: lookups and stores are stamped with the generation gen() reports,
+// so values computed before a session edit can never satisfy a lookup
+// after it.
+type CachedGame struct {
+	cache *CoalitionCache
+	id    uint64
+	gen   func() uint64
+	g     shapley.Game
+}
+
+// NumPlayers implements shapley.Game.
+func (cg *CachedGame) NumPlayers() int { return cg.g.NumPlayers() }
+
+// Value implements shapley.Game, consulting the shared cache first.
+func (cg *CachedGame) Value(ctx context.Context, coalition []bool) (float64, error) {
+	gen := cg.gen()
+	if v, ok := cg.cache.Lookup(cg.id, gen, coalition); ok {
+		return v, nil
+	}
+	v, err := cg.g.Value(ctx, coalition)
+	if err != nil {
+		return 0, err
+	}
+	cg.cache.Store(cg.id, gen, coalition, v)
+	return v, nil
+}

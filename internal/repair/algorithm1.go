@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/dc"
+	"repro/internal/exec"
 	"repro/internal/table"
 )
 
@@ -167,12 +168,29 @@ func (a *RuleRepair) Repair(ctx context.Context, cs []*dc.Constraint, dirty *tab
 // caller-owned work table, with every per-run buffer pooled so steady-state
 // invocations allocate nothing.
 func (a *RuleRepair) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
+	return a.repairInto(ctx, cs, dirty, work, nil)
+}
+
+// RepairIntoParallel implements PartitionedRepairer: the rule cascade
+// itself is inherently sequential (each fix feeds the next rule's
+// statistics), but the per-rule "what is violated now?" full derivations
+// fan their disjoint buckets across the session pool on large tables —
+// output bit-identical to RepairInto by the live set's contract.
+func (a *RuleRepair) RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
+	return a.repairInto(ctx, cs, dirty, work, pool)
+}
+
+func (a *RuleRepair) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
 	work = prepareWork(dirty, work)
 	st, ok := a.runs.Get().(*ruleRun)
 	if !ok {
 		st = &ruleRun{present: make(map[string]*dc.Constraint), live: dc.NewLiveViolationSet()}
 	}
 	defer a.runs.Put(st)
+	if pool != nil {
+		st.live.Pool = pool
+		defer func() { st.live.Pool = nil }()
+	}
 	clear(st.present)
 	for _, c := range cs {
 		st.present[c.ID] = c

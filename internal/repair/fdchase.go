@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/dc"
+	"repro/internal/exec"
 	"repro/internal/table"
 )
 
@@ -44,7 +45,27 @@ type chaseRun struct {
 	live *dc.LiveViolationSet
 	fds  []chaseEntry
 	dist *table.Distribution
+	// groups and majors are the parallel pass's pooled buffers: the
+	// violating-group partition borrowed from the live set and the
+	// per-group majorities computed on the pool.
+	groups [][]int
+	majors []groupMajor
 }
+
+// groupMajor is one group's concurrently-computed fix.
+type groupMajor struct {
+	v  table.Value
+	ok bool
+}
+
+// chaseDistPool recycles the per-task Distributions of parallel group
+// passes; tasks on distinct goroutines cannot share the run's single
+// scratch distribution.
+var chaseDistPool = sync.Pool{New: func() any { return table.NewDistribution() }}
+
+// minParallelGroups is the violating-group count below which the goroutine
+// handoff of a parallel chase pass costs more than the pass.
+const minParallelGroups = 8
 
 // NewFDChase returns an FDChase with default limits.
 func NewFDChase() *FDChase { return &FDChase{} }
@@ -103,12 +124,31 @@ func (f *FDChase) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.
 // writes only its own group's right-hand sides, so the fixpoint is
 // deterministic either way.
 func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
+	return f.repairInto(ctx, cs, dirty, work, nil)
+}
+
+// RepairIntoParallel implements PartitionedRepairer. The chase decomposes
+// over the live set's bucket partition: within one FD pass every violating
+// group reads and writes only its own rows, so the per-group majorities
+// are computed concurrently on the session pool and the fixes applied
+// serially in the serial pass's group order — bit-identical to RepairInto
+// (TestParallelRepairGoldenEquivalence), with the full violation
+// derivations bucket-parallel on the pool as well.
+func (f *FDChase) RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
+	return f.repairInto(ctx, cs, dirty, work, pool)
+}
+
+func (f *FDChase) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
 	work = prepareWork(dirty, work)
 	st, ok := f.runs.Get().(*chaseRun)
 	if !ok {
 		st = &chaseRun{live: dc.NewLiveViolationSet(), dist: table.NewDistribution()}
 	}
 	defer f.runs.Put(st)
+	if pool != nil {
+		st.live.Pool = pool
+		defer func() { st.live.Pool = nil }()
+	}
 	st.fds = st.fds[:0]
 	for _, c := range cs {
 		if d, ok := asFD(c, work.Schema()); ok {
@@ -125,7 +165,7 @@ func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, wo
 		}
 		changed := false
 		for _, e := range st.fds {
-			chased, err := chaseFD(work, e, st)
+			chased, err := chaseFDWith(work, e, st, pool)
 			if err != nil {
 				return nil, err
 			}
@@ -140,6 +180,104 @@ func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, wo
 	return work, nil
 }
 
+// chaseFDWith dispatches one FD pass to the parallel group path when a
+// multi-worker pool is available and the partition is exposed, falling
+// back to the serial chase otherwise.
+func chaseFDWith(t *table.Table, e chaseEntry, st *chaseRun, pool *exec.Pool) (bool, error) {
+	if pool.Workers() > 1 {
+		changed, handled, err := chaseFDParallel(t, e, st, pool)
+		if handled || err != nil {
+			return changed, err
+		}
+	}
+	return chaseFD(t, e, st)
+}
+
+// chaseFDParallel runs one FD pass with per-group majorities computed
+// concurrently. The compute phase only reads the table; the apply phase
+// then writes serially in the partition's group order, which is the serial
+// chase's visit order — and since groups are disjoint in both the rows
+// read and the (row, rhs) cells written, the resulting table is
+// bit-identical to chaseFD's. handled is false when the live set declines
+// to expose the partition (bypass tables, no join key); the caller then
+// chases serially.
+func chaseFDParallel(t *table.Table, e chaseEntry, st *chaseRun, pool *exec.Pool) (changed, handled bool, err error) {
+	groups, ok, err := st.live.AppendViolatingGroups(e.c, t, st.groups[:0])
+	st.groups = groups
+	if err != nil || !ok {
+		return false, false, err
+	}
+	if len(groups) < minParallelGroups {
+		// Too few groups to amortize the fan-out; compute serially over the
+		// same partition (still bit-identical: same groups, same order).
+		for _, rows := range groups {
+			if chaseGroup(t, e, st.dist, rows) {
+				changed = true
+			}
+		}
+		return changed, true, nil
+	}
+	if cap(st.majors) >= len(groups) {
+		st.majors = st.majors[:len(groups)]
+	} else {
+		st.majors = make([]groupMajor, len(groups))
+	}
+	majors := st.majors
+	pool.Map(len(groups), func(i int) {
+		rows := groups[i]
+		if len(rows) < 2 {
+			majors[i] = groupMajor{}
+			return
+		}
+		dist := chaseDistPool.Get().(*table.Distribution)
+		dist.Reset()
+		for _, r := range rows {
+			dist.Observe(t.Get(r, e.d.rhs))
+		}
+		majors[i].v, majors[i].ok = dist.Mode()
+		chaseDistPool.Put(dist)
+	})
+	for i, rows := range groups {
+		if len(rows) < 2 || !majors[i].ok {
+			continue
+		}
+		major := majors[i].v
+		for _, r := range rows {
+			cur := t.Get(r, e.d.rhs)
+			if !cur.IsNull() && !cur.SameContent(major) {
+				t.Set(r, e.d.rhs, major)
+				changed = true
+			}
+		}
+	}
+	return changed, true, nil
+}
+
+// chaseGroup forces one group's majority right-hand side, the shared
+// kernel of the serial and small-partition paths.
+func chaseGroup(t *table.Table, e chaseEntry, dist *table.Distribution, rows []int) bool {
+	if len(rows) < 2 {
+		return false
+	}
+	dist.Reset()
+	for _, i := range rows {
+		dist.Observe(t.Get(i, e.d.rhs))
+	}
+	major, ok := dist.Mode()
+	if !ok {
+		return false
+	}
+	changed := false
+	for _, i := range rows {
+		cur := t.Get(i, e.d.rhs)
+		if !cur.IsNull() && !cur.SameContent(major) {
+			t.Set(i, e.d.rhs, major)
+			changed = true
+		}
+	}
+	return changed
+}
+
 // chaseFD forces the majority right-hand side within every left-hand-side
 // group that currently violates the FD; returns whether anything changed.
 // Violation-free groups are provably no-ops (their non-null right-hand
@@ -147,23 +285,8 @@ func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, wo
 func chaseFD(t *table.Table, e chaseEntry, st *chaseRun) (bool, error) {
 	changed := false
 	ok, err := st.live.ForEachViolatingGroup(e.c, t, func(rows []int) error {
-		if len(rows) < 2 {
-			return nil
-		}
-		st.dist.Reset()
-		for _, i := range rows {
-			st.dist.Observe(t.Get(i, e.d.rhs))
-		}
-		major, ok := st.dist.Mode()
-		if !ok {
-			return nil
-		}
-		for _, i := range rows {
-			cur := t.Get(i, e.d.rhs)
-			if !cur.IsNull() && !cur.SameContent(major) {
-				t.Set(i, e.d.rhs, major)
-				changed = true
-			}
+		if chaseGroup(t, e, st.dist, rows) {
+			changed = true
 		}
 		return nil
 	})

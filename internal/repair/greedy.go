@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/dc"
+	"repro/internal/exec"
 	"repro/internal/table"
 )
 
@@ -48,12 +49,29 @@ func (g *Greedy) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.T
 // RepairInto implements ScratchRepairer: Repair writing into the
 // caller-owned work table with pooled per-run buffers.
 func (g *Greedy) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
+	return g.repairInto(ctx, cs, dirty, work, nil)
+}
+
+// RepairIntoParallel implements PartitionedRepairer: the greedy commit
+// loop is sequential by design (each reassignment changes the hypergraph
+// the next pick reads), but the hypergraph's full violation derivations
+// fan their disjoint buckets across the session pool on large tables —
+// output bit-identical to RepairInto by the live set's contract.
+func (g *Greedy) RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
+	return g.repairInto(ctx, cs, dirty, work, pool)
+}
+
+func (g *Greedy) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
 	work = prepareWork(dirty, work)
 	st, ok := g.runs.Get().(*greedyRun)
 	if !ok {
 		st = &greedyRun{live: dc.NewLiveViolationSet(), counts: make(map[table.CellRef]int)}
 	}
 	defer g.runs.Put(st)
+	if pool != nil {
+		st.live.Pool = pool
+		defer func() { st.live.Pool = nil }()
+	}
 	maxSteps := g.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = work.NumCells()

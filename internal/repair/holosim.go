@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/dc"
+	"repro/internal/exec"
 	"repro/internal/table"
 )
 
@@ -104,12 +105,29 @@ func (h *HoloSim) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.
 // RepairInto implements ScratchRepairer: Repair writing into the
 // caller-owned work table with pooled per-run buffers.
 func (h *HoloSim) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
+	return h.repairInto(ctx, cs, dirty, work, nil)
+}
+
+// RepairIntoParallel implements PartitionedRepairer: inference commits are
+// sequential (each repair feeds the next round's detection), but the
+// detect stage's full violation derivations fan their disjoint buckets
+// across the session pool on large tables — output bit-identical to
+// RepairInto by the live set's contract.
+func (h *HoloSim) RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
+	return h.repairInto(ctx, cs, dirty, work, pool)
+}
+
+func (h *HoloSim) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
 	work = prepareWork(dirty, work)
 	st, ok := h.runs.Get().(*holoRun)
 	if !ok {
 		st = newHoloRun(h.seed)
 	}
 	defer h.runs.Put(st)
+	if pool != nil {
+		st.live.Pool = pool
+		defer func() { st.live.Pool = nil }()
+	}
 	st.rng.Seed(h.seed)
 	for round := 0; round < h.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {

@@ -46,6 +46,7 @@ import (
 	"sync"
 
 	"repro/internal/dc"
+	"repro/internal/exec"
 	"repro/internal/table"
 )
 
@@ -75,6 +76,29 @@ type ScratchRepairer interface {
 	// RepairInto is Repair writing into caller-owned scratch storage. The
 	// returned table is work when work != nil, a fresh table otherwise.
 	RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error)
+}
+
+// PartitionedRepairer is the parallel extension of ScratchRepairer: the
+// black box accepts a session worker pool and fans its disjoint-bucket
+// passes across it — full violation derivations run bucket-parallel
+// through the live set, and black boxes whose repair step itself
+// decomposes over disjoint join groups (the FD chase) compute per-group
+// fixes concurrently and apply them serially in the serial pass's order.
+//
+// The contract is strict bit-identity: for any (cs, dirty, pool),
+// RepairIntoParallel produces exactly the table RepairInto produces — the
+// serial path stays the golden cross-validation reference (see
+// TestParallelRepairGoldenEquivalence). Parallelism is a scheduling
+// choice, never a semantic one, because Shapley values are defined over a
+// deterministic function of the input.
+//
+// All four production black boxes implement it. A nil pool (or a
+// one-worker pool) degrades to the serial path.
+type PartitionedRepairer interface {
+	ScratchRepairer
+	// RepairIntoParallel is RepairInto with disjoint-bucket passes fanned
+	// across pool.
+	RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error)
 }
 
 // pooledStats is the generation-checked statistics snapshot shared by the
@@ -160,6 +184,14 @@ var workPool sync.Pool
 // evaluation→repair round trip allocation-free in steady state — the hot
 // path of every Shapley sampling loop.
 func CellRepaired(ctx context.Context, alg Algorithm, cs []*dc.Constraint, dirty *table.Table, cell table.CellRef, target table.Value) (float64, error) {
+	return CellRepairedWith(ctx, alg, cs, dirty, cell, target, nil)
+}
+
+// CellRepairedWith is CellRepaired with a session worker pool: black boxes
+// implementing PartitionedRepairer run their disjoint-bucket passes on it
+// (bit-identical to the serial path by contract). A nil or one-worker pool
+// is exactly CellRepaired.
+func CellRepairedWith(ctx context.Context, alg Algorithm, cs []*dc.Constraint, dirty *table.Table, cell table.CellRef, target table.Value, pool *exec.Pool) (float64, error) {
 	sr, ok := alg.(ScratchRepairer)
 	if !ok {
 		clean, err := alg.Repair(ctx, cs, dirty)
@@ -169,7 +201,13 @@ func CellRepaired(ctx context.Context, alg Algorithm, cs []*dc.Constraint, dirty
 		return cellRepairedResult(alg, dirty, clean, cell, target)
 	}
 	work, _ := workPool.Get().(*table.Table)
-	clean, err := sr.RepairInto(ctx, cs, dirty, work)
+	var clean *table.Table
+	var err error
+	if pr, isPar := alg.(PartitionedRepairer); isPar && pool.Workers() > 1 {
+		clean, err = pr.RepairIntoParallel(ctx, cs, dirty, work, pool)
+	} else {
+		clean, err = sr.RepairInto(ctx, cs, dirty, work)
+	}
 	if err != nil {
 		if work != nil {
 			workPool.Put(work)

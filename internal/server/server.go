@@ -35,6 +35,13 @@ type session struct {
 // is safe for concurrent requests across and within sessions; the repair
 // black boxes in the shared registry are stateless per run (their scratch
 // state is pooled internally), so sessions share them freely.
+//
+// Each session owns its own exec.Engine (coalition cache + worker pool):
+// engines are never shared across sessions, so one session's generation
+// bumps cannot evict another's cache and the per-session mutex keeps the
+// core.Session discipline (concurrent explains fine, edits exclusive)
+// intact. The engine itself is safe for the concurrent sampler/repair
+// goroutines a single request fans out.
 type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -42,6 +49,12 @@ type Server struct {
 	nextID   int
 	// ExplainSamples is the sampling budget for cell explanations.
 	ExplainSamples int
+	// Workers is the per-session engine parallelism (sampling fan-out and
+	// repair bucket passes); 0 means GOMAXPROCS. Set before serving.
+	// Parallelism never changes results (determinism contracts in shapley
+	// and repair), so two servers with different Workers serve identical
+	// answers for identical requests.
+	Workers int
 }
 
 // New builds a Server with the standard algorithm registry.
@@ -164,7 +177,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", algName))
 		return
 	}
-	sess, err := core.NewSession(alg, dcs, tbl)
+	sess, err := core.NewSessionWith(alg, dcs, tbl, core.SessionOptions{Workers: s.Workers})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -323,6 +336,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		report, err = exp.ExplainCells(r.Context(), cell, core.CellExplainOptions{
 			Samples: samples,
 			Seed:    req.Seed,
+			Workers: s.Workers,
 		})
 	case "cells-topk":
 		k := req.K
@@ -332,6 +346,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		report, _, err = exp.ExplainCellsTopK(r.Context(), cell, k, core.CellExplainOptions{
 			Samples: samples,
 			Seed:    req.Seed,
+			Workers: s.Workers,
 		})
 	case "rows", "columns":
 		groups := exp.RowGroups(cell)
@@ -343,6 +358,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		report, err = exp.ExplainCellGroupsAuto(r.Context(), cell, groups, core.CellExplainOptions{
 			Samples: samples,
 			Seed:    req.Seed,
+			Workers: s.Workers,
 		})
 	case "toward":
 		if req.Desired == "" {

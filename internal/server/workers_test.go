@@ -1,0 +1,46 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestWorkersConfigDeterminism: two servers with different engine
+// parallelism must serve bit-identical explanations for identical
+// requests — the end-to-end form of the fan-out and parallel-repair
+// determinism contracts.
+func TestWorkersConfigDeterminism(t *testing.T) {
+	const csv = "League,Team,City,Country\nA,a1,x,P\nA,a2,x,P\nA,a3,x,Q\nB,b1,y,R\nB,b2,y,R\nB,b3,y,R\n"
+	const dcs = "C1: !(t1.League = t2.League & t1.Country != t2.Country)"
+	explain := func(workers int) string {
+		s := New()
+		s.Workers = workers
+		h := s.Handler()
+		body, _ := json.Marshal(map[string]string{"csv": csv, "dcs": dcs, "algorithm": "fd-chase"})
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/api/session", bytes.NewReader(body)))
+		if rec.Code != 200 {
+			t.Fatalf("workers=%d: create: %d %s", workers, rec.Code, rec.Body)
+		}
+		var sess struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &sess); err != nil {
+			t.Fatal(err)
+		}
+		req, _ := json.Marshal(map[string]any{"cell": "t3[Country]", "kind": "cells", "samples": 24, "seed": 7})
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/api/session/"+sess.ID+"/explain", bytes.NewReader(req)))
+		if rec.Code != 200 {
+			t.Fatalf("workers=%d: explain: %d %s", workers, rec.Code, rec.Body)
+		}
+		return rec.Body.String()
+	}
+	serial := explain(1)
+	parallel := explain(4)
+	if serial != parallel {
+		t.Fatalf("explanations diverge across worker configs:\nworkers=1: %s\nworkers=4: %s", serial, parallel)
+	}
+}

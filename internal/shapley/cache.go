@@ -2,6 +2,7 @@ package shapley
 
 import (
 	"context"
+	"slices"
 	"sync"
 )
 
@@ -18,9 +19,11 @@ const cacheShards = 64
 // those repeats into map lookups. Safe for concurrent use.
 //
 // Coalitions of games with at most 64 players are keyed by a packed uint64
-// bitmask (no allocation on lookup); wider games fall back to a packed byte
-// string. Entries are spread over 64 lock shards so concurrent enumeration
-// does not serialize on one mutex.
+// bitmask (no allocation on lookup); wider games are keyed by the packed
+// []uint64 word form — hashed into a bucket, disambiguated by stored key
+// words — packed into a shard-local scratch buffer so lookups allocate
+// nothing either. Entries are spread over 64 lock shards so concurrent
+// enumeration does not serialize on one mutex.
 //
 // Only meaningful for deterministic games — memoizing a stochastic game
 // would freeze one realization per coalition and bias the estimate toward
@@ -30,7 +33,7 @@ type Cached struct {
 	// G is the underlying game.
 	G Game
 
-	wide   bool // more than 64 players: string keys instead of uint64
+	wide   bool // more than 64 players: packed-word keys instead of one uint64
 	shards [cacheShards]cacheShard
 }
 
@@ -39,10 +42,22 @@ type Cached struct {
 type cacheShard struct {
 	mu     sync.Mutex
 	packed map[uint64]float64
-	byStr  map[string]float64
+	// wide buckets entries by the hash of their packed words; the stored
+	// words disambiguate hash collisions exactly.
+	wide map[uint64][]wideEntry
+	// wbuf is the shard-local packing scratch (guarded by mu), so wide
+	// lookups stay allocation-free.
+	wbuf   []uint64
 	hits   int
 	misses int
 	_      [24]byte
+}
+
+// wideEntry is one >64-player cache entry: the packed membership words and
+// the memoized value.
+type wideEntry struct {
+	words []uint64
+	v     float64
 }
 
 // NewCached wraps g with a coalition-value cache.
@@ -50,7 +65,7 @@ func NewCached(g Game) *Cached {
 	c := &Cached{G: g, wide: g.NumPlayers() > 64}
 	for i := range c.shards {
 		if c.wide {
-			c.shards[i].byStr = make(map[string]float64)
+			c.shards[i].wide = make(map[uint64][]wideEntry)
 		} else {
 			c.shards[i].packed = make(map[uint64]float64)
 		}
@@ -89,10 +104,11 @@ func (c *Cached) Value(ctx context.Context, coalition []bool) (float64, error) {
 }
 
 func (c *Cached) valueWide(ctx context.Context, coalition []bool) (float64, error) {
-	key := coalitionKey(coalition)
-	s := &c.shards[mixString(key)&(cacheShards-1)]
+	h := HashCoalition(coalition)
+	s := &c.shards[h&(cacheShards-1)]
 	s.mu.Lock()
-	if v, ok := s.byStr[key]; ok {
+	s.wbuf = AppendPacked(s.wbuf[:0], coalition)
+	if v, ok := findWide(s.wide[h], s.wbuf); ok {
 		s.hits++
 		s.mu.Unlock()
 		return v, nil
@@ -106,9 +122,24 @@ func (c *Cached) valueWide(ctx context.Context, coalition []bool) (float64, erro
 
 	s.mu.Lock()
 	s.misses++
-	s.byStr[key] = v
+	// Re-pack: the scratch may have been reused by a concurrent lookup
+	// while the lock was dropped for the evaluation.
+	s.wbuf = AppendPacked(s.wbuf[:0], coalition)
+	if _, ok := findWide(s.wide[h], s.wbuf); !ok {
+		s.wide[h] = append(s.wide[h], wideEntry{words: slices.Clone(s.wbuf), v: v})
+	}
 	s.mu.Unlock()
 	return v, nil
+}
+
+// findWide scans one hash bucket for an exact packed-word match.
+func findWide(bucket []wideEntry, words []uint64) (float64, bool) {
+	for i := range bucket {
+		if slices.Equal(bucket[i].words, words) {
+			return bucket[i].v, true
+		}
+	}
+	return 0, false
 }
 
 // Stats returns cache hits and misses so far, summed over all shards.
@@ -146,25 +177,49 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// mixString is FNV-1a over the packed key bytes, for the >64-player
-// fallback.
-func mixString(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return mix64(h)
-}
-
-// coalitionKey packs the membership bitmap into a compact string key, for
-// games too wide for a single uint64.
-func coalitionKey(coalition []bool) string {
-	buf := make([]byte, (len(coalition)+7)/8)
-	for i, in := range coalition {
+// AppendPacked appends the coalition's packed 64-bit membership words to
+// dst and returns the extended slice: player i is bit i%64 of word i/64.
+// It is the allocation-free wide-coalition cache key, shared with the
+// session-scoped coalition cache in internal/exec.
+func AppendPacked(dst []uint64, coalition []bool) []uint64 {
+	var word uint64
+	shift := uint(0)
+	for _, in := range coalition {
 		if in {
-			buf[i/8] |= 1 << uint(i%8)
+			word |= 1 << shift
+		}
+		shift++
+		if shift == 64 {
+			dst = append(dst, word)
+			word, shift = 0, 0
 		}
 	}
-	return string(buf)
+	if shift > 0 {
+		dst = append(dst, word)
+	}
+	return dst
+}
+
+// HashCoalition hashes the packed-word form of the membership without
+// materializing it (FNV-1a over the words, finalized by mix64). Coalitions
+// of one game always have the same length, so the word count needs no
+// separate mixing.
+func HashCoalition(coalition []bool) uint64 {
+	h := uint64(14695981039346656037)
+	var word uint64
+	shift := uint(0)
+	for _, in := range coalition {
+		if in {
+			word |= 1 << shift
+		}
+		shift++
+		if shift == 64 {
+			h = (h ^ word) * 1099511628211
+			word, shift = 0, 0
+		}
+	}
+	if shift > 0 {
+		h = (h ^ word) * 1099511628211
+	}
+	return mix64(h)
 }

@@ -107,24 +107,41 @@ func TestCachedConcurrentAccess(t *testing.T) {
 	}
 }
 
-func TestCoalitionKeyDistinct(t *testing.T) {
-	a := coalitionKey([]bool{true, false, true})
-	b := coalitionKey([]bool{true, true, true})
-	c := coalitionKey([]bool{true, false, true})
-	if a == b {
-		t.Error("distinct coalitions must have distinct keys")
+func TestAppendPackedWords(t *testing.T) {
+	a := AppendPacked(nil, []bool{true, false, true})
+	if len(a) != 1 || a[0] != 0b101 {
+		t.Errorf("AppendPacked = %b", a)
 	}
-	if a != c {
-		t.Error("equal coalitions must have equal keys")
+	if AppendPacked(nil, nil) != nil {
+		t.Error("empty coalition must pack to no words")
 	}
-	if coalitionKey(nil) != "" {
-		t.Error("empty coalition key")
+	// 65 players spill into a second word.
+	long := make([]bool, 65)
+	long[64] = true
+	words := AppendPacked(nil, long)
+	if len(words) != 2 || words[0] != 0 || words[1] != 1 {
+		t.Errorf("bit 64 must land in word 1: %b", words)
 	}
-	// 9 players spills into a second byte.
-	long := make([]bool, 9)
-	long[8] = true
-	if coalitionKey(long) == coalitionKey(make([]bool, 9)) {
-		t.Error("bit 8 must be represented")
+	// Reuse must overwrite, not append blindly.
+	scratch := make([]uint64, 0, 4)
+	w1 := AppendPacked(scratch, long)
+	w2 := AppendPacked(w1[:0], []bool{true})
+	if len(w2) != 1 || w2[0] != 1 {
+		t.Errorf("scratch reuse broken: %b", w2)
+	}
+	// Distinct coalitions must hash apart (not a guarantee, but these tiny
+	// cases must not collide) and equal ones identically.
+	h1 := HashCoalition([]bool{true, false, true})
+	h2 := HashCoalition([]bool{true, true, true})
+	h3 := HashCoalition([]bool{true, false, true})
+	if h1 == h2 {
+		t.Error("distinct coalitions hashed identically")
+	}
+	if h1 != h3 {
+		t.Error("equal coalitions must hash identically")
+	}
+	if HashCoalition(long) == HashCoalition(make([]bool, 65)) {
+		t.Error("bit 64 must be represented in the hash")
 	}
 }
 
@@ -154,6 +171,31 @@ func TestCachedWideGame(t *testing.T) {
 	hits, misses := cached.Stats()
 	if hits != 1 || misses != 1 {
 		t.Errorf("hits %d misses %d, want 1/1", hits, misses)
+	}
+}
+
+// TestCachedWideHitAllocFree pins the satellite contract of the packed
+// []uint64 key: a wide-coalition cache hit allocates nothing (the old
+// string fallback materialized a key string per lookup).
+func TestCachedWideHitAllocFree(t *testing.T) {
+	n := 100
+	cached := NewCached(GameFunc{N: n, Fn: func(context.Context, []bool) (float64, error) {
+		return 1, nil
+	}})
+	coalition := make([]bool, n)
+	for i := range coalition {
+		coalition[i] = i%2 == 0
+	}
+	if _, err := cached.Value(context.Background(), coalition); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := cached.Value(context.Background(), coalition); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("wide cache hit allocates %v objects per lookup, want 0", allocs)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // StochasticGame is a game whose characteristic function is itself an
@@ -75,7 +76,10 @@ type Options struct {
 	// permutation yields one marginal per player; for SamplePlayer each
 	// yields one marginal for that player. Must be positive.
 	Samples int
-	// Workers is the parallel fan-out; 0 means GOMAXPROCS.
+	// Workers is the parallel fan-out; 0 means GOMAXPROCS. Workers only
+	// changes scheduling, never results: iterations are partitioned into
+	// chunks whose size and RNG streams depend only on (Samples, Seed), so
+	// estimates are bit-identical for every Workers value.
 	Workers int
 	// Seed drives all randomness; runs with equal options are reproducible.
 	Seed int64
@@ -158,6 +162,70 @@ func (w *welford) estimate(player int) Estimate {
 	return e
 }
 
+// marginalState is the per-worker scratch of the one-marginal-per-sample
+// samplers (SamplePlayer, TopK): a permutation buffer, a coalition/prefix
+// buffer, and — for incremental games — one borrowed walk reused across
+// every chunk the worker runs, with the membership mirror that lets a
+// DeltaWalk morph coalition to coalition instead of rebuilding from ∅.
+type marginalState struct {
+	perm      []int
+	coalition []bool
+	walk      CoalitionWalk
+	morph     *walkMorph
+}
+
+// newMarginalState builds one worker's scratch for game g.
+func newMarginalState(g StochasticGame) *marginalState {
+	n := g.NumPlayers()
+	st := &marginalState{perm: make([]int, n), coalition: make([]bool, n)}
+	if st.walk = walkOrNil(g); st.walk != nil {
+		if d, ok := st.walk.(DeltaWalk); ok {
+			st.morph = newWalkMorph(d, n)
+		}
+	}
+	return st
+}
+
+func (st *marginalState) close() {
+	if st.walk != nil {
+		st.walk.Close()
+	}
+}
+
+// marginal draws one marginal contribution for player under perm, through
+// the fastest protocol the game supports: coalition morphing (DeltaWalk),
+// the prefix walk, or the generic mask rebuild. All three return the exact
+// same value and consume rng identically (the equivalence contracts on
+// CoalitionWalk and DeltaWalk).
+func (st *marginalState) marginal(ctx context.Context, g StochasticGame, perm []int, player int, rng *rand.Rand) (float64, error) {
+	if st.morph != nil {
+		return st.morph.marginal(ctx, perm, player, rng)
+	}
+	if st.walk != nil {
+		return walkMarginal(ctx, st.walk, perm, player, rng)
+	}
+	coalition := st.coalition
+	for i := range coalition {
+		coalition[i] = false
+	}
+	for _, p := range perm {
+		if p == player {
+			break
+		}
+		coalition[p] = true
+	}
+	without, err := g.SampleValue(ctx, coalition, rng)
+	if err != nil {
+		return 0, err
+	}
+	coalition[player] = true
+	with, err := g.SampleValue(ctx, coalition, rng)
+	if err != nil {
+		return 0, err
+	}
+	return with - without, nil
+}
+
 // SamplePlayer estimates one player's Shapley value with the
 // Strumbelj–Kononenko procedure of Example 2.5: repeat m times — draw a
 // random permutation of the players, form the coalition of players
@@ -178,51 +246,23 @@ func SamplePlayer(ctx context.Context, g StochasticGame, player int, opts Option
 			budget = h
 		}
 	}
-	accs, err := fanOut(ctx, opts, budget, func(ctx context.Context, rng *rand.Rand, iters int, acc []welford) error {
-		perm := make([]int, n)
-		if walk := walkOrNil(g); walk != nil {
-			defer walk.Close()
+	accs, err := fanOut(ctx, opts, budget, 1,
+		func() *marginalState { return newMarginalState(g) },
+		(*marginalState).close,
+		func(ctx context.Context, st *marginalState, rng *rand.Rand, iters int, acc []welford) error {
 			for it := 0; it < iters; it++ {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				randPerm(rng, perm)
-				m, err := walkMarginal(ctx, walk, perm, player, rng)
+				randPerm(rng, st.perm)
+				m, err := st.marginal(ctx, g, st.perm, player, rng)
 				if err != nil {
 					return err
 				}
 				acc[0].add(m)
 			}
 			return nil
-		}
-		coalition := make([]bool, n)
-		for it := 0; it < iters; it++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			randPerm(rng, perm)
-			for i := range coalition {
-				coalition[i] = false
-			}
-			for _, p := range perm {
-				if p == player {
-					break
-				}
-				coalition[p] = true
-			}
-			without, err := g.SampleValue(ctx, coalition, rng)
-			if err != nil {
-				return err
-			}
-			coalition[player] = true
-			with, err := g.SampleValue(ctx, coalition, rng)
-			if err != nil {
-				return err
-			}
-			acc[0].add(with - without)
-		}
-		return nil
-	}, 1)
+		})
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -243,26 +283,54 @@ func SampleAll(ctx context.Context, g StochasticGame, opts Options) ([]Estimate,
 	if opts.Samples <= 0 {
 		return nil, fmt.Errorf("shapley: Samples must be positive, got %d", opts.Samples)
 	}
-	accs, err := fanOut(ctx, opts, opts.Samples, func(ctx context.Context, rng *rand.Rand, iters int, acc []welford) error {
-		perm := make([]int, n)
-		if walk := walkOrNil(g); walk != nil {
-			// Incremental fast path: the prefix walk grows by exactly one
-			// player per step, so each step hands the game a single-cell
-			// delta instead of a full coalition mask.
-			defer walk.Close()
+	accs, err := fanOut(ctx, opts, opts.Samples, n,
+		func() *marginalState { return newMarginalState(g) },
+		(*marginalState).close,
+		func(ctx context.Context, st *marginalState, rng *rand.Rand, iters int, acc []welford) error {
+			perm := st.perm
+			if walk := st.walk; walk != nil {
+				// Incremental fast path: the prefix walk grows by exactly one
+				// player per step, so each step hands the game a single-cell
+				// delta instead of a full coalition mask.
+				for it := 0; it < iters; it++ {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					randPerm(rng, perm)
+					walk.Reset()
+					st.morph.invalidate()
+					prev, err := walk.Value(ctx, rng)
+					if err != nil {
+						return err
+					}
+					for _, p := range perm {
+						walk.Include(p)
+						v, err := walk.Value(ctx, rng)
+						if err != nil {
+							return err
+						}
+						acc[p].add(v - prev)
+						prev = v
+					}
+				}
+				return nil
+			}
+			coalition := st.coalition
 			for it := 0; it < iters; it++ {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
 				randPerm(rng, perm)
-				walk.Reset()
-				prev, err := walk.Value(ctx, rng)
+				for i := range coalition {
+					coalition[i] = false
+				}
+				prev, err := g.SampleValue(ctx, coalition, rng)
 				if err != nil {
 					return err
 				}
 				for _, p := range perm {
-					walk.Include(p)
-					v, err := walk.Value(ctx, rng)
+					coalition[p] = true
+					v, err := g.SampleValue(ctx, coalition, rng)
 					if err != nil {
 						return err
 					}
@@ -271,32 +339,7 @@ func SampleAll(ctx context.Context, g StochasticGame, opts Options) ([]Estimate,
 				}
 			}
 			return nil
-		}
-		coalition := make([]bool, n)
-		for it := 0; it < iters; it++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			randPerm(rng, perm)
-			for i := range coalition {
-				coalition[i] = false
-			}
-			prev, err := g.SampleValue(ctx, coalition, rng)
-			if err != nil {
-				return err
-			}
-			for _, p := range perm {
-				coalition[p] = true
-				v, err := g.SampleValue(ctx, coalition, rng)
-				if err != nil {
-					return err
-				}
-				acc[p].add(v - prev)
-				prev = v
-			}
-		}
-		return nil
-	}, n)
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -307,12 +350,46 @@ func SampleAll(ctx context.Context, g StochasticGame, opts Options) ([]Estimate,
 	return out, nil
 }
 
-// fanOut splits iters across workers, each with an independent RNG stream,
-// and merges the per-player accumulators.
-func fanOut(ctx context.Context, opts Options, iters int, work func(ctx context.Context, rng *rand.Rand, iters int, acc []welford) error, players int) ([]welford, error) {
+// Chunking constants for fanOut's deterministic schedule.
+const (
+	// minChunkIters keeps tiny budgets from collapsing into one stream,
+	// which would serialize small interactive runs (m=8 still splits in
+	// two), while bounding the per-chunk reseed overhead on mid budgets.
+	minChunkIters = 4
+	// maxFanChunks bounds the chunk-grid accumulator memory (chunks ×
+	// players welfords) on huge budgets while leaving far more chunks than
+	// any realistic worker count.
+	maxFanChunks = 128
+)
+
+// fanChunk returns the chunk size for an iteration budget. It is a pure
+// function of the budget — never of Workers — which is what makes the
+// estimates independent of the fan-out.
+func fanChunk(iters int) int {
+	size := minChunkIters
+	if c := (iters + maxFanChunks - 1) / maxFanChunks; c > size {
+		size = c
+	}
+	return size
+}
+
+// fanOut splits iters into a deterministic chunk grid and schedules the
+// chunks onto workers. Each chunk owns an RNG stream seeded by its chunk
+// index and its own accumulators, and chunk accumulators are merged in
+// chunk order after the last chunk completes — so the result is a pure
+// function of (iters, Seed), bit-identical for every Workers value (the
+// determinism contract CI's smoke job asserts). setup builds one reusable
+// per-worker state (scratch buffers, a borrowed coalition walk) that
+// amortizes across every chunk the worker runs; teardown releases it.
+func fanOut[S any](ctx context.Context, opts Options, iters, players int, setup func() S, teardown func(S), work func(ctx context.Context, st S, rng *rand.Rand, iters int, acc []welford) error) ([]welford, error) {
+	if iters <= 0 {
+		return make([]welford, players), nil
+	}
+	size := fanChunk(iters)
+	chunks := (iters + size - 1) / size
 	workers := opts.Workers
-	if workers > iters {
-		workers = iters
+	if workers > chunks {
+		workers = chunks
 	}
 	if workers < 1 {
 		workers = 1
@@ -320,27 +397,79 @@ func fanOut(ctx context.Context, opts Options, iters int, work func(ctx context.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	perWorker := make([][]welford, workers)
+	// Streaming chunk-ordered merge: chunk c folds into the result as soon
+	// as every chunk before it has — still strictly in chunk order (the
+	// determinism invariant) — so retained accumulator memory is bounded by
+	// the out-of-order completion window (≈ workers), not the whole grid,
+	// and a worker whose chunk merges inline keeps reusing one buffer.
+	merged := make([]welford, players)
+	pending := make([][]welford, chunks)
+	var mergeMu sync.Mutex
+	nextMerge := 0
+	// finish hands chunk c's accumulators to the merger; it reports whether
+	// acc was consumed inline (the caller may then reuse the buffer).
+	finish := func(c int, acc []welford) bool {
+		mergeMu.Lock()
+		defer mergeMu.Unlock()
+		if c != nextMerge {
+			pending[c] = acc
+			return false
+		}
+		for p := range merged {
+			merged[p].merge(acc[p])
+		}
+		nextMerge++
+		for nextMerge < chunks && pending[nextMerge] != nil {
+			for p := range merged {
+				merged[p].merge(pending[nextMerge][p])
+			}
+			pending[nextMerge] = nil
+			nextMerge++
+		}
+		return true
+	}
+
 	errs := make([]error, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		share := iters / workers
-		if w < iters%workers {
-			share++
-		}
-		perWorker[w] = make([]welford, players)
 		wg.Add(1)
-		go func(w, share int) {
+		go func(w int) {
 			defer wg.Done()
-			// Golden-ratio stride (0x9E3779B97F4A7C15 as a signed 64-bit
-			// value) decorrelates per-worker RNG streams.
-			const streamStride = -0x61C8864680B583EB
-			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*streamStride))
-			if err := work(ctx, rng, share, perWorker[w]); err != nil {
-				errs[w] = err
-				cancel()
+			st := setup()
+			defer teardown(st)
+			rng := rand.New(&splitmix{})
+			var acc []welford
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				share := size
+				if c == chunks-1 {
+					share = iters - size*(chunks-1)
+				}
+				if acc == nil {
+					acc = make([]welford, players)
+				} else {
+					clear(acc)
+				}
+				// Golden-ratio stride (0x9E3779B97F4A7C15 as a signed 64-bit
+				// value) decorrelates per-chunk RNG streams; SplitMix64
+				// reseeds in constant time, so the per-chunk reseed costs
+				// nothing even for minimum-size chunks.
+				const streamStride = -0x61C8864680B583EB
+				rng.Seed(opts.Seed + int64(c)*streamStride)
+				if err := work(ctx, st, rng, share, acc); err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+				if !finish(c, acc) {
+					acc = nil // handed off to the merger
+				}
 			}
-		}(w, share)
+		}(w)
 	}
 	wg.Wait()
 	// A failing worker cancels its peers, so peers report context.Canceled;
@@ -357,14 +486,41 @@ func fanOut(ctx context.Context, opts Options, iters int, work func(ctx context.
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	merged := make([]welford, players)
-	for w := range perWorker {
-		for p := range merged {
-			merged[p].merge(perWorker[w][p])
-		}
-	}
 	return merged, nil
 }
+
+// splitmix is Vigna's SplitMix64 as a math/rand source: the chunk grid
+// reseeds its stream once per chunk, and math/rand's default lagged
+// Fibonacci source pays a ~607-word reinitialization per Seed — more than
+// a minimum-size chunk's entire sampling work on fast games. SplitMix64
+// seeds in O(1), draws faster, and passes BigCrush; the stride-decorrelated
+// chunk seeds give it well-separated streams.
+type splitmix struct{ s uint64 }
+
+// Seed implements rand.Source. The raw seed is scrambled through a
+// 64-bit finalizer (MurmurHash3) before becoming the state: chunk grids
+// hand in arithmetic seed progressions, and SplitMix64's state walk is
+// itself arithmetic — unscrambled, two chunks' streams could be (and with
+// a gamma-multiple stride, provably were) the same sequence at a small
+// offset, collapsing the effective sample count.
+func (s *splitmix) Seed(seed int64) {
+	z := uint64(seed)
+	z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCD
+	z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53
+	s.s = z ^ (z >> 33)
+}
+
+// Uint64 implements rand.Source64.
+func (s *splitmix) Uint64() uint64 {
+	s.s += 0x9E3779B97F4A7C15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 // randPerm fills perm with a uniformly random permutation of 0..len-1
 // (inside-out Fisher–Yates, no allocation).

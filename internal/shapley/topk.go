@@ -154,58 +154,28 @@ func topKRound(ctx context.Context, g StochasticGame, active []bool, accs []welf
 		return nil
 	}
 	// One fan-out covers all active players: iteration i samples one
-	// marginal for players[i % len(players)]. Accumulators are indexed by
+	// marginal for a random active player. Accumulators are indexed by
 	// position in players.
 	iters := opts.Samples * len(players)
-	merged, err := fanOut(ctx, opts, iters, func(ctx context.Context, rng *rand.Rand, iters int, acc []welford) error {
-		perm := make([]int, n)
-		if walk := walkOrNil(g); walk != nil {
-			defer walk.Close()
+	merged, err := fanOut(ctx, opts, iters, len(players),
+		func() *marginalState { return newMarginalState(g) },
+		(*marginalState).close,
+		func(ctx context.Context, st *marginalState, rng *rand.Rand, iters int, acc []welford) error {
 			for it := 0; it < iters; it++ {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
 				slot := rng.Intn(len(players))
 				player := players[slot]
-				randPerm(rng, perm)
-				m, err := walkMarginal(ctx, walk, perm, player, rng)
+				randPerm(rng, st.perm)
+				m, err := st.marginal(ctx, g, st.perm, player, rng)
 				if err != nil {
 					return err
 				}
 				acc[slot].add(m)
 			}
 			return nil
-		}
-		coalition := make([]bool, n)
-		for it := 0; it < iters; it++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			slot := rng.Intn(len(players))
-			player := players[slot]
-			randPerm(rng, perm)
-			for i := range coalition {
-				coalition[i] = false
-			}
-			for _, p := range perm {
-				if p == player {
-					break
-				}
-				coalition[p] = true
-			}
-			without, err := g.SampleValue(ctx, coalition, rng)
-			if err != nil {
-				return err
-			}
-			coalition[player] = true
-			with, err := g.SampleValue(ctx, coalition, rng)
-			if err != nil {
-				return err
-			}
-			acc[slot].add(with - without)
-		}
-		return nil
-	}, len(players))
+		})
 	if err != nil {
 		return err
 	}

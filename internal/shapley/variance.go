@@ -23,11 +23,21 @@ func SampleAllAntithetic(ctx context.Context, g StochasticGame, opts Options) ([
 		return nil, fmt.Errorf("shapley: Samples must be positive, got %d", opts.Samples)
 	}
 	pairs := (opts.Samples + 1) / 2
-	accs, err := fanOut(ctx, opts, pairs, func(ctx context.Context, rng *rand.Rand, iters int, acc []welford) error {
-		perm := make([]int, n)
-		reversed := make([]int, n)
-		coalition := make([]bool, n)
-		marg := make([]float64, n)
+	type antiState struct {
+		perm, reversed []int
+		coalition      []bool
+		marg, first    []float64
+	}
+	accs, err := fanOut(ctx, opts, pairs, n, func() *antiState {
+		return &antiState{
+			perm:      make([]int, n),
+			reversed:  make([]int, n),
+			coalition: make([]bool, n),
+			marg:      make([]float64, n),
+			first:     make([]float64, n),
+		}
+	}, func(*antiState) {}, func(ctx context.Context, st *antiState, rng *rand.Rand, iters int, acc []welford) error {
+		perm, reversed, coalition, marg := st.perm, st.reversed, st.coalition, st.marg
 		walk := func(p []int) error {
 			for i := range coalition {
 				coalition[i] = false
@@ -58,7 +68,8 @@ func SampleAllAntithetic(ctx context.Context, g StochasticGame, opts Options) ([
 			if err := walk(perm); err != nil {
 				return err
 			}
-			first := append([]float64(nil), marg...)
+			first := st.first
+			copy(first, marg)
 			if err := walk(reversed); err != nil {
 				return err
 			}
@@ -69,7 +80,7 @@ func SampleAllAntithetic(ctx context.Context, g StochasticGame, opts Options) ([
 			}
 		}
 		return nil
-	}, n)
+	})
 	if err != nil {
 		return nil, err
 	}
