@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// buildTrexBench compiles the trex-bench binary into a temp dir.
+func buildTrexBench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "trex-bench")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building trex-bench: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestE2ETrexBenchList(t *testing.T) {
+	bin := buildTrexBench(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("trex-bench -list: %v\n%s", err, out)
+	}
+	for _, want := range []string{"fig1", "fig2", "dcdebug"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2ETrexBenchExperiment(t *testing.T) {
+	bin := buildTrexBench(t)
+	out, err := exec.Command(bin, "-exp", "fig1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("trex-bench -exp fig1: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "================ fig1:") ||
+		!strings.Contains(string(out), "[fig1 done in") {
+		t.Errorf("experiment output shape wrong:\n%s", out)
+	}
+	// An unknown experiment id must fail with exit code 1.
+	cmd := exec.Command(bin, "-exp", "nope")
+	out, err = cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("-exp nope: err = %v, want exit 1\n%s", err, out)
+	}
+}
+
+// writePerfJSON writes a synthetic BENCH file for gate tests.
+func writePerfJSON(t *testing.T, path string, ns map[string]float64) {
+	t.Helper()
+	report := bench.PerfReport{Go: "test", GOARCH: "amd64", GOOS: "linux"}
+	for name, v := range ns {
+		report.Results = append(report.Results, bench.PerfResult{Name: name, NsPerOp: v, N: 1})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE2ETrexBenchGateExitCodes(t *testing.T) {
+	bin := buildTrexBench(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	good := filepath.Join(dir, "good.json")
+	bad := filepath.Join(dir, "bad.json")
+	writePerfJSON(t, base, map[string]float64{"s/one": 100})
+	writePerfJSON(t, good, map[string]float64{"s/one": 105})
+	writePerfJSON(t, bad, map[string]float64{"s/one": 1000})
+
+	if out, err := exec.Command(bin, "-gate", good, "-against", base).CombinedOutput(); err != nil {
+		t.Fatalf("passing gate must exit 0: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-gate", bad, "-against", base)
+	out, err := cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("regressing gate: err = %v, want exit 1\n%s", err, out)
+	}
+	// -gate without -against is a usage error: exit 2.
+	cmd = exec.Command(bin, "-gate", good)
+	out, err = cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("-gate without -against: err = %v, want exit 2\n%s", err, out)
+	}
+	_ = out
+}
+
+func TestE2ETrexBenchPerfShortOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke is slow")
+	}
+	bin := buildTrexBench(t)
+	outPath := filepath.Join(t.TempDir(), "smoke.json")
+	out, err := exec.Command(bin, "-perf", "-short", "-out", outPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("trex-bench -perf -short: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("perf report not written: %v", err)
+	}
+	var report bench.PerfReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("perf report not valid JSON: %v", err)
+	}
+	if len(report.Results) == 0 {
+		t.Fatal("perf report has no rows")
+	}
+	for _, row := range report.Results {
+		if row.Name == "" || row.NsPerOp <= 0 || row.N <= 0 {
+			t.Fatalf("malformed perf row %+v", row)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+)
+
+// buildTrexServer compiles the trex-server binary into a temp dir.
+func buildTrexServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "trex-server")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building trex-server: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a localhost port and releases it for the server under
+// test (the usual probe-then-bind race is acceptable for a test).
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// laligaCSV renders the paper's dirty table as the CSV the create-session
+// API accepts.
+func laligaCSV(t *testing.T) (csv, dcs string) {
+	t.Helper()
+	ll := data.NewLaLiga()
+	var buf bytes.Buffer
+	if err := ll.Dirty.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, c := range ll.DCs {
+		lines = append(lines, c.String())
+	}
+	return buf.String(), strings.Join(lines, "\n")
+}
+
+// TestE2ETrexServerLaLiga boots the real binary, drives the JSON API
+// through the paper's demo flow — create session, inspect violations,
+// repair, explain — and checks the process shuts down cleanly on SIGINT.
+func TestE2ETrexServerLaLiga(t *testing.T) {
+	bin := buildTrexServer(t)
+	addr := freeAddr(t)
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "2")
+	var output bytes.Buffer
+	cmd.Stdout = &output
+	cmd.Stderr = &output
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Wait for the listener.
+	var resp *http.Response
+	var err error
+	for i := 0; i < 100; i++ {
+		resp, err = client.Get(base + "/api/algorithms")
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		// Reap the child before reading the shared buffer: exec.Cmd copies
+		// stdout/stderr from a background goroutine until Wait returns.
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("server never came up: %v\n%s", err, output.String())
+	}
+	var algs struct {
+		Algorithms []string `json:"algorithms"`
+	}
+	decodeJSON(t, resp, &algs)
+	if len(algs.Algorithms) == 0 {
+		t.Fatal("no algorithms reported")
+	}
+
+	// Create the La Liga session.
+	csv, dcs := laligaCSV(t)
+	var sess struct {
+		ID    string `json:"id"`
+		Table struct {
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"table"`
+		DCs []string `json:"dcs"`
+	}
+	postJSON(t, client, base+"/api/session", map[string]string{
+		"csv": csv, "dcs": dcs, "algorithm": "algorithm1",
+	}, &sess)
+	if sess.ID == "" || len(sess.Table.Rows) == 0 || len(sess.DCs) == 0 {
+		t.Fatalf("malformed session response: %+v", sess)
+	}
+
+	// The dirty table must be inconsistent before the repair.
+	resp, err = client.Get(base + "/api/session/" + sess.ID + "/violations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viol struct {
+		Consistent bool `json:"consistent"`
+		Violations []struct {
+			Constraint string `json:"constraint"`
+		} `json:"violations"`
+	}
+	decodeJSON(t, resp, &viol)
+	if viol.Consistent || len(viol.Violations) == 0 {
+		t.Fatalf("dirty table reported consistent: %+v", viol)
+	}
+
+	// Repair: the paper's headline fix must appear.
+	var rep struct {
+		Repaired []string `json:"repaired"`
+	}
+	postJSON(t, client, base+"/api/session/"+sess.ID+"/repair", map[string]string{}, &rep)
+	if !contains(rep.Repaired, "t5[Country]") {
+		t.Fatalf("repair response missing t5[Country]: %+v", rep)
+	}
+
+	// Explain: constraint ranking with C3 on top (Figure 1).
+	var exp struct {
+		Kind    string `json:"kind"`
+		Entries []struct {
+			Name    string  `json:"Name"`
+			Shapley float64 `json:"Shapley"`
+		} `json:"entries"`
+	}
+	postJSON(t, client, base+"/api/session/"+sess.ID+"/explain", map[string]any{
+		"cell": "t5[Country]", "kind": "constraints",
+	}, &exp)
+	if len(exp.Entries) == 0 || exp.Entries[0].Name != "C3" {
+		t.Fatalf("constraint explanation wrong: %+v", exp)
+	}
+
+	// SIGINT must shut the process down cleanly (exit 0).
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGINT: %v\n%s", err, output.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGINT")
+	}
+	if !strings.Contains(output.String(), "listening on") {
+		t.Errorf("startup banner missing:\n%s", output.String())
+	}
+}
+
+func decodeJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any, v any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSON(t, resp, v)
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestE2ETrexServerBadAddr: an unbindable address must exit non-zero with
+// an error on stderr.
+func TestE2ETrexServerBadAddr(t *testing.T) {
+	bin := buildTrexServer(t)
+	cmd := exec.Command(bin, "-addr", "256.256.256.256:1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("err = %v, want non-zero exit\n%s", err, out)
+	}
+	if ee.ExitCode() != 1 || !strings.Contains(string(out), "trex-server:") {
+		t.Fatalf("exit %d, output:\n%s", ee.ExitCode(), out)
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTrex compiles the trex binary into a temp dir — the end-to-end
+// harness: unlike the in-process tests above, these exercise the real
+// main(), flag parsing, exit codes and process output.
+func buildTrex(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "trex")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building trex: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestE2ETrexLaLigaRepair(t *testing.T) {
+	bin := buildTrex(t)
+	out, err := exec.Command(bin, "-laliga").CombinedOutput()
+	if err != nil {
+		t.Fatalf("trex -laliga: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"== Dirty table ==",
+		"== Clean table ==",
+		"== Repaired cells ==",
+		"t5[Country]: España -> Spain",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2ETrexExplain(t *testing.T) {
+	bin := buildTrex(t)
+	out, err := exec.Command(bin, "-laliga", "-explain", "t5[Country]").CombinedOutput()
+	if err != nil {
+		t.Fatalf("trex explain: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Explanation (constraints) for repair of t5[Country]") ||
+		!strings.Contains(string(out), "1. C3") {
+		t.Errorf("constraint explanation shape wrong:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-laliga", "-explain", "t5[Country]",
+		"-kind", "cells", "-samples", "200", "-seed", "7", "-workers", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("trex explain cells: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Explanation (cells)") || !strings.Contains(string(out), "t5[League]") {
+		t.Errorf("cell explanation shape wrong:\n%s", out)
+	}
+}
+
+func TestE2ETrexExitCodes(t *testing.T) {
+	bin := buildTrex(t)
+	cases := [][]string{
+		{},                               // no input selected
+		{"-laliga", "-alg", "nope"},      // unknown algorithm
+		{"-laliga", "-explain", "bogus"}, // bad cell reference
+	}
+	for _, args := range cases {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("args %v: err = %v, want non-zero exit\n%s", args, err, out)
+		}
+		if code := ee.ExitCode(); code != 1 {
+			t.Errorf("args %v: exit code %d, want 1", args, code)
+		}
+		if !strings.Contains(string(out), "trex:") {
+			t.Errorf("args %v: stderr missing 'trex:' prefix:\n%s", args, out)
+		}
+	}
+}

@@ -89,6 +89,46 @@
 // every layer's parallel/cached path is pinned bit-for-bit to its serial,
 // uncached reference.
 //
+// # The session materialization layer
+//
+// The engine also materializes what repeat queries share — three layers,
+// each invalidated by exactly the events that can change its answer:
+//
+//   - Repair-target cache (exec.RepairCache): the clean-table *diff* of
+//     the full black-box repair, keyed by a repair descriptor (algorithm +
+//     constraint-set fingerprint) and stamped with the table generation.
+//     Every explain entry point re-resolves its target through
+//     core.Explainer.Target; within one session state that is a pure
+//     function of the inputs, so the first call per generation runs the
+//     black box and every later call replays the diff — Target scans it
+//     without materializing a clean table at all, Repair reconstructs
+//     clone-plus-patch. SetCell invalidates by generation; AddDC/RemoveDC
+//     re-key the descriptor (Engine.InvalidateCache). Golden tests pin
+//     replayed answers to engine-free runs for all four black boxes.
+//   - Incremental statistics (table.Stats.Sync): the per-column
+//     distributions and row snapshot behind repair rules and column
+//     sampling catch up from the table's edit log instead of rebuilding
+//     wholesale — only columns touched by edits are re-observed (in row
+//     order, reproducing the full rebuild's first-observed tie-break order
+//     exactly; fuzz-proven equivalent, log overrun falls back to Reset).
+//     The pooled run state of every black box (repair.pooledStats) and the
+//     games' generation-guarded snapshots sync this way, so the edit
+//     loop's per-evaluation statistics cost follows the edit, not the
+//     table.
+//   - Cache-aware deterministic sampling (exec.Binding): null-policy
+//     coalition evaluations inside SampleAll, SamplePlayer and TopK
+//     consult the shared coalition cache through a per-game binding —
+//     the walks look up their membership mirror before running the black
+//     box and memoize misses under the Lookup's generation stamp. Values
+//     are deterministic per (coalition, generation) and the null policy
+//     consumes no RNG during evaluation, so cache participation can never
+//     change an estimate: Workers=1 ≡ Workers=N bit-identity and the
+//     golden equivalence to engine-free explainers both survive (tested).
+//     Sampled and exact paths over the same player roster intern one
+//     descriptor, so a screen switch replays the other path's values.
+//     Stochastic (ReplaceFromColumn) games never bind: a realization must
+//     not be memoized as a value.
+//
 // # The violation index
 //
 // Violation detection — "which pairs jointly satisfy a denied

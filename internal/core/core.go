@@ -47,6 +47,15 @@ type Explainer struct {
 	// worker pool. Session.Explainer wires it; a nil Engine degrades to
 	// per-game caches and serial repair, preserving all semantics.
 	Engine *exec.Engine
+
+	// repairDescMemo caches repairDesc's rendering: the descriptor folds
+	// in every constraint's string form, which is too expensive to rebuild
+	// on each Target() call of the edit loop's screen refreshes.
+	// Session.Explainer pre-fills it (recomputed per session state);
+	// otherwise it is built lazily on first use. It is only consistent
+	// while Alg and DCs stay untouched — an Explainer's inputs are fixed
+	// after construction; build a new Explainer instead of mutating one.
+	repairDescMemo string
 }
 
 // pool returns the session worker pool (the nil serial pool without an
@@ -106,12 +115,55 @@ func refDesc(ref table.CellRef) string {
 // kinds).
 func targetDesc(v table.Value) string { return string(v.AppendKey(nil)) }
 
+// playersDesc fingerprints a cell-game player roster by vector index, in
+// player order. Coalition cache keys are positional (player k is bit k),
+// so two games may share memoized coalition values only when their rosters
+// are identical as sequences; the explicit count keeps the fingerprint
+// injective against the other descriptor parts.
+func playersDesc(t *table.Table, players []table.CellRef) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(len(players)))
+	b.WriteByte(':')
+	for i, ref := range players {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(t.VecIndex(ref)))
+	}
+	return b.String()
+}
+
 // constraintGameDesc is the shared descriptor of NewConstraintGame(cell,
 // target): one descriptor — not one per report kind — so the constraint
 // ranking, the Banzhaf ablation, the interaction matrix and the why-not
 // search all draw from one pool of memoized coalition values.
 func (e *Explainer) constraintGameDesc(cell table.CellRef, target table.Value) string {
 	return e.gameDesc("constraint-game", "cell="+refDesc(cell), "target="+targetDesc(target))
+}
+
+// repairDesc is the repair-target cache descriptor of the full-input
+// repair: within a fixed table generation the clean table is a pure
+// function of the black box and the constraint set, both of which gameDesc
+// folds in. No cell or target parts: one full repair serves every cell's
+// Target resolution. Memoized (see repairDescMemo) — this runs once per
+// Target/Repair call, the hottest descriptor in the edit loop.
+func (e *Explainer) repairDesc() string {
+	if e.repairDescMemo == "" {
+		e.repairDescMemo = e.gameDesc("repair")
+	}
+	return e.repairDescMemo
+}
+
+// cachedRepairDiffs returns the memoized representation-exact clean-table
+// diff (table.DiffExact) of the full repair at the dirty table's current
+// generation, when a session engine is wired and a previous Repair/Target
+// stored one.
+func (e *Explainer) cachedRepairDiffs() ([]table.CellDiff, bool) {
+	rc := e.Engine.RepairTargets()
+	if rc == nil {
+		return nil, false
+	}
+	return rc.Lookup(e.repairDesc(), e.Dirty.Generation())
 }
 
 // NewExplainer validates the inputs and builds an Explainer.
@@ -133,7 +185,32 @@ func NewExplainer(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Table
 // session engine and a PartitionedRepairer black box, disjoint-bucket
 // passes run on the engine pool — bit-identical to the serial repair by
 // the PartitionedRepairer contract.
+//
+// With a session engine the result is materialized in the engine's
+// repair-target cache: a repeat call at the same table generation and
+// constraint set replays the stored diff onto a clone of the dirty table
+// instead of re-running the black box. The cache stores the
+// representation-exact diff (table.DiffExact), so the replayed clean
+// table reproduces the black box's output cell-for-cell — including
+// numeric-kind changes that SameContent unifies, which kind-sensitive
+// consumers (hash-join keys) would otherwise see differ between a hit and
+// a miss — and the returned "repaired cells" diff (its !SameContent
+// subset) is identical to the uncached table.Diff. SetCell invalidates by
+// generation, AddDC/RemoveDC by descriptor (Engine.InvalidateCache).
 func (e *Explainer) Repair(ctx context.Context) (*table.Table, []table.CellDiff, error) {
+	rc := e.Engine.RepairTargets()
+	var desc string
+	var gen uint64
+	if rc != nil {
+		desc, gen = e.repairDesc(), e.Dirty.Generation()
+		if exact, ok := rc.Lookup(desc, gen); ok {
+			clean := e.Dirty.Clone()
+			for _, d := range exact {
+				clean.SetRef(d.Ref, d.Clean)
+			}
+			return clean, repairedSubset(exact), nil
+		}
+	}
 	var clean *table.Table
 	var err error
 	if pr, ok := e.Alg.(repair.PartitionedRepairer); ok && e.Engine.Workers() > 1 {
@@ -147,6 +224,16 @@ func (e *Explainer) Repair(ctx context.Context) (*table.Table, []table.CellDiff,
 	if clean.NumRows() != e.Dirty.NumRows() || clean.NumCols() != e.Dirty.NumCols() {
 		return nil, nil, fmt.Errorf("core: black box %s changed table shape", e.Alg.Name())
 	}
+	if rc != nil {
+		// One exact scan serves both outputs: the memoized diff and its
+		// !SameContent subset, which is exactly table.Diff's answer.
+		exact, err := table.DiffExact(e.Dirty, clean)
+		if err != nil {
+			return nil, nil, err
+		}
+		rc.Store(desc, gen, exact)
+		return clean, repairedSubset(exact), nil
+	}
 	diffs, err := table.Diff(e.Dirty, clean)
 	if err != nil {
 		return nil, nil, err
@@ -154,10 +241,37 @@ func (e *Explainer) Repair(ctx context.Context) (*table.Table, []table.CellDiff,
 	return clean, diffs, nil
 }
 
+// repairedSubset filters a representation-exact diff down to the cells
+// whose *content* changed — the "repaired cells" answer table.Diff gives
+// (every SameContent difference is also an exact difference).
+func repairedSubset(exact []table.CellDiff) []table.CellDiff {
+	diffs := make([]table.CellDiff, 0, len(exact))
+	for _, d := range exact {
+		if !d.Dirty.SameContent(d.Clean) {
+			diffs = append(diffs, d)
+		}
+	}
+	return diffs
+}
+
 // Target returns the clean value the full input assigns to the cell of
 // interest and whether the cell was repaired at all (unchanged cells have
-// nothing to explain).
+// nothing to explain). On a repair-target cache hit it is answered by a
+// scan of the memoized diff — no clean table is materialized at all, which
+// is what makes the repeat explain screens of the iterative loop (every
+// report kind re-resolves its target) cost per-diff instead of per-repair.
 func (e *Explainer) Target(ctx context.Context, cell table.CellRef) (table.Value, bool, error) {
+	if diffs, ok := e.cachedRepairDiffs(); ok {
+		for _, d := range diffs {
+			if d.Ref == cell {
+				// The cache stores the representation-exact diff, so a cell
+				// may appear with a kind-only change; "repaired" is the
+				// SameContent predicate, exactly as below.
+				return d.Clean, !d.Dirty.SameContent(d.Clean), nil
+			}
+		}
+		return e.Dirty.GetRef(cell), false, nil
+	}
 	clean, _, err := e.Repair(ctx)
 	if err != nil {
 		return table.Null(), false, err
@@ -245,6 +359,13 @@ type CellGame struct {
 	snapGen uint64
 	// syncMu serializes re-snapshotting.
 	syncMu sync.Mutex
+	// shared is the game's handle on the session's shared coalition cache
+	// (nil without an engine). Only the deterministic null policy consults
+	// it: under ReplaceFromColumn a coalition's value is a random
+	// realization, which must never be memoized. Set by BindSharedCache
+	// after the player roster is final; RestrictPlayers clears it, because
+	// coalition cache keys are positional in the roster.
+	shared *exec.Binding
 }
 
 // cellScratch is one pooled working table plus its undo list.
@@ -282,7 +403,9 @@ func (g *CellGame) sync() {
 	for k, ref := range g.players {
 		g.origs[k] = g.exp.Dirty.GetRef(ref)
 	}
-	g.stats = table.NewStats(g.exp.Dirty)
+	// Catch the stats snapshot up from the edit log (per-column deltas;
+	// equivalent to a full rebuild) instead of rebuilding wholesale.
+	g.stats.Sync(g.exp.Dirty)
 	atomic.StoreUint64(&g.snapGen, cur)
 }
 
@@ -335,7 +458,7 @@ func (g *CellGame) RestrictPlayers(cells []table.CellRef) {
 		// The stats snapshot is part of the generation-stamped state: an
 		// edit between construction and restriction must refresh it too, or
 		// ReplaceFromColumn would keep sampling the pre-edit distribution.
-		g.stats = table.NewStats(g.exp.Dirty)
+		g.stats.Sync(g.exp.Dirty)
 	}
 	g.players = g.players[:0]
 	g.origs = g.origs[:0]
@@ -345,7 +468,29 @@ func (g *CellGame) RestrictPlayers(cells []table.CellRef) {
 			g.origs = append(g.origs, g.exp.Dirty.GetRef(ref))
 		}
 	}
+	// The roster moved, so the positional coalition keys of any earlier
+	// binding no longer describe this game; drop it (re-bind after).
+	g.shared = nil
 	atomic.StoreUint64(&g.snapGen, cur)
+}
+
+// BindSharedCache enrolls the game's deterministic coalition evaluations —
+// Value, and the null-policy walk values driven by SampleAll, SamplePlayer
+// and TopK — in the session's shared coalition cache. The descriptor folds
+// in the cell, target and the exact player roster (positional keys); a nil
+// engine or a stochastic policy leaves the game unbound. Values are
+// deterministic per (coalition, generation), so cache participation can
+// never change an estimate — in particular the Workers=1 ≡ Workers=N
+// bit-identity of the samplers is preserved (no RNG draw is skipped: the
+// null policy consumes none during Value).
+func (g *CellGame) BindSharedCache() {
+	if g.policy != ReplaceWithNull {
+		return
+	}
+	desc := g.exp.gameDesc("cell-game-null",
+		"cell="+refDesc(g.cell), "target="+targetDesc(g.target),
+		"players="+playersDesc(g.exp.Dirty, g.players))
+	g.shared = g.exp.Engine.Bind(desc, g.exp.Dirty.Generation)
 }
 
 // Players returns the cells acting as players, in player order.
@@ -393,8 +538,27 @@ func (g *CellGame) replacement(k int, rng *rand.Rand) (table.Value, error) {
 
 // eval is the scratch-table fast path: borrow a pooled working table, mask
 // absent cells in place, run the black box, restore only the touched cells.
-// Steady state it allocates nothing (see TestCellGameEvalAllocs).
+// Steady state it allocates nothing (see TestCellGameEvalAllocs). Bound
+// deterministic games consult the session's shared coalition cache first.
 func (g *CellGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	// g.shared is nil unless BindSharedCache enrolled this (null-policy)
+	// game, and a nil binding always misses, so no policy branch is needed:
+	// stochastic realizations can never be memoized. evalUncached syncs to
+	// the live generation, so a value computed after a concurrent edit
+	// carries a stale gen stamp and is dropped by Store.
+	v, gen, ok := g.shared.Lookup(coalition)
+	if ok {
+		return v, nil
+	}
+	v, err := g.evalUncached(ctx, coalition, rng)
+	if err == nil {
+		g.shared.Store(gen, coalition, v)
+	}
+	return v, err
+}
+
+// evalUncached is eval without the shared-cache consult.
+func (g *CellGame) evalUncached(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
 	g.sync()
 	sc := g.getScratch()
 	sc.touched = sc.touched[:0]
@@ -537,6 +701,23 @@ func (w *cellWalk) Exclude(p int) {
 // sampling every absent cell is redrawn in player order, consuming the RNG
 // exactly as the clone path's SampleValue does (the golden-equivalence
 // contract).
+//
+// Null-policy values are deterministic per coalition, so a bound walk
+// consults the session's shared coalition cache (keyed by the membership
+// mirror) before running the black box — this is how the sampled paths
+// participate in the cache without leaving the walk protocol. No RNG is
+// consumed under the null policy, so a hit and a computed value leave the
+// sampler's RNG stream identical: estimates stay bit-identical for every
+// Workers value and every cache state. (A stochastic walk's binding is
+// nil — stochastic games never bind — so its Lookup always misses.)
+//
+// Lookups and stores are both pinned to the *scratch's* snapshot
+// generation, not the live one: the walk computes from a table cloned at
+// w.sc.gen, so if a concurrent session edit bumped the live generation
+// mid-walk, (a) a store of the now-stale value is dropped by the shard's
+// generation guard instead of being served as current, and (b) a lookup
+// cannot hit a post-edit value some other explain stored — the walk's
+// samples all reflect one table state.
 func (w *cellWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) {
 	if w.g.policy != ReplaceWithNull {
 		for k, in := range w.in {
@@ -550,7 +731,14 @@ func (w *cellWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) {
 			w.sc.tbl.SetRef(w.g.players[k], v)
 		}
 	}
-	return repair.CellRepairedWith(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool())
+	if v, ok := w.g.shared.LookupAt(w.sc.gen, w.in); ok {
+		return v, nil
+	}
+	v, err := repair.CellRepairedWith(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool())
+	if err == nil {
+		w.g.shared.Store(w.sc.gen, w.in, v)
+	}
+	return v, err
 }
 
 // Close implements shapley.CoalitionWalk: restores the scratch to the dirty

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/repair"
 	"repro/internal/shapley"
 	"repro/internal/table"
@@ -110,6 +111,11 @@ type GroupGame struct {
 	snapGen uint64
 	// syncMu serializes re-snapshotting.
 	syncMu sync.Mutex
+	// shared is the game's handle on the session's shared coalition cache,
+	// as in CellGame: deterministic null-policy evaluations only, set by
+	// BindSharedCache (groups are fixed at construction, so no re-binding
+	// concern).
+	shared *exec.Binding
 }
 
 // groupLayout is the static geometry of a group game's player cells — the
@@ -173,7 +179,9 @@ func (g *GroupGame) sync() {
 	if g.snapGen == cur {
 		return
 	}
-	g.stats = table.NewStats(g.exp.Dirty)
+	// Per-column delta catch-up from the edit log; equivalent to a full
+	// rebuild (see table.Stats.Sync).
+	g.stats.Sync(g.exp.Dirty)
 	atomic.StoreUint64(&g.snapGen, cur)
 }
 
@@ -216,6 +224,21 @@ func (e *Explainer) NewGroupGame(cell table.CellRef, target table.Value, policy 
 	}
 }
 
+// BindSharedCache enrolls the game's deterministic coalition evaluations
+// in the session's shared coalition cache, as CellGame.BindSharedCache
+// does for cell games: null policy only, descriptor folding in the cell,
+// target and exact group roster. See that method for the determinism
+// argument (cache hits can never change estimates or RNG consumption).
+func (g *GroupGame) BindSharedCache() {
+	if g.policy != ReplaceWithNull {
+		return
+	}
+	desc := g.exp.gameDesc("group-game-null",
+		"cell="+refDesc(g.cell), "target="+targetDesc(g.target),
+		"groups="+groupsDesc(g.exp.Dirty, g.groups))
+	g.shared = g.exp.Engine.Bind(desc, g.exp.Dirty.Generation)
+}
+
 // Groups returns the game's (cleaned) groups, in player order.
 func (g *GroupGame) Groups() []CellGroup { return g.groups }
 
@@ -236,6 +259,22 @@ func (g *GroupGame) SampleValue(ctx context.Context, coalition []bool, rng *rand
 }
 
 func (g *GroupGame) eval(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
+	// See CellGame.eval: the binding is nil for unbound and stochastic
+	// games (always-miss), and a value computed after a concurrent edit
+	// carries a stale gen stamp and is dropped by Store.
+	v, gen, ok := g.shared.Lookup(coalition)
+	if ok {
+		return v, nil
+	}
+	v, err := g.evalUncached(ctx, coalition, rng)
+	if err == nil {
+		g.shared.Store(gen, coalition, v)
+	}
+	return v, err
+}
+
+// evalUncached is eval without the shared-cache consult.
+func (g *GroupGame) evalUncached(ctx context.Context, coalition []bool, rng *rand.Rand) (float64, error) {
 	g.sync()
 	sc := g.getScratch()
 	v, err := g.evalOn(ctx, sc, coalition, rng)
@@ -449,7 +488,20 @@ func (w *groupWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) 
 			}
 		}
 	}
-	return repair.CellRepairedWith(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool())
+	// Deterministic null-policy values consult the shared coalition cache
+	// on the membership mirror, as cellWalk.Value does (no RNG is consumed
+	// under the null policy, so hits leave the sampler's stream untouched;
+	// a stochastic walk's binding is nil and always misses). Lookups and
+	// stores are both pinned to the scratch's snapshot generation — see
+	// cellWalk.Value.
+	if v, ok := w.g.shared.LookupAt(w.sc.gen, w.in); ok {
+		return v, nil
+	}
+	v, err := repair.CellRepairedWith(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool())
+	if err == nil {
+		w.g.shared.Store(w.sc.gen, w.in, v)
+	}
+	return v, err
 }
 
 // Close implements shapley.CoalitionWalk: restores the scratch to the dirty
@@ -497,9 +549,11 @@ func (e *Explainer) ExplainCellGroupsAuto(ctx context.Context, cell table.CellRe
 		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
 	}
 	game := e.NewGroupGame(cell, target, ReplaceWithNull, groups)
-	desc := e.gameDesc("group-game-exact",
-		"cell="+refDesc(cell), "target="+targetDesc(target), groupsDesc(e.Dirty, game.groups))
-	values, err := shapley.ExactSubsets(ctx, e.cachedGame(desc, game))
+	// The game's own binding (descriptor keyed on the exact group roster)
+	// lets the exact enumeration and the sampled fallback share one pool of
+	// memoized coalition values.
+	game.BindSharedCache()
+	values, err := shapley.ExactSubsets(ctx, game)
 	if err != nil {
 		return nil, fmt.Errorf("core: group Shapley: %w", err)
 	}
@@ -529,6 +583,8 @@ func (e *Explainer) ExplainCellGroupsSampled(ctx context.Context, cell table.Cel
 		return nil, fmt.Errorf("core: cell %s was not repaired; nothing to explain", e.Dirty.RefName(cell))
 	}
 	game := e.NewGroupGame(cell, target, opts.Policy, groups)
+	// Deterministic (null-policy) sampled values join the shared cache.
+	game.BindSharedCache()
 	ests, err := shapley.SampleAll(ctx, game, shapley.Options{
 		Samples: opts.Samples,
 		Workers: opts.Workers,

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/shapley"
@@ -154,6 +153,10 @@ func (e *Explainer) ExplainCells(ctx context.Context, cell table.CellRef, opts C
 	if opts.RestrictToRelevant {
 		game.RestrictPlayers(e.RelevantCells(cell))
 	}
+	// Under the deterministic null policy the sampled coalition values join
+	// the session's shared cache: a repeat explain (or the exact path over
+	// the same roster) replays them instead of re-running the black box.
+	game.BindSharedCache()
 	ests, err := shapley.SampleAll(ctx, game, shapley.Options{
 		Samples: opts.Samples,
 		Workers: opts.Workers,
@@ -196,9 +199,12 @@ func (e *Explainer) ExplainCellsExact(ctx context.Context, cell table.CellRef, r
 	if restrict {
 		game.RestrictPlayers(e.RelevantCells(cell))
 	}
-	desc := e.gameDesc("cell-game-exact",
-		"cell="+refDesc(cell), "target="+targetDesc(target), "restrict="+strconv.FormatBool(restrict))
-	values, err := shapley.ExactSubsets(ctx, e.cachedGame(desc, game))
+	// The game's own binding replaces the cachedGame wrapper here: the
+	// descriptor is keyed on the exact roster, so the exact enumeration and
+	// the sampled null-policy paths over the same roster share one pool of
+	// memoized coalition values.
+	game.BindSharedCache()
+	values, err := shapley.ExactSubsets(ctx, game)
 	if err != nil {
 		return nil, fmt.Errorf("core: exact cell Shapley: %w", err)
 	}

@@ -27,6 +27,11 @@ type Session struct {
 	live *dc.LiveViolationSet
 	// engine is the session execution layer; every Explainer() carries it.
 	engine *exec.Engine
+	// repairDesc caches the repair-target descriptor of the current
+	// (algorithm, constraint set); recomputed on constraint edits and
+	// handed to every Explainer so the edit loop's Target() calls don't
+	// re-render the constraint strings per call.
+	repairDesc string
 }
 
 // SessionOptions configures a session's execution engine.
@@ -50,12 +55,20 @@ func NewSessionWith(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Tab
 	if _, err := NewExplainer(alg, dcs, dirty); err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		alg:    alg,
 		dcs:    append([]*dc.Constraint(nil), dcs...),
 		dirty:  dirty.Clone(),
 		engine: exec.NewEngine(opts.Workers),
-	}, nil
+	}
+	s.refreshRepairDesc()
+	return s, nil
+}
+
+// refreshRepairDesc re-renders the cached repair-target descriptor; call
+// after any constraint-set change.
+func (s *Session) refreshRepairDesc() {
+	s.repairDesc = (&Explainer{Alg: s.alg, DCs: s.dcs}).gameDesc("repair")
 }
 
 // Engine exposes the session's execution engine (cache statistics for the
@@ -67,7 +80,7 @@ func (s *Session) Engine() *exec.Engine { return s.engine }
 // keyed by game identity and invalidated by the dirty table's generation,
 // which every SetCell bumps — and its repairs run on the session pool.
 func (s *Session) Explainer() *Explainer {
-	return &Explainer{Alg: s.alg, DCs: s.dcs, Dirty: s.dirty, Engine: s.engine}
+	return &Explainer{Alg: s.alg, DCs: s.dcs, Dirty: s.dirty, Engine: s.engine, repairDescMemo: s.repairDesc}
 }
 
 // Dirty returns the session's current dirty table (live; edits via SetCell).
@@ -99,6 +112,7 @@ func (s *Session) RemoveDC(id string) error {
 	// Constraint edits re-key every game descriptor without bumping the
 	// table generation; drop the now-unreachable coalition values.
 	s.engine.InvalidateCache()
+	s.refreshRepairDesc()
 	return nil
 }
 
@@ -121,6 +135,7 @@ func (s *Session) AddDC(text string) error {
 	s.History = append(s.History, "added "+c.String())
 	// See RemoveDC: constraint edits re-key every game descriptor.
 	s.engine.InvalidateCache()
+	s.refreshRepairDesc()
 	return nil
 }
 

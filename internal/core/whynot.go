@@ -26,6 +26,9 @@ func (e *Explainer) ExplainCellsTopK(ctx context.Context, cell table.CellRef, k 
 	if opts.RestrictToRelevant {
 		game.RestrictPlayers(e.RelevantCells(cell))
 	}
+	// The racing rounds re-probe overlapping coalition prefixes; under the
+	// null policy they draw from (and feed) the session's shared cache.
+	game.BindSharedCache()
 	res, err := shapley.TopK(ctx, game, shapley.TopKOptions{
 		K:            k,
 		RoundSamples: opts.Samples / 8,

@@ -117,12 +117,20 @@ func (c *Constraint) equalityJoinAttrs() []string {
 }
 
 // joinCols resolves the equality join attributes to column indexes; empty
-// when the constraint has no usable join key.
+// when the constraint has no usable join key. An attribute missing from
+// the schema (an unvalidated constraint) yields no join key at all rather
+// than a panic: the caller then falls through to the kernel/interpreted
+// scan, whose operand resolution reports the proper "attribute not in
+// schema" error — identically on every evaluation path.
 func (c *Constraint) joinCols(t *table.Table) []int {
 	attrs := c.equalityJoinAttrs()
 	cols := make([]int, 0, len(attrs))
 	for _, a := range attrs {
-		cols = append(cols, t.Schema().MustIndex(a))
+		idx, ok := t.Schema().Index(a)
+		if !ok {
+			return nil
+		}
+		cols = append(cols, idx)
 	}
 	return cols
 }

@@ -1,0 +1,154 @@
+package dc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// FuzzParse feeds arbitrary text to the DC parser: it must never panic,
+// and any constraint it accepts must round-trip — String() re-parses to a
+// constraint with the same String() (the canonical form is a fixpoint) and
+// the same predicate count.
+func FuzzParse(f *testing.F) {
+	f.Add("C1: !(t1.A = t2.A & t1.B != t2.B)")
+	f.Add("!(t1.City = \"Madrid\" & t1.Country != \"Spain\")")
+	f.Add("C2: !(t1.Salary > t2.Salary & t1.Tax < t2.Tax)")
+	f.Add("C3: !(t1.A >= 3.5)")
+	f.Add("bogus")
+	f.Add(": !()")
+	f.Add("C1: !(t1.A = t1.A)")
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := Parse(text)
+		if err != nil {
+			return
+		}
+		canon := c.String()
+		c2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if c2.String() != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q", canon, c2.String())
+		}
+		if len(c2.Preds) != len(c.Preds) {
+			t.Fatalf("round-trip changed predicate count: %d -> %d", len(c.Preds), len(c2.Preds))
+		}
+	})
+}
+
+// fuzzKernelValue decodes one byte into a table value spanning every kind
+// and the comparison edge cases (NULL, NaN, ±0.0, empty string, equal
+// numerics of different kinds).
+func fuzzKernelValue(b byte) table.Value {
+	switch b % 10 {
+	case 0:
+		return table.Null()
+	case 1:
+		return table.String("")
+	case 2:
+		return table.String("a")
+	case 3:
+		return table.String("b")
+	case 4:
+		return table.Int(int64(b) % 5)
+	case 5:
+		return table.Float(float64(int64(b)%5) / 2)
+	case 6:
+		return table.Float(0.0)
+	case 7:
+		return table.Float(math.NaN())
+	case 8:
+		return table.Int(-1)
+	default:
+		return table.Float(-0.0)
+	}
+}
+
+// fuzzKernelOps cycles the comparison operators for the kernel fuzz.
+var fuzzKernelOps = []Op{OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq}
+
+// FuzzKernelVsInterpreted cross-validates the compiled columnar kernel
+// against the interpreted SatisfiedPair reference on fuzzer-shaped tables
+// and constraints: for every ordered row pair the two paths must agree
+// exactly (the cross-validation contract the kernel was shipped under).
+func FuzzKernelVsInterpreted(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, byte(0), byte(1), byte(0))
+	f.Add([]byte{7, 7, 7, 7}, byte(2), byte(2), byte(3))
+	f.Add([]byte{9, 8, 6, 5, 4, 3, 2, 1, 0}, byte(5), byte(0), byte(7))
+	f.Fuzz(func(t *testing.T, cells []byte, op1, op2 byte, constRaw byte) {
+		if len(cells) == 0 {
+			return
+		}
+		const cols = 2
+		rows := len(cells)/cols + 1
+		if rows > 8 {
+			rows = 8
+		}
+		schema, err := table.SchemaOf("A", "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := table.New(schema)
+		for i := 0; i < rows; i++ {
+			row := make([]table.Value, cols)
+			for j := range row {
+				idx := (i*cols + j) % len(cells)
+				row[j] = fuzzKernelValue(cells[idx])
+			}
+			if err := tbl.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := &Constraint{
+			ID: "F1",
+			Preds: []Predicate{
+				{Left: Operand{Tuple: 0, Attr: "A"}, Op: fuzzKernelOps[int(op1)%len(fuzzKernelOps)], Right: Operand{Tuple: 1, Attr: "A"}},
+				{Left: Operand{Tuple: 0, Attr: "B"}, Op: fuzzKernelOps[int(op2)%len(fuzzKernelOps)], Right: ConstOperand(fuzzKernelValue(constRaw))},
+			},
+		}
+		kern, err := compileKernel(c, schema)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < rows; j++ {
+				want, err := c.SatisfiedPair(tbl, i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := kern.Pair(tbl, i, j); got != want {
+					t.Fatalf("pair (%d,%d): kernel %v vs interpreted %v\nconstraint %s\ntable:\n%v",
+						i, j, got, want, c, tbl)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseSet exercises the multi-line set parser: no panics, and an
+// accepted set re-parses from its canonical rendering with the same size.
+func FuzzParseSet(f *testing.F) {
+	f.Add("C1: !(t1.A = t2.A & t1.B != t2.B)\nC2: !(t1.B > 3)")
+	f.Add("# comment\n\nC1: !(t1.A = t2.A)")
+	f.Add("C1: !(t1.A = t2.A)\nC1: !(t1.A = t2.A)")
+	f.Fuzz(func(t *testing.T, text string) {
+		cs, err := ParseSet(text)
+		if err != nil {
+			return
+		}
+		var lines []string
+		for _, c := range cs {
+			lines = append(lines, c.String())
+		}
+		cs2, err := ParseSet(strings.Join(lines, "\n"))
+		if err != nil {
+			t.Fatalf("canonical set does not re-parse: %v", err)
+		}
+		if len(cs2) != len(cs) {
+			t.Fatalf("round-trip changed set size: %d -> %d", len(cs), len(cs2))
+		}
+	})
+}

@@ -208,15 +208,74 @@ func (c *CoalitionCache) Stats() (hits, misses uint64) {
 	return hits, misses
 }
 
+// Binding is one game's handle on the shared coalition cache: the interned
+// game ID plus the generation source. It is how *deterministic* evaluation
+// paths outside the exact enumerators — the null-policy coalition
+// evaluations inside the sampling loops (SampleAll, SamplePlayer, TopK) —
+// participate in the shared cache without wrapping the game: the game keeps
+// its walk/scratch fast paths and consults the binding per evaluation.
+//
+// The generation stamp read by Lookup must be handed back to the matching
+// Store, so a value computed while a concurrent session edit lands is
+// dropped rather than stored as current (the same ordering CachedGame
+// uses). A nil *Binding is a valid "no shared cache" value: Lookup always
+// misses and Store is a no-op.
+type Binding struct {
+	cache *CoalitionCache
+	id    uint64
+	gen   func() uint64
+}
+
+// Bind interns desc (see GameID for the descriptor contract) and returns
+// the game's cache binding; nil on a nil engine.
+func (e *Engine) Bind(desc string, gen func() uint64) *Binding {
+	if e == nil {
+		return nil
+	}
+	return &Binding{cache: e.cache, id: e.GameID(desc), gen: gen}
+}
+
+// Lookup returns the memoized value of the coalition at the current
+// generation; gen must be passed to the Store that memoizes a miss.
+func (b *Binding) Lookup(coalition []bool) (v float64, gen uint64, ok bool) {
+	if b == nil {
+		return 0, 0, false
+	}
+	gen = b.gen()
+	v, ok = b.cache.Lookup(b.id, gen, coalition)
+	return v, gen, ok
+}
+
+// LookupAt is Lookup pinned to an explicit generation stamp — the walks'
+// variant. A coalition walk evaluates against a scratch snapshot taken at
+// a fixed generation, so both its lookups and its stores must carry that
+// stamp: looking up at the *live* generation could hit a value another
+// explain computed after a concurrent session edit, mixing two table
+// states into one walk's estimates. A stale stamp (the table moved on)
+// simply misses.
+func (b *Binding) LookupAt(gen uint64, coalition []bool) (float64, bool) {
+	if b == nil {
+		return 0, false
+	}
+	return b.cache.Lookup(b.id, gen, coalition)
+}
+
+// Store memoizes a value computed at the generation a prior Lookup
+// reported. No-op on a nil binding.
+func (b *Binding) Store(gen uint64, coalition []bool, v float64) {
+	if b == nil {
+		return
+	}
+	b.cache.Store(b.id, gen, coalition, v)
+}
+
 // CachedGame is a shapley.Game view over one game's slice of the shared
 // cache: lookups and stores are stamped with the generation gen() reports,
 // so values computed before a session edit can never satisfy a lookup
 // after it.
 type CachedGame struct {
-	cache *CoalitionCache
-	id    uint64
-	gen   func() uint64
-	g     shapley.Game
+	b *Binding
+	g shapley.Game
 }
 
 // NumPlayers implements shapley.Game.
@@ -224,14 +283,14 @@ func (cg *CachedGame) NumPlayers() int { return cg.g.NumPlayers() }
 
 // Value implements shapley.Game, consulting the shared cache first.
 func (cg *CachedGame) Value(ctx context.Context, coalition []bool) (float64, error) {
-	gen := cg.gen()
-	if v, ok := cg.cache.Lookup(cg.id, gen, coalition); ok {
+	v, gen, ok := cg.b.Lookup(coalition)
+	if ok {
 		return v, nil
 	}
 	v, err := cg.g.Value(ctx, coalition)
 	if err != nil {
 		return 0, err
 	}
-	cg.cache.Store(cg.id, gen, coalition, v)
+	cg.b.Store(gen, coalition, v)
 	return v, nil
 }

@@ -16,6 +16,14 @@
 //   - Engine: glues the two together and interns stable game IDs from game
 //     descriptors, so re-explaining the same cell after an unrelated
 //     screen reuses every coalition value already paid for.
+//   - RepairCache: the session's repair-target materialization — the
+//     clean-table diff of the full black-box repair per (repair
+//     descriptor, table generation), so repeat Target()/Repair() calls
+//     replay a diff instead of re-running the black box.
+//   - Binding: a game's handle on the shared coalition cache, which is how
+//     the *sampled* deterministic paths (null-policy walks inside
+//     SampleAll/SamplePlayer/TopK) participate in the cache without
+//     wrapping the game or touching its RNG stream.
 //
 // The package sits below repair and core (it knows games and tables, never
 // constraints or algorithms), which is what lets every layer share it
@@ -34,8 +42,9 @@ import (
 // valid "no engine" value: Pool returns nil (serial) and CachedGame falls
 // back to a private per-game cache.
 type Engine struct {
-	pool  *Pool
-	cache *CoalitionCache
+	pool    *Pool
+	cache   *CoalitionCache
+	repairs *RepairCache
 
 	mu     sync.Mutex
 	ids    map[string]uint64
@@ -45,9 +54,10 @@ type Engine struct {
 // NewEngine builds an engine with a worker budget; 0 means GOMAXPROCS.
 func NewEngine(workers int) *Engine {
 	return &Engine{
-		pool:  NewPool(workers),
-		cache: NewCoalitionCache(),
-		ids:   make(map[string]uint64),
+		pool:    NewPool(workers),
+		cache:   NewCoalitionCache(),
+		repairs: NewRepairCache(),
+		ids:     make(map[string]uint64),
 	}
 }
 
@@ -69,6 +79,15 @@ func (e *Engine) Cache() *CoalitionCache {
 		return nil
 	}
 	return e.cache
+}
+
+// RepairTargets returns the engine's repair-target cache; nil on a nil
+// engine (a nil *RepairCache is a valid always-miss cache).
+func (e *Engine) RepairTargets() *RepairCache {
+	if e == nil {
+		return nil
+	}
+	return e.repairs
 }
 
 // GameID interns a stable identifier for a game descriptor. Descriptors
@@ -101,11 +120,12 @@ func (e *Engine) GameID(desc string) uint64 {
 	return e.nextID
 }
 
-// InvalidateCache drops every memoized coalition value (and the game-ID
-// interning table). core.Session calls it on constraint edits: AddDC and
-// RemoveDC change every game's descriptor without touching the table
-// generation, so the previous games' entries would otherwise accumulate
-// unreachably for the session's lifetime. No-op on a nil engine.
+// InvalidateCache drops every memoized coalition value, every memoized
+// repair diff, and the game-ID interning table. core.Session calls it on
+// constraint edits: AddDC and RemoveDC change every game and repair
+// descriptor without touching the table generation, so the previous
+// descriptors' entries would otherwise accumulate unreachably for the
+// session's lifetime. No-op on a nil engine.
 func (e *Engine) InvalidateCache() {
 	if e == nil {
 		return
@@ -114,6 +134,7 @@ func (e *Engine) InvalidateCache() {
 	clear(e.ids)
 	e.mu.Unlock()
 	e.cache.Clear()
+	e.repairs.Clear()
 }
 
 // CachedGame wraps g with the engine's shared coalition cache under the
@@ -125,7 +146,7 @@ func (e *Engine) CachedGame(desc string, gen func() uint64, g shapley.Game) shap
 	if e == nil {
 		return shapley.NewCached(g)
 	}
-	return &CachedGame{cache: e.cache, id: e.GameID(desc), gen: gen, g: g}
+	return &CachedGame{b: e.Bind(desc, gen), g: g}
 }
 
 // CacheStats reports the shared cache's cumulative hits and misses; zero

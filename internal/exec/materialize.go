@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/table"
+)
+
+// RepairCache is the repair-target materialization of a session: it
+// memoizes the *diff* between a dirty table and its black-box repair, keyed
+// by a repair descriptor (algorithm + constraint-set fingerprint, interned
+// by core) and stamped with the table generation the repair ran at.
+//
+// Target() and every Explain* entry point re-run the full repair once per
+// call to resolve the clean value of the cell of interest; within one
+// session state the result is a pure function of (algorithm, constraint
+// set, table contents), so repeat calls can replay the stored diff instead
+// of re-running the black box. A diff, not the clean table, is stored: the
+// dirty table is live session state, so the clean table is reconstructed
+// as clone-plus-patch on demand, and target resolution for one cell needs
+// no reconstruction at all (scan the diff).
+//
+// Invalidation mirrors the coalition cache's: a SetCell bumps the table
+// generation, so the next Lookup misses and the next Store overwrites the
+// descriptor's entry; AddDC/RemoveDC re-key every descriptor, and
+// Engine.InvalidateCache drops the whole cache. Safe for concurrent use.
+type RepairCache struct {
+	mu      sync.Mutex
+	entries map[string]repairEntry
+	hits    uint64
+	misses  uint64
+}
+
+// repairEntry is one memoized repair: the generation the diff was computed
+// at and the diff itself (owned by the cache; callers get copies).
+type repairEntry struct {
+	gen   uint64
+	diffs []table.CellDiff
+}
+
+// maxRepairEntries bounds the per-descriptor map: a session that churns
+// through more distinct (algorithm, constraint-set) combinations starts
+// over rather than growing forever.
+const maxRepairEntries = 256
+
+// NewRepairCache returns an empty repair-target cache.
+func NewRepairCache() *RepairCache {
+	return &RepairCache{entries: make(map[string]repairEntry)}
+}
+
+// Lookup returns the memoized repair diff for desc at generation gen. The
+// returned slice is owned by the cache and must be treated as read-only;
+// ok is false on a nil cache, an unknown descriptor, or a generation
+// mismatch (the table was edited since the diff was stored).
+func (c *RepairCache) Lookup(desc string, gen uint64) ([]table.CellDiff, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[desc]
+	if !ok || e.gen != gen {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.diffs, true
+}
+
+// Store memoizes the repair diff for desc at generation gen, overwriting
+// any earlier entry for the descriptor (the edit loop only ever asks about
+// the current generation, so older diffs are dead weight). The diff is
+// copied; no-op on a nil cache.
+func (c *RepairCache) Store(desc string, gen uint64, diffs []table.CellDiff) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[desc]; !ok && len(c.entries) >= maxRepairEntries {
+		clear(c.entries)
+	}
+	c.entries[desc] = repairEntry{gen: gen, diffs: append([]table.CellDiff(nil), diffs...)}
+}
+
+// Clear drops every entry (hit/miss statistics survive).
+func (c *RepairCache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	clear(c.entries)
+	c.mu.Unlock()
+}
+
+// Stats returns cumulative hits and misses.
+func (c *RepairCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -103,24 +103,20 @@ type PartitionedRepairer interface {
 
 // pooledStats is the generation-checked statistics snapshot shared by the
 // black boxes' pooled run states: fresh returns statistics for work's
-// current contents, rebuilding the pooled snapshot (table.Stats.Reset)
-// only when the table pointer or generation moved since the last call.
+// current contents, catching the pooled snapshot up incrementally
+// (table.Stats.Sync: per-column deltas from the work table's edit log,
+// full rebuild on overrun) when the table pointer or generation moved
+// since the last call.
 type pooledStats struct {
 	stats *table.Stats
-	tbl   *table.Table
-	gen   uint64
 }
 
 func (p *pooledStats) fresh(work *table.Table) *table.Stats {
 	if p.stats == nil {
 		p.stats = table.NewStats(work)
-	} else if p.tbl != work || p.gen != work.Generation() {
-		p.stats.Reset(work)
-	} else {
 		return p.stats
 	}
-	p.tbl = work
-	p.gen = work.Generation()
+	p.stats.Sync(work)
 	return p.stats
 }
 

@@ -34,6 +34,37 @@ func Diff(dirty, clean *Table) ([]CellDiff, error) {
 	return diffs, nil
 }
 
+// DiffExact returns the cells at which dirty and clean differ by exact
+// representation (kind-sensitive Go inequality), in vectorization order.
+// Where Diff unifies numeric kinds through SameContent, DiffExact records
+// a cell whose repair changed Int(5) to Float(5.0) — which Diff deems
+// unchanged — so replaying the result onto a clone of dirty reproduces
+// clean cell-for-cell, representation included (the repair-target cache's
+// replay contract; kind-sensitive consumers like hash-join keys must not
+// see different representations on a cache hit than on a miss). NaN cells
+// compare unequal to themselves and are conservatively included, exactly
+// as Table.CopyFrom re-copies them. Every SameContent difference is also
+// an exact difference, so Diff's output is the !SameContent subset of
+// DiffExact's.
+func DiffExact(dirty, clean *Table) ([]CellDiff, error) {
+	if !dirty.Schema().Equal(clean.Schema()) {
+		return nil, fmt.Errorf("table: diff over different schemas (%s) vs (%s)", dirty.Schema(), clean.Schema())
+	}
+	if dirty.NumRows() != clean.NumRows() {
+		return nil, fmt.Errorf("table: diff over different row counts %d vs %d", dirty.NumRows(), clean.NumRows())
+	}
+	var diffs []CellDiff
+	for i := 0; i < dirty.NumRows(); i++ {
+		for j := 0; j < dirty.NumCols(); j++ {
+			dv, cv := dirty.Get(i, j), clean.Get(i, j)
+			if dv != cv {
+				diffs = append(diffs, CellDiff{Ref: CellRef{Row: i, Col: j}, Dirty: dv, Clean: cv})
+			}
+		}
+	}
+	return diffs, nil
+}
+
 // FormatDiffs renders diffs using the paper's cell notation, one per line:
 //
 //	t5[Country]: España -> Spain

@@ -1,0 +1,93 @@
+package table
+
+import (
+	"testing"
+)
+
+// FuzzEditLogReplay drives the bounded edit ring with a fuzzer-chosen
+// stream of Set/Append operations and checks EditsSince against a naive
+// shadow log: whenever the ring reports ok, the replayed edits must be
+// exactly the shadow's suffix (same order, same generations), and
+// replaying them onto a snapshot clone must reproduce the live table; when
+// it reports !ok, the requested generation must genuinely predate the
+// retained history.
+func FuzzEditLogReplay(f *testing.F) {
+	f.Add([]byte{0x00, 0x11, 0x22, 0x33})
+	f.Add([]byte{0xff, 0xfe, 0x81, 0x80, 0x7f, 0x40})
+	f.Add([]byte{0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x10})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		tbl := MustFromStrings([]string{"A", "B", "C"}, [][]string{
+			{"a", "1", "x"}, {"b", "2", "y"}, {"c", "3", "z"},
+		})
+		type shadowEdit struct {
+			gen      uint64
+			row, col int
+		}
+		var shadow []shadowEdit
+		// A structural change resets delta coverage; track the horizon.
+		horizon := tbl.Generation()
+
+		snapGen := tbl.Generation()
+		snap := tbl.Clone()
+
+		values := []Value{String("p"), String("q"), Int(7), Null(), Float(2.5)}
+		for i, b := range stream {
+			switch {
+			case b >= 0xf8:
+				// Rare: structural change.
+				if err := tbl.Append([]Value{String("n"), Int(int64(i)), String("m")}); err != nil {
+					t.Fatal(err)
+				}
+				shadow = nil
+				horizon = tbl.Generation()
+				// Re-anchor the snapshot: replay across a structural change
+				// is impossible by contract.
+				snap = tbl.Clone()
+				snapGen = tbl.Generation()
+			default:
+				row := int(b>>5) % tbl.NumRows()
+				col := int(b>>3) % tbl.NumCols()
+				tbl.Set(row, col, values[int(b)%len(values)])
+				shadow = append(shadow, shadowEdit{gen: tbl.Generation(), row: row, col: col})
+			}
+
+			// Probe EditsSince from the snapshot anchor every few steps.
+			if i%3 != 2 {
+				continue
+			}
+			edits, ok := tbl.EditsSince(snapGen, nil)
+			if !ok {
+				// Coverage genuinely lost: either a structural change moved
+				// the horizon past the anchor, or the ring evicted it.
+				if snapGen >= horizon && len(shadow) <= editLogWindow {
+					t.Fatalf("EditsSince reported !ok with %d shadow edits (window %d) and no structural change",
+						len(shadow), editLogWindow)
+				}
+				snap = tbl.Clone()
+				snapGen = tbl.Generation()
+				shadow = nil
+				continue
+			}
+			// The replayed edits must be the shadow's suffix after snapGen.
+			var suffix []shadowEdit
+			for _, e := range shadow {
+				if e.gen > snapGen {
+					suffix = append(suffix, e)
+				}
+			}
+			if len(edits) != len(suffix) {
+				t.Fatalf("EditsSince returned %d edits, shadow has %d", len(edits), len(suffix))
+			}
+			replay := snap.Clone()
+			for k, e := range edits {
+				if e.Gen != suffix[k].gen || e.Row != suffix[k].row || e.Col != suffix[k].col {
+					t.Fatalf("edit %d: ring %+v vs shadow %+v", k, e, suffix[k])
+				}
+				replay.Set(e.Row, e.Col, tbl.Get(e.Row, e.Col))
+			}
+			if !replay.Equal(tbl) {
+				t.Fatalf("replaying %d edits onto the snapshot does not reproduce the table", len(edits))
+			}
+		}
+	})
+}

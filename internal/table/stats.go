@@ -230,6 +230,16 @@ type Stats struct {
 	rows   [][]Value
 	epoch  uint64
 	keyBuf []byte
+
+	// srcTbl/srcGen identify the snapshot: the table and its generation the
+	// stats were last built against. Sync uses them to catch up from the
+	// table's edit log with per-column deltas instead of a full rebuild.
+	srcTbl *Table
+	srcGen uint64
+	// editBuf, colTouched and colList are Sync's pooled delta scratch.
+	editBuf    []CellEdit
+	colTouched []bool
+	colList    []int
 }
 
 // NewStats scans the table and builds column distributions. Conditional
@@ -272,6 +282,70 @@ func (s *Stats) Reset(t *Table) {
 			s.cols[j].Observe(v)
 		}
 	}
+	s.srcTbl = t
+	s.srcGen = t.Generation()
+}
+
+// Sync re-snapshots the stats against t's current contents, exactly like
+// Reset(t), but incrementally when it can: when the stats already snapshot
+// an older generation of the same table and the edit log still covers the
+// gap, only the *columns touched by the edits* have their distributions
+// rebuilt (a column distribution is a pure function of the column's
+// contents, so rebuilding it in row order reproduces the full rebuild's
+// first-observed order — the tie-break order Mode and Sample depend on).
+// Conditional distributions are invalidated wholesale and rebuilt lazily
+// per (given, target) pair on next use, as after Reset.
+//
+// The equivalence contract — after Sync(t) every query answers exactly as
+// after Reset(t), including tie-breaks and Sample draws — is fuzz-tested
+// (FuzzStatsSyncEquivalence). A log overrun, a different table, or a shape
+// change falls back to the full rebuild. The returned bool reports whether
+// the delta path was taken (false = full rebuild), for tests and
+// instrumentation.
+func (s *Stats) Sync(t *Table) bool {
+	if s.srcTbl != t || s.schema != t.Schema() ||
+		len(s.rows) != t.NumRows() || len(s.cols) != t.NumCols() {
+		s.Reset(t)
+		return false
+	}
+	if s.srcGen == t.Generation() {
+		return true
+	}
+	s.editBuf = s.editBuf[:0]
+	edits, ok := t.EditsSince(s.srcGen, s.editBuf)
+	s.editBuf = edits
+	if !ok {
+		s.Reset(t)
+		return false
+	}
+	if cap(s.colTouched) >= len(s.cols) {
+		s.colTouched = s.colTouched[:len(s.cols)]
+	} else {
+		s.colTouched = make([]bool, len(s.cols))
+	}
+	s.colList = s.colList[:0]
+	for _, e := range edits {
+		if !s.colTouched[e.Col] {
+			s.colTouched[e.Col] = true
+			s.colList = append(s.colList, e.Col)
+		}
+		s.rows[e.Row][e.Col] = t.Get(e.Row, e.Col)
+	}
+	for _, j := range s.colList {
+		s.colTouched[j] = false
+		d := s.cols[j]
+		d.Reset()
+		for i := 0; i < t.NumRows(); i++ {
+			d.Observe(t.Get(i, j))
+		}
+	}
+	if len(edits) > 0 {
+		// Conditional caches may involve an untouched pair, but epochs are
+		// global; invalidate wholesale and let Conditional rebuild lazily.
+		s.epoch++
+	}
+	s.srcGen = t.Generation()
+	return true
 }
 
 // Column returns the distribution of column j.

@@ -106,6 +106,13 @@ func (t *Table) invalidateEdits() {
 // (ring eviction) or a structural change happened since; callers must then
 // rebuild from scratch. A true result with an empty slice means the table
 // is unchanged.
+//
+// Cost is O(log window + |edits returned|): retained entries carry
+// strictly increasing generations in ring order, so the first entry past
+// gen is found by binary search instead of scanning the whole ring —
+// incremental consumers (scan indexes, live violation lists, statistics
+// syncs) typically ask for a handful of edits out of a full ring on every
+// evaluation.
 func (t *Table) EditsSince(gen uint64, buf []CellEdit) ([]CellEdit, bool) {
 	if gen < t.minDeltaGen {
 		return buf, false
@@ -118,11 +125,18 @@ func (t *Table) EditsSince(gen uint64, buf []CellEdit) ([]CellEdit, bool) {
 	if start < 0 {
 		start += len(t.edits)
 	}
-	for i := 0; i < t.editLen; i++ {
-		e := t.edits[(start+i)%len(t.edits)]
-		if e.Gen > gen {
-			buf = append(buf, e)
+	// Binary search the smallest i with edits[(start+i)%len].Gen > gen.
+	lo, hi := 0, t.editLen
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.edits[(start+mid)%len(t.edits)].Gen > gen {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
+	}
+	for i := lo; i < t.editLen; i++ {
+		buf = append(buf, t.edits[(start+i)%len(t.edits)])
 	}
 	return buf, true
 }
