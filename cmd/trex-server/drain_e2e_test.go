@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServer boots the built binary with the given extra flags and waits
+// for the listener; the returned stop function force-kills it.
+func startServer(t *testing.T, bin, addr string, extra ...string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	args := append([]string{"-addr", addr, "-workers", "2"}, extra...)
+	cmd := exec.Command(bin, args...)
+	var output bytes.Buffer
+	cmd.Stdout = &output
+	cmd.Stderr = &output
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	for i := 0; i < 100; i++ {
+		if resp, err := client.Get("http://" + addr + "/api/algorithms"); err == nil {
+			resp.Body.Close()
+			return cmd, &output
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatalf("server never came up:\n%s", output.String())
+	return nil, nil
+}
+
+// stopTERM sends SIGTERM and asserts a clean exit within the drain window.
+func stopTERM(t *testing.T, cmd *exec.Cmd, output *bytes.Buffer) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGTERM: %v\n%s", err, output.String())
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+type sessionDoc struct {
+	ID    string `json:"id"`
+	Table struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	} `json:"table"`
+	DCs     []string `json:"dcs"`
+	History []string `json:"history"`
+}
+
+// TestE2ESIGTERMDrainAndRestore is the kill -TERM acceptance test: a
+// loaded server receives SIGTERM, exits 0 after snapshotting its sessions
+// to the spool, and a restarted server answers for those sessions
+// bit-identically — table, constraints and history all survive.
+func TestE2ESIGTERMDrainAndRestore(t *testing.T) {
+	bin := buildTrexServer(t)
+	addr := freeAddr(t)
+	spool := t.TempDir()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	cmd, output := startServer(t, bin, addr, "-spool", spool)
+	defer cmd.Process.Kill()
+	base := "http://" + addr
+
+	// Load it: a session with an edit and a computed explanation.
+	csv, dcs := laligaCSV(t)
+	var created sessionDoc
+	postJSON(t, client, base+"/api/session", map[string]string{
+		"csv": csv, "dcs": dcs, "algorithm": "algorithm1",
+	}, &created)
+	var afterEdit sessionDoc
+	postJSON(t, client, base+"/api/session/"+created.ID+"/edit", map[string]string{
+		"setCell": "t1[City]", "value": "Sevilla",
+	}, &afterEdit)
+	if len(afterEdit.History) == 0 {
+		t.Fatalf("edit left no history: %+v", afterEdit)
+	}
+	var exp struct {
+		Entries []struct{ Name string } `json:"entries"`
+	}
+	postJSON(t, client, base+"/api/session/"+created.ID+"/explain", map[string]any{
+		"cell": "t5[Country]", "kind": "constraints",
+	}, &exp)
+	if len(exp.Entries) == 0 {
+		t.Fatal("no explanation before drain")
+	}
+
+	stopTERM(t, cmd, output)
+	if _, err := os.Stat(filepath.Join(spool, created.ID+".json")); err != nil {
+		t.Fatalf("drain left no spool snapshot: %v\n%s", err, output.String())
+	}
+
+	// Restart on the same spool: the session must come back bit-identically.
+	cmd2, output2 := startServer(t, bin, addr, "-spool", spool)
+	defer cmd2.Process.Kill()
+	resp, err := client.Get(base + "/api/session/" + created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored sessionDoc
+	decodeJSON(t, resp, &restored)
+	if !reflect.DeepEqual(restored.Table, afterEdit.Table) {
+		t.Fatalf("restored table differs:\n%+v\nvs\n%+v", restored.Table, afterEdit.Table)
+	}
+	if !reflect.DeepEqual(restored.DCs, afterEdit.DCs) {
+		t.Fatalf("restored DCs differ: %v vs %v", restored.DCs, afterEdit.DCs)
+	}
+	if !reflect.DeepEqual(restored.History, afterEdit.History) {
+		t.Fatalf("restored history differs: %v vs %v", restored.History, afterEdit.History)
+	}
+
+	// The restored session still computes: same explanation ranking.
+	var exp2 struct {
+		Entries []struct{ Name string } `json:"entries"`
+	}
+	postJSON(t, client, base+"/api/session/"+created.ID+"/explain", map[string]any{
+		"cell": "t5[Country]", "kind": "constraints",
+	}, &exp2)
+	if len(exp2.Entries) == 0 || exp2.Entries[0].Name != exp.Entries[0].Name {
+		t.Fatalf("restored explanation differs: %+v vs %+v", exp2.Entries, exp.Entries)
+	}
+
+	// New sessions must not collide with restored IDs.
+	var fresh sessionDoc
+	postJSON(t, client, base+"/api/session", map[string]string{
+		"csv": csv, "dcs": dcs, "algorithm": "algorithm1",
+	}, &fresh)
+	if fresh.ID == created.ID {
+		t.Fatalf("restarted server reissued session id %s", fresh.ID)
+	}
+
+	stopTERM(t, cmd2, output2)
+}

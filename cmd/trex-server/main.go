@@ -8,6 +8,12 @@
 //
 // then open http://localhost:8080/. The page is pre-filled with the
 // paper's La Liga example.
+//
+// SIGINT and SIGTERM both trigger a graceful drain: the listener stops
+// accepting, in-flight requests finish (or are cancelled at the drain
+// deadline), every live session is snapshotted to the spool directory
+// when one is configured, and the process exits 0. A restart with the
+// same -spool flag restores those sessions on their next request.
 package main
 
 import (
@@ -16,23 +22,42 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "per-session engine parallelism (sampling fan-out and parallel repair passes); 0 = GOMAXPROCS")
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trex-server:", err)
+		os.Exit(1)
+	}
+}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+// run carries the whole lifecycle so every exit path flows through one
+// error return — the listen-error path included — instead of scattering
+// os.Exit calls that would skip deferred cleanup.
+func run(args []string) error {
+	fs := flag.NewFlagSet("trex-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "per-session engine parallelism (sampling fan-out and parallel repair passes); 0 = GOMAXPROCS")
+	spool := fs.String("spool", "", "session spool directory; enables eviction and drain/restore survival")
+	maxLive := fs.Int("max-live-sessions", 0, "in-memory session budget before LRU eviction to the spool; 0 = unlimited")
+	maxInFlight := fs.Int("max-in-flight", 0, "concurrently executing explain/repair requests before 429; 0 = default")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request computation deadline for explain/repair; 0 = none")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	srv := server.New()
 	srv.Workers = *workers
+	srv.SpoolDir = *spool
+	srv.MaxLiveSessions = *maxLive
+	srv.MaxInFlight = *maxInFlight
+	srv.RequestTimeout = *reqTimeout
 	fmt.Printf("T-REx demo listening on %s\n", *addr)
-	if err := srv.ListenAndServe(ctx, *addr); err != nil {
-		fmt.Fprintln(os.Stderr, "trex-server:", err)
-		os.Exit(1)
-	}
+	return srv.ListenAndServe(ctx, *addr)
 }

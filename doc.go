@@ -173,7 +173,60 @@
 //     state of the next repair pays per-edit maintenance instead of
 //     per-bucket-squared rescans.
 //
-// Layout:
+// # Fault model and degradation ladder
+//
+// The robustness layer assumes three failure classes — abandoned or
+// over-deadline requests, panicking black boxes, and memory/process
+// pressure — and answers each one rung down a documented ladder, never
+// with stale or torn results:
+//
+//   - Cooperative cancellation: every explain and repair entry point takes
+//     a context.Context, polled at deterministic checkpoints (sample
+//     boundaries in the shapley fan-out, bucket boundaries in the parallel
+//     repair passes, coalition boundaries in exact enumeration). The hard
+//     invariant is no partial-work poisoning: each core.Explainer entry
+//     point runs inside a cache transaction (exec.Txn) that stages every
+//     coalition value and repair diff it computes; the transaction commits
+//     on success and is dropped on error or panic, so an aborted run
+//     leaves the shared coalition cache, the repair-target cache, pooled
+//     statistics and the live violation index bit-identical to never
+//     having started (abort-then-rerun golden tests enforce this at every
+//     cancellation site, fingerprinting cache state before and after).
+//     Commits carry their original generation stamps, so a transaction
+//     that outlived an edit publishes nothing.
+//   - Admission control (internal/server): heavy endpoints pass a bounded
+//     in-flight semaphore; a saturated server answers 429 with Retry-After
+//     instead of queueing unboundedly. Per-request deadlines turn
+//     over-budget computations into 408 after cancelling the underlying
+//     work (the workers demonstrably return to the pool). Request bodies
+//     are capped with http.MaxBytesReader and the listener carries
+//     read/header/idle timeouts, so no single client can pin a connection.
+//   - Panic quarantine: a panic inside a session-scoped request is
+//     recovered at the handler, the request answers 409 with the panic
+//     diagnostics, and the session is fenced — every later request to it
+//     answers 409 until restart, because the panic may have torn black-box
+//     scratch state. Other sessions and the process are unaffected; a
+//     panic outside any session scope answers 500.
+//   - Session survival: session state (table cells as kind-tagged values —
+//     floats as IEEE-754 bit patterns so NaN and String("5")/Int(5)
+//     distinctions survive — plus the DC set, edit history and worker
+//     budget) snapshots to a versioned JSON spool file (SessionSnapshot,
+//     snapshotVersion guards the format). An LRU with a live-session
+//     budget snapshots-then-evicts idle sessions and transparently
+//     restores on next touch; SIGTERM drains in-flight requests within a
+//     deadline, snapshots every live session, and exits 0, so a restart
+//     with the same spool directory answers bit-identically to the
+//     process that died. Spool writes are atomic (temp file + rename); a
+//     failed snapshot keeps the session live rather than losing it.
+//   - Fault injection (internal/faults): the chaos suite drives all of the
+//     above through deterministic seeded schedules that fire cancellation,
+//     panics, slow workers, I/O errors and edit-log overruns at named
+//     sites (worker start, bucket partition, cache store, edit replay,
+//     snapshot write). Equal seeds fire equal (site, ordinal, kind)
+//     triples on every platform, so every chaos failure reproduces from
+//     its seed alone.
+//
+// # Layout
 //
 //	internal/table      typed in-memory tables, CSV, statistics, diffs
 //	internal/exec       session engine: shared coalition cache, worker pool

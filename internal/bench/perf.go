@@ -1,19 +1,27 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dc"
 	"repro/internal/exec"
 	"repro/internal/repair"
+	"repro/internal/server"
 	"repro/internal/shapley"
 	"repro/internal/table"
 )
@@ -32,6 +40,12 @@ type PerfResult struct {
 	BytesPerOp int64 `json:"bytes_per_op"`
 	// N is the iteration count the timing was measured over.
 	N int `json:"n"`
+	// P99Ns is the 99th-percentile request latency in nanoseconds; only
+	// the load scenarios (server-saturation/*) report it.
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	// RejectionRate is the fraction of requests shed with 429 by admission
+	// control; only the load scenarios report it.
+	RejectionRate float64 `json:"rejection_rate,omitempty"`
 }
 
 // PerfReport is the top-level BENCH_<n>.json document.
@@ -45,10 +59,13 @@ type PerfReport struct {
 	Results []PerfResult `json:"results"`
 }
 
-// perfScenario is one registered micro-benchmark.
+// perfScenario is one registered micro-benchmark. Either bench runs under
+// testing.Benchmark, or custom produces the row directly (load scenarios
+// that measure latency distributions rather than tight loops).
 type perfScenario struct {
-	name  string
-	bench func(b *testing.B)
+	name   string
+	bench  func(b *testing.B)
+	custom func() (PerfResult, error)
 }
 
 // EvalHarnessGame builds the canonical rows×3 toy cell game (one FD, one
@@ -87,7 +104,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 		coalition[i] = i%2 == 0
 	}
 	out := []perfScenario{
-		{"cellgame-eval/clone/rows=32", func(b *testing.B) {
+		{name: "cellgame-eval/clone/rows=32", bench: func(b *testing.B) {
 			legacy := harness.CloneEval()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -96,7 +113,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		{"cellgame-eval/scratch/rows=32", func(b *testing.B) {
+		{name: "cellgame-eval/scratch/rows=32", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := harness.Value(ctx, coalition); err != nil {
@@ -104,7 +121,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		{"cellgame-sampleall/clone/m=8", func(b *testing.B) {
+		{name: "cellgame-sampleall/clone/m=8", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := shapley.SampleAll(ctx, harness.CloneEval(), shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
@@ -112,7 +129,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		{"cellgame-sampleall/walk/m=8", func(b *testing.B) {
+		{name: "cellgame-sampleall/walk/m=8", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := shapley.SampleAll(ctx, harness, shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
@@ -158,7 +175,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 		repairCoalition[i] = i%3 != 0
 	}
 	out = append(out,
-		perfScenario{"evalrepair/algorithm1-laliga/clone", func(b *testing.B) {
+		perfScenario{name: "evalrepair/algorithm1-laliga/clone", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := cloneGame.Value(ctx, repairCoalition); err != nil {
@@ -166,7 +183,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"evalrepair/algorithm1-laliga/scratch", func(b *testing.B) {
+		perfScenario{name: "evalrepair/algorithm1-laliga/scratch", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := scratchGame.Value(ctx, repairCoalition); err != nil {
@@ -174,7 +191,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"cellgame-sampleall/algorithm1-laliga/clone/m=8", func(b *testing.B) {
+		perfScenario{name: "cellgame-sampleall/algorithm1-laliga/clone/m=8", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := shapley.SampleAll(ctx, cloneGame.CloneEval(), shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
@@ -182,7 +199,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"cellgame-sampleall/algorithm1-laliga/walk/m=8", func(b *testing.B) {
+		perfScenario{name: "cellgame-sampleall/algorithm1-laliga/walk/m=8", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := shapley.SampleAll(ctx, scratchGame, shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
@@ -199,7 +216,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 	}
 	groupGame := groupExp.NewGroupGame(ll.CellOfInterest, target, core.ReplaceWithNull, groupExp.RowGroups(ll.CellOfInterest))
 	out = append(out,
-		perfScenario{"groupgame-sampleall/algorithm1-laliga/clone/m=8", func(b *testing.B) {
+		perfScenario{name: "groupgame-sampleall/algorithm1-laliga/clone/m=8", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := shapley.SampleAll(ctx, groupGame.CloneEval(), shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
@@ -207,7 +224,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"groupgame-sampleall/algorithm1-laliga/walk/m=8", func(b *testing.B) {
+		perfScenario{name: "groupgame-sampleall/algorithm1-laliga/walk/m=8", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := shapley.SampleAll(ctx, groupGame, shapley.Options{Samples: 8, Seed: int64(i), Workers: 1}); err != nil {
@@ -221,7 +238,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 	soccer := data.GenerateSoccer(data.SoccerConfig{Leagues: 4, TeamsPerLeague: 32, Seed: 11})
 	fd := dc.MustParse("C1: !(t1.League = t2.League & t1.Country != t2.Country)")
 	out = append(out,
-		perfScenario{"violations/indexed", func(b *testing.B) {
+		perfScenario{name: "violations/indexed", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := fd.ViolationsIndexed(soccer); err != nil {
@@ -229,7 +246,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"violations/scan-cache", func(b *testing.B) {
+		perfScenario{name: "violations/scan-cache", bench: func(b *testing.B) {
 			ix := dc.NewScanIndex()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -248,7 +265,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 	countryCol := editTable.Schema().MustIndex("Country")
 	editValues := [2]table.Value{table.String("Spain"), table.String("Italy")}
 	out = append(out,
-		perfScenario{"violations/edit/rebuild", func(b *testing.B) {
+		perfScenario{name: "violations/edit/rebuild", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				editTable.Set(1, countryCol, editValues[i%2])
@@ -257,7 +274,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"violations/edit/delta", func(b *testing.B) {
+		perfScenario{name: "violations/edit/delta", bench: func(b *testing.B) {
 			ix := dc.NewScanIndex()
 			if _, err := fd.ViolationsCached(editTable, ix); err != nil {
 				b.Fatal(err)
@@ -275,7 +292,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 		// re-derives one row's pairs instead of re-checking every
 		// intra-bucket pair. This row is the PR 3 headline against
 		// violations/edit/delta.
-		perfScenario{"violations/edit/live", func(b *testing.B) {
+		perfScenario{name: "violations/edit/live", bench: func(b *testing.B) {
 			live := dc.NewLiveViolationSet()
 			if _, err := live.Violations(fd, editTable); err != nil {
 				b.Fatal(err)
@@ -291,7 +308,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 		// Point queries after an edit: the session workload (edit one cell,
 		// re-check one row). A fresh index pays a full O(rows) bucket build
 		// per query; the pooled index replays one edit.
-		perfScenario{"rowcheck/edit/rebuild", func(b *testing.B) {
+		perfScenario{name: "rowcheck/edit/rebuild", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				editTable.Set(1, countryCol, editValues[i%2])
@@ -300,7 +317,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"rowcheck/edit/delta", func(b *testing.B) {
+		perfScenario{name: "rowcheck/edit/delta", bench: func(b *testing.B) {
 			ix := dc.NewScanIndex()
 			if _, err := fd.ViolatesRowCached(editTable, 1, ix); err != nil {
 				b.Fatal(err)
@@ -327,7 +344,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 		return big, dc.MustParse("C1: !(t1.League = t2.League & t1.Country != t2.Country)")
 	}
 	out = append(out,
-		perfScenario{"violations/scan-cache/large", func(b *testing.B) {
+		perfScenario{name: "violations/scan-cache/large", bench: func(b *testing.B) {
 			big, bigFD := bigSoccer()
 			ix := dc.NewScanIndex()
 			b.ReportAllocs()
@@ -338,7 +355,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"violations/live/derive/large", func(b *testing.B) {
+		perfScenario{name: "violations/live/derive/large", bench: func(b *testing.B) {
 			big, bigFD := bigSoccer()
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -349,7 +366,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"violations/edit/live/large", func(b *testing.B) {
+		perfScenario{name: "violations/edit/live/large", bench: func(b *testing.B) {
 			big, bigFD := bigSoccer()
 			live := dc.NewLiveViolationSet()
 			if _, err := live.Violations(bigFD, big); err != nil {
@@ -369,7 +386,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 
 	// The >64-player coalition cache hit: the packed []uint64 key replacing
 	// the old string fallback (which allocated a key string per lookup).
-	out = append(out, perfScenario{"cache/wide/hit", func(b *testing.B) {
+	out = append(out, perfScenario{name: "cache/wide/hit", bench: func(b *testing.B) {
 		n := 96
 		cached := shapley.NewCached(shapley.GameFunc{N: n, Fn: func(_ context.Context, c []bool) (float64, error) {
 			s := 0.0
@@ -403,7 +420,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 	// it, the first call per generation repairs and the rest replay the
 	// memoized clean-table diff.
 	out = append(out,
-		perfScenario{"target/laliga/repeat", func(b *testing.B) {
+		perfScenario{name: "target/laliga/repeat", bench: func(b *testing.B) {
 			ll, alg := dataLaLiga()
 			sess, err := core.NewSession(alg, ll.DCs, ll.Dirty)
 			if err != nil {
@@ -421,7 +438,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 				}
 			}
 		}},
-		perfScenario{"target/laliga/explain-after-edit", func(b *testing.B) {
+		perfScenario{name: "target/laliga/explain-after-edit", bench: func(b *testing.B) {
 			ll, alg := dataLaLiga()
 			sess, err := core.NewSession(alg, ll.DCs, ll.Dirty)
 			if err != nil {
@@ -452,7 +469,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 	// ranking warms the session, every further constraint screen (repeat
 	// ranking, Banzhaf, interactions) enumerates against pure cache hits —
 	// only the Target() repair re-runs.
-	out = append(out, perfScenario{"explain-constraints/laliga/shared-cache", func(b *testing.B) {
+	out = append(out, perfScenario{name: "explain-constraints/laliga/shared-cache", bench: func(b *testing.B) {
 		ll, alg := dataLaLiga()
 		sess, err := core.NewSession(alg, ll.DCs, ll.Dirty)
 		if err != nil {
@@ -477,7 +494,7 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, perfScenario{"explain-cells/laliga/m=64", func(b *testing.B) {
+		out = append(out, perfScenario{name: "explain-cells/laliga/m=64", bench: func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exp.ExplainCells(ctx, ll.CellOfInterest, core.CellExplainOptions{Samples: 64, Seed: int64(i), Workers: 1}); err != nil {
@@ -515,11 +532,124 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 			}
 		}
 		out = append(out,
-			perfScenario{"explain-cells/soccer48/m=32/workers=1", largeExplain(1)},
-			perfScenario{"explain-cells/soccer48/m=32/workers=auto", largeExplain(workers)},
+			perfScenario{name: "explain-cells/soccer48/m=32/workers=1", bench: largeExplain(1)},
+			perfScenario{name: "explain-cells/soccer48/m=32/workers=auto", bench: largeExplain(workers)},
 		)
+
+		// Saturation: concurrent explain load against a bounded in-flight
+		// budget. Reported alongside ns/op (mean accepted latency) are the
+		// p99 accepted latency and the fraction of requests admission
+		// control shed with 429 — the load-shedding half of the robustness
+		// contract, measured rather than assumed.
+		out = append(out, perfScenario{
+			name:   "server-saturation/laliga/inflight=2/clients=8",
+			custom: func() (PerfResult, error) { return saturationScenario(2, 8, 4) },
+		})
 	}
 	return out, nil
+}
+
+// saturationScenario drives clients×perClient explain requests at a
+// server whose admission bound is maxInFlight, and summarizes the latency
+// distribution of accepted requests plus the rejection rate.
+func saturationScenario(maxInFlight, clients, perClient int) (PerfResult, error) {
+	// Heavy per-request sampling budgets keep several requests genuinely
+	// in flight even on a single-core runner — light requests serialize on
+	// the scheduler before admission ever sees contention.
+	const samples = 2000
+	srv := server.New()
+	srv.Workers = 1
+	srv.MaxInFlight = maxInFlight
+	srv.ExplainSamples = samples
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ll, _ := dataLaLiga()
+	var csv bytes.Buffer
+	if err := ll.Dirty.WriteCSV(&csv); err != nil {
+		return PerfResult{}, err
+	}
+	var dcLines []string
+	for _, c := range ll.DCs {
+		dcLines = append(dcLines, c.String())
+	}
+	body, _ := json.Marshal(map[string]string{
+		"csv": csv.String(), "dcs": strings.Join(dcLines, "\n"), "algorithm": "algorithm1",
+	})
+	resp, err := ts.Client().Post(ts.URL+"/api/session", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return PerfResult{}, err
+	}
+	var sess struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sess)
+	resp.Body.Close()
+	if err != nil || sess.ID == "" {
+		return PerfResult{}, fmt.Errorf("creating saturation session: %v", err)
+	}
+	cellName := ll.Dirty.RefName(ll.CellOfInterest)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rejected  int
+		firstErr  error
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				req, _ := json.Marshal(map[string]any{
+					"cell": cellName, "kind": "cells", "samples": samples, "seed": c*perClient + i,
+				})
+				start := time.Now()
+				resp, err := ts.Client().Post(ts.URL+"/api/session/"+sess.ID+"/explain", "application/json", bytes.NewReader(req))
+				elapsed := time.Since(start)
+				mu.Lock()
+				switch {
+				case err != nil:
+					if firstErr == nil {
+						firstErr = err
+					}
+				case resp.StatusCode == http.StatusOK:
+					latencies = append(latencies, elapsed)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected++
+				default:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("explain status %d", resp.StatusCode)
+					}
+				}
+				mu.Unlock()
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return PerfResult{}, firstErr
+	}
+	if len(latencies) == 0 {
+		return PerfResult{}, fmt.Errorf("saturation run: every request rejected")
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var total time.Duration
+	for _, l := range latencies {
+		total += l
+	}
+	p99 := latencies[(len(latencies)*99+99)/100-1]
+	return PerfResult{
+		NsPerOp:       float64(total.Nanoseconds()) / float64(len(latencies)),
+		N:             len(latencies),
+		P99Ns:         float64(p99.Nanoseconds()),
+		RejectionRate: float64(rejected) / float64(len(latencies)+rejected),
+	}, nil
 }
 
 // RunPerf executes every registered perf scenario via testing.Benchmark,
@@ -536,6 +666,17 @@ func RunPerf(w io.Writer, short bool, workers int) (*PerfReport, error) {
 		// Start every scenario from a collected heap so one scenario's
 		// garbage does not skew the GC pacing of the next.
 		runtime.GC()
+		if s.custom != nil {
+			row, err := s.custom()
+			if err != nil {
+				return nil, fmt.Errorf("bench: perf scenario %s: %w", s.name, err)
+			}
+			row.Name = s.name
+			report.Results = append(report.Results, row)
+			fmt.Fprintf(w, "%-36s %14.1f ns/op  p99 %.1f ms  rejected %.0f%%\n",
+				row.Name, row.NsPerOp, row.P99Ns/1e6, row.RejectionRate*100)
+			continue
+		}
 		r := testing.Benchmark(s.bench)
 		if r.N == 0 {
 			// testing.Benchmark swallows b.Fatal into a zero result; a zero

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// chaosSeeds resolves the schedule matrix: the CHAOS_SEEDS env var (a
+// comma-separated int64 list, set by the CI chaos job's matrix) or a
+// small built-in default.
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if env := os.Getenv("CHAOS_SEEDS"); env != "" {
+		var seeds []int64
+		for _, f := range strings.Split(env, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				t.Fatalf("CHAOS_SEEDS: %v", err)
+			}
+			seeds = append(seeds, n)
+		}
+		return seeds
+	}
+	if testing.Short() {
+		return []int64{1, 2}
+	}
+	return []int64{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+// assertNoGoroutineLeak fails if the goroutine count has not settled back
+// near the baseline — the before/after fence the chaos and server suites
+// run under.
+func assertNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, n, buf)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosSeededSchedules drives the explain entry points through seeded
+// fault schedules — cancellation, panics, slow workers and overruns at
+// every named site — and holds the suite's two invariants against each:
+// a run that fails leaves the session's shared state bit-identical to the
+// run never having started, and a clean rerun afterwards answers
+// bit-identically to a never-faulted session. Equal seeds fire equal
+// schedules, so any failure here reproduces from its seed alone.
+func TestChaosSeededSchedules(t *testing.T) {
+	ctx := context.Background()
+	goroutinesBefore := runtime.NumGoroutine()
+
+	refSess, cell := newRobustnessSession(t)
+	wantCells, err := refSess.Explainer().ExplainCells(ctx, cell, cellOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantConstraints, err := refSess.Explainer().ExplainConstraints(ctx, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sites := []faults.Site{
+		faults.SiteWorkerStart, faults.SiteCacheStore,
+		faults.SiteBucketPartition, faults.SiteEditReplay,
+	}
+	kinds := []faults.Kind{
+		faults.KindCancel, faults.KindPanic, faults.KindSlow, faults.KindOverrun,
+	}
+
+	// run executes one explain under the active schedule, converting a
+	// contained panic into an error so the pristine-state check applies
+	// to both failure shapes.
+	run := func(f func() error) (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("panic: %v", rec)
+			}
+		}()
+		return f()
+	}
+
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			sess, cell := newRobustnessSession(t)
+			pre := captureState(sess)
+
+			cctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			inj := faults.NewInjector(faults.SeededRules(seed, 8, sites, kinds)...).OnCancel(cancel)
+			deactivate := faults.Activate(inj)
+
+			cellsErr := run(func() error {
+				_, err := sess.Explainer().ExplainCells(cctx, cell, cellOpts())
+				return err
+			})
+			if cellsErr != nil {
+				if post := captureState(sess); post != pre {
+					deactivate()
+					t.Fatalf("failed explain left partial state: pre=%+v post=%+v (err: %v)", pre, post, cellsErr)
+				}
+			}
+			mid := captureState(sess)
+			constraintsErr := run(func() error {
+				_, err := sess.Explainer().ExplainConstraints(cctx, cell)
+				return err
+			})
+			deactivate()
+			if constraintsErr != nil {
+				if post := captureState(sess); post != mid {
+					t.Fatalf("failed constraint explain left partial state: mid=%+v post=%+v (err: %v)", mid, post, constraintsErr)
+				}
+			}
+			t.Logf("seed %d: %d faults fired, cells=%v constraints=%v", seed, len(inj.Fired()), cellsErr, constraintsErr)
+
+			// Whatever the schedule did, a clean rerun is golden.
+			gotCells, err := sess.Explainer().ExplainCells(ctx, cell, cellOpts())
+			if err != nil {
+				t.Fatalf("clean rerun after chaos: %v", err)
+			}
+			sameReports(t, "chaos rerun cells", gotCells, wantCells)
+			gotConstraints, err := sess.Explainer().ExplainConstraints(ctx, cell)
+			if err != nil {
+				t.Fatalf("clean constraint rerun after chaos: %v", err)
+			}
+			sameReports(t, "chaos rerun constraints", gotConstraints, wantConstraints)
+		})
+	}
+
+	assertNoGoroutineLeak(t, goroutinesBefore)
+}

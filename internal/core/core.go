@@ -56,6 +56,87 @@ type Explainer struct {
 	// while Alg and DCs stay untouched — an Explainer's inputs are fixed
 	// after construction; build a new Explainer instead of mutating one.
 	repairDescMemo string
+
+	// txn is the cache transaction of the public entry point currently
+	// running on this explainer (nil between calls, or without an engine).
+	// Every store into the session's shared caches — coalition values,
+	// repair-target diffs — is staged here and only published when the
+	// entry point returns without error; cancellation, deadline expiry and
+	// panics abort the staging, leaving the shared caches bit-identical to
+	// the call never having started (the no-partial-work-poisoning
+	// invariant; see exec.Txn and doc.go). An Explainer is not safe for
+	// concurrent use — concurrent explains each take their own Explainer
+	// from Session.Explainer(), so each run owns its transaction.
+	//
+	// The txn is created lazily by liveTxn at the first staged store:
+	// entryOpen alone marks a running entry point, so pure cache-hit reads
+	// (Target on a warm repair cache, the edit loop's screen refreshes)
+	// never allocate a transaction at all.
+	txn       *exec.Txn
+	entryOpen bool
+}
+
+// begin opens the entry point's cache transaction scope; the bracket is
+// `defer e.finishEntry(e.begin(), &err)`. Nested entry points (an explain
+// resolving its target through Repair) join the outer transaction — begin
+// reports false and their finishEntry is a no-op — so one user-visible
+// call commits or aborts atomically. The bracket is deliberately a direct
+// method defer, not a returned closure: the hot cache-hit entry points
+// (Target on the edit loop's screen refreshes) must not pay a closure
+// allocation or force the named error result to escape.
+func (e *Explainer) begin() bool {
+	if e.Engine == nil || e.entryOpen {
+		return false
+	}
+	e.entryOpen = true
+	return true
+}
+
+// finishEntry closes the entry point begin opened: abort the transaction
+// on error and on panic (re-raising for per-request recovery upstream),
+// commit otherwise. When owned is false this frame joined an outer entry
+// point and must do nothing — in particular it must not recover, a panic
+// belongs to the outermost frame. Commit and Abort are nil-safe, so an
+// entry point that never staged anything (liveTxn never called) finishes
+// without touching the engine.
+func (e *Explainer) finishEntry(owned bool, errp *error) {
+	if !owned {
+		return
+	}
+	txn := e.txn
+	e.txn, e.entryOpen = nil, false
+	if r := recover(); r != nil {
+		txn.Abort()
+		panic(r)
+	}
+	if errp != nil && *errp != nil {
+		txn.Abort()
+		return
+	}
+	txn.Commit()
+}
+
+// liveTxn returns the open entry point's cache transaction, creating it on
+// first use. Store paths (bind, cachedGame, Repair's diff store) call
+// this; read-only paths consult e.txn directly — a nil txn falls through
+// to the shared caches, so lookups before the first store are served
+// exactly as they would be inside the transaction.
+func (e *Explainer) liveTxn() *exec.Txn {
+	if e.entryOpen && e.txn == nil {
+		e.txn = e.Engine.Begin()
+	}
+	return e.txn
+}
+
+// bind routes a game's shared-cache enrollment through the open
+// transaction when there is one, falling back to direct engine bindings
+// (games constructed and sampled outside any entry point keep the old
+// immediate-store behavior).
+func (e *Explainer) bind(desc string) *exec.Binding {
+	if t := e.liveTxn(); t != nil {
+		return t.Bind(desc, e.Dirty.Generation)
+	}
+	return e.Engine.Bind(desc, e.Dirty.Generation)
 }
 
 // pool returns the session worker pool (the nil serial pool without an
@@ -68,6 +149,9 @@ func (e *Explainer) pool() *exec.Pool { return e.Engine.Pool() }
 // from gameDesc so equal descriptors imply equal characteristic functions
 // at any fixed table generation.
 func (e *Explainer) cachedGame(desc string, g shapley.Game) shapley.Game {
+	if t := e.liveTxn(); t != nil {
+		return t.CachedGame(desc, e.Dirty.Generation, g)
+	}
 	return e.Engine.CachedGame(desc, e.Dirty.Generation, g)
 }
 
@@ -159,6 +243,9 @@ func (e *Explainer) repairDesc() string {
 // generation, when a session engine is wired and a previous Repair/Target
 // stored one.
 func (e *Explainer) cachedRepairDiffs() ([]table.CellDiff, bool) {
+	if e.txn != nil {
+		return e.txn.RepairLookup(e.repairDesc(), e.Dirty.Generation())
+	}
 	rc := e.Engine.RepairTargets()
 	if rc == nil {
 		return nil, false
@@ -197,13 +284,14 @@ func NewExplainer(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Table
 // a miss — and the returned "repaired cells" diff (its !SameContent
 // subset) is identical to the uncached table.Diff. SetCell invalidates by
 // generation, AddDC/RemoveDC by descriptor (Engine.InvalidateCache).
-func (e *Explainer) Repair(ctx context.Context) (*table.Table, []table.CellDiff, error) {
+func (e *Explainer) Repair(ctx context.Context) (_ *table.Table, _ []table.CellDiff, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	rc := e.Engine.RepairTargets()
 	var desc string
 	var gen uint64
 	if rc != nil {
 		desc, gen = e.repairDesc(), e.Dirty.Generation()
-		if exact, ok := rc.Lookup(desc, gen); ok {
+		if exact, ok := e.cachedRepairDiffs(); ok {
 			clean := e.Dirty.Clone()
 			for _, d := range exact {
 				clean.SetRef(d.Ref, d.Clean)
@@ -212,7 +300,6 @@ func (e *Explainer) Repair(ctx context.Context) (*table.Table, []table.CellDiff,
 		}
 	}
 	var clean *table.Table
-	var err error
 	if pr, ok := e.Alg.(repair.PartitionedRepairer); ok && e.Engine.Workers() > 1 {
 		clean, err = pr.RepairIntoParallel(ctx, e.DCs, e.Dirty, nil, e.Engine.Pool())
 	} else {
@@ -226,17 +313,23 @@ func (e *Explainer) Repair(ctx context.Context) (*table.Table, []table.CellDiff,
 	}
 	if rc != nil {
 		// One exact scan serves both outputs: the memoized diff and its
-		// !SameContent subset, which is exactly table.Diff's answer.
-		exact, err := table.DiffExact(e.Dirty, clean)
-		if err != nil {
-			return nil, nil, err
+		// !SameContent subset, which is exactly table.Diff's answer. The
+		// store is staged in the entry point's transaction when one is
+		// open, so an abort after this point unpublishes it.
+		exact, derr := table.DiffExact(e.Dirty, clean)
+		if derr != nil {
+			return nil, nil, derr
 		}
-		rc.Store(desc, gen, exact)
+		if t := e.liveTxn(); t != nil {
+			t.RepairStore(desc, gen, exact)
+		} else {
+			rc.Store(desc, gen, exact)
+		}
 		return clean, repairedSubset(exact), nil
 	}
-	diffs, err := table.Diff(e.Dirty, clean)
-	if err != nil {
-		return nil, nil, err
+	diffs, derr := table.Diff(e.Dirty, clean)
+	if derr != nil {
+		return nil, nil, derr
 	}
 	return clean, diffs, nil
 }
@@ -260,7 +353,8 @@ func repairedSubset(exact []table.CellDiff) []table.CellDiff {
 // scan of the memoized diff — no clean table is materialized at all, which
 // is what makes the repeat explain screens of the iterative loop (every
 // report kind re-resolves its target) cost per-diff instead of per-repair.
-func (e *Explainer) Target(ctx context.Context, cell table.CellRef) (table.Value, bool, error) {
+func (e *Explainer) Target(ctx context.Context, cell table.CellRef) (_ table.Value, _ bool, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	if diffs, ok := e.cachedRepairDiffs(); ok {
 		for _, d := range diffs {
 			if d.Ref == cell {
@@ -272,9 +366,9 @@ func (e *Explainer) Target(ctx context.Context, cell table.CellRef) (table.Value
 		}
 		return e.Dirty.GetRef(cell), false, nil
 	}
-	clean, _, err := e.Repair(ctx)
-	if err != nil {
-		return table.Null(), false, err
+	clean, _, rerr := e.Repair(ctx)
+	if rerr != nil {
+		return table.Null(), false, rerr
 	}
 	target := clean.GetRef(cell)
 	repaired := !e.Dirty.GetRef(cell).SameContent(target)
@@ -490,7 +584,7 @@ func (g *CellGame) BindSharedCache() {
 	desc := g.exp.gameDesc("cell-game-null",
 		"cell="+refDesc(g.cell), "target="+targetDesc(g.target),
 		"players="+playersDesc(g.exp.Dirty, g.players))
-	g.shared = g.exp.Engine.Bind(desc, g.exp.Dirty.Generation)
+	g.shared = g.exp.bind(desc)
 }
 
 // Players returns the cells acting as players, in player order.

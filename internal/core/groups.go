@@ -236,7 +236,7 @@ func (g *GroupGame) BindSharedCache() {
 	desc := g.exp.gameDesc("group-game-null",
 		"cell="+refDesc(g.cell), "target="+targetDesc(g.target),
 		"groups="+groupsDesc(g.exp.Dirty, g.groups))
-	g.shared = g.exp.Engine.Bind(desc, g.exp.Dirty.Generation)
+	g.shared = g.exp.bind(desc)
 }
 
 // Groups returns the game's (cleaned) groups, in player order.
@@ -537,7 +537,8 @@ func (e *Explainer) ExplainCellGroups(ctx context.Context, cell table.CellRef, g
 // sampled fallback: exact enumeration up to MaxExactGroups, permutation
 // sampling (honouring opts) beyond it. It is the single place the
 // exact-vs-sampled decision lives.
-func (e *Explainer) ExplainCellGroupsAuto(ctx context.Context, cell table.CellRef, groups []CellGroup, opts CellExplainOptions) (*Report, error) {
+func (e *Explainer) ExplainCellGroupsAuto(ctx context.Context, cell table.CellRef, groups []CellGroup, opts CellExplainOptions) (_ *Report, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	if len(groups) > MaxExactGroups {
 		return e.ExplainCellGroupsSampled(ctx, cell, groups, opts)
 	}
@@ -573,7 +574,8 @@ func (e *Explainer) ExplainCellGroupsAuto(ctx context.Context, cell table.CellRe
 // ExplainCellGroupsSampled estimates group Shapley values by permutation
 // sampling (SampleAll over the GroupGame walk) — the group analogue of
 // ExplainCells, for group counts where exact enumeration is infeasible.
-func (e *Explainer) ExplainCellGroupsSampled(ctx context.Context, cell table.CellRef, groups []CellGroup, opts CellExplainOptions) (*Report, error) {
+func (e *Explainer) ExplainCellGroupsSampled(ctx context.Context, cell table.CellRef, groups []CellGroup, opts CellExplainOptions) (_ *Report, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	opts = opts.withDefaults()
 	target, repaired, err := e.Target(ctx, cell)
 	if err != nil {

@@ -65,7 +65,8 @@ func (r *InteractionReport) Find(a, b string) (InteractionEntry, bool) {
 // ExplainConstraintInteractions computes the exact pairwise Shapley
 // interaction indices of the constraints for the repair of the cell of
 // interest.
-func (e *Explainer) ExplainConstraintInteractions(ctx context.Context, cell table.CellRef) (*InteractionReport, error) {
+func (e *Explainer) ExplainConstraintInteractions(ctx context.Context, cell table.CellRef) (_ *InteractionReport, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	target, repaired, err := e.Target(ctx, cell)
 	if err != nil {
 		return nil, err
@@ -114,7 +115,8 @@ func abs(x float64) float64 {
 // ExplainConstraints: same game, equal coalition weighting instead of
 // size-based weighting. Rankings usually agree; comparing the two is a
 // cheap robustness check on an explanation.
-func (e *Explainer) ExplainConstraintsBanzhaf(ctx context.Context, cell table.CellRef) (*Report, error) {
+func (e *Explainer) ExplainConstraintsBanzhaf(ctx context.Context, cell table.CellRef) (_ *Report, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	target, repaired, err := e.Target(ctx, cell)
 	if err != nil {
 		return nil, err

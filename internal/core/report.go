@@ -86,7 +86,8 @@ func sortEntries(entries []Entry) {
 // for the repair of the cell of interest and returns the ranking
 // (Figure 1's numbers). The black box is memoized on the coalition, so the
 // 2^n enumeration costs at most 2^n repair runs.
-func (e *Explainer) ExplainConstraints(ctx context.Context, cell table.CellRef) (*Report, error) {
+func (e *Explainer) ExplainConstraints(ctx context.Context, cell table.CellRef) (_ *Report, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	target, repaired, err := e.Target(ctx, cell)
 	if err != nil {
 		return nil, err
@@ -140,7 +141,8 @@ func (o CellExplainOptions) withDefaults() CellExplainOptions {
 // ExplainCells estimates the Shapley value of every table cell for the
 // repair of the cell of interest by permutation sampling and returns the
 // ranking (the cell half of the explanation screen).
-func (e *Explainer) ExplainCells(ctx context.Context, cell table.CellRef, opts CellExplainOptions) (*Report, error) {
+func (e *Explainer) ExplainCells(ctx context.Context, cell table.CellRef, opts CellExplainOptions) (_ *Report, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	opts = opts.withDefaults()
 	target, repaired, err := e.Target(ctx, cell)
 	if err != nil {
@@ -187,7 +189,8 @@ func (e *Explainer) ExplainCells(ctx context.Context, cell table.CellRef, opts C
 // ExplainCellsExact computes exact cell Shapley values by subset
 // enumeration under the null policy. Only feasible when the (possibly
 // restricted) player count is small; used to validate the sampler.
-func (e *Explainer) ExplainCellsExact(ctx context.Context, cell table.CellRef, restrict bool) (*Report, error) {
+func (e *Explainer) ExplainCellsExact(ctx context.Context, cell table.CellRef, restrict bool) (_ *Report, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	target, repaired, err := e.Target(ctx, cell)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dc"
+	"repro/internal/faults"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+// SessionSnapshot is the durable form of a Session: everything needed to
+// rebuild a session that answers every query bit-identically — the dirty
+// table (kind-tagged cell by cell), the constraint set in parse-back text
+// form, the algorithm by registry name, the edit history, and the engine's
+// worker budget. Caches are deliberately absent: coalition values and
+// repair diffs are pure functions of this state, so a restored session
+// merely starts cold and re-converges to the same answers.
+//
+// The server's eviction and shutdown-drain paths write snapshots to the
+// spool directory and restore them on demand (internal/server); the codec
+// is JSON so spooled sessions are inspectable and survive binary upgrades
+// that keep the schema.
+type SessionSnapshot struct {
+	// Version guards the codec; bump on incompatible layout changes.
+	Version int `json:"version"`
+	// Algorithm is the repair black box's registry name (Algorithm.Name).
+	Algorithm string `json:"algorithm"`
+	// Columns is the table schema, in column order.
+	Columns []string `json:"columns"`
+	// Rows holds every cell kind-tagged: a CSV-style string grid would
+	// collapse String("5") and Int(5), changing join semantics on restore.
+	Rows [][]SnapValue `json:"rows"`
+	// DCs are the constraints' String() forms, re-parsed on restore.
+	DCs []string `json:"dcs"`
+	// History is the session's edit log, oldest first.
+	History []string `json:"history"`
+	// Workers is the engine's parallelism budget.
+	Workers int `json:"workers"`
+}
+
+// SnapValue is one kind-tagged cell. Exactly one payload field is
+// meaningful, selected by K; floats travel as IEEE-754 bit patterns so the
+// round-trip is bit-exact (including NaN payloads, which encoding/json
+// would otherwise reject).
+type SnapValue struct {
+	K uint8  `json:"k"`
+	S string `json:"s,omitempty"`
+	I int64  `json:"i,omitempty"`
+	F uint64 `json:"f,omitempty"`
+	B bool   `json:"b,omitempty"`
+}
+
+// snapshotVersion is the current codec version.
+const snapshotVersion = 1
+
+// snapValueOf encodes one table value.
+func snapValueOf(v table.Value) SnapValue {
+	switch v.Kind() {
+	case table.KindString:
+		return SnapValue{K: uint8(table.KindString), S: v.Str()}
+	case table.KindInt:
+		return SnapValue{K: uint8(table.KindInt), I: v.IntVal()}
+	case table.KindFloat:
+		return SnapValue{K: uint8(table.KindFloat), F: math.Float64bits(v.FloatVal())}
+	case table.KindBool:
+		return SnapValue{K: uint8(table.KindBool), B: v.BoolVal()}
+	default:
+		return SnapValue{K: uint8(table.KindNull)}
+	}
+}
+
+// value decodes one cell.
+func (sv SnapValue) value() (table.Value, error) {
+	switch table.Kind(sv.K) {
+	case table.KindNull:
+		return table.Null(), nil
+	case table.KindString:
+		return table.String(sv.S), nil
+	case table.KindInt:
+		return table.Int(sv.I), nil
+	case table.KindFloat:
+		return table.Float(math.Float64frombits(sv.F)), nil
+	case table.KindBool:
+		return table.Bool(sv.B), nil
+	default:
+		return table.Null(), fmt.Errorf("core: unknown snapshot value kind %d", sv.K)
+	}
+}
+
+// Snapshot captures the session's current state. The caller must not edit
+// the session concurrently (the server holds its per-session lock).
+func (s *Session) Snapshot() *SessionSnapshot {
+	sn := &SessionSnapshot{
+		Version:   snapshotVersion,
+		Algorithm: s.alg.Name(),
+		Columns:   s.dirty.Schema().Names(),
+		History:   append([]string(nil), s.History...),
+		Workers:   s.engine.Workers(),
+	}
+	sn.Rows = make([][]SnapValue, s.dirty.NumRows())
+	for i := range sn.Rows {
+		row := make([]SnapValue, s.dirty.NumCols())
+		for j := range row {
+			row[j] = snapValueOf(s.dirty.Get(i, j))
+		}
+		sn.Rows[i] = row
+	}
+	for _, c := range s.dcs {
+		sn.DCs = append(sn.DCs, c.String())
+	}
+	return sn
+}
+
+// WriteTo encodes the snapshot as JSON. SiteSnapshotWrite is the fault
+// checkpoint: an injected failure here models a full disk or a kill
+// mid-write, which the spool layer turns into "evict without snapshot"
+// (recompute later) rather than a corrupt restore.
+func (sn *SessionSnapshot) WriteTo(w io.Writer) (int64, error) {
+	if err := faults.Err(faults.SiteSnapshotWrite); err != nil {
+		return 0, err
+	}
+	buf, err := json.Marshal(sn)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadSnapshot decodes a snapshot written by WriteTo.
+func ReadSnapshot(r io.Reader) (*SessionSnapshot, error) {
+	var sn SessionSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sn); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if sn.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", sn.Version, snapshotVersion)
+	}
+	return &sn, nil
+}
+
+// AlgorithmResolver maps an Algorithm.Name back to a black box instance on
+// restore. The server passes its registry; RestoreSession falls back to
+// DefaultAlgorithms when nil.
+type AlgorithmResolver func(name string) (repair.Algorithm, bool)
+
+// DefaultAlgorithms resolves the built-in black boxes by their Name().
+func DefaultAlgorithms(name string) (repair.Algorithm, bool) {
+	switch name {
+	case repair.NewAlgorithm1().Name():
+		return repair.NewAlgorithm1(), true
+	case "fd-chase":
+		return repair.NewFDChase(), true
+	case "greedy-holistic":
+		return repair.NewGreedy(), true
+	default:
+		return nil, false
+	}
+}
+
+// RestoreSession rebuilds a session from its snapshot. The result answers
+// every Violations/Repair/Explain query bit-identically to the snapshotted
+// session: the table contents, constraint set and algorithm fully
+// determine those answers, and the kind-tagged codec reproduces the table
+// exactly. Engine caches start cold (they are derived state).
+func RestoreSession(sn *SessionSnapshot, resolve AlgorithmResolver) (*Session, error) {
+	if resolve == nil {
+		resolve = DefaultAlgorithms
+	}
+	alg, ok := resolve(sn.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("core: snapshot needs unknown algorithm %q", sn.Algorithm)
+	}
+	schema, err := table.SchemaOf(sn.Columns...)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot schema: %w", err)
+	}
+	tbl := table.New(schema)
+	row := make([]table.Value, len(sn.Columns))
+	for i, snRow := range sn.Rows {
+		if len(snRow) != len(sn.Columns) {
+			return nil, fmt.Errorf("core: snapshot row %d has %d cells, want %d", i, len(snRow), len(sn.Columns))
+		}
+		for j, sv := range snRow {
+			if row[j], err = sv.value(); err != nil {
+				return nil, fmt.Errorf("core: snapshot cell (%d,%d): %w", i, j, err)
+			}
+		}
+		if err := tbl.Append(row); err != nil {
+			return nil, fmt.Errorf("core: snapshot row %d: %w", i, err)
+		}
+	}
+	dcs := make([]*dc.Constraint, 0, len(sn.DCs))
+	for _, text := range sn.DCs {
+		c, err := dc.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot constraint %q: %w", text, err)
+		}
+		dcs = append(dcs, c)
+	}
+	sess, err := NewSessionWith(alg, dcs, tbl, SessionOptions{Workers: sn.Workers})
+	if err != nil {
+		return nil, err
+	}
+	sess.History = append([]string(nil), sn.History...)
+	return sess, nil
+}

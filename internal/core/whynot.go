@@ -13,7 +13,8 @@ import (
 // The interactive workflow of the paper (§3: pick a cell, look at the top
 // of the ranking, edit, repeat) only needs the top of the list, and racing
 // concentrates black-box calls on the contenders.
-func (e *Explainer) ExplainCellsTopK(ctx context.Context, cell table.CellRef, k int, opts CellExplainOptions) (*Report, bool, error) {
+func (e *Explainer) ExplainCellsTopK(ctx context.Context, cell table.CellRef, k int, opts CellExplainOptions) (_ *Report, _ bool, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	opts = opts.withDefaults()
 	target, repaired, err := e.Target(ctx, cell)
 	if err != nil {
@@ -63,7 +64,8 @@ func (e *Explainer) ExplainCellsTopK(ctx context.Context, cell table.CellRef, k 
 // different value it answers the "why not?" question: if every Shapley
 // value is 0, no subset of the current constraints ever yields the desired
 // value, so the constraint set (or the data) is what needs changing.
-func (e *Explainer) ExplainToward(ctx context.Context, cell table.CellRef, desired table.Value) (*Report, error) {
+func (e *Explainer) ExplainToward(ctx context.Context, cell table.CellRef, desired table.Value) (_ *Report, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	if desired.IsNull() {
 		return nil, fmt.Errorf("core: desired value must be non-null")
 	}
@@ -91,7 +93,8 @@ func (e *Explainer) ExplainToward(ctx context.Context, cell table.CellRef, desir
 // costs at most 2^|DCs| black-box runs and short-circuits on the first
 // witness (checked in a deterministic size-ascending order, so the
 // returned witness is one of the smallest).
-func (e *Explainer) Achievable(ctx context.Context, cell table.CellRef, desired table.Value) (bool, []string, error) {
+func (e *Explainer) Achievable(ctx context.Context, cell table.CellRef, desired table.Value) (_ bool, _ []string, err error) {
+	defer e.finishEntry(e.begin(), &err)
 	if desired.IsNull() {
 		return false, nil, fmt.Errorf("core: desired value must be non-null")
 	}

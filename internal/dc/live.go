@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/table"
 )
 
@@ -282,7 +283,10 @@ func (s *LiveViolationSet) sync(t *table.Table) {
 			return
 		}
 		s.editBuf = s.editBuf[:0]
-		if edits, ok := t.EditsSince(s.gen, s.editBuf); ok {
+		// An injected overrun simulates the ring wrapping between syncs:
+		// the incremental path is declined and every list is re-derived,
+		// exercising the same degradation the real overrun takes.
+		if edits, ok := t.EditsSince(s.gen, s.editBuf); ok && !faults.Overrun(faults.SiteEditReplay) {
 			s.editBuf = edits
 			for c, l := range s.lists {
 				if !l.valid {

@@ -2,11 +2,18 @@ package exec
 
 import (
 	"context"
+	"math"
 	"slices"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/shapley"
 )
+
+// floatBits exposes a value's bit pattern for fingerprinting ("bit-
+// identical" is meant literally: -0.0 and 0.0, or two NaN payloads, are
+// distinct cache states).
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
 
 // cacheShards is the lock-striping factor of the shared cache; must be a
 // power of two. Matches the per-game cache's striping so exact-enumeration
@@ -39,9 +46,6 @@ type ccShard struct {
 	gen    uint64
 	narrow map[narrowKey]float64
 	wide   map[uint64][]wideGameEntry
-	// wbuf is the shard-local packing scratch (guarded by mu), keeping
-	// wide lookups allocation-free.
-	wbuf   []uint64
 	hits   uint64
 	misses uint64
 	_      [24]byte
@@ -112,27 +116,47 @@ func packNarrow(coalition []bool) uint64 {
 	return bits
 }
 
+// wideStackWords sizes the stack buffer the wide-coalition paths pack
+// into: Binding packs a coalition once per operation and probes the
+// staging area and the shared cache with the same words, instead of each
+// probe packing into its own lock-guarded scratch. Coalitions up to
+// 64*wideStackWords players stay allocation-free; larger ones fall back
+// to one append-grown heap buffer per operation.
+const wideStackWords = 8
+
 // Lookup returns the memoized value of (game, coalition) at generation
 // gen, if present.
 func (c *CoalitionCache) Lookup(game, gen uint64, coalition []bool) (float64, bool) {
 	if len(coalition) <= 64 {
-		key := narrowKey{game: game, bits: packNarrow(coalition)}
-		s := &c.shards[mix64(key.bits^mix64(key.game))&(cacheShards-1)]
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if !s.syncGen(gen) {
-			s.misses++
-			return 0, false
-		}
-		v, ok := s.narrow[key]
-		if ok {
-			s.hits++
-		} else {
-			s.misses++
-		}
-		return v, ok
+		return c.lookupNarrow(game, gen, packNarrow(coalition))
 	}
-	h := shapley.HashCoalition(coalition) ^ mix64(game)
+	var buf [wideStackWords]uint64
+	words := shapley.AppendPacked(buf[:0], coalition)
+	return c.lookupWide(game, gen, shapley.HashPacked(words)^mix64(game), words)
+}
+
+// lookupNarrow is Lookup for a pre-packed ≤64-player coalition.
+func (c *CoalitionCache) lookupNarrow(game, gen, bits uint64) (float64, bool) {
+	key := narrowKey{game: game, bits: bits}
+	s := &c.shards[mix64(key.bits^mix64(key.game))&(cacheShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.syncGen(gen) {
+		s.misses++
+		return 0, false
+	}
+	v, ok := s.narrow[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return v, ok
+}
+
+// lookupWide is Lookup for a pre-packed >64-player coalition; h must be
+// HashPacked(words)^mix64(game).
+func (c *CoalitionCache) lookupWide(game, gen, h uint64, words []uint64) (float64, bool) {
 	s := &c.shards[h&(cacheShards-1)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -140,9 +164,8 @@ func (c *CoalitionCache) Lookup(game, gen uint64, coalition []bool) (float64, bo
 		s.misses++
 		return 0, false
 	}
-	s.wbuf = shapley.AppendPacked(s.wbuf[:0], coalition)
 	for _, e := range s.wide[h] {
-		if e.game == game && slices.Equal(e.words, s.wbuf) {
+		if e.game == game && slices.Equal(e.words, words) {
 			s.hits++
 			return e.v, true
 		}
@@ -156,29 +179,87 @@ func (c *CoalitionCache) Lookup(game, gen uint64, coalition []bool) (float64, bo
 // the table moved on while the value was being computed.
 func (c *CoalitionCache) Store(game, gen uint64, coalition []bool, v float64) {
 	if len(coalition) <= 64 {
-		key := narrowKey{game: game, bits: packNarrow(coalition)}
-		s := &c.shards[mix64(key.bits^mix64(key.game))&(cacheShards-1)]
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.syncGen(gen) {
-			s.narrow[key] = v
-		}
+		c.storeNarrow(game, gen, packNarrow(coalition), v)
 		return
 	}
-	h := shapley.HashCoalition(coalition) ^ mix64(game)
+	c.storeWide(game, gen, shapley.AppendPacked(nil, coalition), v)
+}
+
+// storeNarrow stores a pre-packed ≤64-player coalition value (the direct
+// Store path and Txn.Commit both land here).
+func (c *CoalitionCache) storeNarrow(game, gen, bits uint64, v float64) {
+	key := narrowKey{game: game, bits: bits}
+	s := &c.shards[mix64(key.bits^mix64(key.game))&(cacheShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.syncGen(gen) {
+		s.narrow[key] = v
+	}
+}
+
+// storeWide stores a pre-packed >64-player coalition value.
+func (c *CoalitionCache) storeWide(game, gen uint64, words []uint64, v float64) {
+	c.storeWideH(game, gen, shapley.HashPacked(words)^mix64(game), words, v)
+}
+
+// storeWideH is storeWide with the chain key precomputed; h as in
+// lookupWide.
+func (c *CoalitionCache) storeWideH(game, gen, h uint64, words []uint64, v float64) {
 	s := &c.shards[h&(cacheShards-1)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.syncGen(gen) {
 		return
 	}
-	s.wbuf = shapley.AppendPacked(s.wbuf[:0], coalition)
 	for _, e := range s.wide[h] {
-		if e.game == game && slices.Equal(e.words, s.wbuf) {
+		if e.game == game && slices.Equal(e.words, words) {
 			return
 		}
 	}
-	s.wide[h] = append(s.wide[h], wideGameEntry{game: game, words: slices.Clone(s.wbuf), v: v})
+	s.wide[h] = append(s.wide[h], wideGameEntry{game: game, words: slices.Clone(words), v: v})
+}
+
+// Len returns the number of memoized entries across shards (test and
+// diagnostics introspection; the abort-then-rerun suite pins Len to zero
+// after an aborted explain).
+func (c *CoalitionCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.narrow)
+		for _, es := range s.wide {
+			n += len(es)
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Fingerprint folds every (game, generation, coalition, value) entry into
+// one order-independent 64-bit digest: two caches fingerprint equal iff
+// they memoize the same set of values. The chaos suite uses it to assert
+// an aborted explain left the cache bit-identical to one that never ran.
+func (c *CoalitionCache) Fingerprint() uint64 {
+	var fp uint64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, v := range s.narrow {
+			fp ^= mix64(mix64(key.game) ^ mix64(key.bits) ^ mix64(s.gen) ^ mix64(uint64(floatBits(v))))
+		}
+		for h, es := range s.wide {
+			for _, e := range es {
+				w := mix64(e.game) ^ mix64(h) ^ mix64(s.gen) ^ mix64(uint64(floatBits(e.v)))
+				for _, word := range e.words {
+					w = mix64(w ^ word)
+				}
+				fp ^= mix64(w)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return fp
 }
 
 // Clear drops every entry (hit/miss statistics survive). Used when game
@@ -224,6 +305,11 @@ type Binding struct {
 	cache *CoalitionCache
 	id    uint64
 	gen   func() uint64
+	// txn, when set, stages this binding's stores in the owning explain's
+	// cache transaction instead of publishing them directly, and serves
+	// the run's own staged values on lookup — the no-partial-work-poisoning
+	// discipline (see Txn).
+	txn *Txn
 }
 
 // Bind interns desc (see GameID for the descriptor contract) and returns
@@ -242,8 +328,27 @@ func (b *Binding) Lookup(coalition []bool) (v float64, gen uint64, ok bool) {
 		return 0, 0, false
 	}
 	gen = b.gen()
-	v, ok = b.cache.Lookup(b.id, gen, coalition)
+	v, ok = b.lookupAt(gen, coalition)
 	return v, gen, ok
+}
+
+// lookupAt packs and hashes the coalition once and probes the staging area
+// and the shared cache with the same key.
+func (b *Binding) lookupAt(gen uint64, coalition []bool) (float64, bool) {
+	if len(coalition) <= 64 {
+		bits := packNarrow(coalition)
+		if v, ok := b.txn.stagedNarrow(b.id, gen, bits); ok {
+			return v, true
+		}
+		return b.cache.lookupNarrow(b.id, gen, bits)
+	}
+	var buf [wideStackWords]uint64
+	words := shapley.AppendPacked(buf[:0], coalition)
+	h := shapley.HashPacked(words) ^ mix64(b.id)
+	if v, ok := b.txn.stagedWide(b.id, gen, h, words); ok {
+		return v, ok
+	}
+	return b.cache.lookupWide(b.id, gen, h, words)
 }
 
 // LookupAt is Lookup pinned to an explicit generation stamp — the walks'
@@ -257,16 +362,36 @@ func (b *Binding) LookupAt(gen uint64, coalition []bool) (float64, bool) {
 	if b == nil {
 		return 0, false
 	}
-	return b.cache.Lookup(b.id, gen, coalition)
+	return b.lookupAt(gen, coalition)
 }
 
 // Store memoizes a value computed at the generation a prior Lookup
-// reported. No-op on a nil binding.
+// reported. No-op on a nil binding. SiteCacheStore is the fault-injection
+// checkpoint here: a scheduled cancellation lands exactly between
+// computing a value and publishing it, the moment the
+// no-partial-work-poisoning invariant guards.
 func (b *Binding) Store(gen uint64, coalition []bool, v float64) {
 	if b == nil {
 		return
 	}
-	b.cache.Store(b.id, gen, coalition, v)
+	faults.Hit(faults.SiteCacheStore)
+	if len(coalition) <= 64 {
+		bits := packNarrow(coalition)
+		if b.txn != nil {
+			b.txn.stageNarrow(b.id, gen, bits, v)
+			return
+		}
+		b.cache.storeNarrow(b.id, gen, bits, v)
+		return
+	}
+	var buf [wideStackWords]uint64
+	words := shapley.AppendPacked(buf[:0], coalition)
+	h := shapley.HashPacked(words) ^ mix64(b.id)
+	if b.txn != nil {
+		b.txn.stageWide(b.id, gen, h, words, v)
+		return
+	}
+	b.cache.storeWideH(b.id, gen, h, words, v)
 }
 
 // CachedGame is a shapley.Game view over one game's slice of the shared

@@ -83,6 +83,17 @@ func (c *RepairCache) Store(desc string, gen uint64, diffs []table.CellDiff) {
 	c.entries[desc] = repairEntry{gen: gen, diffs: append([]table.CellDiff(nil), diffs...)}
 }
 
+// Len returns the number of memoized repair diffs (test and diagnostics
+// introspection; zero after an aborted explain that started cold).
+func (c *RepairCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
 // Clear drops every entry (hit/miss statistics survive).
 func (c *RepairCache) Clear() {
 	if c == nil {

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInactiveHooksAreNoOps(t *testing.T) {
+	Hit(SiteWorkerStart) // must not panic
+	if Overrun(SiteEditReplay) {
+		t.Fatal("inactive Overrun reported true")
+	}
+}
+
+func TestHitInactiveAllocFree(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		Hit(SiteCacheStore)
+	})
+	if allocs != 0 {
+		t.Fatalf("inactive Hit allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestOrdinalScheduling(t *testing.T) {
+	var canceled int
+	inj := NewInjector(
+		Rule{Site: SiteCacheStore, Ordinal: 2, Kind: KindCancel},
+	).OnCancel(func() { canceled++ })
+	defer Activate(inj)()
+
+	Hit(SiteCacheStore)
+	if canceled != 0 {
+		t.Fatal("fired on ordinal 1, scheduled for 2")
+	}
+	Hit(SiteCacheStore)
+	if canceled != 1 {
+		t.Fatal("did not fire on ordinal 2")
+	}
+	Hit(SiteCacheStore)
+	if canceled != 1 {
+		t.Fatal("fired more than once")
+	}
+	fired := inj.Fired()
+	if len(fired) != 1 || fired[0].Site != SiteCacheStore || fired[0].Ordinal != 2 {
+		t.Fatalf("fired log = %+v", fired)
+	}
+}
+
+func TestInjectedPanicCarriesSite(t *testing.T) {
+	inj := NewInjector(Rule{Site: SiteBucketPartition, Ordinal: 1, Kind: KindPanic})
+	defer Activate(inj)()
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v, want *InjectedPanic", r)
+		}
+		if ip.Site != SiteBucketPartition || ip.Ordinal != 1 {
+			t.Fatalf("panic = %+v", ip)
+		}
+		if ip.Error() == "" {
+			t.Fatal("empty Error()")
+		}
+	}()
+	Hit(SiteBucketPartition)
+	t.Fatal("unreached")
+}
+
+func TestOverrunFault(t *testing.T) {
+	inj := NewInjector(Rule{Site: SiteEditReplay, Ordinal: 1, Kind: KindOverrun})
+	defer Activate(inj)()
+	if !Overrun(SiteEditReplay) {
+		t.Fatal("overrun fault did not fire")
+	}
+	if Overrun(SiteEditReplay) {
+		t.Fatal("overrun fired past its ordinal")
+	}
+}
+
+func TestSlowFault(t *testing.T) {
+	inj := NewInjector(Rule{Site: SiteWorkerStart, Ordinal: 1, Kind: KindSlow, Delay: 10 * time.Millisecond})
+	defer Activate(inj)()
+	start := time.Now()
+	Hit(SiteWorkerStart)
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("slow fault slept %v, want >= 10ms", d)
+	}
+}
+
+func TestSeededRulesDeterministic(t *testing.T) {
+	sites := []Site{SiteWorkerStart, SiteCacheStore, SiteEditReplay}
+	kinds := []Kind{KindCancel, KindPanic, KindSlow, KindOverrun}
+	a := SeededRules(42, 8, sites, kinds)
+	b := SeededRules(42, 8, sites, kinds)
+	if len(a) != len(sites) {
+		t.Fatalf("got %d rules, want %d", len(a), len(sites))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 not reproducible: %+v vs %+v", a[i], b[i])
+		}
+		if a[i].Ordinal < 1 || a[i].Ordinal > 8 {
+			t.Fatalf("ordinal %d outside window", a[i].Ordinal)
+		}
+	}
+	c := SeededRules(43, 8, sites, kinds)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules (scrambler broken?)")
+	}
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	fired := 0
+	inj := NewInjector(Rule{Site: SiteWorkerStart, Ordinal: 1, Kind: KindCancel}).
+		OnCancel(func() { fired++ })
+	off := Activate(inj)
+	off()
+	Hit(SiteWorkerStart)
+	if fired != 0 {
+		t.Fatal("deactivated injector fired")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dc"
 	"repro/internal/exec"
+	"repro/internal/faults"
 	"repro/internal/table"
 )
 
@@ -223,6 +224,7 @@ func chaseFDParallel(t *table.Table, e chaseEntry, st *chaseRun, pool *exec.Pool
 		st.majors = make([]groupMajor, len(groups))
 	}
 	majors := st.majors
+	faults.Hit(faults.SiteBucketPartition)
 	pool.Map(len(groups), func(i int) {
 		rows := groups[i]
 		if len(rows) < 2 {

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// chaosSeeds mirrors the core suite's matrix resolution: CHAOS_SEEDS env
+// (the CI chaos job's matrix) or a built-in default.
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if env := os.Getenv("CHAOS_SEEDS"); env != "" {
+		var seeds []int64
+		for _, f := range strings.Split(env, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				t.Fatalf("CHAOS_SEEDS: %v", err)
+			}
+			seeds = append(seeds, n)
+		}
+		return seeds
+	}
+	if testing.Short() {
+		return []int64{1, 2}
+	}
+	return []int64{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+// assertGoroutinesSettle fails if the goroutine count does not return
+// near the baseline — the leak fence around the in-process server tests.
+func assertGoroutinesSettle(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, n, buf)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosServerSeededSchedules storms a spool-backed server with
+// explain/edit/repair traffic while a seeded fault schedule fires panics,
+// slow workers, I/O errors and overruns inside it. The process must keep
+// answering from the documented status ladder (no 5xx: in-session panics
+// quarantine with 409, failed spool writes keep sessions live), and after
+// the schedule is done the server must serve a brand-new session with
+// answers bit-identical to an unfaulted server's — chaos in one session
+// poisons nothing shared.
+func TestChaosServerSeededSchedules(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	// The unfaulted baseline answer for a fresh session's seeded explain.
+	baseSrv := New()
+	baseSrv.Workers = 2
+	baseTS := httptest.NewServer(baseSrv.Handler())
+	baseSess := createSession(t, baseTS)
+	status, wantExplain := post(t, baseTS.URL+"/api/session/"+baseSess.ID+"/explain", explainBody(), nil)
+	if status != http.StatusOK {
+		t.Fatalf("baseline explain: %d %s", status, wantExplain)
+	}
+	baseTS.Close()
+
+	sites := []faults.Site{
+		faults.SiteWorkerStart, faults.SiteCacheStore,
+		faults.SiteEditReplay, faults.SiteSnapshotWrite,
+	}
+	kinds := []faults.Kind{
+		faults.KindPanic, faults.KindSlow, faults.KindError, faults.KindOverrun,
+	}
+
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			srv := New()
+			srv.Workers = 2
+			srv.ExplainSamples = 16
+			srv.SpoolDir = t.TempDir()
+			srv.MaxLiveSessions = 1
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			ids := []string{createSession(t, ts).ID, createSession(t, ts).ID}
+
+			inj := faults.NewInjector(faults.SeededRules(seed, 6, sites, kinds)...)
+			deactivate := faults.Activate(inj)
+			allowed := map[int]bool{
+				http.StatusOK:                  true,
+				http.StatusConflict:            true, // quarantined by an injected panic
+				http.StatusUnprocessableEntity: true, // cell clean after an edit
+				http.StatusTooManyRequests:     true, // admission shed
+			}
+			for i := 0; i < 4; i++ {
+				for _, id := range ids {
+					base := ts.URL + "/api/session/" + id
+					st, body := post(t, base+"/edit", map[string]string{
+						"setCell": "t1[City]", "value": []string{"Barcelona", "Girona"}[i%2],
+					}, nil)
+					if !allowed[st] {
+						deactivate()
+						t.Fatalf("seed %d: edit status %d (%s)", seed, st, body)
+					}
+					st, body = post(t, base+"/explain", explainBody(), nil)
+					if !allowed[st] {
+						deactivate()
+						t.Fatalf("seed %d: explain status %d (%s)", seed, st, body)
+					}
+					st, body = post(t, base+"/repair", map[string]string{}, nil)
+					if !allowed[st] {
+						deactivate()
+						t.Fatalf("seed %d: repair status %d (%s)", seed, st, body)
+					}
+				}
+			}
+			deactivate()
+			t.Logf("seed %d: %d faults fired", seed, len(inj.Fired()))
+
+			// The process is still healthy and shared state is unpoisoned: a
+			// brand-new session answers exactly like the unfaulted baseline.
+			resp, err := ts.Client().Get(ts.URL + "/api/algorithms")
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("health check after chaos: %v / %v", err, resp)
+			}
+			resp.Body.Close()
+			fresh := createSession(t, ts)
+			st, got := post(t, ts.URL+"/api/session/"+fresh.ID+"/explain", explainBody(), nil)
+			if st != http.StatusOK {
+				t.Fatalf("fresh explain after chaos: %d %s", st, got)
+			}
+			if got != wantExplain {
+				t.Fatalf("chaos poisoned shared state:\n%s\nvs baseline\n%s", got, wantExplain)
+			}
+		})
+	}
+
+	assertGoroutinesSettle(t, goroutinesBefore)
+}

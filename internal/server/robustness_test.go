@@ -1,0 +1,384 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dc"
+	"repro/internal/faults"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+// jsonPost is post without the status assertion, for tests that need the
+// raw response (headers included).
+func jsonPost(client *http.Client, url string, body any) (*http.Response, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	return client.Post(url, "application/json", bytes.NewReader(raw))
+}
+
+// freshSession rebuilds the paper session exactly as handleCreateSession
+// does, engine and all, for never-faulted baselines.
+func freshSession(t *testing.T) *core.Session {
+	t.Helper()
+	tbl, err := table.ReadCSV(strings.NewReader(paperCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcs, err := dc.ParseSet(paperDCText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSessionWith(repair.NewAlgorithm1(), dcs, tbl, core.SessionOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func mustRef(t *testing.T, sess *core.Session, name string) table.CellRef {
+	t.Helper()
+	ref, err := sess.Dirty().ParseRefName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// explainBody is the seeded cell-explain request the bit-identity tests
+// replay; fixed samples and seed make the answer a pure function of
+// session state.
+func explainBody() map[string]any {
+	return map[string]any{"cell": "t5[Country]", "kind": "cells", "samples": 16, "seed": 7}
+}
+
+// entryOf reaches into the registry for a session's bookkeeping entry.
+func entryOf(t *testing.T, srv *Server, id string) *session {
+	t.Helper()
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	entry := srv.sessions[id]
+	if entry == nil {
+		t.Fatalf("no session %s", id)
+	}
+	return entry
+}
+
+// TestSaturationReturns429: with every in-flight slot taken, heavy
+// endpoints shed load crisply — 429 plus a Retry-After hint — and recover
+// as soon as a slot frees.
+func TestSaturationReturns429(t *testing.T) {
+	srv := New()
+	srv.MaxInFlight = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	sess := createSession(t, ts)
+	base := ts.URL + "/api/session/" + sess.ID
+
+	release, ok := srv.admit()
+	if !ok {
+		t.Fatal("could not take the only slot")
+	}
+	raw, err := jsonPost(ts.Client(), base+"/explain", explainBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	if raw.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated explain: status %d, want 429", raw.StatusCode)
+	}
+	if raw.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	rep, err := jsonPost(ts.Client(), base+"/repair", map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Body.Close()
+	if rep.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated repair: status %d, want 429", rep.StatusCode)
+	}
+
+	release()
+	if status, body := post(t, base+"/explain", explainBody(), nil); status != http.StatusOK {
+		t.Fatalf("explain after release: %d %s", status, body)
+	}
+}
+
+// TestTimeoutReleasesWorkers: a request that exceeds the per-request
+// deadline answers 408, the underlying computation is cancelled (not left
+// running into the void), every worker slot returns to the pool, and the
+// session's caches carry no partial work.
+func TestTimeoutReleasesWorkers(t *testing.T) {
+	srv := New()
+	srv.Workers = 2
+	srv.RequestTimeout = 50 * time.Millisecond
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	sess := createSession(t, ts)
+	base := ts.URL + "/api/session/" + sess.ID
+
+	entry := entryOf(t, srv, sess.ID)
+	entry.mu.Lock()
+	eng := entry.sess.Engine()
+	idleBefore := eng.Pool().IdleHelpers()
+	coalLen, coalFp := eng.Cache().Len(), eng.Cache().Fingerprint()
+	repairLen := eng.RepairTargets().Len()
+	entry.mu.Unlock()
+
+	// Both fan-out workers oversleep the deadline; their first checkpoint
+	// after waking observes the expired context.
+	inj := faults.NewInjector(
+		faults.Rule{Site: faults.SiteWorkerStart, Ordinal: 1, Kind: faults.KindSlow, Delay: 400 * time.Millisecond},
+		faults.Rule{Site: faults.SiteWorkerStart, Ordinal: 2, Kind: faults.KindSlow, Delay: 400 * time.Millisecond},
+	)
+	deactivate := faults.Activate(inj)
+	status, body := post(t, base+"/explain", explainBody(), nil)
+	deactivate()
+	if status != http.StatusRequestTimeout {
+		t.Fatalf("slow explain: status %d (%s), want 408", status, body)
+	}
+	if len(inj.Fired()) == 0 {
+		t.Fatal("slow-worker rules never fired; the test exercised nothing")
+	}
+
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if got := eng.Pool().IdleHelpers(); got != idleBefore {
+		t.Fatalf("idle helpers %d after 408, want %d (workers leaked)", got, idleBefore)
+	}
+	if eng.Cache().Len() != coalLen || eng.Cache().Fingerprint() != coalFp {
+		t.Fatal("408 left partial work in the coalition cache")
+	}
+	if eng.RepairTargets().Len() != repairLen {
+		t.Fatal("408 left partial work in the repair cache")
+	}
+	// The session still computes, and answers exactly what a never-faulted
+	// session answers.
+	got, err := entry.sess.Explainer().ExplainCells(context.Background(),
+		mustRef(t, entry.sess, "t5[Country]"), core.CellExplainOptions{Samples: 16, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatalf("explain after 408: %v", err)
+	}
+	fresh := freshSession(t)
+	want, err := fresh.Explainer().ExplainCells(context.Background(),
+		mustRef(t, fresh, "t5[Country]"), core.CellExplainOptions{Samples: 16, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(want.Entries) {
+		t.Fatalf("entry count %d vs %d", len(got.Entries), len(want.Entries))
+	}
+	for i := range got.Entries {
+		if got.Entries[i] != want.Entries[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, got.Entries[i], want.Entries[i])
+		}
+	}
+}
+
+// TestPanicQuarantinesSession: a panic inside one session's request is
+// contained — that session answers 409 with diagnostics from then on,
+// while other sessions and the process itself keep working.
+func TestPanicQuarantinesSession(t *testing.T) {
+	srv := New()
+	srv.Workers = 2
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	victim := createSession(t, ts)
+	bystander := createSession(t, ts)
+
+	inj := faults.NewInjector(faults.Rule{Site: faults.SiteWorkerStart, Ordinal: 1, Kind: faults.KindPanic})
+	deactivate := faults.Activate(inj)
+	status, body := post(t, ts.URL+"/api/session/"+victim.ID+"/explain", explainBody(), nil)
+	deactivate()
+	if status != http.StatusConflict {
+		t.Fatalf("panicked explain: status %d (%s), want 409", status, body)
+	}
+	if !strings.Contains(body, "quarantined") {
+		t.Fatalf("409 body carries no diagnostics: %s", body)
+	}
+
+	// The quarantine is sticky: explain, repair and edit all refuse.
+	for _, probe := range []struct {
+		path string
+		req  any
+	}{
+		{"/explain", explainBody()},
+		{"/repair", map[string]string{}},
+		{"/edit", map[string]string{"setCell": "t1[City]", "value": "X"}},
+	} {
+		if status, _ := post(t, ts.URL+"/api/session/"+victim.ID+probe.path, probe.req, nil); status != http.StatusConflict {
+			t.Fatalf("%s on quarantined session: status %d, want 409", probe.path, status)
+		}
+	}
+
+	// The bystander session is untouched.
+	if status, body := post(t, ts.URL+"/api/session/"+bystander.ID+"/explain", explainBody(), nil); status != http.StatusOK {
+		t.Fatalf("bystander explain: %d %s", status, body)
+	}
+}
+
+// TestEvictRestoreBitIdentical: an LRU-evicted session is restored from
+// its spool snapshot on the next touch and answers bit-identically.
+func TestEvictRestoreBitIdentical(t *testing.T) {
+	srv := New()
+	srv.Workers = 2
+	srv.SpoolDir = t.TempDir()
+	srv.MaxLiveSessions = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	first := createSession(t, ts)
+	status, before := post(t, ts.URL+"/api/session/"+first.ID+"/explain", explainBody(), nil)
+	if status != http.StatusOK {
+		t.Fatalf("baseline explain: %d %s", status, before)
+	}
+
+	// A second session pushes the first over the live budget.
+	second := createSession(t, ts)
+	entry := entryOf(t, srv, first.ID)
+	entry.mu.Lock()
+	spooled := entry.spooled
+	entry.mu.Unlock()
+	if !spooled {
+		t.Fatal("LRU session not evicted")
+	}
+	if _, err := os.Stat(filepath.Join(srv.SpoolDir, first.ID+".json")); err != nil {
+		t.Fatalf("no spool snapshot: %v", err)
+	}
+
+	// Touching the evicted session restores it transparently.
+	status, after := post(t, ts.URL+"/api/session/"+first.ID+"/explain", explainBody(), nil)
+	if status != http.StatusOK {
+		t.Fatalf("restored explain: %d %s", status, after)
+	}
+	if after != before {
+		t.Fatalf("restored session answers differently:\n%s\nvs\n%s", after, before)
+	}
+	// And the restore evicted the other session in turn — the budget holds.
+	other := entryOf(t, srv, second.ID)
+	other.mu.Lock()
+	otherSpooled := other.spooled
+	other.mu.Unlock()
+	if !otherSpooled {
+		t.Fatal("budget not enforced after restore")
+	}
+}
+
+// TestConcurrentEvictionVsInFlight storms explain/edit/violations traffic
+// across three sessions under a one-session live budget, so evictions and
+// restores race in-flight requests. Run under -race (the CI race job
+// does); afterwards an evicted-then-restored session must answer exactly
+// as it did before eviction.
+func TestConcurrentEvictionVsInFlight(t *testing.T) {
+	srv := New()
+	srv.Workers = 2
+	srv.ExplainSamples = 4
+	srv.MaxInFlight = 16
+	srv.SpoolDir = t.TempDir()
+	srv.MaxLiveSessions = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	ids := make([]string, 3)
+	for i := range ids {
+		var out struct {
+			ID string `json:"id"`
+		}
+		status, raw := post(t, ts.URL+"/api/session", createSessionRequest{CSV: raceCSV, DCs: raceDCs}, &out)
+		if status != http.StatusOK {
+			t.Fatalf("create session: %d %s", status, raw)
+		}
+		ids[i] = out.ID
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, len(ids)*32)
+	for w, id := range ids {
+		wg.Add(1)
+		go func(w int, id string) {
+			defer wg.Done()
+			base := ts.URL + "/api/session/" + id
+			for i := 0; i < 6; i++ {
+				status, _ := post(t, base+"/edit", map[string]string{
+					"setCell": "t2[City]", "value": []string{"Capital", "Centro", "Madrid"}[(w+i)%3],
+				}, nil)
+				if status != http.StatusOK {
+					errs <- fmt.Sprintf("edit: status %d", status)
+				}
+				status, _ = post(t, base+"/explain", map[string]any{"cell": "t2[City]", "kind": "constraints"}, nil)
+				// 422: a concurrent edit made the cell clean; 429: admission
+				// shed the request. Both are contracts, not failures.
+				if status != http.StatusOK && status != http.StatusUnprocessableEntity && status != http.StatusTooManyRequests {
+					errs <- fmt.Sprintf("explain: status %d", status)
+				}
+				resp, err := client.Get(base + "/violations")
+				if err != nil {
+					errs <- err.Error()
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("violations: status %d", resp.StatusCode)
+				}
+			}
+		}(w, id)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Pin session 0 to a known state and record its answer.
+	target := ts.URL + "/api/session/" + ids[0]
+	if status, raw := post(t, target+"/edit", map[string]string{"setCell": "t2[City]", "value": "Capital"}, nil); status != http.StatusOK {
+		t.Fatalf("final edit: %d %s", status, raw)
+	}
+	status, before := post(t, target+"/explain", map[string]any{"cell": "t2[City]", "kind": "cells", "samples": 16, "seed": 3}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("pre-eviction explain: %d %s", status, before)
+	}
+
+	// Touch the other sessions until session 0 is evicted.
+	for i := 1; i < len(ids); i++ {
+		resp, err := client.Get(ts.URL + "/api/session/" + ids[i] + "/violations")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	entry := entryOf(t, srv, ids[0])
+	entry.mu.Lock()
+	spooled := entry.spooled
+	entry.mu.Unlock()
+	if !spooled {
+		t.Fatal("session 0 not evicted after touching the others")
+	}
+
+	status, after := post(t, target+"/explain", map[string]any{"cell": "t2[City]", "kind": "cells", "samples": 16, "seed": 3}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("post-restore explain: %d %s", status, after)
+	}
+	if after != before {
+		t.Fatalf("evicted-then-restored session answers differently:\n%s\nvs\n%s", after, before)
+	}
+}

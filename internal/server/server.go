@@ -9,11 +9,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dc"
@@ -29,6 +31,17 @@ import (
 type session struct {
 	mu   sync.Mutex
 	sess *core.Session
+	// quarantined is set when a request against this session panicked;
+	// every later request answers 409 with the diagnostics until restart
+	// (the panic may have left black-box scratch state torn, so the
+	// session is fenced rather than trusted). Guarded by mu.
+	quarantined error
+	// spooled marks a session evicted to the spool directory (sess is
+	// nil); the next request restores it. Guarded by mu.
+	spooled bool
+	// lastTouch is the server clock tick of the last request — the LRU
+	// eviction key. Guarded by Server.mu.
+	lastTouch uint64
 }
 
 // Server holds the in-memory session store. Create with New. The handler
@@ -55,6 +68,26 @@ type Server struct {
 	// and repair), so two servers with different Workers serve identical
 	// answers for identical requests.
 	Workers int
+	// MaxInFlight bounds concurrently executing explain/repair requests;
+	// excess requests answer 429 + Retry-After (0 means
+	// defaultMaxInFlight). Set before serving.
+	MaxInFlight int
+	// RequestTimeout, when positive, bounds each explain/repair request's
+	// computation; expiry cancels the computation and answers 408.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 means defaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// SpoolDir, when set, enables session survival: LRU-evicted and
+	// drained sessions are snapshotted there and restored on demand.
+	SpoolDir string
+	// MaxLiveSessions is the in-memory session budget behind LRU eviction;
+	// 0 disables eviction (sessions only spool at drain).
+	MaxLiveSessions int
+
+	// inflight is the admission semaphore (lazily sized from MaxInFlight).
+	inflight chan struct{}
+	// clock is the LRU recency counter. Guarded by mu.
+	clock uint64
 }
 
 // New builds a Server with the standard algorithm registry.
@@ -81,7 +114,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/session/{id}/violations", s.handleViolations)
 	mux.HandleFunc("POST /api/session/{id}/explain", s.handleExplain)
 	mux.HandleFunc("POST /api/session/{id}/edit", s.handleEdit)
-	return mux
+	return recoverAll(s.limitBody(mux))
 }
 
 // tableJSON is the wire form of a table.
@@ -188,6 +221,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	id := "s" + strconv.Itoa(s.nextID)
 	s.sessions[id] = entry
 	s.mu.Unlock()
+	s.touch(entry)
 	entry.mu.Lock()
 	resp := s.sessionJSON(id, sess)
 	entry.mu.Unlock()
@@ -202,6 +236,18 @@ func (s *Server) session(r *http.Request) (string, *session, error) {
 	if !ok {
 		return "", nil, fmt.Errorf("no session %q", id)
 	}
+	// A spooled (LRU-evicted or drained-and-restarted) session is restored
+	// on first touch; the restored session answers bit-identically (the
+	// snapshot codec's contract), it just starts with cold caches.
+	entry.mu.Lock()
+	if entry.spooled {
+		if err := s.restoreLocked(id, entry); err != nil {
+			entry.mu.Unlock()
+			return "", nil, err
+		}
+	}
+	entry.mu.Unlock()
+	s.touch(entry)
 	return id, entry, nil
 }
 
@@ -212,6 +258,11 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry.mu.Lock()
+	if err := s.ensureLive(id, entry); err != nil {
+		entry.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	resp := s.sessionJSON(id, entry.sess)
 	entry.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
@@ -223,16 +274,36 @@ type repairResponse struct {
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
-	_, entry, err := s.session(r)
+	id, entry, err := s.session(r)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	release, ok := s.admit()
+	if !ok {
+		reject429(w)
+		return
+	}
+	defer release()
+	ctx, cancel := s.reqContext(r)
+	defer cancel()
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
+	defer s.guard(w, id, entry)()
+	if checkQuarantine(w, entry) {
+		return
+	}
+	if err := s.ensureLive(id, entry); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	sess := entry.sess
-	clean, diffs, err := sess.Repair(r.Context())
+	clean, diffs, err := sess.Repair(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			writeError(w, http.StatusRequestTimeout, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -259,12 +330,17 @@ type violationsResponse struct {
 // session's live violation lists, maintained incrementally across edits
 // rather than rescanned per poll.
 func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
-	_, entry, err := s.session(r)
+	id, entry, err := s.session(r)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
 	entry.mu.Lock()
+	if err := s.ensureLive(id, entry); err != nil {
+		entry.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	vs, err := entry.sess.Violations()
 	entry.mu.Unlock()
 	if err != nil {
@@ -305,7 +381,7 @@ type explainResponse struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	_, entry, err := s.session(r)
+	id, entry, err := s.session(r)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -315,8 +391,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	release, ok := s.admit()
+	if !ok {
+		reject429(w)
+		return
+	}
+	defer release()
+	// The derived context is cancelled when this handler returns, so a
+	// timed-out or abandoned request releases its sampler workers instead
+	// of computing into the void (TestTimeoutReleasesWorkers).
+	ctx, cancel := s.reqContext(r)
+	defer cancel()
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
+	defer s.guard(w, id, entry)()
+	if checkQuarantine(w, entry) {
+		return
+	}
+	if err := s.ensureLive(id, entry); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	sess := entry.sess
 	cell, err := sess.Dirty().ParseRefName(req.Cell)
 	if err != nil {
@@ -331,9 +426,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var report *core.Report
 	switch req.Kind {
 	case "", "constraints":
-		report, err = exp.ExplainConstraints(r.Context(), cell)
+		report, err = exp.ExplainConstraints(ctx, cell)
 	case "cells":
-		report, err = exp.ExplainCells(r.Context(), cell, core.CellExplainOptions{
+		report, err = exp.ExplainCells(ctx, cell, core.CellExplainOptions{
 			Samples: samples,
 			Seed:    req.Seed,
 			Workers: s.Workers,
@@ -343,7 +438,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		if k <= 0 {
 			k = 5
 		}
-		report, _, err = exp.ExplainCellsTopK(r.Context(), cell, k, core.CellExplainOptions{
+		report, _, err = exp.ExplainCellsTopK(ctx, cell, k, core.CellExplainOptions{
 			Samples: samples,
 			Seed:    req.Seed,
 			Workers: s.Workers,
@@ -355,7 +450,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		// Exact when feasible; the request's sampling budget and seed apply
 		// to the fallback.
-		report, err = exp.ExplainCellGroupsAuto(r.Context(), cell, groups, core.CellExplainOptions{
+		report, err = exp.ExplainCellGroupsAuto(ctx, cell, groups, core.CellExplainOptions{
 			Samples: samples,
 			Seed:    req.Seed,
 			Workers: s.Workers,
@@ -365,9 +460,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("kind toward needs a desired value"))
 			return
 		}
-		report, err = exp.ExplainToward(r.Context(), cell, table.ParseValue(req.Desired))
+		report, err = exp.ExplainToward(ctx, cell, table.ParseValue(req.Desired))
 	case "interaction":
-		inter, ierr := exp.ExplainConstraintInteractions(r.Context(), cell)
+		inter, ierr := exp.ExplainConstraintInteractions(ctx, cell)
 		if ierr != nil {
 			err = ierr
 			break
@@ -381,7 +476,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		if r.Context().Err() != nil {
+		if ctx.Err() != nil {
 			writeError(w, http.StatusRequestTimeout, err)
 			return
 		}
@@ -417,6 +512,14 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	}
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
+	defer s.guard(w, id, entry)()
+	if checkQuarantine(w, entry) {
+		return
+	}
+	if err := s.ensureLive(id, entry); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	sess := entry.sess
 	switch {
 	case req.SetCell != "":
@@ -446,15 +549,44 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sessionJSON(id, sess))
 }
 
-// ListenAndServe runs the server until the context is cancelled.
+// ListenAndServe runs the server until the context is cancelled, then
+// drains: it stops accepting, gives in-flight requests drainTimeout to
+// finish (their computation contexts are cancelled with the base context,
+// so cooperative cancellation ends them promptly), snapshots every live
+// session to the spool, and returns nil — the clean-exit half of the
+// SIGTERM contract (cmd/trex-server turns that nil into exit code 0).
+//
+// The listener carries conservative timeouts so one slow or stuck client
+// cannot pin a connection forever: header reads, whole-request reads and
+// idle keep-alives are each bounded.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
-	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		// Request handlers observe the serve context: Shutdown cancels it
+		// after the drain deadline, releasing any still-running computation.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	if err := s.LoadSpool(); err != nil {
+		return fmt.Errorf("loading spool: %w", err)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		return srv.Shutdown(context.Background())
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			// Deadline hit: force-close the stragglers; their computations
+			// die with the base context. Drain still runs — idle sessions
+			// must not lose state because one request hung.
+			_ = srv.Close()
+		}
+		return s.Drain()
 	}
 }

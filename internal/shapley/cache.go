@@ -200,6 +200,19 @@ func AppendPacked(dst []uint64, coalition []bool) []uint64 {
 	return dst
 }
 
+// HashPacked hashes pre-packed membership words with exactly the
+// function HashCoalition applies to a live coalition: HashPacked(
+// AppendPacked(nil, c)) == HashCoalition(c) for every coalition c. It
+// serves consumers (the exec cache transaction) that carry coalitions in
+// packed form across a staging boundary.
+func HashPacked(words []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, word := range words {
+		h = (h ^ word) * 1099511628211
+	}
+	return mix64(h)
+}
+
 // HashCoalition hashes the packed-word form of the membership without
 // materializing it (FNV-1a over the words, finalized by mix64). Coalitions
 // of one game always have the same length, so the word count needs no

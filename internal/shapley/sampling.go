@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faults"
 )
 
 // StochasticGame is a game whose characteristic function is itself an
@@ -430,14 +432,26 @@ func fanOut[S any](ctx context.Context, opts Options, iters, players int, setup 
 	}
 
 	errs := make([]error, workers)
+	var panicked atomic.Pointer[panicValue]
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panic in the game (a black box bug, or an injected fault)
+			// must not crash the process from a goroutine nobody can
+			// recover: capture it, cancel the peers, and re-raise it on
+			// the caller's goroutine after the fan-out drains.
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &panicValue{v: r})
+					cancel()
+				}
+			}()
 			st := setup()
 			defer teardown(st)
+			faults.Hit(faults.SiteWorkerStart)
 			rng := rand.New(&splitmix{})
 			var acc []welford
 			for {
@@ -472,6 +486,9 @@ func fanOut[S any](ctx context.Context, opts Options, iters, players int, setup 
 		}(w)
 	}
 	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(pv.v)
+	}
 	// A failing worker cancels its peers, so peers report context.Canceled;
 	// surface the root cause in preference to the induced cancellations.
 	var firstErr error
@@ -488,6 +505,9 @@ func fanOut[S any](ctx context.Context, opts Options, iters, players int, setup 
 	}
 	return merged, nil
 }
+
+// panicValue carries a recovered worker panic to the caller goroutine.
+type panicValue struct{ v any }
 
 // splitmix is Vigna's SplitMix64 as a math/rand source: the chunk grid
 // reseeds its stream once per chunk, and math/rand's default lagged
