@@ -1,0 +1,189 @@
+// Command trexlint runs the repository's invariant analyzers (package
+// repro/internal/lint) over Go packages and reports every unsuppressed
+// finding.
+//
+// Two modes, mirroring x/tools' multichecker/unitchecker split:
+//
+// Standalone, for developers and CI:
+//
+//	go run ./cmd/trexlint ./...
+//
+// loads each matched package (export-data deps, source-checked roots),
+// prints findings as file:line:col: analyzer: message on stdout, and
+// exits 1 if there were any.
+//
+// Vet tool, driven by the go command:
+//
+//	go vet -vettool=$(which trexlint) ./...
+//
+// cmd/go invokes the tool once per package with a single *.cfg argument
+// describing the compilation unit (file list, import map, export data);
+// diagnostics go to stderr and a nonzero exit fails the vet run. The
+// -V=full flag prints the tool identity cmd/go uses for result caching.
+//
+// Run with -help for the list of analyzers and the suppression syntax.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// cmd/go probes vet tools with a bare -flags argument to learn which
+	// pass-through flags they accept; trexlint accepts none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	fs := flag.NewFlagSet("trexlint", flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (go vet plumbing; use -V=full)")
+	fs.Usage = usage
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *versionFlag != "" {
+		return printVersion()
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && filepath.Ext(rest[0]) == ".cfg" {
+		return runUnit(rest[0])
+	}
+	return runStandalone(rest)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `trexlint: static enforcement of the engine's determinism, edit-log, and cache invariants.
+
+usage: trexlint [-V=full] [packages...]   (default ./...)
+       trexlint unit.cfg                  (go vet -vettool mode)
+
+analyzers:
+`)
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress a finding with a justified directive on or directly above its line:\n  //lint:allow <analyzer> <reason>\n")
+}
+
+// printVersion emits the unitchecker-style identity line cmd/go hashes
+// into its vet action cache: tool name plus a digest of the executable,
+// so a rebuilt trexlint invalidates cached vet results.
+func printVersion() int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-and-options buildID=%x\n", filepath.Base(exe), h.Sum(nil))
+	return 0
+}
+
+// runStandalone loads the given patterns (default ./...) from the module
+// in the current directory and prints findings to stdout.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		return 1
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "trexlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// unitConfig is the JSON compilation-unit description cmd/go writes for
+// vet tools (the subset trexlint consumes).
+type unitConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one compilation unit under go vet. Findings go to
+// stderr with exit 2, matching the vet diagnostic protocol.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "trexlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// trexlint analyzers export no facts, but cmd/go insists the declared
+	// output file exists before caching the unit's result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "trexlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := loader.CheckFiles(token.NewFileSet(), cfg.ImportPath, cfg.GoFiles, cfg.PackageFile, cfg.ImportMap, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		return 1
+	}
+	findings, err := lint.RunPackage(pkg, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

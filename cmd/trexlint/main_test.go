@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// badSrc carries a detmap violation in an in-scope package path.
+const badSrc = `package exec
+
+func Grid(m map[int]int, sink func(int)) {
+	for k := range m {
+		sink(k)
+	}
+}
+`
+
+func writeUnit(t *testing.T, cfg unitConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "unit.cfg")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFlagsProbe(t *testing.T) {
+	if got := run([]string{"-flags"}); got != 0 {
+		t.Fatalf("run(-flags) = %d, want 0", got)
+	}
+}
+
+func TestRunUnitReportsFindings(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(src, []byte(badSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := writeUnit(t, unitConfig{
+		ImportPath: "unit/internal/exec",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	})
+	if got := run([]string{cfg}); got != 2 {
+		t.Errorf("run(unit with finding) = %d, want 2", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+func TestRunUnitVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(src, []byte(badSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := writeUnit(t, unitConfig{
+		ImportPath: "unit/internal/exec",
+		GoFiles:    []string{src},
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+	if got := run([]string{cfg}); got != 0 {
+		t.Errorf("run(VetxOnly unit) = %d, want 0 without analyzing", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+func TestRunUnitTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(src, []byte("package exec\n\nfunc f() { undefined() }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := writeUnit(t, unitConfig{
+		ImportPath:                "unit/internal/exec",
+		GoFiles:                   []string{src},
+		SucceedOnTypecheckFailure: true,
+	})
+	if got := run([]string{cfg}); got != 0 {
+		t.Errorf("run(SucceedOnTypecheckFailure) = %d, want 0", got)
+	}
+}

@@ -226,6 +226,48 @@
 //     triples on every platform, so every chaos failure reproduces from
 //     its seed alone.
 //
+// # Linting
+//
+// The engine's cross-cutting invariants are enforced mechanically by
+// trexlint (internal/lint, driven by cmd/trexlint), a go/analysis-style
+// suite built on the standard library alone. It runs standalone (`go run
+// ./cmd/trexlint ./...`), as a vet tool (`go vet -vettool=...`), and as
+// the CI lint job; any unsuppressed finding fails the build. The
+// analyzers, each born from a bug class an earlier PR fixed by hand:
+//
+//   - detmap: no unordered map iteration in the deterministic fan-out
+//     packages (internal/shapley, internal/exec, internal/repair,
+//     internal/dc). Workers=1 and Workers=N must be bit-identical (the
+//     PR 4 contract), and map order is randomized per run. The sorted-keys
+//     idiom — collect into a slice, then sort.*/slices.* it in the same
+//     function — is recognized and exempt.
+//   - seededrand: no math/rand globals and no time.Now/Since in engine
+//     code; randomness must flow from seeded sources (rand.New,
+//     SplitMix64) threaded from the caller, so equal seeds replay equal
+//     runs (the PR 6 chaos-reproducibility contract).
+//   - editlog: outside internal/table, no direct writes into table cell
+//     storage ([]table.Value obtained from RowView or another alias);
+//     mutations go through Set/SetRef/CopyFrom so the edit log stays the
+//     single source of truth for incremental sync (PR 5).
+//   - cachekey: descriptor/key-builder functions must not stringify
+//     table.Value via String or fmt — Value.AppendKey is the injective
+//     encoding; String collapses distinct values (Int(5) vs String("5"))
+//     and would alias cache entries (PR 4).
+//   - txnbracket: every exported context-taking Explainer entry point in
+//     internal/core opens with `defer e.finishEntry(e.begin(), &err)` so
+//     no partial work escapes a failed entry (the PR 6 transaction
+//     bracket); single-statement delegations are exempt.
+//
+// A finding is suppressed only by a justified directive on, or directly
+// above, its line:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory — a reasonless directive is itself a finding
+// (lintdirective) — and should argue why the invariant holds anyway
+// (e.g. an XOR fold is order-independent, a buffer is private scratch).
+// Never weaken an analyzer to make a finding go away.
+//
 // # Layout
 //
 //	internal/table      typed in-memory tables, CSV, statistics, diffs
@@ -238,8 +280,10 @@
 //	internal/data       La Liga example, generators, error injection
 //	internal/server     HTTP API + embedded GUI (Figure 3/4)
 //	internal/bench      experiment implementations (DESIGN.md §4)
+//	internal/lint       trexlint invariant analyzers (see # Linting)
 //	cmd/trex            CLI repair + explain
 //	cmd/trex-server     web demo
 //	cmd/trex-bench      regenerates every experiment
+//	cmd/trexlint        standalone + vet-tool lint driver
 //	examples/           runnable walkthroughs of the public API
 package repro

@@ -495,6 +495,7 @@ func (g *CellGame) sync() {
 		return
 	}
 	for k, ref := range g.players {
+		//lint:allow editlog origs is the game's private snapshot buffer allocated by NewCellGame, not table storage
 		g.origs[k] = g.exp.Dirty.GetRef(ref)
 	}
 	// Catch the stats snapshot up from the edit log (per-column deltas;

@@ -298,6 +298,9 @@ type ScanIndex struct {
 	gen    uint64
 	// perCols maps column signature -> incrementally-maintained partition.
 	perCols map[string]*bucketSet
+	// ordered holds perCols' values in insertion order; sync iterates it so
+	// delta replay and invalidation sweep the partitions deterministically.
+	ordered []*bucketSet
 	// colsOf memoizes each constraint's resolved join columns, their
 	// signature, and the compiled predicate kernel: all three depend only
 	// on the constraint and the schema, and the per-row hot loops below
@@ -381,7 +384,7 @@ func (ix *ScanIndex) sync(t *table.Table) {
 		ix.editBuf = ix.editBuf[:0]
 		if edits, ok := t.EditsSince(ix.gen, ix.editBuf); ok {
 			ix.editBuf = edits
-			for _, bs := range ix.perCols {
+			for _, bs := range ix.ordered {
 				if !bs.stale {
 					bs.apply(t, edits, &ix.keyBuf)
 				}
@@ -398,7 +401,7 @@ func (ix *ScanIndex) sync(t *table.Table) {
 	ix.tbl = t
 	ix.schema = t.Schema()
 	ix.gen = t.Generation()
-	for _, bs := range ix.perCols {
+	for _, bs := range ix.ordered {
 		bs.stale = true
 	}
 }
@@ -414,6 +417,7 @@ func (ix *ScanIndex) bucketSetFor(c *Constraint, t *table.Table) *bucketSet {
 	if !ok {
 		bs = &bucketSet{cols: e.cols, idx: make(map[string]int), stale: true}
 		ix.perCols[e.sig] = bs
+		ix.ordered = append(ix.ordered, bs)
 	}
 	if bs.stale {
 		bs.rebuild(t, &ix.keyBuf)

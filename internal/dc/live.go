@@ -40,6 +40,10 @@ type LiveViolationSet struct {
 	schema *table.Schema
 	gen    uint64
 	lists  map[*Constraint]*liveList
+	// ordered holds lists' entries in insertion order; sync iterates it so
+	// edit replay and invalidation sweep the lists deterministically. Reset
+	// alongside the map at the maxLiveLists eviction.
+	ordered []liveEntry
 	// Workers caps the full-derivation fan-out; 0 means GOMAXPROCS
 	// (clamped), unless Pool is set, whose budget then applies.
 	Workers int
@@ -70,6 +74,12 @@ type Runner interface {
 	Workers() int
 	// Map runs fn over the task range and waits for completion.
 	Map(tasks int, fn func(task int))
+}
+
+// liveEntry pairs a constraint with its list for the ordered sweep.
+type liveEntry struct {
+	c *Constraint
+	l *liveList
 }
 
 // liveList is one constraint's materialized violation list.
@@ -262,9 +272,11 @@ func (s *LiveViolationSet) listFor(c *Constraint, t *table.Table) (*liveList, er
 	if !ok {
 		if len(s.lists) >= maxLiveLists {
 			clear(s.lists)
+			s.ordered = s.ordered[:0]
 		}
 		l = &liveList{}
 		s.lists[c] = l
+		s.ordered = append(s.ordered, liveEntry{c: c, l: l})
 	}
 	if !l.valid {
 		if err := s.derive(c, l, t); err != nil {
@@ -288,7 +300,8 @@ func (s *LiveViolationSet) sync(t *table.Table) {
 		// exercising the same degradation the real overrun takes.
 		if edits, ok := t.EditsSince(s.gen, s.editBuf); ok && !faults.Overrun(faults.SiteEditReplay) {
 			s.editBuf = edits
-			for c, l := range s.lists {
+			for _, ent := range s.ordered {
+				c, l := ent.c, ent.l
 				if !l.valid {
 					continue
 				}
@@ -306,8 +319,8 @@ func (s *LiveViolationSet) sync(t *table.Table) {
 	s.tbl = t
 	s.schema = t.Schema()
 	s.gen = t.Generation()
-	for _, l := range s.lists {
-		l.valid = false
+	for _, ent := range s.ordered {
+		ent.l.valid = false
 	}
 }
 

@@ -228,6 +228,7 @@ func (c *CoalitionCache) Len() int {
 		s := &c.shards[i]
 		s.mu.Lock()
 		n += len(s.narrow)
+		//lint:allow detmap commutative integer sum; order-insensitive
 		for _, es := range s.wide {
 			n += len(es)
 		}
@@ -245,9 +246,11 @@ func (c *CoalitionCache) Fingerprint() uint64 {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
+		//lint:allow detmap XOR fold is an order-independent digest by design
 		for key, v := range s.narrow {
 			fp ^= mix64(mix64(key.game) ^ mix64(key.bits) ^ mix64(s.gen) ^ mix64(uint64(floatBits(v))))
 		}
+		//lint:allow detmap XOR fold is an order-independent digest by design
 		for h, es := range s.wide {
 			for _, e := range es {
 				w := mix64(e.game) ^ mix64(h) ^ mix64(s.gen) ^ mix64(uint64(floatBits(e.v)))

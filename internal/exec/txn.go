@@ -220,14 +220,17 @@ func (t *Txn) Commit() {
 	coal, wide, repairs := t.coal, t.wide, t.repairs
 	t.coal, t.wide, t.repairs = nil, nil, nil
 	t.mu.Unlock()
+	//lint:allow detmap republication into a keyed cache: keys are unique, last-write-wins per key, order cannot affect contents
 	for key, v := range coal {
 		t.e.cache.storeNarrow(key.game, key.gen, key.bits, v)
 	}
+	//lint:allow detmap republication into a keyed cache: keys are unique, last-write-wins per key, order cannot affect contents
 	for h, es := range wide {
 		for _, e := range es {
 			t.e.cache.storeWideH(e.game, e.gen, h, e.words, e.v)
 		}
 	}
+	//lint:allow detmap republication into a keyed store: descriptors are unique, order cannot affect contents
 	for desc, e := range repairs {
 		t.e.repairs.Store(desc, e.gen, e.diffs)
 	}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. The full form is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above it. The reason is mandatory: an allowlisted site must
+// say why the invariant does not apply (e.g. "publication order is
+// absorbed by keyed cache stores"), so every suppression is a reviewed,
+// greppable decision rather than a silent opt-out.
+const allowPrefix = "lint:allow"
+
+// allowEntry is one parsed directive.
+type allowEntry struct {
+	analyzer string
+}
+
+// Suppressions indexes every well-formed //lint:allow directive of a
+// package by (file, line), and retains a diagnostic for every malformed
+// one (missing analyzer name or missing reason).
+type Suppressions struct {
+	// byLine maps file name → line → analyzers allowed there. A directive
+	// on line L suppresses matching diagnostics on L and L+1, covering
+	// both the trailing-comment and the line-above placement.
+	byLine    map[string]map[int][]allowEntry
+	malformed []Diagnostic
+}
+
+// CollectSuppressions parses the //lint:allow directives of files.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[string]map[int][]allowEntry)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed directive: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]allowEntry)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], allowEntry{analyzer: name})
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic of analyzer name at pos is
+// covered by a directive on its line or the line above.
+func (s *Suppressions) Suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	lines := s.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, e := range lines[line] {
+			if e.analyzer == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Malformed returns a diagnostic per syntactically invalid directive.
+func (s *Suppressions) Malformed() []Diagnostic { return s.malformed }

@@ -1,0 +1,57 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The build environment for this repository is hermetic — no module proxy,
+// no vendored third-party code — so the canonical x/tools framework is not
+// importable. This package mirrors its core API surface (Analyzer, Pass,
+// Diagnostic, Pass.Reportf) closely enough that the trexlint analyzers
+// could be ported to the real framework by changing one import path, while
+// staying entirely on the standard library (go/ast, go/types, go/token).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name is the identifier used in
+// diagnostics and in //lint:allow suppression directives; Doc is the
+// one-paragraph contract shown by `trexlint -help`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Pass is one analyzer's view of one type-checked package: the syntax, the
+// type information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file of the pass in depth-first order, calling f for
+// each node; f returning false prunes the subtree (ast.Inspect semantics).
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestCollectSuppressionsPlacement(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow detmap keyed store, order-insensitive
+	g()
+	h() //lint:allow seededrand telemetry only
+	i()
+}
+`
+	fset, f := parse(t, src)
+	s := CollectSuppressions(fset, []*ast.File{f})
+	if len(s.Malformed()) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", s.Malformed())
+	}
+	posOn := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	// Directive on line 4 covers lines 4 and 5.
+	if !s.Suppressed(fset, "detmap", posOn(4)) || !s.Suppressed(fset, "detmap", posOn(5)) {
+		t.Error("line-above directive did not suppress its line and the next")
+	}
+	// Trailing directive on line 6 covers line 6.
+	if !s.Suppressed(fset, "seededrand", posOn(6)) {
+		t.Error("trailing directive did not suppress its own line")
+	}
+	// Wrong analyzer name, wrong line: not suppressed.
+	if s.Suppressed(fset, "seededrand", posOn(5)) {
+		t.Error("directive suppressed a different analyzer")
+	}
+	if s.Suppressed(fset, "detmap", posOn(7)) {
+		t.Error("directive leaked two lines down")
+	}
+	if s.Suppressed(fset, "detmap", posOn(3)) {
+		t.Error("directive leaked one line up")
+	}
+}
+
+func TestCollectSuppressionsMalformed(t *testing.T) {
+	src := `package p
+
+//lint:allow detmap
+func f() {}
+
+//lint:allow
+func g() {}
+`
+	fset, f := parse(t, src)
+	s := CollectSuppressions(fset, []*ast.File{f})
+	m := s.Malformed()
+	if len(m) != 2 {
+		t.Fatalf("got %d malformed diagnostics, want 2: %v", len(m), m)
+	}
+	for _, d := range m {
+		if !strings.Contains(d.Message, "want //lint:allow <analyzer> <reason>") {
+			t.Errorf("unexpected malformed message: %s", d.Message)
+		}
+	}
+	// A reasonless directive must not suppress anything.
+	if s.Suppressed(fset, "detmap", fset.File(f.Pos()).LineStart(4)) {
+		t.Error("reasonless directive acted as a suppression")
+	}
+}
+
+func TestSuppressedUnknownFile(t *testing.T) {
+	fset, f := parse(t, "package p\n")
+	s := CollectSuppressions(fset, []*ast.File{f})
+	if s.Suppressed(fset, "detmap", f.Pos()) {
+		t.Error("empty suppression set suppressed a diagnostic")
+	}
+}
+
+func TestReportfAndInspect(t *testing.T) {
+	fset, f := parse(t, "package p\n\nfunc f() {}\n\nfunc g() {}\n")
+	var got []Diagnostic
+	p := &Pass{
+		Fset:   fset,
+		Files:  []*ast.File{f},
+		Report: func(d Diagnostic) { got = append(got, d) },
+	}
+	funcs := 0
+	p.Inspect(func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			funcs++
+			p.Reportf(fd.Pos(), "func %s at index %d", fd.Name.Name, funcs)
+		}
+		return true
+	})
+	if funcs != 2 {
+		t.Fatalf("Inspect visited %d FuncDecls, want 2", funcs)
+	}
+	if len(got) != 2 || got[0].Message != "func f at index 1" || got[1].Message != "func g at index 2" {
+		t.Fatalf("Reportf diagnostics wrong: %v", got)
+	}
+}

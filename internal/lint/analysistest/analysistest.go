@@ -1,0 +1,139 @@
+// Package analysistest is a standard-library re-implementation of
+// x/tools' analysistest for the trexlint suite: it loads a testdata
+// package, runs one analyzer over it with //lint:allow suppression
+// applied (so suppression behavior is itself testable), and checks the
+// produced diagnostics against `// want "regexp"` comments, line by line.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// expectation is one `want` regexp at one (file, line).
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir under the import path pkgPath
+// (whose suffix drives the analyzers' scope rules), runs a, and compares
+// diagnostics against the package's want comments. deps lists the import
+// patterns (standard library and repro/... packages) the testdata files
+// need; they are resolved from the current working directory, which `go
+// test` sets to the test's package directory inside the module.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer, deps ...string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir, pkgPath, deps...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	want := collectWant(t, pkg.Fset, pkg.Files)
+
+	sup := analysis.CollectSuppressions(pkg.Fset, pkg.Files)
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		if !sup.Suppressed(pkg.Fset, a.Name, d.Pos) {
+			got = append(got, d)
+		}
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range got {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(want, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// regexp matches msg.
+func claim(want []*expectation, file string, line int, msg string) bool {
+	for _, w := range want {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWant parses `// want "rx" "rx"...` comments. The expectation
+// anchors to the line the comment starts on (the trailing-comment style
+// used throughout the testdata).
+func collectWant(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				for rest != "" {
+					if !strings.HasPrefix(rest, `"`) {
+						t.Fatalf("%s: malformed want comment near %q", pos, rest)
+					}
+					end := matchedQuote(rest)
+					if end < 0 {
+						t.Fatalf("%s: unterminated want pattern %q", pos, rest)
+					}
+					lit := rest[:end+1]
+					rest = strings.TrimSpace(rest[end+1:])
+					unq, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, unq, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matchedQuote returns the index of the closing quote of a leading
+// Go-quoted string, honoring backslash escapes; -1 if unterminated.
+func matchedQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

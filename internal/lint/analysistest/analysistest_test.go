@@ -1,0 +1,60 @@
+package analysistest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// funcReporter flags every function declaration — enough surface to
+// exercise want-matching, claim ordering, and suppression in one pass.
+var funcReporter = &analysis.Analyzer{
+	Name: "funcreporter",
+	Doc:  "test analyzer: report every FuncDecl",
+	Run: func(pass *analysis.Pass) (any, error) {
+		pass.Inspect(func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				pass.Reportf(fd.Pos(), "func %q declared", fd.Name.Name)
+			}
+			return true
+		})
+		return nil, nil
+	},
+}
+
+func TestRunMatchesWantAndSuppression(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func A() {} // want "func \"A\" declared"
+
+func B() {} // want "declared"
+
+//lint:allow funcreporter covered by suppression, not a want
+func C() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Run(t, dir, "p", funcReporter)
+}
+
+func TestMatchedQuote(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{`"abc"`, 4},
+		{`"a\"b" tail`, 5},
+		{`"unterminated`, -1},
+		{`"trailing\"`, -1},
+	}
+	for _, c := range cases {
+		if got := matchedQuote(c.in); got != c.want {
+			t.Errorf("matchedQuote(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// CacheKey preserves the PR 4 injectivity fix: shared-cache descriptors
+// and keys must render table.Value through its kind-tagged identity key
+// (Value.AppendKey / Value.Key), never Value.String, which collapses
+// String("5"), Int(5) and Float(5.0) into "5" — two distinct games
+// interning one cache ID would silently serve each other's coalition
+// values.
+//
+// Mechanically: inside any function whose name contains "desc" or "key"
+// (gameDesc, targetDesc, constraintGameDesc, repairDesc, appendCompositeKey,
+// ...), a call to String() on a table.Value — directly or through fmt's
+// Stringer dispatch — is a finding.
+var CacheKey = &analysis.Analyzer{
+	Name: "cachekey",
+	Doc: "forbid table.Value.String (and fmt formatting of table.Value) in " +
+		"cache-key/descriptor construction; use Value.AppendKey or " +
+		"Value.Key, whose kind tags keep descriptors injective",
+	Run: runCacheKey,
+}
+
+func runCacheKey(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isKeyBuilderName(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calledFunc(pass, call)
+				if fn == nil {
+					return true
+				}
+				if fn.Name() == "String" && isNamedType(recvType(fn), "internal/table", "Value") {
+					pass.Reportf(call.Pos(), "Value.String in key builder %s collapses kinds (String(\"5\") == Int(5) == Float(5.0)); use Value.AppendKey/Key to keep the descriptor injective", fd.Name.Name)
+					return true
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					for _, arg := range call.Args {
+						if isNamedType(pass.TypesInfo.TypeOf(arg), "internal/table", "Value") {
+							pass.Reportf(arg.Pos(), "fmt formatting of table.Value in key builder %s goes through Value.String and collapses kinds; use Value.AppendKey/Key", fd.Name.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isKeyBuilderName reports whether a function, by name, constructs cache
+// keys or descriptors.
+func isKeyBuilderName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "desc") || strings.Contains(lower, "key")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, "testdata/src/cachekey/internal/core", "cachekey/internal/core", lint.CacheKey, "fmt", "strings", "repro/internal/table")
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestDetMap(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detmap/internal/exec", "detmap/internal/exec", lint.DetMap, "sort")
+}
+
+func TestDetMapOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detmap/internal/data", "detmap/internal/data", lint.DetMap)
+}

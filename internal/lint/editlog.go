@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// EditLog enforces the sole-write-path invariant from PR 3/PR 5: every
+// cell mutation must flow through table.Set/SetRef/SetByName/CopyFrom so
+// the table's edit log records it — the incremental layers
+// (dc.LiveViolationSet, table.Stats.Sync, the repair-diff and coalition
+// caches) replay that log instead of rebuilding, and a write that bypasses
+// it silently desynchronizes them all.
+//
+// Mechanically: outside internal/table, any index-assignment into a
+// []table.Value is storage-aliasing unless the slice provably originates
+// from a fresh local allocation (make, append, composite literal,
+// Table.Row's copy, slices.Clone). Writing through Table.RowView — whose
+// contract is read-only aliasing — is always a finding, as is writing into
+// rows of unknown provenance (parameters, struct fields), which may alias
+// live table storage.
+var EditLog = &analysis.Analyzer{
+	Name: "editlog",
+	Doc: "forbid writes into []table.Value cell storage outside " +
+		"internal/table; mutate via Table.Set/SetRef/SetByName/CopyFrom so " +
+		"the edit log stays the sole write path",
+	Run: runEditLog,
+}
+
+func runEditLog(pass *analysis.Pass) (any, error) {
+	// internal/table owns the storage and the log; everything else is in
+	// scope, including cmd/ and the examples.
+	if pathHasSuffix(pass.Pkg.Path(), "internal/table") {
+		return nil, nil
+	}
+	origins := collectOrigins(pass)
+	pass.Inspect(func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if !isTableValueSlice(pass.TypesInfo.TypeOf(idx.X)) {
+				continue
+			}
+			if why, bad := storageAlias(pass, origins, idx.X, 0); bad {
+				pass.Reportf(lhs.Pos(), "write into []table.Value %s bypasses the edit log; use Table.Set/SetRef/SetByName (or CopyFrom) so incremental consumers see the mutation", why)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// collectOrigins records, for every short-variable-declaration and
+// initialized var of the package, the defining expression of each
+// variable, so storageAlias can trace a row slice back to its allocation.
+func collectOrigins(pass *analysis.Pass) map[types.Object]ast.Expr {
+	origins := make(map[types.Object]ast.Expr)
+	record := func(ids []*ast.Ident, values []ast.Expr) {
+		if len(ids) != len(values) {
+			return // multi-value call or mismatched spec: no single origin
+		}
+		for i, id := range ids {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				origins[obj] = values[i]
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				ids := make([]*ast.Ident, 0, len(n.Lhs))
+				for _, l := range n.Lhs {
+					id, ok := l.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					ids = append(ids, id)
+				}
+				record(ids, n.Rhs)
+			}
+		case *ast.ValueSpec:
+			record(n.Names, n.Values)
+		}
+		return true
+	})
+	return origins
+}
+
+// storageAlias reports whether expr may alias live table storage, with a
+// human-readable provenance for the diagnostic. Index layers are stripped
+// (rows[i][j] traces rows), and identifiers are traced through their
+// defining expression to a bounded depth.
+func storageAlias(pass *analysis.Pass, origins map[types.Object]ast.Expr, expr ast.Expr, depth int) (why string, bad bool) {
+	if depth > 4 {
+		return "of unresolvable provenance", true
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.IndexExpr:
+		return storageAlias(pass, origins, e.X, depth+1)
+	case *ast.CallExpr:
+		return callAlias(pass, e)
+	case *ast.CompositeLit:
+		return "", false
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(e)
+		if obj == nil {
+			return "of unknown origin", true
+		}
+		if def, ok := origins[obj]; ok {
+			return storageAlias(pass, origins, def, depth+1)
+		}
+		// No visible defining expression: a parameter, struct field
+		// shorthand, or package variable — conservatively a storage alias.
+		return "(" + e.Name + ", no local allocation in sight)", true
+	case *ast.SelectorExpr:
+		return "(field " + e.Sel.Name + " may retain a row view)", true
+	default:
+		return "of unresolvable provenance", true
+	}
+}
+
+// callAlias classifies a call that produced the row slice: fresh copies
+// are fine, RowView is the documented read-only alias, anything else is
+// conservatively storage.
+func callAlias(pass *analysis.Pass, call *ast.CallExpr) (why string, bad bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "make" || id.Name == "append") {
+			return "", false
+		}
+	}
+	fn := calledFunc(pass, call)
+	if fn == nil {
+		return "returned by an untraceable call", true
+	}
+	switch {
+	case fn.Name() == "RowView" && isNamedType(recvType(fn), "internal/table", "Table"):
+		return "obtained from Table.RowView (a read-only view of live storage)", true
+	case fn.Name() == "Row" && isNamedType(recvType(fn), "internal/table", "Table"):
+		return "", false // Row returns a copy
+	case fn.Pkg() != nil && fn.Pkg().Path() == "slices" && fn.Name() == "Clone":
+		return "", false
+	default:
+		return "returned by " + fn.Name(), true
+	}
+}
+
+// recvType returns the receiver type of a method, nil for functions.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestEditLog(t *testing.T) {
+	analysistest.Run(t, "testdata/src/editlog/internal/repair", "editlog/internal/repair", lint.EditLog, "slices", "repro/internal/table")
+}
+
+func TestEditLogStorageOwnerExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src/editlog/internal/table", "editlog/internal/table", lint.EditLog, "repro/internal/table")
+}

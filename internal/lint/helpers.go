@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// pathHasSuffix reports whether pkgPath ends in suffix at a path-segment
+// boundary: "repro/internal/exec" matches "internal/exec", but
+// "repro/internal/exechelper" does not. Scope rules match on suffixes
+// rather than exact paths so the analysistest packages (e.g.
+// "detmap/internal/exec") exercise the same scoping code the repository
+// packages do.
+func pathHasSuffix(pkgPath, suffix string) bool {
+	if pkgPath == suffix {
+		return true
+	}
+	return strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// inScope reports whether pkgPath matches any of the suffixes.
+func inScope(pkgPath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if pathHasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// calledFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), nil for builtins, conversions and
+// indirect calls through function values.
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isNamedType reports whether t (after stripping pointers and aliases) is
+// the named type name declared in a package whose path ends in pkgSuffix.
+func isNamedType(t types.Type, pkgSuffix, name string) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pathHasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// isTableValueSlice reports whether t is []table.Value (a row of cell
+// storage, or an alias of one).
+func isTableValueSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	slice, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamedType(slice.Elem(), "internal/table", "Value")
+}
+
+// recvIdent returns the receiver identifier of a method declaration, nil
+// when absent or blank.
+func recvIdent(decl *ast.FuncDecl) *ast.Ident {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 || len(decl.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	id := decl.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// sameObject reports whether two identifiers resolve to one object.
+func sameObject(pass *analysis.Pass, a, b *ast.Ident) bool {
+	objA := pass.TypesInfo.ObjectOf(a)
+	return objA != nil && objA == pass.TypesInfo.ObjectOf(b)
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// directiveAnalyzer is the pseudo-analyzer name under which malformed
+// //lint:allow directives are reported. A suppression that cannot be
+// parsed must itself fail the build, or a typo silently re-enables the
+// finding it meant to justify away.
+const directiveAnalyzer = "lintdirective"
+
+// Analyzers returns the full trexlint suite in stable (alphabetical)
+// order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{CacheKey, DetMap, EditLog, SeededRand, TxnBracket}
+}
+
+// Finding is one unsuppressed diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunPackage runs the analyzers over one loaded package, applying
+// //lint:allow suppression, and returns the surviving findings sorted by
+// position.
+//
+// _test.go files are skipped: the invariants bind engine code, and the
+// behaviors they protect (fan-out determinism, edit-log integrity) are
+// asserted directly by the tests themselves. Skipping here also keeps the
+// vet-tool mode — whose compilation units include test files — consistent
+// with the standalone loader, which never sees them.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	files := pkg.Files
+	var kept []*ast.File
+	for _, f := range files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	files = kept
+	pkg = &loader.Package{
+		Path: pkg.Path, Name: pkg.Name, Dir: pkg.Dir,
+		Fset: pkg.Fset, Files: files, Types: pkg.Types, Info: pkg.Info,
+	}
+	sup := analysis.CollectSuppressions(pkg.Fset, pkg.Files)
+	var findings []Finding
+	for _, d := range sup.Malformed() {
+		findings = append(findings, Finding{
+			Analyzer: directiveAnalyzer,
+			Pos:      pkg.Fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			if sup.Suppressed(pkg.Fset, a.Name, d.Pos) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// Run runs the analyzers over every package and returns all surviving
+// findings sorted by position.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

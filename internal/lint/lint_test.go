@@ -1,0 +1,105 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+// TestRepoIsLintClean is the acceptance gate in test form: the full
+// trexlint suite over every package of the module must produce zero
+// unsuppressed findings. A new finding means either fix the code or add a
+// justified //lint:allow at the site — never weaken the analyzer.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go command over the whole module")
+	}
+	pkgs, err := loader.Load(".", "repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("only %d packages loaded; pattern repro/... should cover the whole module", len(pkgs))
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestMalformedAllowDirective checks that a suppression without a reason
+// is itself a finding, reported under the lintdirective pseudo-analyzer.
+func TestMalformedAllowDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package core
+
+import "repro/internal/table"
+
+func badDesc(v table.Value) string {
+	//lint:allow cachekey
+	return v.String()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "directive/internal/core", "repro/internal/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.RunPackage(pkg, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveMalformed, haveCacheKey bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "lintdirective":
+			haveMalformed = true
+			if !strings.Contains(f.Message, "want //lint:allow <analyzer> <reason>") {
+				t.Errorf("unexpected malformed-directive message: %s", f.Message)
+			}
+		case "cachekey":
+			// The reasonless directive must NOT suppress the finding.
+			haveCacheKey = true
+		}
+	}
+	if !haveMalformed {
+		t.Error("missing lintdirective finding for reasonless //lint:allow")
+	}
+	if !haveCacheKey {
+		t.Error("reasonless //lint:allow suppressed the cachekey finding; it must not")
+	}
+}
+
+// TestFindingString pins the file:line:col prefix format the CI log
+// greps for.
+func TestFindingString(t *testing.T) {
+	dir := t.TempDir()
+	src := "package exec\n\nfunc F(m map[int]int, sink func(int)) {\n\tfor k := range m {\n\t\tsink(k)\n\t}\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "fmttest/internal/exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.RunPackage(pkg, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	s := findings[0].String()
+	if !strings.Contains(s, "a.go:4:2: detmap:") {
+		t.Errorf("finding format %q missing file:line:col: analyzer prefix", s)
+	}
+}

@@ -1,0 +1,249 @@
+// Package loader type-checks Go packages for the trexlint analyzers
+// without any dependency outside the standard library.
+//
+// The strategy mirrors x/tools' unitchecker: ask the go command to build
+// the dependency graph (`go list -export -deps -json`), which yields a
+// compiler export-data file per dependency, then parse and type-check only
+// the target packages from source with a gc-export importer resolving
+// their imports. Dependencies are never re-type-checked from source, so
+// loading the whole repository costs one cached build plus one
+// source-check per target package.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over patterns and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := osexec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+	return pkgs, nil
+}
+
+// exportIndex maps import paths to compiler export-data files.
+type exportIndex map[string]string
+
+// importerFor builds a types.Importer that resolves paths through the
+// package's ImportMap (vendoring, test rewrites) and then reads the
+// dependency's export data.
+func importerFor(fset *token.FileSet, exports exportIndex, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// check parses and type-checks one package's files.
+func check(fset *token.FileSet, pkgPath, dir string, fileNames []string, exports exportIndex, importMap map[string]string, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFor(fset, exports, importMap),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	if goVersion != "" {
+		conf.GoVersion = goVersion
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, errors.Join(typeErrs...))
+	}
+	return &Package{
+		Path:  pkgPath,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Load type-checks every package matched by patterns (the non-dependency
+// roots of the `go list -deps` graph), resolving their imports through
+// compiler export data. dir is the working directory for the go command;
+// any directory inside the module works.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(exportIndex)
+	goVersion := ""
+	var broken []string
+	for _, p := range listed {
+		if p.Error != nil {
+			broken = append(broken, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+	}
+	if len(broken) > 0 {
+		return nil, fmt.Errorf("packages failed to load:\n  %s", strings.Join(broken, "\n  "))
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		pkg, err := check(fset, p.ImportPath, p.Dir, p.GoFiles, exports, p.ImportMap, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir type-checks a synthetic package: every non-test .go file under
+// dir, registered under pkgPath, with imports resolved through the export
+// data of depPatterns' dependency closure. This is how the analysistest
+// harness loads testdata packages, which live outside the module's package
+// tree but may import real repository packages (repro/internal/table and
+// friends) alongside the standard library. Dependency patterns resolve in
+// the current working directory, which must sit inside the module; dir is
+// only read for source files.
+func LoadDir(dir, pkgPath string, depPatterns ...string) (*Package, error) {
+	var listed []*listPackage
+	if len(depPatterns) > 0 {
+		var err error
+		listed, err = goList(".", depPatterns)
+		if err != nil {
+			return nil, err
+		}
+	}
+	exports := make(exportIndex)
+	goVersion := ""
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("dependency %s failed to load: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var fileNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		fileNames = append(fileNames, name)
+	}
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(fileNames)
+	return check(token.NewFileSet(), pkgPath, dir, fileNames, exports, nil, goVersion)
+}
+
+// CheckFiles type-checks an already-parsed file set (the unitchecker
+// entry: cmd/go hands the file list and the export-data map straight from
+// the build graph).
+func CheckFiles(fset *token.FileSet, pkgPath string, fileNames []string, packageFile map[string]string, importMap map[string]string, goVersion string) (*Package, error) {
+	return check(fset, pkgPath, "", fileNames, exportIndex(packageFile), importMap, goVersion)
+}

@@ -1,0 +1,80 @@
+package loader
+
+import (
+	"go/types"
+	"os"
+	"testing"
+)
+
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := Load(".", "repro/internal/table", "repro/internal/exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		if len(p.Files) == 0 {
+			t.Errorf("%s: no files", p.Path)
+		}
+		if p.Info == nil || len(p.Info.Defs) == 0 {
+			t.Errorf("%s: no type info", p.Path)
+		}
+	}
+	tbl := byPath["repro/internal/table"]
+	if tbl == nil {
+		t.Fatal("repro/internal/table not loaded")
+	}
+	obj := tbl.Types.Scope().Lookup("Value")
+	if obj == nil {
+		t.Fatal("table.Value not found in loaded package scope")
+	}
+	if _, ok := obj.Type().(*types.Named); !ok {
+		t.Fatalf("table.Value is %T, want *types.Named", obj.Type())
+	}
+	// The exec package imports table, sync, and sync/atomic through export
+	// data; its methods must have resolved without source-checking deps.
+	ex := byPath["repro/internal/exec"]
+	if ex.Types.Scope().Lookup("Engine") == nil {
+		t.Fatal("exec.Engine not found")
+	}
+}
+
+func TestLoadDirSyntheticPackage(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/a.go", `package fake
+
+import (
+	"math/rand"
+
+	"repro/internal/table"
+)
+
+func F(rng *rand.Rand) table.Value { return table.Int(int64(rng.Intn(3))) }
+`)
+	pkg, err := LoadDir(dir, "fake/pkg", "math/rand", "repro/internal/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "fake/pkg" || pkg.Name != "fake" {
+		t.Fatalf("got path %q name %q", pkg.Path, pkg.Name)
+	}
+}
+
+func TestLoadReportsTypeErrors(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/a.go", "package bad\n\nfunc F() int { return \"not an int\" }\n")
+	if _, err := LoadDir(dir, "bad/pkg"); err == nil {
+		t.Fatal("want type error, got nil")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

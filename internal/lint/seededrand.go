@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// seededRandScope covers every package on the sampler → game-eval →
+// repair-kernel path plus the deterministic data generators: anywhere a
+// stray global RNG draw or wall-clock read would break seed-reproducible
+// results (the fixed-seed golden tests, the chaos schedules, the CI
+// determinism job).
+var seededRandScope = []string{
+	"internal/shapley", "internal/core", "internal/dc",
+	"internal/repair", "internal/exec", "internal/table", "internal/data",
+}
+
+// seededRandConstructors are the math/rand package-level functions that do
+// NOT touch the global source: they build seeded instances, which is
+// exactly how randomness is supposed to enter (rand.New over the SplitMix64
+// source in internal/shapley, rand.NewSource(seed) in the generators).
+var seededRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// SeededRand reports nondeterminism sources in sampler/kernel/eval paths:
+// calls to math/rand's global-source helpers (rand.Intn, rand.Shuffle,
+// rand.Seed, ...) and to time.Now. All randomness must flow from the
+// seeded SplitMix64 sources (shapley.Options.Seed) or an explicitly seeded
+// rand.Source, and wall-clock time must stay out of result computation so
+// equal seeds give bit-equal results on every run.
+var SeededRand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid math/rand global-source calls and time.Now in " +
+		"deterministic engine packages; randomness must flow from seeded " +
+		"sources (SplitMix64 / rand.NewSource(seed)) threaded through " +
+		"*rand.Rand parameters",
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), seededRandScope...) {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calledFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		// Methods (e.g. (*rand.Rand).Intn on a seeded instance) are the
+		// sanctioned API; only package-level functions reach the global
+		// source.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if !seededRandConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(), "%s.%s draws from the process-global RNG; thread a seeded *rand.Rand (SplitMix64 / rand.NewSource(seed)) instead", fn.Pkg().Name(), fn.Name())
+			}
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				pass.Reportf(call.Pos(), "time.%s is a nondeterminism source in engine code; inject timestamps from the caller (or annotate //lint:allow seededrand <reason> for telemetry-only uses)", fn.Name())
+			}
+		}
+		return true
+	})
+	return nil, nil
+}

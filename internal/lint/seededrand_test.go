@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata/src/seededrand/internal/shapley", "seededrand/internal/shapley", lint.SeededRand, "math/rand", "time")
+}
+
+func TestSeededRandOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/seededrand/internal/bench", "seededrand/internal/bench", lint.SeededRand, "time")
+}

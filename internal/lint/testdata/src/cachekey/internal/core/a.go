@@ -1,0 +1,45 @@
+// Package core is cachekey testdata: key/descriptor builders must render
+// table.Value through AppendKey/Key, never String.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// badTargetDesc collapses kinds in a descriptor.
+func badTargetDesc(v table.Value) string {
+	return v.String() // want "Value.String in key builder badTargetDesc collapses kinds"
+}
+
+// badFmtKey reaches String through fmt's Stringer dispatch.
+func badFmtKey(v table.Value) string {
+	return fmt.Sprintf("target=%v", v) // want "fmt formatting of table.Value in key builder badFmtKey"
+}
+
+// goodTargetDesc uses the kind-tagged identity key.
+func goodTargetDesc(v table.Value) string {
+	return string(v.AppendKey(nil))
+}
+
+// goodKeyBuilder may use String on non-Value types freely.
+func goodKeyBuilder(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// render is not a key builder: Value.String is fine in display code.
+func render(v table.Value) string {
+	return v.String()
+}
+
+// allowedDesc carries a justification and is suppressed.
+func allowedDesc(v table.Value) string {
+	//lint:allow cachekey debug descriptor, never used as a cache key
+	return v.String()
+}

@@ -1,0 +1,13 @@
+// Package data is detmap testdata outside the deterministic scope: map
+// ranges here are not findings.
+package data
+
+// OutOfScope ranges a map in a package the determinism contract does not
+// cover.
+func OutOfScope(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,55 @@
+// Package exec is detmap testdata: its import-path suffix places it in
+// the deterministic fan-out scope.
+package exec
+
+import "sort"
+
+// Bad iterates a map with an order-sensitive body.
+func Bad(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "range over map map\\[string\\]int iterates in nondeterministic order"
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// BadKeysOnly is nondeterministic even ranging keys alone.
+func BadKeysOnly(m map[string]int, sink func(string)) {
+	for k := range m { // want "range over map"
+		sink(k)
+	}
+}
+
+// GoodSorted uses the sorted-keys idiom: the collection loop is exempt,
+// the ordered loop ranges a slice.
+func GoodSorted(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []int
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// GoodSlice ranges a slice, out of the analyzer's reach.
+func GoodSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Allowed carries a justification and is suppressed.
+func Allowed(m map[string]int) int {
+	total := 0
+	//lint:allow detmap summation is commutative, order cannot affect the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

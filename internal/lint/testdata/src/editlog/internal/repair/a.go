@@ -1,0 +1,54 @@
+// Package repair is editlog testdata: any package other than
+// internal/table is in scope.
+package repair
+
+import (
+	"slices"
+
+	"repro/internal/table"
+)
+
+// BadDirectView writes through RowView's read-only alias.
+func BadDirectView(t *table.Table, v table.Value) {
+	t.RowView(0)[1] = v // want "obtained from Table.RowView"
+}
+
+// BadNamedView stores the view first; provenance is traced through the
+// local definition.
+func BadNamedView(t *table.Table, v table.Value) {
+	row := t.RowView(0)
+	row[0] = v // want "obtained from Table.RowView"
+}
+
+// BadUnknownRow mutates a row of unknown provenance (a parameter may
+// alias live storage).
+func BadUnknownRow(row []table.Value, v table.Value) {
+	row[0] = v // want "no local allocation in sight"
+}
+
+// GoodFresh builds and fills a fresh row; nothing aliases a table.
+func GoodFresh(v table.Value) []table.Value {
+	fresh := make([]table.Value, 3)
+	fresh[0] = v
+	return fresh
+}
+
+// GoodCopies mutates copies: Table.Row and slices.Clone both allocate.
+func GoodCopies(t *table.Table, row []table.Value, v table.Value) {
+	mine := t.Row(0)
+	mine[0] = v
+	dup := slices.Clone(row)
+	dup[1] = v
+}
+
+// GoodSetPath mutates through the sanctioned write path.
+func GoodSetPath(t *table.Table, v table.Value) {
+	t.Set(0, 0, v)
+	t.SetRef(table.CellRef{Row: 0, Col: 1}, v)
+}
+
+// Allowed carries a justification and is suppressed.
+func Allowed(row []table.Value, v table.Value) {
+	//lint:allow editlog row is a pooled scratch buffer owned by this pass, never table storage
+	row[0] = v
+}

@@ -1,0 +1,10 @@
+// Package table is editlog testdata for the scope exemption: the storage
+// owner writes cells directly by design.
+package table
+
+import "repro/internal/table"
+
+// InsideStorageOwner writes a row directly; internal/table is exempt.
+func InsideStorageOwner(row []table.Value, v table.Value) {
+	row[0] = v
+}

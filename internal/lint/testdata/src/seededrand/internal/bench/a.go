@@ -1,0 +1,12 @@
+// Package bench is seededrand testdata outside the deterministic scope:
+// wall-clock timing is what a benchmark harness is for.
+package bench
+
+import "time"
+
+// Elapsed times f; out of scope, not a finding.
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,33 @@
+// Package shapley is seededrand testdata inside the deterministic engine
+// scope.
+package shapley
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad draws from the process-global RNG and reads the wall clock.
+func Bad() int {
+	n := rand.Intn(10)                 // want "rand.Intn draws from the process-global RNG"
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle draws from the process-global RNG"
+	if time.Now().IsZero() {           // want "time.Now is a nondeterminism source"
+		return 0
+	}
+	return n
+}
+
+// Good threads a seeded instance; constructors and methods are sanctioned.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// GoodTimeValues uses time values without reading the clock.
+func GoodTimeValues(d time.Duration) time.Duration { return d * 2 }
+
+// Allowed carries a justification and is suppressed.
+func Allowed() int64 {
+	//lint:allow seededrand telemetry timestamp, never feeds result computation
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,76 @@
+// Package core is txnbracket testdata: a stand-in Explainer whose
+// exported context-taking entry points must open with the cache
+// transaction bracket.
+package core
+
+import "context"
+
+// Explainer mirrors the real core.Explainer's entry-point discipline.
+type Explainer struct {
+	entryOpen bool
+}
+
+func (e *Explainer) begin() bool {
+	if e.entryOpen {
+		return false
+	}
+	e.entryOpen = true
+	return true
+}
+
+func (e *Explainer) finishEntry(owned bool, errp *error) {
+	if owned {
+		e.entryOpen = false
+	}
+}
+
+// Bracketed is the canonical shape.
+func (e *Explainer) Bracketed(ctx context.Context) (err error) {
+	defer e.finishEntry(e.begin(), &err)
+	return ctx.Err()
+}
+
+// BracketedNamedResults works with blank-named extra results.
+func (e *Explainer) BracketedNamedResults(ctx context.Context) (_ int, err error) {
+	defer e.finishEntry(e.begin(), &err)
+	return 1, ctx.Err()
+}
+
+// Missing lacks the bracket entirely.
+func (e *Explainer) Missing(ctx context.Context) error { // want "entry point Missing takes a context but does not open with"
+	return ctx.Err()
+}
+
+// LateBracket defers the bracket too late: a store before it would be
+// unprotected.
+func (e *Explainer) LateBracket(ctx context.Context) (err error) { // want "entry point LateBracket takes a context"
+	if ctx == nil {
+		return nil
+	}
+	defer e.finishEntry(e.begin(), &err)
+	return nil
+}
+
+// WrongErr brackets a local, not the named error result.
+func (e *Explainer) WrongErr(ctx context.Context) error { // want "entry point WrongErr takes a context"
+	var err error
+	defer e.finishEntry(e.begin(), &err)
+	_ = ctx
+	return err
+}
+
+// Delegates is a thin wrapper; the delegate carries the bracket.
+func (e *Explainer) Delegates(ctx context.Context) error {
+	return e.Bracketed(ctx)
+}
+
+// NoContext constructs state without touching the engine.
+func (e *Explainer) NoContext() bool { return e.entryOpen }
+
+// unexported helpers are not entry points.
+func (e *Explainer) helper(ctx context.Context) error { return ctx.Err() }
+
+// Allowed carries a justification and is suppressed.
+func (e *Explainer) Allowed(ctx context.Context) error { //lint:allow txnbracket read-only path, provably never stages a cache write
+	return ctx.Err()
+}

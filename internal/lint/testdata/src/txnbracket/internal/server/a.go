@@ -1,0 +1,11 @@
+// Package server is txnbracket testdata outside the internal/core scope:
+// other packages' Explainer-shaped types are not entry points.
+package server
+
+import "context"
+
+// Explainer is an unrelated type that happens to share the name.
+type Explainer struct{}
+
+// Handle takes a context but lives outside internal/core.
+func (e *Explainer) Handle(ctx context.Context) error { return ctx.Err() }

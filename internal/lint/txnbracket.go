@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// TxnBracket enforces the PR 6 cache-transaction bracket: every exported
+// context-taking entry point on core.Explainer stages its cache writes in
+// a transaction that commits only on success, via
+//
+//	defer e.finishEntry(e.begin(), &err)
+//
+// as the first statement, with err the named error result. An entry point
+// missing the bracket publishes partial work into the session's shared
+// caches on cancellation/panic — exactly the poisoning the fault model
+// forbids ("no-partial-work-poisoning", doc.go).
+//
+// A method whose whole body is `return e.OtherMethod(...)` delegates to a
+// bracketed entry point and is exempt; anything else needs the bracket or
+// a //lint:allow txnbracket <reason> (e.g. a read-only path that provably
+// never stages).
+var TxnBracket = &analysis.Analyzer{
+	Name: "txnbracket",
+	Doc: "require `defer e.finishEntry(e.begin(), &err)` as the first " +
+		"statement of every exported context-taking core.Explainer method, " +
+		"so shared-cache writes stay transactional",
+	Run: runTxnBracket,
+}
+
+func runTxnBracket(pass *analysis.Pass) (any, error) {
+	if !pathHasSuffix(pass.Pkg.Path(), "internal/core") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := recvIdent(fd)
+			if recv == nil || !isNamedType(pass.TypesInfo.TypeOf(recv), "internal/core", "Explainer") {
+				continue
+			}
+			if !hasContextParam(pass, fd) {
+				continue
+			}
+			if isDelegation(fd, recv) || hasBracket(pass, fd, recv) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(), "exported Explainer entry point %s takes a context but does not open with `defer %s.finishEntry(%s.begin(), &err)`; without the bracket an aborted run poisons the session's shared caches", fd.Name.Name, recv.Name, recv.Name)
+		}
+	}
+	return nil, nil
+}
+
+// hasContextParam reports whether the declaration has a context.Context
+// parameter — the mechanical marker of an engine-touching entry point.
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isDelegation reports whether the body is exactly `return recv.Method(...)`
+// — a thin wrapper over another (itself checked) entry point.
+func isDelegation(fd *ast.FuncDecl, recv *ast.Ident) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && base.Name == recv.Name
+}
+
+// hasBracket reports whether the first statement is the canonical
+// `defer recv.finishEntry(recv.begin(), &err)` with err a named error
+// result of this function.
+func hasBracket(pass *analysis.Pass, fd *ast.FuncDecl, recv *ast.Ident) bool {
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	def, ok := fd.Body.List[0].(*ast.DeferStmt)
+	if !ok || len(def.Call.Args) != 2 {
+		return false
+	}
+	if !isRecvMethodCall(def.Call.Fun, recv, "finishEntry") {
+		return false
+	}
+	inner, ok := ast.Unparen(def.Call.Args[0]).(*ast.CallExpr)
+	if !ok || len(inner.Args) != 0 || !isRecvMethodCall(inner.Fun, recv, "begin") {
+		return false
+	}
+	addr, ok := ast.Unparen(def.Call.Args[1]).(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	errID, ok := ast.Unparen(addr.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return isNamedErrorResult(fd, errID.Name)
+}
+
+// isRecvMethodCall reports whether fun is `recv.name`.
+func isRecvMethodCall(fun ast.Expr, recv *ast.Ident, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && base.Name == recv.Name
+}
+
+// isNamedErrorResult reports whether the declaration names a result `name`
+// of type error.
+func isNamedErrorResult(fd *ast.FuncDecl, name string) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		id, ok := field.Type.(*ast.Ident)
+		if !ok || id.Name != "error" {
+			continue
+		}
+		for _, n := range field.Names {
+			if n.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}

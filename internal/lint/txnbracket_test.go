@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestTxnBracket(t *testing.T) {
+	analysistest.Run(t, "testdata/src/txnbracket/internal/core", "txnbracket/internal/core", lint.TxnBracket, "context")
+}
+
+func TestTxnBracketOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/txnbracket/internal/server", "txnbracket/internal/server", lint.TxnBracket, "context")
+}
