@@ -21,6 +21,16 @@
 // diagnostics go to stderr and a nonzero exit fails the vet run. The
 // -V=full flag prints the tool identity cmd/go uses for result caching.
 //
+// Both modes accept -json, which swaps the line-oriented report for a
+// JSON array with one object per finding:
+//
+//	{"analyzer": ..., "file": ..., "line": ..., "col": ..., "message": ..., "allowed": ...}
+//
+// sorted by (file, line, col, analyzer). Unlike the plain report, the
+// array includes findings covered by //lint:allow directives (with
+// "allowed": true), so suppression density is auditable; the exit code
+// still reflects only the active findings.
+//
 // Run with -help for the list of analyzers and the suppression syntax.
 package main
 
@@ -43,33 +53,40 @@ func main() {
 }
 
 func run(args []string) int {
+	return runTo(os.Stdout, os.Stderr, args)
+}
+
+// runTo is run with injectable streams (stdout carries standalone
+// findings, stderr carries vet-mode diagnostics and errors).
+func runTo(stdout, stderr io.Writer, args []string) int {
 	// cmd/go probes vet tools with a bare -flags argument to learn which
-	// pass-through flags they accept; trexlint accepts none.
+	// pass-through flags they accept; trexlint forwards -json.
 	if len(args) == 1 && args[0] == "-flags" {
-		fmt.Println("[]")
+		fmt.Fprintln(stdout, `[{"Name":"json","Bool":true,"Usage":"emit findings as a JSON array (includes allowed findings)"}]`)
 		return 0
 	}
 	fs := flag.NewFlagSet("trexlint", flag.ExitOnError)
 	versionFlag := fs.String("V", "", "print version and exit (go vet plumbing; use -V=full)")
+	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array (includes allowed findings)")
 	fs.Usage = usage
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *versionFlag != "" {
-		return printVersion()
+		return printVersion(stdout, stderr)
 	}
 	rest := fs.Args()
 	if len(rest) == 1 && filepath.Ext(rest[0]) == ".cfg" {
-		return runUnit(rest[0])
+		return runUnit(stderr, rest[0], *jsonFlag)
 	}
-	return runStandalone(rest)
+	return runStandalone(stdout, stderr, rest, *jsonFlag)
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `trexlint: static enforcement of the engine's determinism, edit-log, and cache invariants.
 
-usage: trexlint [-V=full] [packages...]   (default ./...)
-       trexlint unit.cfg                  (go vet -vettool mode)
+usage: trexlint [-V=full] [-json] [packages...]   (default ./...)
+       trexlint [-json] unit.cfg                  (go vet -vettool mode)
 
 analyzers:
 `)
@@ -82,48 +99,100 @@ analyzers:
 // printVersion emits the unitchecker-style identity line cmd/go hashes
 // into its vet action cache: tool name plus a digest of the executable,
 // so a rebuilt trexlint invalidates cached vet results.
-func printVersion() int {
+func printVersion(stdout, stderr io.Writer) int {
 	exe, err := os.Executable()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	f, err := os.Open(exe)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	defer f.Close()
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	fmt.Printf("%s version devel comments-and-options buildID=%x\n", filepath.Base(exe), h.Sum(nil))
+	fmt.Fprintf(stdout, "%s version devel comments-and-options buildID=%x\n", filepath.Base(exe), h.Sum(nil))
 	return 0
+}
+
+// jsonFinding is the stable -json schema; field names are contract (the
+// CI problem matcher consumes them).
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed"`
+}
+
+// writeJSON renders findings (already sorted by the lint package) as one
+// indented JSON array.
+func writeJSON(w io.Writer, findings []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+			Allowed:  f.Allowed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// countActive returns the number of findings not covered by an allow
+// directive — the exit-code currency of both modes.
+func countActive(findings []lint.Finding) int {
+	n := 0
+	for _, f := range findings {
+		if !f.Allowed {
+			n++
+		}
+	}
+	return n
 }
 
 // runStandalone loads the given patterns (default ./...) from the module
 // in the current directory and prints findings to stdout.
-func runStandalone(patterns []string) int {
+func runStandalone(stdout, stderr io.Writer, patterns []string, asJSON bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := loader.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		fmt.Fprintln(stderr, "trexlint:", err)
 		return 1
 	}
-	findings, err := lint.Run(pkgs, lint.Analyzers())
+	findings, err := lint.RunAll(pkgs, lint.Analyzers())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		fmt.Fprintln(stderr, "trexlint:", err)
 		return 1
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	active := countActive(findings)
+	if asJSON {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "trexlint:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			if !f.Allowed {
+				fmt.Fprintln(stdout, f)
+			}
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "trexlint: %d finding(s)\n", len(findings))
+	if active > 0 {
+		fmt.Fprintf(stderr, "trexlint: %d finding(s)\n", active)
 		return 1
 	}
 	return 0
@@ -144,22 +213,22 @@ type unitConfig struct {
 
 // runUnit analyzes one compilation unit under go vet. Findings go to
 // stderr with exit 2, matching the vet diagnostic protocol.
-func runUnit(cfgPath string) int {
+func runUnit(stderr io.Writer, cfgPath string, asJSON bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		fmt.Fprintln(stderr, "trexlint:", err)
 		return 1
 	}
 	var cfg unitConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "trexlint: parsing %s: %v\n", cfgPath, err)
+		fmt.Fprintf(stderr, "trexlint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
 	// trexlint analyzers export no facts, but cmd/go insists the declared
 	// output file exists before caching the unit's result.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "trexlint:", err)
+			fmt.Fprintln(stderr, "trexlint:", err)
 			return 1
 		}
 	}
@@ -171,18 +240,28 @@ func runUnit(cfgPath string) int {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
-		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		fmt.Fprintln(stderr, "trexlint:", err)
 		return 1
 	}
-	findings, err := lint.RunPackage(pkg, lint.Analyzers())
+	findings, err := lint.RunPackageAll(pkg, lint.Analyzers())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trexlint:", err)
+		fmt.Fprintln(stderr, "trexlint:", err)
 		return 1
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
+	active := countActive(findings)
+	if asJSON {
+		if err := writeJSON(stderr, findings); err != nil {
+			fmt.Fprintln(stderr, "trexlint:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			if !f.Allowed {
+				fmt.Fprintln(stderr, f)
+			}
+		}
 	}
-	if len(findings) > 0 {
+	if active > 0 {
 		return 2
 	}
 	return 0

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
+	osexec "os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -31,8 +34,28 @@ func writeUnit(t *testing.T, cfg unitConfig) string {
 }
 
 func TestFlagsProbe(t *testing.T) {
-	if got := run([]string{"-flags"}); got != 0 {
+	var stdout, stderr bytes.Buffer
+	if got := runTo(&stdout, &stderr, []string{"-flags"}); got != 0 {
 		t.Fatalf("run(-flags) = %d, want 0", got)
+	}
+	// cmd/go parses the probe output as a JSON array of flag definitions;
+	// -json must be declared so `go vet -vettool=trexlint -json` passes it
+	// through.
+	var defs []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &defs); err != nil {
+		t.Fatalf("-flags output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	found := false
+	for _, d := range defs {
+		if d.Name == "json" && d.Bool {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("-flags probe does not declare the json flag: %s", stdout.String())
 	}
 }
 
@@ -90,5 +113,182 @@ func TestRunUnitTypecheckFailure(t *testing.T) {
 	})
 	if got := run([]string{cfg}); got != 0 {
 		t.Errorf("run(SucceedOnTypecheckFailure) = %d, want 0", got)
+	}
+}
+
+// allowedSrc is badSrc with the finding justified away.
+const allowedSrc = `package exec
+
+func Grid(m map[int]int, sink func(int)) {
+	//lint:allow detmap sink is a commutative accumulator in this fixture
+	for k := range m {
+		sink(k)
+	}
+}
+`
+
+func TestRunUnitJSON(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(src, []byte(badSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := writeUnit(t, unitConfig{
+		ImportPath: "unit/internal/exec",
+		GoFiles:    []string{src},
+	})
+	var stdout, stderr bytes.Buffer
+	if got := runTo(&stdout, &stderr, []string{"-json", cfg}); got != 2 {
+		t.Fatalf("run(-json unit with finding) = %d, want 2\nstderr: %s", got, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stderr.Bytes(), &findings); err != nil {
+		t.Fatalf("vet-mode -json output is not a JSON array: %v\n%s", err, stderr.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "detmap" || f.File != src || f.Line == 0 || f.Col == 0 || f.Message == "" || f.Allowed {
+		t.Errorf("unexpected finding shape: %+v", f)
+	}
+}
+
+func TestRunUnitJSONKeepsAllowed(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(src, []byte(allowedSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := writeUnit(t, unitConfig{
+		ImportPath: "unit/internal/exec",
+		GoFiles:    []string{src},
+	})
+	var stdout, stderr bytes.Buffer
+	if got := runTo(&stdout, &stderr, []string{"-json", cfg}); got != 0 {
+		t.Fatalf("run(-json unit, allowed finding) = %d, want 0\nstderr: %s", got, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stderr.Bytes(), &findings); err != nil {
+		t.Fatalf("vet-mode -json output is not a JSON array: %v\n%s", err, stderr.String())
+	}
+	if len(findings) != 1 || !findings[0].Allowed {
+		t.Fatalf("want exactly one allowed finding in the audit stream, got %+v", findings)
+	}
+}
+
+func TestRunUnitPlainSuppressesAllowed(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(src, []byte(allowedSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := writeUnit(t, unitConfig{
+		ImportPath: "unit/internal/exec",
+		GoFiles:    []string{src},
+	})
+	var stdout, stderr bytes.Buffer
+	if got := runTo(&stdout, &stderr, []string{cfg}); got != 0 {
+		t.Fatalf("run(unit, allowed finding) = %d, want 0\nstderr: %s", got, stderr.String())
+	}
+	if s := strings.TrimSpace(stderr.String()); s != "" {
+		t.Errorf("plain vet mode printed suppressed findings: %s", s)
+	}
+}
+
+// listEntry is the subset of `go list -export -deps -json` output the
+// agreement test uses to hand-build a vet compilation unit.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	ImportMap  map[string]string
+	Module     *struct{ GoVersion string }
+}
+
+// buildRealUnit constructs the unitConfig cmd/go would write for a real
+// repository package, from the same build graph the standalone loader
+// consults.
+func buildRealUnit(t *testing.T, pkgPath string) unitConfig {
+	t.Helper()
+	cmd := osexec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,ImportMap,Module", pkgPath)
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list %s: %v", pkgPath, err)
+	}
+	cfg := unitConfig{
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Export != "" {
+			cfg.PackageFile[e.ImportPath] = e.Export
+		}
+		if e.ImportPath == pkgPath {
+			cfg.ImportPath = e.ImportPath
+			for _, f := range e.GoFiles {
+				cfg.GoFiles = append(cfg.GoFiles, filepath.Join(e.Dir, f))
+			}
+			for from, to := range e.ImportMap {
+				cfg.ImportMap[from] = to
+			}
+			if e.Module != nil && e.Module.GoVersion != "" {
+				cfg.GoVersion = "go" + e.Module.GoVersion
+			}
+		}
+	}
+	if cfg.ImportPath == "" {
+		t.Fatalf("go list did not return %s", pkgPath)
+	}
+	return cfg
+}
+
+// TestStandaloneVettoolAgreement runs the same repository package through
+// both modes with -json and requires identical findings: the CI
+// lint-self-test contract.
+func TestStandaloneVettoolAgreement(t *testing.T) {
+	const pkg = "repro/internal/table"
+	cfg := writeUnit(t, buildRealUnit(t, pkg))
+	var unitOut, unitErr bytes.Buffer
+	unitCode := runTo(&unitOut, &unitErr, []string{"-json", cfg})
+	if unitCode != 0 && unitCode != 2 {
+		t.Fatalf("vet mode failed: exit %d\n%s", unitCode, unitErr.String())
+	}
+	var unitFindings []jsonFinding
+	if err := json.Unmarshal(unitErr.Bytes(), &unitFindings); err != nil {
+		t.Fatalf("vet-mode JSON: %v\n%s", err, unitErr.String())
+	}
+
+	var saOut, saErr bytes.Buffer
+	saCode := runTo(&saOut, &saErr, []string{"-json", pkg})
+	if saCode != 0 && saCode != 1 {
+		t.Fatalf("standalone failed: exit %d\n%s", saCode, saErr.String())
+	}
+	var saFindings []jsonFinding
+	if err := json.Unmarshal(saOut.Bytes(), &saFindings); err != nil {
+		t.Fatalf("standalone JSON: %v\n%s", err, saOut.String())
+	}
+
+	if len(unitFindings) != len(saFindings) {
+		t.Fatalf("modes disagree: vet mode %d findings, standalone %d\nvet: %+v\nstandalone: %+v",
+			len(unitFindings), len(saFindings), unitFindings, saFindings)
+	}
+	for i := range unitFindings {
+		u, s := unitFindings[i], saFindings[i]
+		if u.Analyzer != s.Analyzer || u.Line != s.Line || u.Col != s.Col || u.Message != s.Message || u.Allowed != s.Allowed {
+			t.Errorf("finding %d disagrees:\nvet:        %+v\nstandalone: %+v", i, u, s)
+		}
+		if filepath.Base(u.File) != filepath.Base(s.File) {
+			t.Errorf("finding %d file disagrees: %s vs %s", i, u.File, s.File)
+		}
+	}
+	if (unitCode == 2) != (saCode == 1) {
+		t.Errorf("exit codes disagree: vet %d, standalone %d", unitCode, saCode)
 	}
 }

@@ -258,6 +258,52 @@
 //     no partial work escapes a failed entry (the PR 6 transaction
 //     bracket); single-statement delegations are exempt.
 //
+// Four further analyzers are flow-sensitive: they reason about paths and
+// cycles rather than single sites, on two shared layers. internal/lint/cfg
+// builds a per-function control-flow graph (basic blocks over the full
+// statement language — if/for/range/switch/select, labeled break/continue,
+// goto — with a deterministic worklist solver, post-dominance queries via
+// EveryPathHits, and check-free-cycle detection via CycleAvoiding), and
+// internal/lint/dataflow summarizes each function's facts (allocations,
+// mutex acquisitions with stable labels, table/DC-set mutation, cache
+// invalidation, context polling) and propagates them over static call
+// edges to a bounded depth:
+//
+//   - allocfree: functions reachable from a //lint:hotpath root — the
+//     eval→repair spine: cache lookups/stores, packed-key encoding,
+//     sampled-walk marginals, the serial RepairInto implementations — must
+//     not allocate per call. Escaping allocation sites (escape to caller,
+//     interface boxing, closure capture, zero-capacity append growth) are
+//     reported with the site and its escape path; cap-guarded pool refills
+//     and error exits are exempt.
+//   - cacheinval: every write to Table.rows or a Session's dcs/alg must be
+//     post-dominated by the invalidation surface (Table.logEdit /
+//     Table.invalidateEdits / Engine.InvalidateCache) — no path from a
+//     mutation to return may skip invalidation, else the coalition cache
+//     serves stale values (the PR 5/6 coherence contract).
+//   - lockorder: mutex-acquisition-order cycles across a package (lock A
+//     held while taking B in one function, B while taking A in another)
+//     are reported at the first edge of the cycle; deferred unlocks hold
+//     to function exit, RLock nesting is legal, function-local mutexes are
+//     out of scope.
+//   - ctxflow: in a context-accepting function, goroutines must be started
+//     with the incoming context observed, and no loop may iterate without
+//     consulting ctx on every back edge (directly, or via a callee that
+//     transitively polls) — otherwise cancellation admits unbounded delay
+//     (the PR 6 admission-control contract).
+//
+// Analyzer-to-invariant map, for review:
+//
+//	detmap      Workers=1 ≡ Workers=N (bit-identical results)
+//	seededrand  equal seeds replay equal runs
+//	editlog     edit log is the single source of truth
+//	cachekey    cache keys are injective encodings
+//	txnbracket  no partial work escapes a failed entry
+//	allocfree   steady-state hot path allocates zero bytes
+//	cacheinval  every mutation invalidates before returning
+//	lockorder   lock acquisition order is acyclic per package
+//	ctxflow     cancellation is observed on every iteration
+//
 // A finding is suppressed only by a justified directive on, or directly
 // above, its line:
 //
@@ -266,7 +312,12 @@
 // The reason is mandatory — a reasonless directive is itself a finding
 // (lintdirective) — and should argue why the invariant holds anyway
 // (e.g. an XOR fold is order-independent, a buffer is private scratch).
-// Never weaken an analyzer to make a finding go away.
+// A directive that stops suppressing anything (the code moved or was
+// fixed) is reported as stale, and one naming an unknown analyzer as a
+// typo, so the suppression inventory cannot rot. Hot-path roots are
+// declared the same way — `//lint:hotpath` directly above a function
+// declaration seeds allocfree's reachability sweep. Never weaken an
+// analyzer to make a finding go away.
 //
 // # Layout
 //
@@ -281,6 +332,8 @@
 //	internal/server     HTTP API + embedded GUI (Figure 3/4)
 //	internal/bench      experiment implementations (DESIGN.md §4)
 //	internal/lint       trexlint invariant analyzers (see # Linting)
+//	internal/lint/cfg   per-function control-flow graphs + worklist solver
+//	internal/lint/dataflow  bounded call-graph summaries for the analyzers
 //	cmd/trex            CLI repair + explain
 //	cmd/trex-server     web demo
 //	cmd/trex-bench      regenerates every experiment

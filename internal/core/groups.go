@@ -312,6 +312,9 @@ func (g *GroupGame) replacement(col int, rng *rand.Rand) (table.Value, error) {
 
 func (g *GroupGame) evalOn(ctx context.Context, sc *groupScratch, coalition []bool, rng *rand.Rand) (float64, error) {
 	for k, in := range coalition {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if in {
 			continue
 		}
@@ -336,6 +339,9 @@ func (g *GroupGame) evalClone(ctx context.Context, coalition []bool, rng *rand.R
 	g.sync()
 	masked := g.exp.Dirty.Clone()
 	for k, in := range coalition {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if in {
 			continue
 		}
@@ -476,6 +482,9 @@ func (w *groupWalk) Exclude(p int) {
 func (w *groupWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) {
 	if w.g.policy != ReplaceWithNull {
 		for k, in := range w.in {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			if in {
 				continue
 			}

@@ -84,6 +84,7 @@ func (e *Explainer) ExplainConstraintInteractions(ctx context.Context, cell tabl
 		Target:    target.String(),
 		Algorithm: e.Alg.Name(),
 	}
+	//lint:allow ctxflow pair assembly is quadratic in the constraint count (tens), not sample-scaled; the matrix computation above already honors ctx
 	for i := 0; i < len(matrix); i++ {
 		for j := i + 1; j < len(matrix); j++ {
 			report.Pairs = append(report.Pairs, InteractionEntry{

@@ -126,6 +126,8 @@ const wideStackWords = 8
 
 // Lookup returns the memoized value of (game, coalition) at generation
 // gen, if present.
+//
+//lint:hotpath
 func (c *CoalitionCache) Lookup(game, gen uint64, coalition []bool) (float64, bool) {
 	if len(coalition) <= 64 {
 		return c.lookupNarrow(game, gen, packNarrow(coalition))
@@ -177,6 +179,8 @@ func (c *CoalitionCache) lookupWide(game, gen, h uint64, words []uint64) (float6
 // Store memoizes the value of (game, coalition) computed at generation
 // gen. A store carrying a generation older than the shard's is dropped —
 // the table moved on while the value was being computed.
+//
+//lint:hotpath
 func (c *CoalitionCache) Store(game, gen uint64, coalition []bool, v float64) {
 	if len(coalition) <= 64 {
 		c.storeNarrow(game, gen, packNarrow(coalition), v)
@@ -216,6 +220,7 @@ func (c *CoalitionCache) storeWideH(game, gen, h uint64, words []uint64, v float
 			return
 		}
 	}
+	//lint:allow allocfree a first-time insert must own its packed key; hits (the steady state) return above without cloning
 	s.wide[h] = append(s.wide[h], wideGameEntry{game: game, words: slices.Clone(words), v: v})
 }
 
@@ -326,6 +331,8 @@ func (e *Engine) Bind(desc string, gen func() uint64) *Binding {
 
 // Lookup returns the memoized value of the coalition at the current
 // generation; gen must be passed to the Store that memoizes a miss.
+//
+//lint:hotpath
 func (b *Binding) Lookup(coalition []bool) (v float64, gen uint64, ok bool) {
 	if b == nil {
 		return 0, 0, false
@@ -361,6 +368,8 @@ func (b *Binding) lookupAt(gen uint64, coalition []bool) (float64, bool) {
 // explain computed after a concurrent session edit, mixing two table
 // states into one walk's estimates. A stale stamp (the table moved on)
 // simply misses.
+//
+//lint:hotpath
 func (b *Binding) LookupAt(gen uint64, coalition []bool) (float64, bool) {
 	if b == nil {
 		return 0, false
@@ -373,6 +382,8 @@ func (b *Binding) LookupAt(gen uint64, coalition []bool) (float64, bool) {
 // checkpoint here: a scheduled cancellation lands exactly between
 // computing a value and publishing it, the moment the
 // no-partial-work-poisoning invariant guards.
+//
+//lint:hotpath
 func (b *Binding) Store(gen uint64, coalition []bool, v float64) {
 	if b == nil {
 		return
@@ -410,6 +421,8 @@ type CachedGame struct {
 func (cg *CachedGame) NumPlayers() int { return cg.g.NumPlayers() }
 
 // Value implements shapley.Game, consulting the shared cache first.
+//
+//lint:hotpath
 func (cg *CachedGame) Value(ctx context.Context, coalition []bool) (float64, error) {
 	v, gen, ok := cg.b.Lookup(coalition)
 	if ok {

@@ -141,6 +141,7 @@ func (t *Txn) stageWide(game, gen, h uint64, words []uint64, v float64) {
 			return
 		}
 	}
+	//lint:allow allocfree staging a new wide entry must own its packed key; restaging an existing key updates in place above
 	t.wide[h] = append(t.wide[h], txnWideEntry{game: game, gen: gen, words: slices.Clone(words), v: v})
 	t.mu.Unlock()
 }

@@ -1,0 +1,682 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/dataflow"
+)
+
+// AllocFree enforces the steady-state zero-allocation contract of the
+// eval→repair hot path. Functions are opted in with a //lint:hotpath
+// directive on their declaration; the analyzer then walks everything
+// statically reachable from those roots inside the package (bounded by
+// dataflow.DefaultDepth) and reports every allocation site whose value
+// escapes, every call to a known-allocating stdlib helper, every append
+// that grows a slice born in the same function, and every interface
+// conversion that boxes a non-pointer-shaped value.
+//
+// Cold paths are exempt so the warm path stays checkable without drowning
+// in justified noise:
+//
+//   - sites inside a guarded branch whose condition tests availability or
+//     capacity (mentions nil, calls len or cap, or negates a flag) — the
+//     pool-miss and buffer-growth idioms;
+//   - sites inside a return that produces a non-nil error, or inside a
+//     panic call — error exits allocate by design (fmt.Errorf);
+//   - sync.Pool New constructors — they ARE the slow path.
+//
+// Every remaining site needs either a restructure onto a pooled or
+// caller-provided buffer, or a //lint:allow allocfree <reason> arguing
+// why the allocation is acceptable (e.g. a once-per-table cache insert).
+// The runtime twin of this analyzer is TestEvalRepairAllocsAlgorithm1,
+// which asserts 0 B/op over the same path; the static form names the site
+// and the escape route instead of just the count.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "reports escaping allocations, allocating stdlib calls and interface boxing in functions reachable from //lint:hotpath roots",
+	Run:  runAllocFree,
+}
+
+// knownAllocators are stdlib helpers that unconditionally allocate their
+// result; calling one on a hot path is an allocation site even though the
+// make/append lives in another package.
+var knownAllocators = map[string]bool{
+	"bytes.Clone":         true,
+	"fmt.Errorf":          true,
+	"fmt.Sprint":          true,
+	"fmt.Sprintf":         true,
+	"fmt.Sprintln":        true,
+	"maps.Clone":          true,
+	"slices.Clone":        true,
+	"slices.Concat":       true,
+	"strconv.FormatBool":  true,
+	"strconv.FormatFloat": true,
+	"strconv.FormatInt":   true,
+	"strconv.Itoa":        true,
+	"strconv.Quote":       true,
+	"strings.Clone":       true,
+	"strings.Join":        true,
+	"strings.Repeat":      true,
+}
+
+func runAllocFree(pass *analysis.Pass) (any, error) {
+	roots := analysis.CollectHotPathRoots(pass.Fset, pass.Files)
+	if len(roots) == 0 {
+		return nil, nil
+	}
+	g := dataflow.Build(pass.Fset, pass.Files, pass.TypesInfo, pass.Pkg)
+	var rootFns []*types.Func
+	for _, fd := range roots {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			rootFns = append(rootFns, fn)
+		}
+	}
+	reach := g.Reachable(rootFns, dataflow.DefaultDepth)
+	for _, fn := range g.Funcs() {
+		if reach[fn] {
+			checkAllocFree(pass, g.DeclOf(fn))
+		}
+	}
+	return nil, nil
+}
+
+// checkAllocFree reports the non-exempt allocation sites of one hot
+// function.
+func checkAllocFree(pass *analysis.Pass, decl *ast.FuncDecl) {
+	c := &allocChecker{pass: pass, decl: decl, parents: parentMap(decl)}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if c.isPoolNew(n) {
+				return false // the pool constructor IS the cold path
+			}
+			c.closureSite(n)
+		case *ast.CallExpr:
+			c.callSite(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.valueSite(n, "&"+exprString(pass.Fset, n.X))
+				}
+			}
+		case *ast.CompositeLit:
+			c.literalSite(n)
+		case *ast.AssignStmt, *ast.ReturnStmt:
+			c.boxingSites(n)
+		}
+		return true
+	})
+}
+
+type allocChecker struct {
+	pass    *analysis.Pass
+	decl    *ast.FuncDecl
+	parents map[ast.Node]ast.Node
+	// visited guards trackLocal against assignment cycles (x = y; y = x).
+	visited map[types.Object]bool
+}
+
+// report emits one diagnostic unless the site sits on an exempt cold
+// path.
+func (c *allocChecker) report(site ast.Node, format string, args ...any) {
+	if c.coldPath(site) {
+		return
+	}
+	c.pass.Reportf(site.Pos(), "hot path (reachable from //lint:hotpath root %s): "+format+
+		"; keep the steady state allocation-free or justify with //lint:allow allocfree <reason>",
+		append([]any{c.decl.Name.Name}, args...)...)
+}
+
+// coldPath reports whether site is exempt: inside a guard branch, an
+// error return, or a panic call.
+func (c *allocChecker) coldPath(site ast.Node) bool {
+	for cur := ast.Node(site); cur != nil && cur != c.decl.Body; cur = c.parents[cur] {
+		switch p := c.parents[cur].(type) {
+		case *ast.IfStmt:
+			// Only the branches are cold; the condition itself is warm.
+			if cur != p.Cond && cur != p.Init && isGuardCond(p.Cond) {
+				return true
+			}
+		case *ast.ReturnStmt:
+			if c.isErrorReturn(p) {
+				return true
+			}
+		case *ast.CallExpr:
+			if isPanicCallExpr(p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isGuardCond recognizes availability/capacity guards: conditions that
+// mention nil, call len or cap, or negate a flag (`if !ok`). Both arms of
+// such an if are cold — a miss path allocates by design, and the hit path
+// of the inverse formulation is covered by symmetry.
+func isGuardCond(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == "nil" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.NOT {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isErrorReturn reports whether ret produces a non-nil error: the
+// enclosing function's last result is an error and the corresponding
+// return expression is not the nil literal.
+func (c *allocChecker) isErrorReturn(ret *ast.ReturnStmt) bool {
+	sig, ok := c.pass.TypesInfo.Defs[c.decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := sig.Type().(*types.Signature).Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return false
+	}
+	if len(ret.Results) == 0 {
+		return false // naked return: can't see the error value
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func isPanicCallExpr(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// isPoolNew reports whether lit is the New constructor of a sync.Pool
+// (composite-literal field or assignment to a .New field).
+func (c *allocChecker) isPoolNew(lit *ast.FuncLit) bool {
+	switch p := c.parents[lit].(type) {
+	case *ast.KeyValueExpr:
+		if key, ok := p.Key.(*ast.Ident); ok && key.Name == "New" {
+			if cl, ok := c.parents[p].(*ast.CompositeLit); ok {
+				return isNamedType(c.pass.TypesInfo.TypeOf(cl), "sync", "Pool")
+			}
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if rhs == ast.Expr(lit) && i < len(p.Lhs) {
+				if sel, ok := ast.Unparen(p.Lhs[i]).(*ast.SelectorExpr); ok && sel.Sel.Name == "New" {
+					return isNamedType(c.pass.TypesInfo.TypeOf(sel.X), "sync", "Pool")
+				}
+			}
+		}
+	}
+	return false
+}
+
+// callSite classifies a call: builtin make/new, append growth of a fresh
+// slice, or a known-allocating stdlib helper.
+func (c *allocChecker) callSite(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				c.valueSite(call, exprString(c.pass.Fset, call))
+			case "append":
+				c.appendSite(call)
+			}
+			return
+		}
+	}
+	if fn := calledFunc(c.pass, call); fn != nil && fn.Pkg() != nil {
+		if knownAllocators[fn.Pkg().Path()+"."+fn.Name()] {
+			c.report(call, "call to %s.%s allocates its result", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	c.boxingSites(call)
+}
+
+// appendSite flags appends whose base slice was born in this function
+// with zero capacity (`var x []T`): each call re-grows it from nothing.
+// Appends onto parameters, fields, pooled buffers and stack-array slices
+// are exempt — growth there is the caller's (or the guard's) problem, and
+// the capacity-guard idioms the hot path uses keep them warm-safe.
+func (c *allocChecker) appendSite(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := c.pass.TypesInfo.ObjectOf(base).(*types.Var)
+	if !ok || !c.isZeroLocal(obj) {
+		return
+	}
+	c.report(call, "append grows %s, a slice declared with zero capacity in this function — preallocate it or reuse a pooled buffer", base.Name)
+}
+
+// isZeroLocal reports whether obj is a local slice variable declared
+// without an initial value (`var x []T`), i.e. born with no capacity.
+func (c *allocChecker) isZeroLocal(obj *types.Var) bool {
+	if obj.Parent() == c.pass.Pkg.Scope() {
+		return false
+	}
+	if _, ok := types.Unalias(obj.Type()).Underlying().(*types.Slice); !ok {
+		return false
+	}
+	zero := false
+	ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok || len(spec.Values) != 0 {
+			return true
+		}
+		for _, name := range spec.Names {
+			if c.pass.TypesInfo.Defs[name] == obj {
+				zero = true
+			}
+		}
+		return !zero
+	})
+	return zero
+}
+
+// literalSite flags slice and map composite literals (value struct
+// literals are copies, not allocations, unless their address is taken —
+// handled by the & case).
+func (c *allocChecker) literalSite(lit *ast.CompositeLit) {
+	if u, ok := c.parents[lit].(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return // the &lit case reports the UnaryExpr
+	}
+	if _, ok := c.parents[lit].(*ast.CompositeLit); ok {
+		return // nested literal: the outer one is the site
+	}
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Slice, *types.Map:
+		c.valueSite(lit, exprString(c.pass.Fset, lit))
+	}
+}
+
+// closureSite flags closures that capture variables and escape. A
+// capture-free closure is a static function value; a deferred or
+// immediately-invoked closure stays on the stack.
+func (c *allocChecker) closureSite(lit *ast.FuncLit) {
+	captured := c.capturedVar(lit)
+	if captured == "" {
+		return
+	}
+	switch p := c.parents[lit].(type) {
+	case *ast.CallExpr:
+		if p.Fun == ast.Expr(lit) {
+			switch c.parents[p].(type) {
+			case *ast.DeferStmt, *ast.ExprStmt:
+				return // deferred cleanup or IIFE: non-escaping
+			case *ast.GoStmt:
+				if c.coldPath(lit) {
+					return
+				}
+				c.report(lit, "closure capturing %s is started as a goroutine and escapes", captured)
+				return
+			}
+		}
+	}
+	c.valueSite(lit, "closure capturing "+captured)
+}
+
+// capturedVar returns the name of a variable the closure captures from
+// the enclosing function, "" when it captures nothing.
+func (c *allocChecker) capturedVar(lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return name == ""
+		}
+		if sel, ok := c.parents[id].(*ast.SelectorExpr); ok && sel.Sel == id {
+			return true // field/method name, not a variable use
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == c.pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		// Declared inside the closure itself (params, locals)?
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		name = id.Name
+		return false
+	})
+	return name
+}
+
+// valueSite runs the escape analysis for a value-producing allocation
+// site and reports it when the value leaves the frame.
+func (c *allocChecker) valueSite(site ast.Node, desc string) {
+	c.visited = make(map[types.Object]bool)
+	if path, escapes := c.escapePath(site); escapes {
+		c.report(site, "%s escapes: %s", desc, path)
+	}
+}
+
+// escapePath classifies how the value produced at site flows: ("", false)
+// when it provably stays in the frame, (description, true) otherwise.
+func (c *allocChecker) escapePath(site ast.Node) (string, bool) {
+	cur := site
+	for {
+		parent := c.parents[cur]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.CallExpr:
+			if p.Fun == cur {
+				return "", false // IIFE
+			}
+			// Type conversion: the value flows through unchanged.
+			if tv, ok := c.pass.TypesInfo.Types[p.Fun]; ok && tv.IsType() {
+				cur = p
+				continue
+			}
+			if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "len", "cap", "copy", "delete", "clear":
+						return "", false
+					case "append":
+						// Element or base of an append: flows into the result,
+						// which the enclosing assignment tracks.
+						cur = p
+						continue
+					}
+				}
+			}
+			return "passed to " + exprString(c.pass.Fset, p.Fun), true
+		case *ast.ReturnStmt:
+			return "returned to caller", true
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if ast.Node(rhs) != cur {
+					continue
+				}
+				if len(p.Lhs) != len(p.Rhs) {
+					return "assigned in multi-value context", true
+				}
+				return c.sinkOf(p.Lhs[i])
+			}
+			return "", false
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if ast.Node(v) == cur && i < len(p.Names) {
+					return c.trackLocal(p.Names[i])
+				}
+			}
+			return "", false
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			return "stored in a composite literal", true
+		case *ast.SendStmt:
+			return "sent on a channel", true
+		case *ast.GoStmt:
+			return "retained by a goroutine", true
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				cur = p
+				continue
+			}
+			return "", false
+		case *ast.IndexExpr, *ast.SliceExpr, *ast.SelectorExpr, *ast.StarExpr:
+			return "", false // read access
+		default:
+			return "", false
+		}
+	}
+}
+
+// sinkOf classifies an assignment target: a plain local keeps the value
+// in the frame (subject to how the local is used later), anything else
+// publishes it.
+func (c *allocChecker) sinkOf(lhs ast.Expr) (string, bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return "", false
+		}
+		if obj := c.pass.TypesInfo.ObjectOf(l); obj != nil && obj.Parent() == c.pass.Pkg.Scope() {
+			return "stored in package variable " + l.Name, true
+		}
+		return c.trackLocal(l)
+	default:
+		return "stored into " + exprString(c.pass.Fset, lhs), true
+	}
+}
+
+// trackLocal scans every later use of the local bound at id and returns
+// the first use that publishes the value out of the frame.
+func (c *allocChecker) trackLocal(id *ast.Ident) (string, bool) {
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	if obj == nil || c.visited[obj] {
+		return "", false
+	}
+	c.visited[obj] = true
+	path := ""
+	ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok || path != "" {
+			return path == ""
+		}
+		if use == id || c.pass.TypesInfo.Uses[use] != obj {
+			return true
+		}
+		if p, esc := c.useEscapes(use); esc {
+			path = p + " (via " + id.Name + ")"
+		}
+		return path == ""
+	})
+	return path, path != ""
+}
+
+// useEscapes classifies one use of a tracked local.
+func (c *allocChecker) useEscapes(use *ast.Ident) (string, bool) {
+	cur := ast.Node(use)
+	for {
+		parent := c.parents[cur]
+		switch p := parent.(type) {
+		case *ast.ParenExpr, *ast.SliceExpr:
+			cur = p
+			continue
+		case *ast.CallExpr:
+			if p.Fun == cur {
+				return "", false // calling a func-typed local
+			}
+			if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "len", "cap", "copy", "delete", "clear":
+						return "", false
+					case "append":
+						// Self-growth `x = append(x, ...)` stays local; the
+						// result's sink is classified where it is assigned.
+						return "", false
+					}
+				}
+			}
+			return "passed to " + exprString(c.pass.Fset, p.Fun), true
+		case *ast.ReturnStmt:
+			return "returned to caller", true
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if ast.Node(rhs) == cur {
+					if len(p.Lhs) != len(p.Rhs) {
+						return "assigned in multi-value context", true
+					}
+					return c.sinkOf(p.Lhs[i])
+				}
+			}
+			return "", false // use on the LHS: overwrite, not escape
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return "address taken", true
+			}
+			return "", false
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			return "stored in a composite literal", true
+		case *ast.SendStmt:
+			return "sent on a channel", true
+		case *ast.FuncLit:
+			return c.closureUse(p)
+		case *ast.IndexExpr:
+			if p.X == cur {
+				return "", false // x[i]: read
+			}
+			cur = p // value used as index: plain read
+			continue
+		case *ast.SelectorExpr, *ast.StarExpr:
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// closureUse classifies a capture: harmless in a deferred or
+// immediately-invoked closure, escaping otherwise.
+func (c *allocChecker) closureUse(lit *ast.FuncLit) (string, bool) {
+	if p, ok := c.parents[lit].(*ast.CallExpr); ok && p.Fun == ast.Expr(lit) {
+		switch c.parents[p].(type) {
+		case *ast.DeferStmt, *ast.ExprStmt:
+			return "", false
+		case *ast.GoStmt:
+			return "captured by a goroutine closure", true
+		}
+	}
+	return "captured by an escaping closure", true
+}
+
+// boxingSites reports interface conversions of non-pointer-shaped values
+// in calls, assignments and returns: each such conversion heap-allocates
+// the boxed copy.
+func (c *allocChecker) boxingSites(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		sig := c.callSignature(n)
+		if sig == nil {
+			return
+		}
+		for i, arg := range n.Args {
+			pt := paramType(sig, i, len(n.Args))
+			if pt == nil {
+				continue
+			}
+			c.boxCheck(arg, pt, "argument")
+		}
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i := range n.Rhs {
+			if lt := c.pass.TypesInfo.TypeOf(n.Lhs[i]); lt != nil {
+				c.boxCheck(n.Rhs[i], lt, "assignment")
+			}
+		}
+	case *ast.ReturnStmt:
+		sig, ok := c.pass.TypesInfo.Defs[c.decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		res := sig.Type().(*types.Signature).Results()
+		if res.Len() != len(n.Results) {
+			return
+		}
+		for i, r := range n.Results {
+			c.boxCheck(r, res.At(i).Type(), "return value")
+		}
+	}
+}
+
+// callSignature resolves the signature of a call's callee, nil for
+// builtins and conversions.
+func (c *allocChecker) callSignature(call *ast.CallExpr) *types.Signature {
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return nil
+	}
+	t := c.pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := types.Unalias(t).Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the declared type of argument i, unwrapping variadic
+// parameters to their element type.
+func paramType(sig *types.Signature, i, nargs int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		slice, ok := types.Unalias(params.At(params.Len() - 1).Type()).(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return slice.Elem()
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// boxCheck reports expr when assigning it to target boxes a
+// non-pointer-shaped value into an interface.
+func (c *allocChecker) boxCheck(expr ast.Expr, target types.Type, what string) {
+	if _, ok := types.Unalias(target).Underlying().(*types.Interface); !ok {
+		return
+	}
+	at := c.pass.TypesInfo.TypeOf(expr)
+	if at == nil || isPointerShaped(at) {
+		return
+	}
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok && id.Name == "nil" {
+		return
+	}
+	c.report(expr, "%s %s boxes a %s into an interface, allocating the boxed copy",
+		what, exprString(c.pass.Fset, expr), at.String())
+}
+
+// isPointerShaped reports whether values of t fit an interface word
+// without boxing: pointers, channels, maps, functions and interfaces
+// themselves (and unsafe pointers).
+func isPointerShaped(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		b := types.Unalias(t).Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil
+	}
+	return false
+}

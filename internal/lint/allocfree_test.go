@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, "testdata/src/allocfree/internal/hot", "allocfree/internal/hot", lint.AllocFree, "fmt", "strconv", "sync")
+}

@@ -3,6 +3,8 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -20,6 +22,14 @@ const allowPrefix = "lint:allow"
 // allowEntry is one parsed directive.
 type allowEntry struct {
 	analyzer string
+	// pos is the directive comment's position, used to report stale
+	// directives.
+	pos token.Pos
+	// used flips when the entry suppresses at least one diagnostic; a
+	// directive that never fires is stale (see Stale) — after a refactor
+	// moves or fixes the offending code, the suppression must not rot in
+	// place silently re-enabled for whatever lands on that line next.
+	used bool
 }
 
 // Suppressions indexes every well-formed //lint:allow directive of a
@@ -29,13 +39,13 @@ type Suppressions struct {
 	// byLine maps file name → line → analyzers allowed there. A directive
 	// on line L suppresses matching diagnostics on L and L+1, covering
 	// both the trailing-comment and the line-above placement.
-	byLine    map[string]map[int][]allowEntry
+	byLine    map[string]map[int][]*allowEntry
 	malformed []Diagnostic
 }
 
 // CollectSuppressions parses the //lint:allow directives of files.
 func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
-	s := &Suppressions{byLine: make(map[string]map[int][]allowEntry)}
+	s := &Suppressions{byLine: make(map[string]map[int][]*allowEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -56,10 +66,10 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 				pos := fset.Position(c.Pos())
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]allowEntry)
+					lines = make(map[int][]*allowEntry)
 					s.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], allowEntry{analyzer: name})
+				lines[pos.Line] = append(lines[pos.Line], &allowEntry{analyzer: name, pos: c.Pos()})
 			}
 		}
 	}
@@ -77,6 +87,7 @@ func (s *Suppressions) Suppressed(fset *token.FileSet, name string, pos token.Po
 	for _, line := range [2]int{p.Line, p.Line - 1} {
 		for _, e := range lines[line] {
 			if e.analyzer == name {
+				e.used = true
 				return true
 			}
 		}
@@ -86,3 +97,35 @@ func (s *Suppressions) Suppressed(fset *token.FileSet, name string, pos token.Po
 
 // Malformed returns a diagnostic per syntactically invalid directive.
 func (s *Suppressions) Malformed() []Diagnostic { return s.malformed }
+
+// Stale returns a diagnostic for every directive that suppressed nothing
+// over a completed run. known is the set of analyzer names that actually
+// ran: a directive naming an analyzer outside the run is not judged (a
+// single-analyzer harness must not condemn another analyzer's
+// suppressions), but a directive naming an analyzer no suite knows at
+// all is reported as unknown — it can never fire and is a typo by
+// construction. Call only after every analyzer in known has reported.
+func (s *Suppressions) Stale(known map[string]bool, all map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range s.byLine {
+		for _, entries := range lines {
+			for _, e := range entries {
+				switch {
+				case e.used:
+				case !all[e.analyzer]:
+					out = append(out, Diagnostic{
+						Pos:     e.pos,
+						Message: "//lint:allow names unknown analyzer " + strconv.Quote(e.analyzer),
+					})
+				case known[e.analyzer]:
+					out = append(out, Diagnostic{
+						Pos:     e.pos,
+						Message: "stale //lint:allow " + e.analyzer + ": no " + e.analyzer + " diagnostic on this or the next line; remove the directive (suppressions must not outlive the finding they justified)",
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

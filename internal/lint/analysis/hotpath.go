@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// hotPathPrefix marks an allocation-free root. The directive is placed in
+// (or directly above) a function's doc comment:
+//
+//	//lint:hotpath
+//	func (b *Binding) Lookup(coalition []bool) (float64, uint64, bool) { ... }
+//
+// Unlike //lint:allow it carries no reason — it is a contract opt-in, not
+// a suppression: the function and everything statically reachable from it
+// inside the package becomes subject to the allocfree analyzer.
+const hotPathPrefix = "lint:hotpath"
+
+// CollectHotPathRoots returns the function declarations marked with a
+// //lint:hotpath directive, in source order per file. A directive marks
+// the function whose declaration it documents: any line of the doc
+// comment group, or the line immediately above the func keyword, counts.
+func CollectHotPathRoots(fset *token.FileSet, files []*ast.File) []*ast.FuncDecl {
+	// Index directive lines per file.
+	lines := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text != hotPathPrefix && !strings.HasPrefix(text, hotPathPrefix+" ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if lines[pos.Filename] == nil {
+					lines[pos.Filename] = make(map[int]bool)
+				}
+				lines[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	var roots []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(fd.Pos())
+			fileLines := lines[pos.Filename]
+			if fileLines == nil {
+				continue
+			}
+			marked := fileLines[pos.Line-1]
+			if fd.Doc != nil {
+				from := fset.Position(fd.Doc.Pos()).Line
+				for l := from; l < pos.Line && !marked; l++ {
+					marked = fileLines[l]
+				}
+			}
+			if marked {
+				roots = append(roots, fd)
+			}
+		}
+	}
+	return roots
+}

@@ -42,6 +42,44 @@ func C() {}
 	Run(t, dir, "p", funcReporter)
 }
 
+// paramReporter reports every parameter name: several diagnostics on one
+// source line, for the multi-pattern want form.
+var paramReporter = &analysis.Analyzer{
+	Name: "paramreporter",
+	Doc:  "test analyzer: report every function parameter",
+	Run: func(pass *analysis.Pass) (any, error) {
+		pass.Inspect(func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Type.Params == nil {
+				return true
+			}
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					pass.Reportf(name.Pos(), "param %q", name.Name)
+				}
+			}
+			return true
+		})
+		return nil, nil
+	},
+}
+
+// TestRunMultipleWantsPerLine checks that one want comment carrying
+// several quoted patterns claims one diagnostic per pattern, in order.
+func TestRunMultipleWantsPerLine(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func D(a int, b int) {} // want "param \"a\"" "param \"b\""
+
+func E(c int) {} // want "param \"c\""
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Run(t, dir, "p", paramReporter)
+}
+
 func TestMatchedQuote(t *testing.T) {
 	cases := []struct {
 		in   string

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestCacheInvalTable(t *testing.T) {
+	analysistest.Run(t, "testdata/src/cacheinval/internal/table", "cacheinval/internal/table", lint.CacheInval)
+}
+
+func TestCacheInvalSession(t *testing.T) {
+	analysistest.Run(t, "testdata/src/cacheinval/internal/core", "cacheinval/internal/core", lint.CacheInval, "repro/internal/exec")
+}

@@ -1,0 +1,463 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies, for the flow-sensitive trexlint analyzers.
+//
+// The shape deliberately mirrors golang.org/x/tools/go/cfg — a Graph of
+// basic Blocks holding statement/expression Nodes in execution order,
+// connected by Succs/Preds edges — so a future port to the x/tools
+// framework is an import swap. Beyond the x/tools surface it also records
+// every loop (head block plus the syntactic for/range statement), because
+// the back-edge checks in the ctxflow analyzer need loop identity, and it
+// ships a forward worklist solver with a pluggable join lattice (Solve)
+// plus the path predicate the cacheinval analyzer's post-dominance check
+// is built on (EveryPathHits).
+//
+// Supported control flow: if/else, for (all three clauses), range,
+// switch/type switch (with fallthrough), select, labeled statements,
+// break/continue (labeled and bare), goto, return, and calls to panic,
+// which terminate their block with an edge to Exit. defer and go
+// statements appear as ordinary nodes in their block; analyzers that care
+// about function-exit effects (a deferred invalidation call, say) scan
+// for *ast.DeferStmt nodes explicitly.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body. Entry is the
+// block execution starts in; Exit is the single synthetic block every
+// return, panic and fall-off-the-end path reaches.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Loops records every for/range statement of the body, outermost
+	// first in source order.
+	Loops []*Loop
+}
+
+// Block is one basic block: a maximal sequence of nodes with one entry
+// point and one exit point. Nodes holds statements and the condition
+// expressions of if/for/switch in execution order.
+type Block struct {
+	Index int
+	// Kind labels the construct that created the block ("entry", "exit",
+	// "if.then", "for.head", "range.head", "switch.case", ...), for
+	// debugging and tests.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Loop is one for/range statement: its syntactic node and the head block
+// its back edges return to.
+type Loop struct {
+	// Stmt is the *ast.ForStmt or *ast.RangeStmt.
+	Stmt ast.Stmt
+	Head *Block
+}
+
+// String renders a compact adjacency listing for tests and debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "%d(%s):", blk.Index, blk.Kind)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, " %d", s.Index)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// builder carries the under-construction graph. cur is the block new
+// nodes append to; nil while the current point is unreachable (after a
+// return or an unconditional branch).
+type builder struct {
+	g   *Graph
+	cur *Block
+	// breaks and continues are the innermost-last stacks of branch
+	// targets, each carrying the optional statement label.
+	breaks    []branchTarget
+	continues []branchTarget
+	// labels maps a label name to the block its statement starts in
+	// (created on first reference, so forward gotos resolve).
+	labels map[string]*Block
+	// fallthroughs is the stack of next-case body blocks inside switch
+	// statements, for fallthrough resolution.
+	fallthroughs []*Block
+}
+
+// branchTarget is one break/continue destination with its label ("" for
+// the bare form's innermost target).
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// New builds the control-flow graph of body. It never fails: constructs
+// the builder does not model precisely are approximated conservatively
+// (extra edges rather than missing ones).
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"}
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body reaches Exit.
+	b.jump(g.Exit)
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from → to.
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to target and marks the
+// current point unreachable. No-op when already unreachable.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// startAt makes target the current block (the usual "join" move).
+func (b *builder) startAt(target *Block) { b.cur = target }
+
+// add appends a node to the current block, reviving an unreachable point
+// into a fresh orphan block so nodes after a return are still in the
+// graph (they just have no predecessors).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label is the enclosing label name when
+// the statement is the body of a LabeledStmt ("" otherwise).
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, true)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so goto/labeled
+		// break/continue have a well-defined target.
+		target := b.labelBlock(s.Label.Name)
+		b.jump(target)
+		b.startAt(target)
+		b.stmt(s.Stmt, s.Label.Name)
+	default:
+		// ExprStmt, AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt,
+		// DeferStmt, EmptyStmt: straight-line nodes.
+		b.add(s)
+		if es, ok := s.(*ast.ExprStmt); ok && isPanicCall(es.X) {
+			b.jump(b.g.Exit)
+		}
+	}
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// labelBlock returns (creating on demand) the block a label names.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breaks, label); t != nil {
+			b.jump(t)
+		} else {
+			b.cur = nil // malformed code; sever conservatively
+		}
+	case token.CONTINUE:
+		if t := findTarget(b.continues, label); t != nil {
+			b.jump(t)
+		} else {
+			b.cur = nil
+		}
+	case token.GOTO:
+		b.jump(b.labelBlock(label))
+	case token.FALLTHROUGH:
+		if n := len(b.fallthroughs); n > 0 && b.fallthroughs[n-1] != nil {
+			b.jump(b.fallthroughs[n-1])
+		} else {
+			b.cur = nil
+		}
+	}
+}
+
+// findTarget resolves a break/continue: the innermost entry for the bare
+// form, the matching labeled entry otherwise.
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			if label == "" && stack[i].label != "" && stack[i].block == nil {
+				continue // label-only placeholder (switch labels), keep looking
+			}
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	condBlock := b.cur
+	after := b.newBlock("if.done")
+
+	thenBlock := b.newBlock("if.then")
+	edge(condBlock, thenBlock)
+	b.startAt(thenBlock)
+	b.stmtList(s.Body.List)
+	b.jump(after)
+
+	if s.Else != nil {
+		elseBlock := b.newBlock("if.else")
+		edge(condBlock, elseBlock)
+		b.startAt(elseBlock)
+		b.stmt(s.Else, "")
+		b.jump(after)
+	} else {
+		edge(condBlock, after)
+	}
+	b.startAt(after)
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.jump(head)
+	b.startAt(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock("for.done")
+	// continue goes to the post statement's block when present, else to
+	// the head directly.
+	contTarget := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		edge(post, head)
+		contTarget = post
+	}
+	b.g.Loops = append(b.g.Loops, &Loop{Stmt: s, Head: head})
+
+	body := b.newBlock("for.body")
+	edge(head, body)
+	if s.Cond != nil {
+		edge(head, after)
+	}
+	b.pushLoop(label, after, contTarget)
+	b.startAt(body)
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	b.jump(contTarget)
+	b.startAt(after)
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The head holds the RangeStmt itself: the per-iteration key/value
+	// assignment and the exhaustion test live there.
+	head := b.newBlock("range.head")
+	b.jump(head)
+	b.startAt(head)
+	b.add(s)
+	head = b.cur
+	after := b.newBlock("range.done")
+	edge(head, after)
+	b.g.Loops = append(b.g.Loops, &Loop{Stmt: s, Head: head})
+
+	body := b.newBlock("range.body")
+	edge(head, body)
+	b.pushLoop(label, after, head)
+	b.startAt(body)
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	b.jump(head)
+	b.startAt(after)
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: "", block: brk})
+	b.continues = append(b.continues, branchTarget{label: "", block: cont})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+		b.continues = append(b.continues, branchTarget{label: label, block: cont})
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breaks = popTargets(b.breaks)
+	b.continues = popTargets(b.continues)
+}
+
+// popTargets removes the innermost bare target plus its optional labeled
+// twin.
+func popTargets(stack []branchTarget) []branchTarget {
+	n := len(stack) - 1
+	if n >= 0 && stack[n].label != "" {
+		n--
+	}
+	return stack[:n]
+}
+
+// switchBody lowers the clause list shared by switch and type switch.
+func (b *builder) switchBody(body *ast.BlockStmt, label string, typeSwitch bool) {
+	if b.cur == nil {
+		b.startAt(b.newBlock("switch.head"))
+	}
+	head := b.cur
+	after := b.newBlock("switch.done")
+	b.breaks = append(b.breaks, branchTarget{label: "", block: after})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+	}
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	// Pre-create the body blocks so fallthrough can reach forward.
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		if head != nil {
+			edge(head, blocks[i])
+		}
+	}
+	if !hasDefault && head != nil {
+		edge(head, after)
+	}
+	for i, cc := range clauses {
+		next := (*Block)(nil)
+		if !typeSwitch && i+1 < len(clauses) {
+			next = blocks[i+1]
+		}
+		b.fallthroughs = append(b.fallthroughs, next)
+		b.startAt(blocks[i])
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+		b.fallthroughs = b.fallthroughs[:len(b.fallthroughs)-1]
+	}
+	b.breaks = popTargets(b.breaks)
+	b.startAt(after)
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	if b.cur == nil {
+		b.startAt(b.newBlock("select.head"))
+	}
+	head := b.cur
+	after := b.newBlock("select.done")
+	b.breaks = append(b.breaks, branchTarget{label: "", block: after})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+	}
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		edge(head, blk)
+		b.startAt(blk)
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	b.breaks = popTargets(b.breaks)
+	b.startAt(after)
+}

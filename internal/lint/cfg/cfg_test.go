@@ -1,0 +1,317 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody wraps src in a function and returns its body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\n\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// callsTo returns a predicate matching nodes whose subtree calls the
+// named function, honoring the range-head restriction documented on
+// EveryPathHits.
+func callsTo(name string) func(ast.Node) bool {
+	var pred func(ast.Node) bool
+	pred = func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			return r.X != nil && pred(r.X)
+		}
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	return pred
+}
+
+// siteOf locates the block and node index of the first node satisfying
+// pred.
+func siteOf(t *testing.T, g *Graph, pred func(ast.Node) bool) (*Block, int) {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if pred(n) {
+				return b, i
+			}
+		}
+	}
+	t.Fatal("site not found in any block")
+	return nil, 0
+}
+
+func TestStraightLineGraph(t *testing.T) {
+	g := New(parseBody(t, "x := 1\ny := x\n_ = y"))
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("missing entry/exit")
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry has %d nodes, want 3: %s", len(g.Entry.Nodes), g)
+	}
+	if len(g.Loops) != 0 {
+		t.Errorf("straight line reported %d loops", len(g.Loops))
+	}
+	// The only path must reach Exit.
+	found := false
+	for _, s := range g.Entry.Succs {
+		if s == g.Exit {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("entry does not reach exit directly: %s", g)
+	}
+}
+
+func TestEveryPathHitsBothArms(t *testing.T) {
+	g := New(parseBody(t, `
+mutate()
+if cond() {
+	barrier()
+} else {
+	barrier()
+}
+`))
+	b, i := siteOf(t, g, callsTo("mutate"))
+	if !g.EveryPathHits(b, i, callsTo("barrier")) {
+		t.Errorf("both arms barriered, want covered: %s", g)
+	}
+}
+
+func TestEveryPathHitsOneArmLeaks(t *testing.T) {
+	g := New(parseBody(t, `
+mutate()
+if cond() {
+	barrier()
+}
+`))
+	b, i := siteOf(t, g, callsTo("mutate"))
+	if g.EveryPathHits(b, i, callsTo("barrier")) {
+		t.Errorf("fallthrough arm has no barrier, want uncovered: %s", g)
+	}
+}
+
+func TestEveryPathHitsEarlyReturnLeaks(t *testing.T) {
+	g := New(parseBody(t, `
+mutate()
+if cond() {
+	return
+}
+barrier()
+`))
+	b, i := siteOf(t, g, callsTo("mutate"))
+	if g.EveryPathHits(b, i, callsTo("barrier")) {
+		t.Error("early return path skips the barrier, want uncovered")
+	}
+}
+
+func TestEveryPathHitsSameBlockAfter(t *testing.T) {
+	g := New(parseBody(t, "mutate()\nbarrier()"))
+	b, i := siteOf(t, g, callsTo("mutate"))
+	if !g.EveryPathHits(b, i, callsTo("barrier")) {
+		t.Error("barrier later in the same block, want covered")
+	}
+}
+
+func TestEveryPathHitsBarrierBeforeSiteDoesNotCount(t *testing.T) {
+	g := New(parseBody(t, "barrier()\nmutate()"))
+	b, i := siteOf(t, g, callsTo("mutate"))
+	if g.EveryPathHits(b, i, callsTo("barrier")) {
+		t.Error("barrier precedes the mutation, want uncovered")
+	}
+}
+
+func TestLoopRecorded(t *testing.T) {
+	g := New(parseBody(t, `
+for i := 0; i < 10; i++ {
+	work(i)
+}
+for range ch() {
+	work(0)
+}
+`))
+	if len(g.Loops) != 2 {
+		t.Fatalf("got %d loops, want 2: %s", len(g.Loops), g)
+	}
+	if _, ok := g.Loops[0].Stmt.(*ast.ForStmt); !ok {
+		t.Errorf("loop 0 is %T, want *ast.ForStmt", g.Loops[0].Stmt)
+	}
+	if _, ok := g.Loops[1].Stmt.(*ast.RangeStmt); !ok {
+		t.Errorf("loop 1 is %T, want *ast.RangeStmt", g.Loops[1].Stmt)
+	}
+}
+
+func TestCycleAvoidingUncheckedLoop(t *testing.T) {
+	g := New(parseBody(t, `
+for i := 0; i < 10; i++ {
+	work(i)
+}
+`))
+	if !g.CycleAvoiding(g.Loops[0].Head, callsTo("check")) {
+		t.Error("no check anywhere, want an unchecked cycle")
+	}
+}
+
+func TestCycleAvoidingUnconditionalCheck(t *testing.T) {
+	g := New(parseBody(t, `
+for i := 0; i < 10; i++ {
+	check()
+	work(i)
+}
+`))
+	if g.CycleAvoiding(g.Loops[0].Head, callsTo("check")) {
+		t.Error("check on every iteration, want no unchecked cycle")
+	}
+}
+
+func TestCycleAvoidingSkippableCheck(t *testing.T) {
+	g := New(parseBody(t, `
+for i := 0; i < 10; i++ {
+	if i%2 == 0 {
+		check()
+	}
+	work(i)
+}
+`))
+	if !g.CycleAvoiding(g.Loops[0].Head, callsTo("check")) {
+		t.Error("check sits in a skippable branch, want an unchecked cycle")
+	}
+}
+
+func TestCycleAvoidingContinueSkipsCheck(t *testing.T) {
+	g := New(parseBody(t, `
+for i := 0; i < 10; i++ {
+	if i%2 == 0 {
+		continue
+	}
+	check()
+	work(i)
+}
+`))
+	if !g.CycleAvoiding(g.Loops[0].Head, callsTo("check")) {
+		t.Error("continue path bypasses the check, want an unchecked cycle")
+	}
+}
+
+func TestSwitchAllCasesBarrier(t *testing.T) {
+	g := New(parseBody(t, `
+mutate()
+switch mode() {
+case 1:
+	barrier()
+default:
+	barrier()
+}
+`))
+	b, i := siteOf(t, g, callsTo("mutate"))
+	if !g.EveryPathHits(b, i, callsTo("barrier")) {
+		t.Error("every switch case barriered, want covered")
+	}
+}
+
+func TestSwitchMissingDefaultLeaks(t *testing.T) {
+	g := New(parseBody(t, `
+mutate()
+switch mode() {
+case 1:
+	barrier()
+}
+`))
+	b, i := siteOf(t, g, callsTo("mutate"))
+	if g.EveryPathHits(b, i, callsTo("barrier")) {
+		t.Error("defaultless switch can fall through, want uncovered")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := New(parseBody(t, "if cond() {\n\twork(1)\n}"))
+	s := g.String()
+	if !strings.Contains(s, "(entry)") || !strings.Contains(s, "(exit)") || !strings.Contains(s, "(if.then)") {
+		t.Errorf("String lacks the expected adjacency listing: %q", s)
+	}
+}
+
+// gen is the classic reaching-assignment boolean lattice for Solve
+// tests: the fact is "a call to gen() may have executed".
+type mayGen struct{}
+
+func (mayGen) Bottom() any       { return false }
+func (mayGen) Join(a, b any) any { return a.(bool) || b.(bool) }
+func (mayGen) Equal(a, b any) bool {
+	return a.(bool) == b.(bool)
+}
+
+func TestSolveFixpoint(t *testing.T) {
+	g := New(parseBody(t, `
+if cond() {
+	gen()
+}
+use()
+`))
+	pred := callsTo("gen")
+	transfer := func(b *Block, in any) any {
+		fact := in.(bool)
+		for _, n := range b.Nodes {
+			if pred(n) {
+				fact = true
+			}
+		}
+		return fact
+	}
+	sol := Solve(g, mayGen{}, transfer, nil)
+	if got := sol.In[g.Exit].(bool); !got {
+		t.Error("gen() may reach exit through the then-arm, want In[Exit]=true")
+	}
+	if got := sol.In[g.Entry].(bool); got {
+		t.Error("nothing precedes entry, want In[Entry]=false")
+	}
+	// The use() block joins both the gen and non-gen paths: may-analysis
+	// reports true there.
+	ub, _ := siteOf(t, g, callsTo("use"))
+	if got := sol.In[ub].(bool); !got {
+		t.Error("join at use() loses the then-arm fact, want true")
+	}
+}
+
+func TestSolveLoopTermination(t *testing.T) {
+	g := New(parseBody(t, `
+for i := 0; i < 10; i++ {
+	if i == 3 {
+		gen()
+	}
+}
+use()
+`))
+	pred := callsTo("gen")
+	transfer := func(b *Block, in any) any {
+		fact := in.(bool)
+		for _, n := range b.Nodes {
+			if pred(n) {
+				fact = true
+			}
+		}
+		return fact
+	}
+	sol := Solve(g, mayGen{}, transfer, nil)
+	if got := sol.In[g.Exit].(bool); !got {
+		t.Error("loop-carried fact must reach exit, want true")
+	}
+}

@@ -1,0 +1,188 @@
+package cfg
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// Lattice is the join-semilattice a forward dataflow problem runs over.
+// Facts are opaque to the solver; Bottom is the "no information" value
+// every block starts from, Join computes the least upper bound of two
+// facts at a control-flow merge, and Equal detects the fixpoint.
+//
+// Join must be monotone and idempotent or the worklist will not
+// terminate; keeping fact domains finite (bounded sets, booleans) is the
+// caller's responsibility.
+type Lattice interface {
+	Bottom() any
+	Join(a, b any) any
+	Equal(a, b any) bool
+}
+
+// Solution holds the fixpoint facts of one Solve run: In[b] is the fact
+// at b's entry (the join over predecessors' Out, and the seed for seeded
+// blocks), Out[b] the fact after b's transfer function.
+type Solution struct {
+	In  map[*Block]any
+	Out map[*Block]any
+}
+
+// Solve runs a forward worklist iteration over g to fixpoint. transfer
+// maps a block's entry fact to its exit fact (it must not mutate the
+// input fact — return a fresh or shared immutable value). seeds, when
+// non-nil, joins extra initial facts into the named blocks' entries —
+// the entry block for whole-function problems, a loop head for
+// loop-local ones. Blocks are processed in index order for deterministic
+// fact construction.
+func Solve(g *Graph, lat Lattice, transfer func(b *Block, in any) any, seeds map[*Block]any) *Solution {
+	sol := &Solution{In: make(map[*Block]any, len(g.Blocks)), Out: make(map[*Block]any, len(g.Blocks))}
+	for _, b := range g.Blocks {
+		sol.In[b] = lat.Bottom()
+		sol.Out[b] = lat.Bottom()
+	}
+	for b, f := range seeds {
+		sol.In[b] = lat.Join(sol.In[b], f)
+	}
+
+	// Deterministic worklist: a sorted index set.
+	inList := make([]bool, len(g.Blocks)+1)
+	var list []*Block
+	push := func(b *Block) {
+		if !inList[b.Index] {
+			inList[b.Index] = true
+			list = append(list, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+	for len(list) > 0 {
+		sort.Slice(list, func(i, j int) bool { return list[i].Index < list[j].Index })
+		b := list[0]
+		list = list[1:]
+		inList[b.Index] = false
+
+		in := sol.In[b]
+		for _, p := range b.Preds {
+			in = lat.Join(in, sol.Out[p])
+		}
+		if seed, ok := seeds[b]; ok {
+			in = lat.Join(in, seed)
+		}
+		sol.In[b] = in
+		out := transfer(b, in)
+		if !lat.Equal(out, sol.Out[b]) {
+			sol.Out[b] = out
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+	return sol
+}
+
+// EveryPathHits reports whether every path from just after node index i
+// of block b to the function exit passes a node for which barrier
+// returns true. It is the post-dominance predicate the cacheinval
+// analyzer uses: "is this mutation always followed by an invalidation
+// call before the function can return?"
+//
+// Paths that loop forever without reaching Exit are vacuously covered.
+// Note that a *ast.RangeStmt node in a range head syntactically contains
+// its whole body; barrier predicates must match on the node itself (or
+// on head-resident parts like the range expression), not on arbitrary
+// subtree content, to avoid crediting body-resident calls to the head.
+func (g *Graph) EveryPathHits(b *Block, i int, barrier func(ast.Node) bool) bool {
+	for _, n := range b.Nodes[i+1:] {
+		if barrier(n) {
+			return true
+		}
+	}
+	leaky := g.leakyBlocks(barrier)
+	for _, s := range b.Succs {
+		if leaky[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// leakyBlocks computes the set of blocks from which Exit is reachable
+// without traversing any barrier node: entering such a block means some
+// continuation escapes to Exit uncovered. Computed by reverse BFS from
+// Exit over barrier-free blocks.
+func (g *Graph) leakyBlocks(barrier func(ast.Node) bool) map[*Block]bool {
+	clean := func(b *Block) bool {
+		for _, n := range b.Nodes {
+			if barrier(n) {
+				return false
+			}
+		}
+		return true
+	}
+	leaky := map[*Block]bool{g.Exit: true}
+	queue := []*Block{g.Exit}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, p := range b.Preds {
+			if !leaky[p] && clean(p) {
+				leaky[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return leaky
+}
+
+// CycleAvoiding reports whether some cycle through head exists that
+// traverses no node satisfying check — i.e. whether an iteration of the
+// loop rooted at head can complete without passing a check node. This is
+// the ctxflow analyzer's back-edge predicate: with check matching
+// context polls, a true result means a loop iteration can run
+// check-free.
+//
+// The search walks forward from head's successors through check-free
+// blocks only; reaching head again closes an unchecked cycle. Blocks
+// containing a check node absorb every path through them.
+func (g *Graph) CycleAvoiding(head *Block, check func(ast.Node) bool) bool {
+	hasCheck := func(b *Block) bool {
+		for _, n := range b.Nodes {
+			if check(n) {
+				return true
+			}
+		}
+		return false
+	}
+	if hasCheck(head) {
+		return false // every iteration re-enters the head
+	}
+	seen := make(map[*Block]bool)
+	var stack []*Block
+	for _, s := range head.Succs {
+		if s == head {
+			return true // self-loop with no check
+		}
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if hasCheck(b) {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == head {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}

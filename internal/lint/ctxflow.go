@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+)
+
+// CtxFlow enforces cancellation propagation in functions that accept a
+// context.Context:
+//
+//   - every goroutine the function starts must thread the incoming
+//     context into the spawned work (the spawned call or its closure body
+//     must reference the ctx parameter), or cancellation can never reach
+//     the worker;
+//   - every loop that does real work (contains a function call) must
+//     consult the context on every iteration: a poll of ctx.Err / Done /
+//     Deadline / Value, or passing ctx into a callee, somewhere on every
+//     cycle through the loop head. The check runs over the CFG
+//     (cfg.CycleAvoiding), so a poll inside a conditional branch that an
+//     iteration can skip does not count — exactly the shape that turns
+//     "cancellable" sampling loops into unkillable ones.
+//
+// Loops whose body merely shuffles data (no calls) are exempt: they are
+// bounded by their inputs and polling there is noise. The sampled-walk
+// and repair loops this analyzer exists for all call into rule evaluation
+// or table access on every iteration.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "reports goroutines and work loops in context-accepting functions that cannot observe cancellation",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (any, error) {
+	g := dataflow.Build(pass.Fset, pass.Files, pass.TypesInfo, pass.Pkg)
+	for _, fn := range g.Funcs() {
+		decl := g.DeclOf(fn)
+		checkCtxRegion(pass, g, decl.Body, ctxParam(pass, decl.Type.Params))
+	}
+	return nil, nil
+}
+
+// ctxParam returns the context.Context parameter object of a parameter
+// list, nil when there is none (or only a blank one — nothing can be
+// threaded from an unnamed context).
+func ctxParam(pass *analysis.Pass, params *ast.FieldList) types.Object {
+	if params == nil {
+		return nil
+	}
+	for _, field := range params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if !isNamedType(t, "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkCtxRegion checks one lexical function region — a declaration body
+// or a closure body — against the context object in scope there. Closures
+// form child regions: one with its own context parameter shadows the
+// outer object (worker callbacks receive their per-worker context), one
+// without inherits the enclosing region's via capture.
+func checkCtxRegion(pass *analysis.Pass, g *dataflow.Graph, body *ast.BlockStmt, ctxObj types.Object) {
+	// Partition the region: goroutine spawns and closures at this level.
+	var gos []*ast.GoStmt
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.GoStmt:
+			gos = append(gos, n)
+		}
+		return true
+	})
+
+	if ctxObj != nil {
+		// Goroutine spawns: the spawned call (or its closure body) must
+		// reference the in-scope context.
+		for _, gs := range gos {
+			if !referencesObj(pass, gs.Call, ctxObj) {
+				pass.Reportf(gs.Pos(),
+					"goroutine started without the incoming context %s; thread it into the worker so cancellation propagates (or //lint:allow ctxflow <reason>)",
+					ctxObj.Name())
+			}
+		}
+		// Work loops at this level. cfg.New does not descend into
+		// closures, so each loop here belongs to this region. Only
+		// top-level loops are held to the contract: an inner loop is one
+		// iteration's worth of work, and the enclosing loop's back edge is
+		// where cancellation must be observed.
+		check := func(n ast.Node) bool { return nodeChecksCtx(pass, g, n, ctxObj) }
+		graph := cfg.New(body)
+		for _, loop := range graph.Loops {
+			if nestedLoop(graph, loop) || !loopDoesWork(pass, g, loop.Stmt) {
+				continue
+			}
+			if graph.CycleAvoiding(loop.Head, check) {
+				pass.Reportf(loop.Stmt.Pos(),
+					"loop can iterate without consulting %s: poll %s.Err() (or pass %s to a callee) on every iteration so cancellation is observed (or //lint:allow ctxflow <reason>)",
+					ctxObj.Name(), ctxObj.Name(), ctxObj.Name())
+			}
+		}
+	}
+
+	for _, lit := range lits {
+		child := ctxObj
+		if own := ctxParam(pass, lit.Type.Params); own != nil {
+			child = own
+		}
+		checkCtxRegion(pass, g, lit.Body, child)
+	}
+}
+
+// nestedLoop reports whether loop sits inside another loop of the same
+// region.
+func nestedLoop(graph *cfg.Graph, loop *cfg.Loop) bool {
+	for _, outer := range graph.Loops {
+		if outer == loop {
+			continue
+		}
+		if outer.Stmt.Pos() <= loop.Stmt.Pos() && loop.Stmt.End() <= outer.Stmt.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// loopDoesWork reports whether the loop is cancellable-worthy: its body
+// contains a nested loop (work scales multiplicatively), passes a context
+// into a callee, or calls a same-package function that transitively
+// consults one. Flat loops over accessors — result assembly, statistics
+// merging — are bounded by their inputs and exempt: demanding a poll
+// there would be noise, not safety.
+func loopDoesWork(pass *analysis.Pass, g *dataflow.Graph, stmt ast.Stmt) bool {
+	var body *ast.BlockStmt
+	switch s := stmt.(type) {
+	case *ast.ForStmt:
+		body = s.Body
+	case *ast.RangeStmt:
+		body = s.Body
+	default:
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if isNamedType(pass.TypesInfo.TypeOf(arg), "context", "Context") {
+					found = true
+				}
+			}
+			if fn := calledFunc(pass, n); fn != nil && g.PollsCtx(fn, dataflow.DefaultDepth) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// referencesObj reports whether the subtree mentions obj.
+func referencesObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeChecksCtx reports whether node n consults the context: calls a
+// method on ctx, passes ctx to any callee, or receives from ctx.Done().
+// Range heads scan only their head-resident parts — their body statements
+// live in separate blocks (see cfg.EveryPathHits).
+func nodeChecksCtx(pass *analysis.Pass, g *dataflow.Graph, n ast.Node, ctxObj types.Object) bool {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		return r.X != nil && nodeChecksCtx(pass, g, r.X, ctxObj)
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		// ctx.Err(), ctx.Done(), ...
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctxObj {
+				found = true
+				return false
+			}
+		}
+		// f(ctx, ...): the callee observes cancellation (its own body is
+		// held to the same contract when it is in this package, and the
+		// convention binds cross-package callees).
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctxObj {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,272 @@
+package dataflow_test
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"repro/internal/lint/dataflow"
+	"repro/internal/lint/loader"
+)
+
+// tableSrc is a synthetic package on the guarded internal/table path
+// suffix, exercising every direct fact family.
+const tableSrc = `package table
+
+import (
+	"context"
+	"sync"
+)
+
+type Value struct{}
+
+type Table struct {
+	mu   sync.RWMutex
+	rows [][]Value
+}
+
+func (t *Table) logEdit(i, j int) {}
+
+func (t *Table) Set(i, j int, v Value) {
+	t.rows[i][j] = v
+	t.logEdit(i, j)
+}
+
+func (t *Table) Swap(rows [][]Value) { t.rows = rows }
+
+func MutWrap(t *Table, v Value) { t.Set(0, 0, v) }
+
+func Alloc(n int) []int { return make([]int, n) }
+
+func Clean(x int) int { return x + 1 }
+
+var global sync.Mutex
+
+func LockBoth(t *Table) {
+	global.Lock()
+	t.mu.RLock()
+	t.mu.RUnlock()
+	global.Unlock()
+}
+
+func LocalLock() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+func ClosureLock(t *Table) {
+	f := func() {
+		t.mu.Lock()
+		t.mu.Unlock()
+	}
+	f()
+}
+
+func Poll(ctx context.Context) bool { return ctx.Err() != nil }
+
+func Delegate(ctx context.Context) bool { return Poll(ctx) }
+
+func chainA(t *Table) { chainB(t) }
+func chainB(t *Table) { chainC(t) }
+func chainC(t *Table) {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+`
+
+func buildGraph(t *testing.T, pkgPath, src string, deps ...string) *dataflow.Graph {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, pkgPath, deps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataflow.Build(pkg.Fset, pkg.Files, pkg.Info, pkg.Types)
+}
+
+func fnByName(t *testing.T, g *dataflow.Graph, name string) *types.Func {
+	t.Helper()
+	for _, fn := range g.Funcs() {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not declared in graph", name)
+	return nil
+}
+
+func labels(acquires []dataflow.Acquire) []string {
+	out := make([]string, len(acquires))
+	for i, a := range acquires {
+		out[i] = a.Label
+	}
+	return out
+}
+
+func TestSummaryDirectFacts(t *testing.T) {
+	g := buildGraph(t, "dfdata/internal/table", tableSrc, "sync", "context")
+
+	clean := g.SummaryOf(fnByName(t, g, "Clean"))
+	if clean.Allocates || clean.MutatesTable || clean.MutatesDCSet || clean.Invalidates || clean.PollsCtx ||
+		len(clean.Acquires) != 0 || len(clean.Calls) != 0 {
+		t.Errorf("Clean has spurious facts: %+v", clean)
+	}
+
+	if !g.SummaryOf(fnByName(t, g, "Alloc")).Allocates {
+		t.Error("Alloc: make(...) not recorded as allocation")
+	}
+
+	set := g.SummaryOf(fnByName(t, g, "Set"))
+	if !set.MutatesTable {
+		t.Error("Set: indexed write to t.rows not recorded as table mutation")
+	}
+	if !set.Invalidates {
+		t.Error("Set: call to logEdit not recorded as invalidation")
+	}
+	if len(set.Calls) != 1 || set.Calls[0].Name() != "logEdit" {
+		t.Errorf("Set.Calls = %v, want [logEdit]", set.Calls)
+	}
+
+	if !g.SummaryOf(fnByName(t, g, "Swap")).MutatesTable {
+		t.Error("Swap: structural re-slice of t.rows not recorded as table mutation")
+	}
+}
+
+func TestSummaryMutexLabels(t *testing.T) {
+	g := buildGraph(t, "dfdata/internal/table", tableSrc, "sync", "context")
+
+	both := g.SummaryOf(fnByName(t, g, "LockBoth"))
+	if got, want := labels(both.Acquires), []string{"table.global", "table.Table.mu"}; !slices.Equal(got, want) {
+		t.Errorf("LockBoth acquires %v, want %v", got, want)
+	}
+	if both.Acquires[0].Read || !both.Acquires[1].Read {
+		t.Errorf("LockBoth read flags wrong: %+v", both.Acquires)
+	}
+	if got, want := labels(both.Releases), []string{"table.Table.mu", "table.global"}; !slices.Equal(got, want) {
+		t.Errorf("LockBoth releases %v, want %v", got, want)
+	}
+	if !both.Releases[0].Read || both.Releases[1].Read {
+		t.Errorf("LockBoth release read flags wrong: %+v", both.Releases)
+	}
+	for _, a := range append(both.Acquires, both.Releases...) {
+		if !a.Pos.IsValid() {
+			t.Errorf("acquire/release %s has no position", a.Label)
+		}
+	}
+
+	local := g.SummaryOf(fnByName(t, g, "LocalLock"))
+	if got, want := labels(local.Acquires), []string{"local:mu"}; !slices.Equal(got, want) {
+		t.Errorf("LocalLock acquires %v, want %v", got, want)
+	}
+
+	// A lock taken inside a closure is the declaring function's behavior.
+	closure := g.SummaryOf(fnByName(t, g, "ClosureLock"))
+	if !slices.Contains(labels(closure.Acquires), "table.Table.mu") {
+		t.Errorf("ClosureLock acquires %v, want table.Table.mu attributed from the closure", labels(closure.Acquires))
+	}
+}
+
+func TestSummaryCtx(t *testing.T) {
+	g := buildGraph(t, "dfdata/internal/table", tableSrc, "sync", "context")
+	if !g.SummaryOf(fnByName(t, g, "Poll")).PollsCtx {
+		t.Error("Poll: ctx.Err() not recorded as a context poll")
+	}
+	if !g.SummaryOf(fnByName(t, g, "Delegate")).PollsCtx {
+		t.Error("Delegate: forwarding ctx to a callee not recorded as a context poll")
+	}
+}
+
+func TestReachableDepthBound(t *testing.T) {
+	g := buildGraph(t, "dfdata/internal/table", tableSrc, "sync", "context")
+	a := fnByName(t, g, "chainA")
+	b := fnByName(t, g, "chainB")
+	c := fnByName(t, g, "chainC")
+
+	full := g.Reachable([]*types.Func{a}, dataflow.DefaultDepth)
+	if !full[a] || !full[b] || !full[c] {
+		t.Errorf("Reachable(chainA, default) = %v, want chainA..chainC all reachable", full)
+	}
+	if full[fnByName(t, g, "Clean")] {
+		t.Error("Reachable(chainA) includes the unconnected Clean")
+	}
+
+	shallow := g.Reachable([]*types.Func{a}, 1)
+	if !shallow[a] || !shallow[b] {
+		t.Error("Reachable(chainA, 1) must include the root and its direct callee")
+	}
+	if shallow[c] {
+		t.Error("Reachable(chainA, 1) crossed the depth bound to chainC")
+	}
+}
+
+func TestTransitiveQueries(t *testing.T) {
+	g := buildGraph(t, "dfdata/internal/table", tableSrc, "sync", "context")
+
+	acq := g.TransitiveAcquires(fnByName(t, g, "chainA"), dataflow.DefaultDepth)
+	if !slices.Contains(acq, "table.Table.mu") {
+		t.Errorf("TransitiveAcquires(chainA) = %v, want table.Table.mu via chainC", acq)
+	}
+
+	wrap := fnByName(t, g, "MutWrap")
+	if !g.Mutates(wrap, dataflow.DefaultDepth) {
+		t.Error("Mutates(MutWrap): table write two frames down not propagated")
+	}
+	if !g.Invalidates(wrap, dataflow.DefaultDepth) {
+		t.Error("Invalidates(MutWrap): logEdit call two frames down not propagated")
+	}
+	if g.Mutates(fnByName(t, g, "Clean"), dataflow.DefaultDepth) {
+		t.Error("Mutates(Clean) = true, want false")
+	}
+	if !g.PollsCtx(fnByName(t, g, "Delegate"), dataflow.DefaultDepth) {
+		t.Error("PollsCtx(Delegate) = false, want true")
+	}
+}
+
+func TestMutatesDCSet(t *testing.T) {
+	const coreSrc = `package core
+
+type Session struct {
+	dcs []string
+	alg string
+}
+
+func (s *Session) SetDCs(d []string) { s.dcs = d }
+func (s *Session) SetAlg(a string)   { s.alg = a }
+func (s *Session) Read() int         { return len(s.dcs) }
+`
+	g := buildGraph(t, "dfdata/internal/core", coreSrc)
+	if !g.SummaryOf(fnByName(t, g, "SetDCs")).MutatesDCSet {
+		t.Error("SetDCs: write to s.dcs not recorded as constraint-set mutation")
+	}
+	if !g.SummaryOf(fnByName(t, g, "SetAlg")).MutatesDCSet {
+		t.Error("SetAlg: write to s.alg not recorded as constraint-set mutation")
+	}
+	if g.SummaryOf(fnByName(t, g, "Read")).MutatesDCSet {
+		t.Error("Read: pure read misclassified as mutation")
+	}
+}
+
+func TestDeclOfAndFuncsOrder(t *testing.T) {
+	g := buildGraph(t, "dfdata/internal/table", tableSrc, "sync", "context")
+	fns := g.Funcs()
+	if len(fns) == 0 {
+		t.Fatal("no functions in graph")
+	}
+	if fns[0].Name() != "logEdit" {
+		t.Errorf("Funcs()[0] = %s, want source order starting at logEdit", fns[0].Name())
+	}
+	for _, fn := range fns {
+		if g.DeclOf(fn) == nil {
+			t.Errorf("DeclOf(%s) = nil for a declared function", fn.Name())
+		}
+		if g.SummaryOf(fn) == nil {
+			t.Errorf("SummaryOf(%s) = nil for a declared function", fn.Name())
+		}
+	}
+}

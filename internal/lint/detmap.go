@@ -15,7 +15,7 @@ import (
 // map range on these paths that feeds ordering-sensitive work — worker
 // chunk grids, bucket partitions, sampler accumulation — is a latent
 // nondeterminism bug even when today's tests happen to pass.
-var detMapScope = []string{"internal/shapley", "internal/exec", "internal/repair", "internal/dc"}
+var detMapScope = []string{"internal/shapley", "internal/exec", "internal/repair", "internal/dc", "internal/core", "internal/server", "internal/faults"}
 
 // DetMap reports ranges over maps in deterministic fan-out packages.
 //

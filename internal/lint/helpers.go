@@ -1,7 +1,10 @@
 package lint
 
 import (
+	"bytes"
 	"go/ast"
+	"go/printer"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -99,4 +102,52 @@ func recvIdent(decl *ast.FuncDecl) *ast.Ident {
 func sameObject(pass *analysis.Pass, a, b *ast.Ident) bool {
 	objA := pass.TypesInfo.ObjectOf(a)
 	return objA != nil && objA == pass.TypesInfo.ObjectOf(b)
+}
+
+// parentMap indexes the immediate parent of every node under root. The
+// flow-sensitive analyzers use it to classify an allocation site by its
+// syntactic context (assigned, returned, passed to a call, ...).
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// exprString renders an expression as source text for diagnostics,
+// truncated so composite literals do not flood the message.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	s := buf.String()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + "…"
+	}
+	if len(s) > 40 {
+		s = s[:40] + "…"
+	}
+	return s
+}
+
+// enclosing walks up the parent map from n and returns the nearest
+// ancestor (including n itself) for which match returns true.
+func enclosing(parents map[ast.Node]ast.Node, n ast.Node, match func(ast.Node) bool) ast.Node {
+	for cur := n; cur != nil; cur = parents[cur] {
+		if match(cur) {
+			return cur
+		}
+	}
+	return nil
 }

@@ -20,14 +20,17 @@ const directiveAnalyzer = "lintdirective"
 // Analyzers returns the full trexlint suite in stable (alphabetical)
 // order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{CacheKey, DetMap, EditLog, SeededRand, TxnBracket}
+	return []*analysis.Analyzer{AllocFree, CacheInval, CacheKey, CtxFlow, DetMap, EditLog, LockOrder, SeededRand, TxnBracket}
 }
 
-// Finding is one unsuppressed diagnostic.
+// Finding is one diagnostic. Allowed marks findings covered by a
+// //lint:allow directive: they fail nothing but stay visible to -json
+// consumers, so suppression density is auditable.
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Allowed  bool
 }
 
 func (f Finding) String() string {
@@ -37,13 +40,28 @@ func (f Finding) String() string {
 // RunPackage runs the analyzers over one loaded package, applying
 // //lint:allow suppression, and returns the surviving findings sorted by
 // position.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	all, err := RunPackageAll(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return activeOnly(all), nil
+}
+
+// RunPackageAll is RunPackage keeping the allowed findings too (marked
+// Allowed), for -json consumers that audit suppressions.
 //
 // _test.go files are skipped: the invariants bind engine code, and the
 // behaviors they protect (fan-out determinism, edit-log integrity) are
 // asserted directly by the tests themselves. Skipping here also keeps the
 // vet-tool mode — whose compilation units include test files — consistent
 // with the standalone loader, which never sees them.
-func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+//
+// After every analyzer has reported, //lint:allow directives that
+// suppressed nothing are themselves reported (under the lintdirective
+// pseudo-analyzer): a stale suppression is a latent hole for whatever
+// lands on its line next.
+func RunPackageAll(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	files := pkg.Files
 	var kept []*ast.File
 	for _, f := range files {
@@ -75,18 +93,34 @@ func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding,
 			TypesInfo: pkg.Info,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
-			if sup.Suppressed(pkg.Fset, a.Name, d.Pos) {
-				return
-			}
 			findings = append(findings, Finding{
 				Analyzer: a.Name,
 				Pos:      pkg.Fset.Position(d.Pos),
 				Message:  d.Message,
+				Allowed:  sup.Suppressed(pkg.Fset, a.Name, d.Pos),
 			})
 		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 		}
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := map[string]bool{directiveAnalyzer: true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for n := range ran {
+		known[n] = true
+	}
+	for _, d := range sup.Stale(ran, known) {
+		findings = append(findings, Finding{
+			Analyzer: directiveAnalyzer,
+			Pos:      pkg.Fset.Position(d.Pos),
+			Message:  d.Message,
+		})
 	}
 	sortFindings(findings)
 	return findings, nil
@@ -95,9 +129,18 @@ func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding,
 // Run runs the analyzers over every package and returns all surviving
 // findings sorted by position.
 func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	all, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return activeOnly(all), nil
+}
+
+// RunAll is Run keeping allowed findings (see RunPackageAll).
+func RunAll(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
-		fs, err := RunPackage(pkg, analyzers)
+		fs, err := RunPackageAll(pkg, analyzers)
 		if err != nil {
 			return nil, err
 		}
@@ -105,6 +148,17 @@ func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, err
 	}
 	sortFindings(findings)
 	return findings, nil
+}
+
+// activeOnly filters out allowed findings.
+func activeOnly(all []Finding) []Finding {
+	var active []Finding
+	for _, f := range all {
+		if !f.Allowed {
+			active = append(active, f)
+		}
+	}
+	return active
 }
 
 func sortFindings(fs []Finding) {

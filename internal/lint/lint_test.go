@@ -79,6 +79,102 @@ func badDesc(v table.Value) string {
 	}
 }
 
+// loadSnippet type-checks one synthetic file under the given package
+// path and runs the full analyzer suite over it.
+func loadSnippet(t *testing.T, pkgPath, src string, deps ...string) []lint.Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, pkgPath, deps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.RunPackage(pkg, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestStaleAllowDirective checks that a directive suppressing nothing is
+// itself reported: suppressions must not outlive the finding they
+// justified.
+func TestStaleAllowDirective(t *testing.T) {
+	findings := loadSnippet(t, "directive/internal/exec", `package exec
+
+func Fine(xs []int, sink func(int)) {
+	//lint:allow detmap slice iteration was a map range before the refactor
+	for _, x := range xs {
+		sink(x)
+	}
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 stale-directive report: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "lintdirective" || !strings.Contains(f.Message, "stale //lint:allow detmap") {
+		t.Errorf("unexpected finding for a stale directive: %s", f)
+	}
+}
+
+// TestUnknownAnalyzerDirective checks that a directive naming an analyzer
+// no suite knows is reported as a typo rather than silently ignored.
+func TestUnknownAnalyzerDirective(t *testing.T) {
+	findings := loadSnippet(t, "directive/internal/exec", `package exec
+
+func Fine(xs []int, sink func(int)) {
+	//lint:allow detmpa transposed analyzer name
+	for _, x := range xs {
+		sink(x)
+	}
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 unknown-analyzer report: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "lintdirective" || !strings.Contains(f.Message, `unknown analyzer "detmpa"`) {
+		t.Errorf("unexpected finding for an unknown-analyzer directive: %s", f)
+	}
+}
+
+// TestMisplacedAllowDirective checks the position contract: a directive
+// two lines above the finding covers nothing, so the finding stays active
+// and the directive is reported stale.
+func TestMisplacedAllowDirective(t *testing.T) {
+	findings := loadSnippet(t, "directive/internal/exec", `package exec
+
+func Grid(m map[int]int, sink func(int)) {
+	//lint:allow detmap sink is commutative (directive stranded by an inserted line)
+	_ = len(m)
+	for k := range m {
+		sink(k)
+	}
+}
+`)
+	var haveActive, haveStale bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "detmap":
+			if f.Allowed {
+				t.Errorf("misplaced directive suppressed the finding: %s", f)
+			}
+			haveActive = true
+		case "lintdirective":
+			haveStale = true
+		}
+	}
+	if !haveActive {
+		t.Error("missing active detmap finding below the misplaced directive")
+	}
+	if !haveStale {
+		t.Error("missing stale report for the misplaced directive")
+	}
+}
+
 // TestFindingString pins the file:line:col prefix format the CI log
 // greps for.
 func TestFindingString(t *testing.T) {

@@ -1,6 +1,7 @@
 package loader
 
 import (
+	"go/token"
 	"go/types"
 	"os"
 	"testing"
@@ -69,6 +70,62 @@ func TestLoadReportsTypeErrors(t *testing.T) {
 	writeFile(t, dir+"/a.go", "package bad\n\nfunc F() int { return \"not an int\" }\n")
 	if _, err := LoadDir(dir, "bad/pkg"); err == nil {
 		t.Fatal("want type error, got nil")
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load(".", "repro/internal/nosuchpackage"); err == nil {
+		t.Fatal("want error for a pattern matching no package, got nil")
+	}
+}
+
+func TestLoadDirEmpty(t *testing.T) {
+	if _, err := LoadDir(t.TempDir(), "empty/pkg"); err == nil {
+		t.Fatal("want error for a directory with no .go files, got nil")
+	}
+}
+
+func TestLoadDirSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/a.go", "package p\n\nfunc F() int { return 1 }\n")
+	writeFile(t, dir+"/a_test.go", "package p\n\nthis is not Go and must never be parsed\n")
+	pkg, err := LoadDir(dir, "skip/pkg")
+	if err != nil {
+		t.Fatalf("LoadDir parsed _test.go files: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (the non-test file)", len(pkg.Files))
+	}
+}
+
+func TestLoadDirBadDependencyPattern(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/a.go", "package p\n\nfunc F() {}\n")
+	if _, err := LoadDir(dir, "dep/pkg", "repro/internal/nosuchpackage"); err == nil {
+		t.Fatal("want error for an unloadable dependency pattern, got nil")
+	}
+}
+
+func TestCheckFilesMissingFile(t *testing.T) {
+	_, err := CheckFiles(token.NewFileSet(), "gone/pkg", []string{"/nonexistent/zz.go"}, nil, nil, "")
+	if err == nil {
+		t.Fatal("want error for a missing source file, got nil")
+	}
+}
+
+func TestCheckFilesMissingExportData(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/a.go", `package p
+
+import "repro/internal/table"
+
+func F() table.Value { return table.Int(1) }
+`)
+	// No PackageFile entry for the import: type-checking must fail loudly
+	// rather than guess at the dependency's API.
+	_, err := CheckFiles(token.NewFileSet(), "noexport/pkg", []string{dir + "/a.go"}, nil, nil, "")
+	if err == nil {
+		t.Fatal("want error when export data for an import is absent, got nil")
 	}
 }
 

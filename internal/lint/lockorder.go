@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/dataflow"
+)
+
+// LockOrder builds the package's mutex-acquisition-order graph and
+// reports cycles. An edge A→B means some function acquires B (directly,
+// or through a same-package callee per the dataflow summaries) while
+// holding A; a cycle A→…→A is a potential deadlock — two goroutines
+// entering the cycle at different points can each hold the lock the other
+// needs.
+//
+// Held sets are tracked flow-sensitively per function with the CFG
+// worklist solver (may-hold union join), so a lock released before the
+// next acquisition creates no edge, while a lock held across a branch
+// does on every arm. Mutexes are identified by dataflow labels
+// (package.Type.field, package.var); function-local mutexes are excluded
+// — each call owns a distinct instance, so cross-function ordering is
+// meaningless for them. A length-one cycle (re-acquiring a label already
+// held) is reported as a self-deadlock unless both operations are read
+// locks.
+//
+// The analysis is per package: trexlint's vet mode analyzes one
+// compilation unit at a time, and the lock hierarchies that matter here
+// (cache shards in exec, session registries in server) are intra-package.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "reports cycles in the package's mutex acquisition-order graph",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one "acquired B while holding A" observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	// read is true when both the held and the acquired operation are read
+	// locks (only meaningful for self edges).
+	read bool
+}
+
+// heldLattice is the may-hold set domain: maps label → read-only flag
+// (false dominates: a write hold joins over a read hold).
+type heldLattice struct{}
+
+func (heldLattice) Bottom() any { return map[string]bool{} }
+
+func (heldLattice) Join(a, b any) any {
+	am, bm := a.(map[string]bool), b.(map[string]bool)
+	if len(bm) == 0 {
+		return am
+	}
+	out := make(map[string]bool, len(am)+len(bm))
+	for l, r := range am {
+		out[l] = r
+	}
+	for l, r := range bm {
+		if have, ok := out[l]; !ok || (have && !r) {
+			out[l] = r
+		}
+	}
+	return out
+}
+
+func (heldLattice) Equal(a, b any) bool {
+	am, bm := a.(map[string]bool), b.(map[string]bool)
+	if len(am) != len(bm) {
+		return false
+	}
+	for l, r := range am {
+		if br, ok := bm[l]; !ok || br != r {
+			return false
+		}
+	}
+	return true
+}
+
+func runLockOrder(pass *analysis.Pass) (any, error) {
+	g := dataflow.Build(pass.Fset, pass.Files, pass.TypesInfo, pass.Pkg)
+	var edges []lockEdge
+	for _, fn := range g.Funcs() {
+		sum := g.SummaryOf(fn)
+		if len(sum.Acquires) == 0 && len(sum.Calls) == 0 {
+			continue
+		}
+		edges = append(edges, functionEdges(g, fn)...)
+	}
+	reportLockCycles(pass, edges)
+	return nil, nil
+}
+
+// functionEdges runs the held-set analysis over one function and collects
+// order edges.
+func functionEdges(g *dataflow.Graph, fn *types.Func) []lockEdge {
+	decl := g.DeclOf(fn)
+	sum := g.SummaryOf(fn)
+	graph := cfg.New(decl.Body)
+
+	// Index this function's lock operations by position for node scans.
+	acquires := make(map[token.Pos]dataflow.Acquire)
+	for _, a := range sum.Acquires {
+		acquires[a.Pos] = a
+	}
+	releases := make(map[token.Pos]dataflow.Acquire)
+	for _, r := range sum.Releases {
+		releases[r.Pos] = r
+	}
+
+	var edges []lockEdge
+	emit := func(held map[string]bool, to string, pos token.Pos, toRead bool) {
+		for from, fromRead := range held {
+			if strings.HasPrefix(from, "local:") || strings.HasPrefix(to, "local:") {
+				continue
+			}
+			edges = append(edges, lockEdge{from: from, to: to, pos: pos, read: fromRead && toRead})
+		}
+	}
+
+	transfer := func(b *cfg.Block, in any) any {
+		held := in.(map[string]bool)
+		mutated := false
+		set := func(label string, read, on bool) {
+			if !mutated {
+				copy := make(map[string]bool, len(held)+1)
+				for l, r := range held {
+					copy[l] = r
+				}
+				held, mutated = copy, true
+			}
+			if on {
+				held[label] = read
+			} else {
+				delete(held, label)
+			}
+		}
+		for _, n := range b.Nodes {
+			scanLockOps(n, func(pos token.Pos, isDefer bool) {
+				if a, ok := acquires[pos]; ok {
+					emit(held, a.Label, a.Pos, a.Read)
+					set(a.Label, a.Read, true)
+				}
+				if r, ok := releases[pos]; ok && !isDefer {
+					// A deferred unlock releases at function exit, so for
+					// ordering purposes the lock stays held.
+					set(r.Label, r.Read, false)
+				}
+			})
+			// Calls into same-package functions acquire whatever the callee
+			// acquires, while the current held set applies.
+			if len(held) > 0 {
+				for _, callee := range nodeCallees(g, n) {
+					for _, label := range g.TransitiveAcquires(callee, dataflow.DefaultDepth) {
+						emit(held, label, n.Pos(), false)
+					}
+				}
+			}
+		}
+		return held
+	}
+	cfg.Solve(graph, heldLattice{}, transfer, nil)
+	return edges
+}
+
+// scanLockOps invokes f for every call position inside n, flagging those
+// under a defer. Range-statement heads scan only their head-resident
+// expression (the body's statements live in their own blocks).
+func scanLockOps(n ast.Node, f func(pos token.Pos, isDefer bool)) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if r.X != nil {
+			scanLockOps(r.X, f)
+		}
+		return
+	}
+	var walk func(m ast.Node, inDefer bool)
+	walk = func(m ast.Node, inDefer bool) {
+		ast.Inspect(m, func(k ast.Node) bool {
+			switch k := k.(type) {
+			case *ast.DeferStmt:
+				walk(k.Call, true)
+				return false
+			case *ast.CallExpr:
+				f(k.Pos(), inDefer)
+			}
+			return true
+		})
+	}
+	walk(n, n == nil)
+}
+
+// nodeCallees resolves the same-package functions n calls, range heads
+// restricted as in scanLockOps.
+func nodeCallees(g *dataflow.Graph, n ast.Node) []*types.Func {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if r.X == nil {
+			return nil
+		}
+		return nodeCallees(g, r.X)
+	}
+	var out []*types.Func
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if fn, ok := g.Info.Uses[id].(*types.Func); ok && g.DeclOf(fn) != nil {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// reportLockCycles finds cycles in the edge set and reports each once,
+// anchored at its lexicographically smallest label.
+func reportLockCycles(pass *analysis.Pass, edges []lockEdge) {
+	// Self edges are their own diagnostic: acquiring a label already held.
+	succ := make(map[string]map[string]lockEdge)
+	selfReported := make(map[token.Pos]bool)
+	for _, e := range edges {
+		if e.from == e.to {
+			if e.read {
+				continue // RLock while RLock-ed: legal shared acquisition
+			}
+			if !selfReported[e.pos] {
+				selfReported[e.pos] = true
+				pass.Reportf(e.pos, "mutex %s acquired while already held — self deadlock (distinct instances under one label need //lint:allow lockorder <reason>)", e.to)
+			}
+			continue
+		}
+		if succ[e.from] == nil {
+			succ[e.from] = make(map[string]lockEdge)
+		}
+		if _, ok := succ[e.from][e.to]; !ok {
+			succ[e.from][e.to] = e
+		}
+	}
+
+	labels := make([]string, 0, len(succ))
+	for l := range succ {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	reported := make(map[string]bool)
+	for _, start := range labels {
+		cycle := findCycle(succ, start)
+		if cycle == nil {
+			continue
+		}
+		key := strings.Join(cycle, "→")
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		first := succ[cycle[0]][cycle[1]]
+		pass.Reportf(first.pos, "lock order cycle: %s -> %s; acquire these mutexes in one global order (or //lint:allow lockorder <reason>)",
+			strings.Join(cycle, " -> "), cycle[0])
+	}
+}
+
+// findCycle returns the canonical cycle through start (smallest label
+// first), nil when start is on no cycle. Deterministic: neighbors are
+// explored in sorted order.
+func findCycle(succ map[string]map[string]lockEdge, start string) []string {
+	var path []string
+	onPath := make(map[string]bool)
+	var dfs func(cur string) []string
+	dfs = func(cur string) []string {
+		if cur == start && len(path) > 0 {
+			return append([]string{}, path...)
+		}
+		if onPath[cur] {
+			return nil // inner cycle not through start; found from its own anchor
+		}
+		onPath[cur] = true
+		path = append(path, cur)
+		next := make([]string, 0, len(succ[cur]))
+		for n := range succ[cur] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if c := dfs(n); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[cur] = false
+		return nil
+	}
+	cycle := dfs(start)
+	if cycle == nil {
+		return nil
+	}
+	// Anchor check: report each cycle only from its smallest member, so
+	// one cycle yields one diagnostic however many labels it touches.
+	for _, l := range cycle {
+		if l < cycle[0] {
+			return nil
+		}
+	}
+	return cycle
+}

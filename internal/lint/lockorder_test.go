@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockorder/internal/locks", "lockorder/internal/locks", lint.LockOrder, "sync")
+}

@@ -1,0 +1,145 @@
+// Package hot is allocfree testdata: functions reachable from
+// //lint:hotpath roots must not allocate on the steady state.
+package hot
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// sink accepts anything; passing a non-pointer-shaped value boxes it.
+func sink(v any) { _ = v }
+
+// visit retains its callback beyond the call for all the analyzer knows.
+func visit(f func()) { f() }
+
+// EscapeReturn is the deliberately escaping hot-path case: the fresh
+// slice leaves the frame through the return.
+//
+//lint:hotpath
+func EscapeReturn(n int) []int {
+	return make([]int, n) // want "escapes: returned to caller"
+}
+
+// EscapeViaLocal allocates into a local that is later returned; the
+// diagnostic names both the site and the carrying local.
+//
+//lint:hotpath
+func EscapeViaLocal(n int) []int {
+	buf := make([]int, n) // want "escapes: returned to caller .via buf."
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
+}
+
+// Transitive is a root whose allocation hides in a same-package callee.
+//
+//lint:hotpath
+func Transitive(n int) string {
+	return helper(n)
+}
+
+func helper(n int) string {
+	return strconv.Itoa(n) // want "call to strconv.Itoa allocates its result"
+}
+
+// GrowGood appends into a caller-provided buffer: growth is the
+// caller's problem, not a hot-path site.
+//
+//lint:hotpath
+func GrowGood(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// GrowBad re-grows a zero-capacity local on every invocation.
+//
+//lint:hotpath
+func GrowBad(n int) int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "append grows out, a slice declared with zero capacity"
+	}
+	return len(out)
+}
+
+// PoolMiss allocates only under a capacity guard — the cold-path idiom
+// is exempt.
+//
+//lint:hotpath
+func PoolMiss(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// ErrorExit allocates only while producing a non-nil error; error exits
+// allocate by design.
+//
+//lint:hotpath
+func ErrorExit(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("hot: negative count %d", n)
+	}
+	return n, nil
+}
+
+// Boxed passes an int where an interface is expected, allocating the
+// boxed copy; the pointer-shaped argument next to it is free.
+//
+//lint:hotpath
+func Boxed(v int, p *int) {
+	sink(v) // want "argument v boxes a int into an interface"
+	sink(p)
+}
+
+// ClosureEscape hands a capturing closure to a callee that may retain
+// it; the capture forces a heap closure per call.
+//
+//lint:hotpath
+func ClosureEscape(n int) {
+	visit(func() { // want "closure capturing n escapes: passed to visit"
+		_ = n
+	})
+}
+
+// Allowed shows the justified-site escape hatch.
+//
+//lint:hotpath
+func Allowed(n int) []int {
+	//lint:allow allocfree benchmark fixture: one warm-up slice per process
+	return make([]int, n)
+}
+
+// scratch is a pool whose New constructor is the slow path by
+// definition.
+var scratch = sync.Pool{
+	New: func() any {
+		b := make([]byte, 64)
+		return &b
+	},
+}
+
+// Pooled takes the warm path through the pool.
+//
+//lint:hotpath
+func Pooled() int {
+	b := scratch.Get().(*[]byte)
+	defer scratch.Put(b)
+	return len(*b)
+}
+
+// ColdAllocates is NOT reachable from any hot-path root: it may
+// allocate freely.
+func ColdAllocates(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, strconv.Itoa(i))
+	}
+	return out
+}

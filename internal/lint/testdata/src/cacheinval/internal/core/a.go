@@ -1,0 +1,38 @@
+// Package core is cacheinval testdata for the session side: its import
+// path ends in internal/core, so its Session repair configuration
+// (dcs / alg) is guarded, with the cross-package Engine.InvalidateCache
+// barrier from the real exec package.
+package core
+
+import "repro/internal/exec"
+
+// Session pairs a constraint set with an algorithm name.
+type Session struct {
+	dcs    []string
+	alg    string
+	engine *exec.Engine
+}
+
+// SwapDCsGood replaces the constraint set and drops the caches keyed on
+// the old one through the real cross-package barrier.
+func (s *Session) SwapDCsGood(dcs []string) {
+	s.dcs = dcs
+	s.engine.InvalidateCache()
+}
+
+// SwapDCsBad replaces the constraint set and keeps serving stale cache
+// entries.
+func (s *Session) SwapDCsBad(dcs []string) {
+	s.dcs = dcs // want "the session repair configuration .s.dcs. is mutated but not every path to return passes cache invalidation"
+}
+
+// SetAlgBad swaps the black box without invalidating.
+func (s *Session) SetAlgBad(alg string) {
+	s.alg = alg // want "the session repair configuration .s.alg. is mutated but not every path to return passes cache invalidation"
+}
+
+// SwapDCsAllowed documents why the write is safe.
+func (s *Session) SwapDCsAllowed(dcs []string) {
+	//lint:allow cacheinval constructor path: no cache exists before the session is returned
+	s.dcs = dcs
+}

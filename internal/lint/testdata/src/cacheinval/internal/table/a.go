@@ -1,0 +1,81 @@
+// Package table is cacheinval testdata: its import path ends in
+// internal/table, so its Table type is the one whose row storage the
+// analyzer guards.
+package table
+
+// Value is one cell.
+type Value struct{ s string }
+
+// Table owns row storage and the edit log.
+type Table struct {
+	rows  [][]Value
+	edits int
+}
+
+// logEdit is the invalidation surface; the surface itself writes freely.
+func (t *Table) logEdit(row, col int) { t.edits++ }
+
+// invalidateEdits drops the log wholesale.
+func (t *Table) invalidateEdits() {
+	t.edits = 0
+	t.rows = t.rows[:len(t.rows)]
+}
+
+// touch is a same-package helper that transitively invalidates.
+func (t *Table) touch(row, col int) { t.logEdit(row, col) }
+
+// SetGood mutates and then invalidates on the only path.
+func (t *Table) SetGood(row, col int, v Value) {
+	t.rows[row][col] = v
+	t.logEdit(row, col)
+}
+
+// SetViaHelper reaches the surface through a same-package callee.
+func (t *Table) SetViaHelper(row, col int, v Value) {
+	t.rows[row][col] = v
+	t.touch(row, col)
+}
+
+// SetDeferred registers the invalidation up front; defers run on every
+// exit path.
+func (t *Table) SetDeferred(row, col int, v Value, fast bool) {
+	defer t.logEdit(row, col)
+	t.rows[row][col] = v
+	if fast {
+		return
+	}
+	t.rows[row][col] = v
+}
+
+// SetEarlyReturn leaks a return path that skips the invalidation.
+func (t *Table) SetEarlyReturn(row, col int, v Value, fast bool) {
+	t.rows[row][col] = v // want "table row storage .t.rows.row..col.. is mutated but not every path to return passes cache invalidation"
+	if fast {
+		return
+	}
+	t.logEdit(row, col)
+}
+
+// SetOneArm invalidates on one branch arm only.
+func (t *Table) SetOneArm(row, col int, v Value, log bool) {
+	t.rows[row][col] = v // want "table row storage .t.rows.row..col.. is mutated but not every path to return passes cache invalidation"
+	if log {
+		t.logEdit(row, col)
+	}
+}
+
+// SwapRows re-slices storage structurally with no invalidation at all.
+func (t *Table) SwapRows(rows [][]Value) {
+	t.rows = rows // want "table row storage .t.rows. is mutated but not every path to return passes cache invalidation"
+}
+
+// SetAllowed carries a reviewed justification.
+func (t *Table) SetAllowed(row, col int, v Value) {
+	//lint:allow cacheinval construction-time write before the table is published to any cache
+	t.rows[row][col] = v
+}
+
+// ReadOnly never mutates; nothing to check.
+func (t *Table) ReadOnly(row, col int) Value {
+	return t.rows[row][col]
+}

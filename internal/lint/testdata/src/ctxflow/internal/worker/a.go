@@ -1,0 +1,153 @@
+// Package worker is ctxflow testdata: goroutines and work loops in
+// context-accepting functions must be able to observe cancellation.
+package worker
+
+import "context"
+
+// pollHelper consults its context; callers that pass ctx through it are
+// covered on that node.
+func pollHelper(ctx context.Context) error { return ctx.Err() }
+
+// step transitively polls a context, so loops calling it count as work.
+func step(i int) int {
+	_ = context.Background().Err()
+	return i
+}
+
+// SpawnBad starts a worker the incoming context can never reach.
+func SpawnBad(ctx context.Context, ch chan int) {
+	go func() { // want "goroutine started without the incoming context ctx"
+		ch <- 1
+	}()
+}
+
+// SpawnGood threads the context into the worker.
+func SpawnGood(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case ch <- 1:
+		}
+	}()
+}
+
+// SpawnAllowed documents why the goroutine is reaped another way.
+func SpawnAllowed(ctx context.Context, ch chan int) {
+	//lint:allow ctxflow the send is reaped by closing ch during shutdown
+	go func() {
+		ch <- 1
+	}()
+}
+
+// SweepBad does multiplicative work with no poll on any back edge.
+func SweepBad(ctx context.Context, rows [][]int) int {
+	total := 0
+	for _, row := range rows { // want "loop can iterate without consulting ctx"
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// SweepGood polls unconditionally at the top of every iteration; the
+// inner loop is one iteration's worth of work and exempt.
+func SweepGood(ctx context.Context, rows [][]int) (int, error) {
+	total := 0
+	for _, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total, nil
+}
+
+// SweepSkippable polls only inside a branch an iteration can skip — the
+// shape that turns cancellable loops into unkillable ones.
+func SweepSkippable(ctx context.Context, rows [][]int) int {
+	total := 0
+	for i, row := range rows { // want "loop can iterate without consulting ctx"
+		if i%2 == 0 {
+			if ctx.Err() != nil {
+				return total
+			}
+		}
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// DelegateGood passes ctx into the callee on every iteration: that node
+// is simultaneously the work and the cancellation point.
+func DelegateGood(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := pollHelper(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DrawBad calls a transitively-polling callee without handing it the
+// incoming context.
+func DrawBad(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want "loop can iterate without consulting ctx"
+		total += step(i)
+	}
+	return total
+}
+
+// Assemble is a flat accessor loop: bounded by its input, no calls, no
+// poll required.
+func Assemble(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// FanOut's closure has its own context parameter shadowing the outer
+// one; its loop is judged against the inner context.
+func FanOut(ctx context.Context, run func(f func(ctx context.Context) error)) {
+	run(func(ctx context.Context) error {
+		for i := 0; i < 8; i++ {
+			if err := pollHelper(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Inherited closures without their own context parameter are held to
+// the enclosing region's context.
+func Inherited(ctx context.Context, run func(f func())) {
+	run(func() {
+		total := 0
+		for i := 0; i < 8; i++ { // want "loop can iterate without consulting ctx"
+			total += step(i)
+		}
+		_ = total
+	})
+}
+
+// NoContext has nothing to thread; goroutines and loops are unchecked.
+func NoContext(ch chan int, rows [][]int) int {
+	go func() {
+		ch <- 1
+	}()
+	total := 0
+	for _, row := range rows {
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}

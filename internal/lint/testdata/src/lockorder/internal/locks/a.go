@@ -1,0 +1,120 @@
+// Package locks is lockorder testdata: acquisition-order cycles,
+// self-deadlocks, and the shapes that must stay silent.
+package locks
+
+import "sync"
+
+// Registry holds the a→b / b→a cycle pair.
+type Registry struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// First acquires b while holding a: the a→b edge. The cycle anchored at
+// locks.Registry.a is reported here.
+func (r *Registry) First() {
+	r.a.Lock()
+	r.b.Lock() // want "lock order cycle: locks.Registry.a -> locks.Registry.b -> locks.Registry.a"
+	r.b.Unlock()
+	r.a.Unlock()
+}
+
+// Second closes the cycle with the b→a edge.
+func (r *Registry) Second() {
+	r.b.Lock()
+	r.a.Lock()
+	r.a.Unlock()
+	r.b.Unlock()
+}
+
+// Sequential releases before the next acquisition: no edge, no report.
+func (r *Registry) Sequential() {
+	r.b.Lock()
+	r.b.Unlock()
+	r.a.Lock()
+	r.a.Unlock()
+}
+
+// Deferred holds the c→d pair with a deferred unlock: for ordering
+// purposes c stays held until exit, so the edge exists.
+type Deferred struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+// HoldAcross defers the unlock of c, then takes d: the c→d edge.
+func (p *Deferred) HoldAcross() {
+	p.c.Lock()
+	defer p.c.Unlock()
+	p.d.Lock() // want "lock order cycle: locks.Deferred.c -> locks.Deferred.d -> locks.Deferred.c"
+	p.d.Unlock()
+}
+
+// Inverse closes the Deferred cycle.
+func (p *Deferred) Inverse() {
+	p.d.Lock()
+	p.c.Lock()
+	p.c.Unlock()
+	p.d.Unlock()
+}
+
+// global is a package-level mutex; re-acquiring it while held is a
+// self-deadlock.
+var global sync.Mutex
+
+// SelfDeadlock re-locks the mutex it already holds.
+func SelfDeadlock() {
+	global.Lock()
+	global.Lock() // want "mutex locks.global acquired while already held"
+	global.Unlock()
+	global.Unlock()
+}
+
+// rw is shared-mode testdata: nested read locks are legal.
+var rw sync.RWMutex
+
+// ReadTwice nests two read acquisitions; shared mode never
+// self-deadlocks.
+func ReadTwice() int {
+	rw.RLock()
+	rw.RLock()
+	rw.RUnlock()
+	rw.RUnlock()
+	return 0
+}
+
+// LocalPair orders two function-local mutexes; each call owns distinct
+// instances, so cross-function ordering is meaningless and excluded.
+func LocalPair() {
+	var mu, mu2 sync.Mutex
+	mu.Lock()
+	mu2.Lock()
+	mu2.Unlock()
+	mu.Unlock()
+	mu2.Lock()
+	mu.Lock()
+	mu.Unlock()
+	mu2.Unlock()
+}
+
+// shardA and shardB carry a justified cycle: the allow directive keeps
+// the pair out of the report.
+var shardA, shardB sync.Mutex
+
+// AllowedForward takes shardB under shardA with a reviewed reason.
+func AllowedForward() {
+	shardA.Lock()
+	//lint:allow lockorder shard pair is striped by key: no goroutine takes both for the same key
+	shardB.Lock()
+	shardB.Unlock()
+	shardA.Unlock()
+}
+
+// AllowedBackward is the other half of the justified cycle.
+func AllowedBackward() {
+	shardB.Lock()
+	//lint:allow lockorder shard pair is striped by key: no goroutine takes both for the same key
+	shardA.Lock()
+	shardA.Unlock()
+	shardB.Unlock()
+}

@@ -167,6 +167,8 @@ func (a *RuleRepair) Repair(ctx context.Context, cs []*dc.Constraint, dirty *tab
 // RepairInto implements ScratchRepairer: Repair writing into the
 // caller-owned work table, with every per-run buffer pooled so steady-state
 // invocations allocate nothing.
+//
+//lint:hotpath
 func (a *RuleRepair) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
 	return a.repairInto(ctx, cs, dirty, work, nil)
 }
@@ -221,6 +223,9 @@ func (a *RuleRepair) repairInto(ctx context.Context, cs []*dc.Constraint, dirty,
 func (a *RuleRepair) pass(ctx context.Context, st *ruleRun, work *table.Table) (bool, error) {
 	changed := false
 	for _, rule := range a.Rules {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		c, ok := st.present[rule.ConstraintID]
 		if !ok || rule.Attr == "" {
 			continue

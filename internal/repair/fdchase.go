@@ -124,6 +124,8 @@ func (f *FDChase) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.
 // tables — does not affect the result: groups are disjoint and each chase
 // writes only its own group's right-hand sides, so the fixpoint is
 // deterministic either way.
+//
+//lint:hotpath
 func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
 	return f.repairInto(ctx, cs, dirty, work, nil)
 }
@@ -225,6 +227,7 @@ func chaseFDParallel(t *table.Table, e chaseEntry, st *chaseRun, pool *exec.Pool
 	}
 	majors := st.majors
 	faults.Hit(faults.SiteBucketPartition)
+	//lint:allow allocfree one fan-out closure per parallel derivation pass, amortized over every group it partitions — not per coalition sample
 	pool.Map(len(groups), func(i int) {
 		rows := groups[i]
 		if len(rows) < 2 {
@@ -286,6 +289,7 @@ func chaseGroup(t *table.Table, e chaseEntry, dist *table.Distribution, rows []i
 // sides agree up to SameContent) and are skipped via the live set.
 func chaseFD(t *table.Table, e chaseEntry, st *chaseRun) (bool, error) {
 	changed := false
+	//lint:allow allocfree one visitor closure per chase pass, amortized over every violating group — not per coalition sample
 	ok, err := st.live.ForEachViolatingGroup(e.c, t, func(rows []int) error {
 		if chaseGroup(t, e, st.dist, rows) {
 			changed = true

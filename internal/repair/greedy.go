@@ -48,6 +48,8 @@ func (g *Greedy) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.T
 
 // RepairInto implements ScratchRepairer: Repair writing into the
 // caller-owned work table with pooled per-run buffers.
+//
+//lint:hotpath
 func (g *Greedy) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
 	return g.repairInto(ctx, cs, dirty, work, nil)
 }
@@ -145,6 +147,7 @@ func (g *Greedy) hotCells(cs []*dc.Constraint, t *table.Table, st *greedyRun) ([
 		}
 	}
 	refs := st.refs
+	//lint:allow allocfree one comparator closure per hot-cell ranking pass; SortFunc does not retain it
 	slices.SortFunc(refs, func(a, b table.CellRef) int {
 		if counts[a] != counts[b] {
 			return counts[b] - counts[a]

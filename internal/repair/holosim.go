@@ -73,10 +73,13 @@ type holoRun struct {
 
 // newHoloRun builds an empty run state seeded for one HoloSim instance.
 func newHoloRun(seed int64) *holoRun {
+	//lint:allow allocfree pool-miss constructor: runs once per pooled run state, then RepairInto reuses it allocation-free
 	return &holoRun{
-		rng:        rand.New(rand.NewSource(seed)),
-		live:       dc.NewLiveViolationSet(),
+		rng:  rand.New(rand.NewSource(seed)),
+		live: dc.NewLiveViolationSet(),
+		//lint:allow allocfree pool-miss constructor (see above)
 		suspectSet: make(map[table.CellRef]bool),
+		//lint:allow allocfree pool-miss constructor (see above)
 		domainSeen: make(map[string]bool),
 	}
 }
@@ -104,6 +107,8 @@ func (h *HoloSim) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.
 
 // RepairInto implements ScratchRepairer: Repair writing into the
 // caller-owned work table with pooled per-run buffers.
+//
+//lint:hotpath
 func (h *HoloSim) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
 	return h.repairInto(ctx, cs, dirty, work, nil)
 }
@@ -220,6 +225,7 @@ func (h *HoloSim) detect(cs []*dc.Constraint, t *table.Table, st *holoRun) ([]ta
 		}
 	}
 	out := st.suspects
+	//lint:allow allocfree one comparator closure per detect round; SortFunc does not retain it
 	slices.SortFunc(out, func(a, b table.CellRef) int {
 		return t.VecIndex(a) - t.VecIndex(b)
 	})

@@ -86,6 +86,9 @@ func (h *HoloSim) Train(ctx context.Context, examples []TrainingExample) (float6
 	// Two rounds of coordinate descent over the grid are enough to reach a
 	// fixpoint on these small grids.
 	for round := 0; round < 2; round++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		for _, g := range grids {
 			orig := *g.field
 			bestVal := orig

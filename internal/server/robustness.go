@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -188,10 +189,18 @@ func (s *Server) enforceBudget() {
 	}
 	for {
 		s.mu.Lock()
+		// Scan in sorted id order so lastTouch ties evict the same victim
+		// every run, not whichever id the map yields first.
+		ids := make([]string, 0, len(s.sessions))
+		for id := range s.sessions {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
 		var victim *session
 		var victimID string
 		live := 0
-		for id, entry := range s.sessions {
+		for _, id := range ids {
+			entry := s.sessions[id]
 			if entry.spooled {
 				continue
 			}
@@ -370,11 +379,16 @@ func (s *Server) Drain() error {
 		return nil
 	}
 	s.mu.Lock()
+	// Drain in sorted id order: spool files land (and a first error is
+	// attributed) identically across runs.
 	ids := make([]string, 0, len(s.sessions))
-	entries := make([]*session, 0, len(s.sessions))
-	for id, entry := range s.sessions {
+	for id := range s.sessions {
 		ids = append(ids, id)
-		entries = append(entries, entry)
+	}
+	sort.Strings(ids)
+	entries := make([]*session, len(ids))
+	for i, id := range ids {
+		entries[i] = s.sessions[id]
 	}
 	s.mu.Unlock()
 	var firstErr error

@@ -574,6 +574,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return fmt.Errorf("loading spool: %w", err)
 	}
 	errCh := make(chan error, 1)
+	//lint:allow ctxflow the listener goroutine is reaped through ctx.Done below: Shutdown/Close unblock ListenAndServe
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case err := <-errCh:

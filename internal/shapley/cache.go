@@ -77,6 +77,8 @@ func NewCached(g Game) *Cached {
 func (c *Cached) NumPlayers() int { return c.G.NumPlayers() }
 
 // Value implements Game, consulting the cache first.
+//
+//lint:hotpath
 func (c *Cached) Value(ctx context.Context, coalition []bool) (float64, error) {
 	if c.wide {
 		return c.valueWide(ctx, coalition)
@@ -181,6 +183,8 @@ func mix64(x uint64) uint64 {
 // dst and returns the extended slice: player i is bit i%64 of word i/64.
 // It is the allocation-free wide-coalition cache key, shared with the
 // session-scoped coalition cache in internal/exec.
+//
+//lint:hotpath
 func AppendPacked(dst []uint64, coalition []bool) []uint64 {
 	var word uint64
 	shift := uint(0)
@@ -205,6 +209,8 @@ func AppendPacked(dst []uint64, coalition []bool) []uint64 {
 // AppendPacked(nil, c)) == HashCoalition(c) for every coalition c. It
 // serves consumers (the exec cache transaction) that carry coalitions in
 // packed form across a staging boundary.
+//
+//lint:hotpath
 func HashPacked(words []uint64) uint64 {
 	h := uint64(14695981039346656037)
 	for _, word := range words {

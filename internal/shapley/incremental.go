@@ -97,6 +97,8 @@ func (m *walkMorph) invalidate() {
 
 // marginal samples one marginal contribution for player under perm, exactly
 // as walkMarginal does, but reaching each coalition by the membership diff.
+//
+//lint:hotpath
 func (m *walkMorph) marginal(ctx context.Context, perm []int, player int, rng *rand.Rand) (float64, error) {
 	want := m.want
 	for i := range want {
@@ -142,6 +144,8 @@ func (m *walkMorph) marginal(ctx context.Context, perm []int, player int, rng *r
 // and with the player, return the difference. Shared by SamplePlayer and
 // SampleTopK so the walk sequence (and its RNG consumption) cannot diverge
 // between them.
+//
+//lint:hotpath
 func walkMarginal(ctx context.Context, walk CoalitionWalk, perm []int, player int, rng *rand.Rand) (float64, error) {
 	walk.Reset()
 	for _, p := range perm {

@@ -60,6 +60,9 @@ func ExactInteraction(ctx context.Context, g Game) ([][]float64, error) {
 		inter[i] = make([]float64, n)
 	}
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < n; j++ {
 			bi, bj := 1<<uint(i), 1<<uint(j)
 			var sum float64

@@ -199,6 +199,8 @@ func (st *marginalState) close() {
 // the prefix walk, or the generic mask rebuild. All three return the exact
 // same value and consume rng identically (the equivalence contracts on
 // CoalitionWalk and DeltaWalk).
+//
+//lint:hotpath
 func (st *marginalState) marginal(ctx context.Context, g StochasticGame, perm []int, player int, rng *rand.Rand) (float64, error) {
 	if st.morph != nil {
 		return st.morph.marginal(ctx, perm, player, rng)
@@ -421,6 +423,7 @@ func fanOut[S any](ctx context.Context, opts Options, iters, players int, setup 
 			merged[p].merge(acc[p])
 		}
 		nextMerge++
+		//lint:allow ctxflow the drain of already-completed chunks under the merge lock is bounded by the chunk count, not sample-scaled
 		for nextMerge < chunks && pending[nextMerge] != nil {
 			for p := range merged {
 				merged[p].merge(pending[nextMerge][p])

@@ -125,6 +125,9 @@ func SamplePlayerStratified(ctx context.Context, g StochasticGame, player int, o
 	coalition := make([]bool, n)
 	scratch := make([]int, len(others))
 	for s := 0; s < n; s++ {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
 		for it := 0; it < perStratum; it++ {
 			if err := ctx.Err(); err != nil {
 				return Estimate{}, err
