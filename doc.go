@@ -173,6 +173,38 @@
 //     state of the next repair pays per-edit maintenance instead of
 //     per-bucket-squared rescans.
 //
+// # Constraint-set planning
+//
+// The layers above treat each denial constraint in isolation; the
+// explanation workloads evaluate the whole DC set per coalition,
+// thousands of times. internal/dc/plan compiles the set as one shared
+// relational-algebra plan — (a) partition sharing: constraints whose
+// canonical equality-join column sets are equal share one bucketSet
+// outright, and a constraint with a pre-filter may adopt another's
+// proper subset (missing at most one column) as a coarser shared
+// partition, so edit-log delta replay runs once per shared partition
+// instead of once per constraint; (b) predicate ordering by a
+// statistics-free selectivity heuristic (operator class refined by
+// operand arity, declaration order breaking ties); (c) pushdown of
+// single-side predicates into per-row pre-filter bitmaps evaluated once
+// per row per generation instead of once per candidate pair; (d) hash
+// pre-sizing from cardinalities observed in earlier generations.
+//
+// Sessions compile lazily and memoize compiled plans in the engine's
+// plan cache (exec.PlanCache) keyed by (schema identity, DC-set
+// fingerprint); AddDC/RemoveDC invalidate and recompile, so the plan can
+// never go stale against the constraint set (the cacheinval analyzer
+// enforces the recompile on every mutation path). Every consumer —
+// ScanIndex, LiveViolationSet, the four black boxes' planned repair
+// paths, core.Session — takes the plan as an optional strategy: planned
+// execution is bit-identical to the per-constraint reference path, which
+// survives as the golden cross-check (fuzz and golden equivalence tests;
+// subset coarsening re-checks full kernels on scans and is never used
+// for group enumeration, which keeps exact partitions). The dcset
+// scenario family in BENCH_<n>.json tracks the planner against the
+// reference on shared-join-key DC sets; CI gates the scan pairs at
+// >=1.5x (`trex-bench -speedup`).
+//
 // # Fault model and degradation ladder
 //
 // The robustness layer assumes three failure classes — abandoned or
@@ -280,7 +312,11 @@
 //     post-dominated by the invalidation surface (Table.logEdit /
 //     Table.invalidateEdits / Engine.InvalidateCache) — no path from a
 //     mutation to return may skip invalidation, else the coalition cache
-//     serves stale values (the PR 5/6 coherence contract).
+//     serves stale values (the PR 5/6 coherence contract). Session
+//     DC-set/algorithm mutations must additionally be post-dominated by
+//     the plan-refresh surface (Session.refreshPlan / PlanCache.Clear),
+//     or the session keeps driving a constraint-set plan compiled for
+//     constraints that no longer exist (the PR 9 planner contract).
 //   - lockorder: mutex-acquisition-order cycles across a package (lock A
 //     held while taking B in one function, B while taking A in another)
 //     are reported at the first edge of the cycle; deferred unlocks hold

@@ -384,6 +384,10 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 		}},
 	)
 
+	// The constraint-set planner: shared-join-key DC sets per-constraint
+	// vs planned (see dcset.go).
+	out = append(out, dcsetScenarios(short)...)
+
 	// The >64-player coalition cache hit: the packed []uint64 key replacing
 	// the old string fallback (which allocated a key string per lookup).
 	out = append(out, perfScenario{name: "cache/wide/hit", bench: func(b *testing.B) {

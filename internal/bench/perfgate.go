@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // GateResult is one compared scenario of a perf gate run.
@@ -89,6 +90,55 @@ func CompareReports(oldReport, newReport *PerfReport, tolerance float64) (result
 	sort.Strings(onlyOld)
 	sort.Strings(onlyNew)
 	return results, onlyOld, onlyNew
+}
+
+// PlannerSpeedup checks the constraint-set planner's win inside one perf
+// report: every dcset row named .../planned/... is paired with its
+// .../perconstraint/... twin, and each scan pair must show the planned
+// side at least min times faster (edit pairs are reported for context
+// but do not gate — delta replay cost depends on the edit mix, which the
+// synthetic scenarios fix arbitrarily). A report with no planner pairs
+// fails: that means the dcset scenario family silently vanished from the
+// tracked series, which is exactly what this check exists to notice.
+func PlannerSpeedup(w io.Writer, path string, min float64) error {
+	report, err := readPerfJSON(path)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]PerfResult, len(report.Results))
+	for _, r := range report.Results {
+		byName[r.Name] = r
+	}
+	var pairs, failed int
+	for _, r := range report.Results {
+		if !strings.Contains(r.Name, "/planned/") {
+			continue
+		}
+		twin, ok := byName[strings.Replace(r.Name, "/planned/", "/perconstraint/", 1)]
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		pairs++
+		speedup := twin.NsPerOp / r.NsPerOp
+		gated := strings.Contains(r.Name, "/scan/")
+		status := "info"
+		if gated {
+			status = "ok"
+			if speedup < min {
+				status = "TOO SLOW"
+				failed++
+			}
+		}
+		fmt.Fprintf(w, "%-44s %12.1f -> %12.1f ns/op  %6.2fx  %s\n",
+			r.Name, twin.NsPerOp, r.NsPerOp, speedup, status)
+	}
+	if pairs == 0 {
+		return fmt.Errorf("bench: speedup: %s has no planned/perconstraint scenario pairs", path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("bench: speedup: %d scan pair(s) below the %.2fx planner floor", failed, min)
+	}
+	return nil
 }
 
 // readPerfJSON loads a BENCH_<n>.json report.

@@ -85,6 +85,49 @@ func TestGateErrorsOnBadInputs(t *testing.T) {
 	}
 }
 
+func TestPlannerSpeedupGatesScanPairs(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "r.json", []PerfResult{
+		{Name: "dcset/scan/perconstraint/n=8", NsPerOp: 300},
+		{Name: "dcset/scan/planned/n=8", NsPerOp: 150}, // 2.0x: ok
+		{Name: "dcset/edit/perconstraint/n=8", NsPerOp: 100},
+		{Name: "dcset/edit/planned/n=8", NsPerOp: 99}, // 1.01x: edit rows never gate
+		{Name: "unrelated", NsPerOp: 7},
+	})
+	var out bytes.Buffer
+	if err := PlannerSpeedup(&out, path, 1.5); err != nil {
+		t.Fatalf("speedup check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "info") {
+		t.Fatalf("edit pair not reported informationally:\n%s", out.String())
+	}
+
+	slow := writeReport(t, dir, "slow.json", []PerfResult{
+		{Name: "dcset/scan/perconstraint/n=8", NsPerOp: 300},
+		{Name: "dcset/scan/planned/n=8", NsPerOp: 280}, // 1.07x < 1.5x
+	})
+	out.Reset()
+	err := PlannerSpeedup(&out, slow, 1.5)
+	if err == nil {
+		t.Fatalf("speedup check must fail below the floor\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "planner floor") || !strings.Contains(out.String(), "TOO SLOW") {
+		t.Fatalf("unexpected failure shape: %v\n%s", err, out.String())
+	}
+}
+
+func TestPlannerSpeedupRequiresPairs(t *testing.T) {
+	path := writeReport(t, t.TempDir(), "r.json", []PerfResult{
+		{Name: "repair/greedy", NsPerOp: 10},
+		{Name: "dcset/scan/planned/n=8", NsPerOp: 5}, // twin missing: no pair
+	})
+	var out bytes.Buffer
+	if err := PlannerSpeedup(&out, path, 1.5); err == nil ||
+		!strings.Contains(err.Error(), "no planned/perconstraint scenario pairs") {
+		t.Fatalf("want missing-pairs error, got %v", err)
+	}
+}
+
 // TestWritePerfJSONFailsFastOnUnwritablePath is the satellite regression
 // test: an unwritable output path must fail before any benchmark runs
 // (the file is created up front), with a non-nil error for main to turn

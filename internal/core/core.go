@@ -47,6 +47,14 @@ type Explainer struct {
 	// worker pool. Session.Explainer wires it; a nil Engine degrades to
 	// per-game caches and serial repair, preserving all semantics.
 	Engine *exec.Engine
+	// Plan, when set, is the compiled constraint-set query plan for
+	// (Dirty's schema, DCs): every black-box repair this explainer runs
+	// executes its violation scans behind it — shared hash partitions,
+	// selectivity-ordered kernels behind pre-filter bitmaps, carried
+	// cardinality hints. Session.Explainer wires it from the engine's plan
+	// cache; nil runs the per-constraint reference path. Planning never
+	// changes results (the repair.PlannedRepairer contract).
+	Plan dc.SetPlanner
 
 	// repairDescMemo caches repairDesc's rendering: the descriptor folds
 	// in every constraint's string form, which is too expensive to rebuild
@@ -142,6 +150,10 @@ func (e *Explainer) bind(desc string) *exec.Binding {
 // pool returns the session worker pool (the nil serial pool without an
 // engine).
 func (e *Explainer) pool() *exec.Pool { return e.Engine.Pool() }
+
+// planner returns the compiled constraint-set plan, nil for unplanned
+// execution.
+func (e *Explainer) planner() dc.SetPlanner { return e.Plan }
 
 // cachedGame wraps a deterministic game with the session's shared
 // coalition cache under the given game descriptor, falling back to a
@@ -300,7 +312,9 @@ func (e *Explainer) Repair(ctx context.Context) (_ *table.Table, _ []table.CellD
 		}
 	}
 	var clean *table.Table
-	if pr, ok := e.Alg.(repair.PartitionedRepairer); ok && e.Engine.Workers() > 1 {
+	if pl, ok := e.Alg.(repair.PlannedRepairer); ok && e.Plan != nil {
+		clean, err = pl.RepairIntoPlanned(ctx, e.DCs, e.Dirty, nil, e.Engine.Pool(), e.Plan)
+	} else if pr, ok := e.Alg.(repair.PartitionedRepairer); ok && e.Engine.Workers() > 1 {
 		clean, err = pr.RepairIntoParallel(ctx, e.DCs, e.Dirty, nil, e.Engine.Pool())
 	} else {
 		clean, err = e.Alg.Repair(ctx, e.DCs, e.Dirty)
@@ -401,7 +415,7 @@ func (g *ConstraintGame) Value(ctx context.Context, coalition []bool) (float64, 
 			subset = append(subset, g.exp.DCs[i])
 		}
 	}
-	return repair.CellRepairedWith(ctx, g.exp.Alg, subset, g.exp.Dirty, g.cell, g.target, g.exp.pool())
+	return repair.CellRepairedPlanned(ctx, g.exp.Alg, subset, g.exp.Dirty, g.cell, g.target, g.exp.pool(), g.exp.planner())
 }
 
 // ReplacementPolicy selects what happens to cells outside a coalition in
@@ -670,7 +684,7 @@ func (g *CellGame) evalUncached(ctx context.Context, coalition []bool, rng *rand
 		sc.tbl.SetRef(g.players[k], v)
 		sc.touched = append(sc.touched, k)
 	}
-	out, err := repair.CellRepairedWith(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target, g.exp.pool())
+	out, err := repair.CellRepairedPlanned(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target, g.exp.pool(), g.exp.planner())
 	g.restore(sc)
 	g.putScratch(sc)
 	return out, err
@@ -829,7 +843,7 @@ func (w *cellWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) {
 	if v, ok := w.g.shared.LookupAt(w.sc.gen, w.in); ok {
 		return v, nil
 	}
-	v, err := repair.CellRepairedWith(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool())
+	v, err := repair.CellRepairedPlanned(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool(), w.g.exp.planner())
 	if err == nil {
 		w.g.shared.Store(w.sc.gen, w.in, v)
 	}

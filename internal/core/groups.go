@@ -328,7 +328,7 @@ func (g *GroupGame) evalOn(ctx context.Context, sc *groupScratch, coalition []bo
 			sc.tbl.SetRef(ref, repl)
 		}
 	}
-	return repair.CellRepairedWith(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target, g.exp.pool())
+	return repair.CellRepairedPlanned(ctx, g.exp.Alg, g.exp.DCs, sc.tbl, g.cell, g.target, g.exp.pool(), g.exp.planner())
 }
 
 // evalClone is the clone-per-evaluation reference path, mirroring
@@ -506,7 +506,7 @@ func (w *groupWalk) Value(ctx context.Context, rng *rand.Rand) (float64, error) 
 	if v, ok := w.g.shared.LookupAt(w.sc.gen, w.in); ok {
 		return v, nil
 	}
-	v, err := repair.CellRepairedWith(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool())
+	v, err := repair.CellRepairedPlanned(ctx, w.g.exp.Alg, w.g.exp.DCs, w.sc.tbl, w.g.cell, w.g.target, w.g.exp.pool(), w.g.exp.planner())
 	if err == nil {
 		w.g.shared.Store(w.sc.gen, w.in, v)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/dc"
+	"repro/internal/dc/plan"
 	"repro/internal/exec"
 	"repro/internal/repair"
 	"repro/internal/table"
@@ -32,6 +33,12 @@ type Session struct {
 	// handed to every Explainer so the edit loop's Target() calls don't
 	// re-render the constraint strings per call.
 	repairDesc string
+	// plan is the compiled constraint-set query plan of the current
+	// (schema, DC set) — shared partitions, selectivity-ordered kernels,
+	// pre-filter pushdown, cardinality hints — fetched through the
+	// engine's plan cache and recompiled on constraint edits. Every
+	// violation scan and planned repair of the session runs behind it.
+	plan *plan.Plan
 }
 
 // SessionOptions configures a session's execution engine.
@@ -62,6 +69,7 @@ func NewSessionWith(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Tab
 		engine: exec.NewEngine(opts.Workers),
 	}
 	s.refreshRepairDesc()
+	s.refreshPlan()
 	return s, nil
 }
 
@@ -69,6 +77,31 @@ func NewSessionWith(alg repair.Algorithm, dcs []*dc.Constraint, dirty *table.Tab
 // after any constraint-set change.
 func (s *Session) refreshRepairDesc() {
 	s.repairDesc = (&Explainer{Alg: s.alg, DCs: s.dcs}).gameDesc("repair")
+}
+
+// refreshPlan recompiles (or re-fetches from the engine's plan cache)
+// the constraint-set query plan for the session's current schema and DC
+// set; call after any constraint-set change, after the stale plan is
+// dropped through Engine.InvalidateCache.
+func (s *Session) refreshPlan() {
+	s.plan = planFor(s.engine, s.dirty.Schema(), s.dcs)
+}
+
+// planFor returns the compiled plan for (schema, cs), memoized in the
+// engine's plan cache under (schema identity, DC-set fingerprint). With
+// a nil engine the plan is compiled fresh each call — still correct,
+// just unmemoized.
+func planFor(e *exec.Engine, schema *table.Schema, cs []*dc.Constraint) *plan.Plan {
+	pc := e.Plans()
+	key := exec.PlanKey{Schema: schema, Fingerprint: plan.Fingerprint(cs)}
+	if cached, ok := pc.Lookup(key); ok {
+		if p, ok := cached.(*plan.Plan); ok {
+			return p
+		}
+	}
+	p := plan.Compile(schema, cs)
+	pc.Store(key, p)
+	return p
 }
 
 // Engine exposes the session's execution engine (cache statistics for the
@@ -80,7 +113,11 @@ func (s *Session) Engine() *exec.Engine { return s.engine }
 // keyed by game identity and invalidated by the dirty table's generation,
 // which every SetCell bumps — and its repairs run on the session pool.
 func (s *Session) Explainer() *Explainer {
-	return &Explainer{Alg: s.alg, DCs: s.dcs, Dirty: s.dirty, Engine: s.engine, repairDescMemo: s.repairDesc}
+	e := &Explainer{Alg: s.alg, DCs: s.dcs, Dirty: s.dirty, Engine: s.engine, repairDescMemo: s.repairDesc}
+	if s.plan != nil {
+		e.Plan = s.plan
+	}
+	return e
 }
 
 // Dirty returns the session's current dirty table (live; edits via SetCell).
@@ -113,6 +150,7 @@ func (s *Session) RemoveDC(id string) error {
 	// table generation; drop the now-unreachable coalition values.
 	s.engine.InvalidateCache()
 	s.refreshRepairDesc()
+	s.refreshPlan()
 	return nil
 }
 
@@ -136,6 +174,7 @@ func (s *Session) AddDC(text string) error {
 	// See RemoveDC: constraint edits re-key every game descriptor.
 	s.engine.InvalidateCache()
 	s.refreshRepairDesc()
+	s.refreshPlan()
 	return nil
 }
 
@@ -149,6 +188,11 @@ func (s *Session) AddDC(text string) error {
 func (s *Session) Violations() ([]dc.Violation, error) {
 	if s.live == nil {
 		s.live = dc.NewLiveViolationSet()
+	}
+	if s.plan != nil {
+		s.live.UsePlan(s.plan)
+	} else {
+		s.live.UsePlan(nil)
 	}
 	var out []dc.Violation
 	for _, c := range s.dcs {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"slices"
 	"sort"
-	"strings"
 
 	"repro/internal/table"
 )
@@ -116,23 +115,30 @@ func (c *Constraint) equalityJoinAttrs() []string {
 	return out
 }
 
-// joinCols resolves the equality join attributes to column indexes; empty
-// when the constraint has no usable join key. An attribute missing from
-// the schema (an unvalidated constraint) yields no join key at all rather
-// than a panic: the caller then falls through to the kernel/interpreted
-// scan, whose operand resolution reports the proper "attribute not in
-// schema" error — identically on every evaluation path.
-func (c *Constraint) joinCols(t *table.Table) []int {
+// JoinColumns resolves the equality join attributes to column indexes;
+// empty when the constraint has no usable join key. An attribute missing
+// from the schema (an unvalidated constraint) yields no join key at all
+// rather than a panic: the caller then falls through to the
+// kernel/interpreted scan, whose operand resolution reports the proper
+// "attribute not in schema" error — identically on every evaluation
+// path. The set planner (internal/dc/plan) uses the same resolution so
+// its partition-sharing analysis and the executor agree exactly.
+func (c *Constraint) JoinColumns(schema *table.Schema) []int {
 	attrs := c.equalityJoinAttrs()
 	cols := make([]int, 0, len(attrs))
 	for _, a := range attrs {
-		idx, ok := t.Schema().Index(a)
+		idx, ok := schema.Index(a)
 		if !ok {
 			return nil
 		}
 		cols = append(cols, idx)
 	}
 	return cols
+}
+
+// joinCols is JoinColumns against t's schema.
+func (c *Constraint) joinCols(t *table.Table) []int {
+	return c.JoinColumns(t.Schema())
 }
 
 // appendCompositeKey appends the hash-join key of row i over cols to buf:
@@ -310,16 +316,31 @@ type ScanIndex struct {
 	keyBuf  []byte
 	// alive is the shared survivor mask for columnar bucket filtering.
 	alive []bool
+	// plan is the constraint-set plan in effect, nil for unplanned
+	// execution. pre/preOrdered hold the plan's materialized pre-filter
+	// bitmaps per constraint; the slice gives sync a deterministic sweep.
+	plan       SetPlanner
+	pre        map[*Constraint]*prefilter
+	preOrdered []*prefilter
 }
 
 type colsEntry struct {
 	cols []int
 	sig  string
-	// kern is the constraint body compiled against the table's schema;
-	// kernErr records a compile failure (unknown attribute), surfaced on
-	// use with the interpreter's error text.
+	// kern is the constraint body compiled against the table's schema
+	// (in plan order when planned); kernErr records a compile failure
+	// (unknown attribute), surfaced on use with the interpreter's error
+	// text.
 	kern    *Kernel
 	kernErr error
+	// scanCols/scanSig name the partition backing pair scans and point
+	// probes: the exact join columns, or the plan's shared (possibly
+	// coarser) subset. resid is the kernel run inside bucket pair loops —
+	// the full kernel, minus any predicates the plan pushed into
+	// pre-filter bitmaps.
+	scanCols []int
+	scanSig  string
+	resid    *Kernel
 }
 
 // NewScanIndex returns an empty scan cache.
@@ -327,6 +348,7 @@ func NewScanIndex() *ScanIndex {
 	return &ScanIndex{
 		perCols: make(map[string]*bucketSet),
 		colsOf:  make(map[*Constraint]colsEntry),
+		pre:     make(map[*Constraint]*prefilter),
 	}
 }
 
@@ -352,6 +374,13 @@ func (ix *ScanIndex) entryFor(c *Constraint, t *table.Table) colsEntry {
 	cols := c.joinCols(t)
 	e := colsEntry{cols: cols, sig: colsSignature(cols)}
 	e.kern, e.kernErr = compileKernel(c, t.Schema())
+	e.scanCols, e.scanSig = e.cols, e.sig
+	e.resid = e.kern
+	if ix.plan != nil && e.kernErr == nil && ix.plan.PlanSchema() == t.Schema() {
+		if ch, ok := ix.plan.ConstraintPlan(c); ok {
+			ix.applyChoice(c, t, &e, ch)
+		}
+	}
 	ix.colsOf[c] = e
 	return e
 }
@@ -389,6 +418,11 @@ func (ix *ScanIndex) sync(t *table.Table) {
 					bs.apply(t, edits, &ix.keyBuf)
 				}
 			}
+			for _, pf := range ix.preOrdered {
+				if !pf.stale {
+					pf.apply(t, edits)
+				}
+			}
 			ix.gen = t.Generation()
 			return
 		}
@@ -396,7 +430,9 @@ func (ix *ScanIndex) sync(t *table.Table) {
 		// Column resolutions and compiled kernels are schema-scoped, not
 		// table-scoped: pointing the index at a clone (which shares its
 		// source's schema) must not recompile every constraint per run.
+		// Pre-filter kernels are schema-scoped too.
 		clear(ix.colsOf)
+		ix.clearPrefilters()
 	}
 	ix.tbl = t
 	ix.schema = t.Schema()
@@ -404,38 +440,69 @@ func (ix *ScanIndex) sync(t *table.Table) {
 	for _, bs := range ix.ordered {
 		bs.stale = true
 	}
+	for _, pf := range ix.preOrdered {
+		pf.stale = true
+	}
 }
 
-// bucketSetFor returns the synced partition for c over t, or nil when the
-// constraint has no equality join key.
+// bucketSetFor returns the synced partition over c's exact join-column
+// signature, or nil when the constraint has no equality join key. Group
+// enumeration (ForEachJoinGroup, the FD chase) must use this partition:
+// its buckets are the equivalence classes of the composite join key, a
+// semantics a plan-shared coarser partition does not provide.
 func (ix *ScanIndex) bucketSetFor(c *Constraint, t *table.Table) *bucketSet {
 	e := ix.entryFor(c, t)
-	if len(e.cols) == 0 {
+	return ix.bucketSetBySig(e.cols, e.sig, t)
+}
+
+// scanBucketSetFor returns the synced pair-scan partition for an entry:
+// the plan-shared partition when one is assigned, the exact partition
+// otherwise. Sound for pair scans and point probes only — every
+// candidate pair is re-checked by the kernel.
+func (ix *ScanIndex) scanBucketSetFor(e colsEntry, t *table.Table) *bucketSet {
+	return ix.bucketSetBySig(e.scanCols, e.scanSig, t)
+}
+
+// bucketSetBySig returns the synced partition for a column signature,
+// creating it on first use (pre-sized from the plan's observed slot
+// count when available) and feeding rebuild cardinalities back.
+func (ix *ScanIndex) bucketSetBySig(cols []int, sig string, t *table.Table) *bucketSet {
+	if len(cols) == 0 {
 		return nil
 	}
-	bs, ok := ix.perCols[e.sig]
+	bs, ok := ix.perCols[sig]
 	if !ok {
-		bs = &bucketSet{cols: e.cols, idx: make(map[string]int), stale: true}
-		ix.perCols[e.sig] = bs
+		hint := 0
+		if ix.plan != nil {
+			hint, _ = ix.plan.PartitionHint(sig)
+		}
+		bs = &bucketSet{cols: cols, idx: make(map[string]int, hint), stale: true}
+		ix.perCols[sig] = bs
 		ix.ordered = append(ix.ordered, bs)
 	}
 	if bs.stale {
 		bs.rebuild(t, &ix.keyBuf)
+		if ix.plan != nil {
+			ix.plan.RecordPartition(sig, bs.nSlots)
+		}
 	}
 	return bs
 }
 
-// colsSignature encodes a column-index list as a map key.
+// colsSignature encodes a column-index list as an interned map key; the
+// varint bytes build in a stack buffer and the returned string is the
+// process-wide shared copy, so steady-state calls allocate nothing.
 func colsSignature(cols []int) string {
-	var b strings.Builder
+	var arr [32]byte
+	b := arr[:0]
 	for _, c := range cols {
 		for c >= 0x80 {
-			b.WriteByte(byte(c) | 0x80)
+			b = append(b, byte(c)|0x80)
 			c >>= 7
 		}
-		b.WriteByte(byte(c))
+		b = append(b, byte(c))
 	}
-	return b.String()
+	return internSignature(b)
 }
 
 // ViolationsIndexed is Violations accelerated with a hash partition on the
@@ -467,13 +534,20 @@ func (c *Constraint) AppendViolations(t *table.Table, ix *ScanIndex, out []Viola
 	if c.SingleTuple() || ix == nil {
 		return c.appendViolationsScan(t, out)
 	}
-	bs := ix.bucketSetFor(c, t)
+	e := ix.entryFor(c, t)
+	bs := ix.scanBucketSetFor(e, t)
 	if bs == nil {
 		return c.appendViolationsScan(t, out)
 	}
-	kern, err := ix.kernelFor(c, t)
-	if err != nil {
-		return out, err
+	if e.kernErr != nil {
+		return out, e.kernErr
+	}
+	// Pre-filter bitmaps (planned execution only): anchors failing the
+	// t1-side predicates are skipped outright, candidates failing the
+	// t2 side are pre-masked, and the residual kernel checks the rest.
+	var pass0, pass1 []bool
+	if pf := ix.prefilterFor(c, t); pf != nil {
+		pass0, pass1 = pf.pass0, pf.pass1
 	}
 	base := len(out)
 	for _, rows := range bs.members[:bs.nSlots] {
@@ -482,10 +556,19 @@ func (c *Constraint) AppendViolations(t *table.Table, ix *ScanIndex, out []Viola
 		}
 		alive := ix.aliveFor(len(rows))
 		for n, i := range rows {
-			for m := range alive {
-				alive[m] = m != n
+			if pass0 != nil && !pass0[i] {
+				continue
 			}
-			kern.Filter(t, 0, i, rows, alive)
+			any := false
+			for m := range alive {
+				ok := m != n && (pass1 == nil || pass1[rows[m]])
+				alive[m] = ok
+				any = any || ok
+			}
+			if !any {
+				continue
+			}
+			e.resid.Filter(t, 0, i, rows, alive)
 			for m, j := range rows {
 				if alive[m] {
 					out = append(out, Violation{Constraint: c, Row1: i, Row2: j})
@@ -572,7 +655,8 @@ func (c *Constraint) ViolatesRowCached(t *table.Table, i int, ix *ScanIndex) (bo
 	if ix == nil {
 		return c.ViolatesRow(t, i)
 	}
-	bs := ix.bucketSetFor(c, t)
+	e := ix.entryFor(c, t)
+	bs := ix.scanBucketSetFor(e, t)
 	if bs == nil {
 		return c.ViolatesRow(t, i)
 	}
@@ -580,18 +664,19 @@ func (c *Constraint) ViolatesRowCached(t *table.Table, i int, ix *ScanIndex) (bo
 	if slot < 0 {
 		// A null join key makes every equality predicate unknown, and a NaN
 		// join key can never satisfy = : row i cannot participate in any
-		// pair violation of this constraint.
+		// pair violation of this constraint. (The scan partition's columns
+		// are a subset of the exact join columns, so its null exclusion
+		// implies an unknown equality predicate just the same.)
 		return false, nil
 	}
-	kern, err := ix.kernelFor(c, t)
-	if err != nil {
-		return false, err
+	if e.kernErr != nil {
+		return false, e.kernErr
 	}
 	for _, j := range bs.members[slot] {
 		if j == i {
 			continue
 		}
-		if kern.Pair(t, i, j) || kern.Pair(t, j, i) {
+		if e.kern.Pair(t, i, j) || e.kern.Pair(t, j, i) {
 			return true, nil
 		}
 	}
@@ -635,23 +720,23 @@ func (c *Constraint) ViolationPairsForRow(t *table.Table, i int, ix *ScanIndex) 
 		return nil
 	}
 	if ix != nil {
-		if bs := ix.bucketSetFor(c, t); bs != nil {
+		e := ix.entryFor(c, t)
+		if bs := ix.scanBucketSetFor(e, t); bs != nil {
 			slot := bs.rowBucket[i]
 			if slot < 0 {
 				return 0, nil
 			}
-			kern, err := ix.kernelFor(c, t)
-			if err != nil {
-				return 0, err
+			if e.kernErr != nil {
+				return 0, e.kernErr
 			}
 			for _, j := range bs.members[slot] {
 				if j == i {
 					continue
 				}
-				if kern.Pair(t, i, j) {
+				if e.kern.Pair(t, i, j) {
 					n++
 				}
-				if kern.Pair(t, j, i) {
+				if e.kern.Pair(t, j, i) {
 					n++
 				}
 			}

@@ -56,7 +56,23 @@ type Kernel struct {
 // for an unknown attribute matches the interpreter's, so callers surface
 // the same failure whichever path runs.
 func compileKernel(c *Constraint, schema *table.Schema) (*Kernel, error) {
-	k := &Kernel{preds: make([]kernelPred, 0, len(c.Preds))}
+	return compileKernelSeq(c, schema, nil)
+}
+
+// compileKernelSeq compiles the predicates of c selected by seq, in seq
+// order, against schema — the planner's entry point: a full permutation
+// yields the selectivity-ordered kernel, a subset yields the residual or
+// pre-filter kernels of a planned bucket scan. A nil seq selects every
+// predicate in declaration order. Reordering is sound because the body
+// is a pure conjunction: Pair and Filter answer the same conjunction
+// whatever the order, and the sorted output contract makes the order
+// invisible to callers.
+func compileKernelSeq(c *Constraint, schema *table.Schema, seq []int) (*Kernel, error) {
+	n := len(seq)
+	if seq == nil {
+		n = len(c.Preds)
+	}
+	k := &Kernel{preds: make([]kernelPred, 0, n)}
 	resolve := func(o Operand) (col, tuple int, cst table.Value, err error) {
 		if o.IsConst {
 			return -1, 0, o.Const, nil
@@ -67,17 +83,34 @@ func compileKernel(c *Constraint, schema *table.Schema) (*Kernel, error) {
 		}
 		return idx, o.Tuple, table.Null(), nil
 	}
-	for _, p := range c.Preds {
+	compileOne := func(p Predicate) error {
 		var kp kernelPred
 		var err error
 		kp.op = p.Op
 		if kp.lCol, kp.lTuple, kp.lConst, err = resolve(p.Left); err != nil {
-			return nil, err
+			return err
 		}
 		if kp.rCol, kp.rTuple, kp.rConst, err = resolve(p.Right); err != nil {
-			return nil, err
+			return err
 		}
 		k.preds = append(k.preds, kp)
+		return nil
+	}
+	if seq == nil {
+		for _, p := range c.Preds {
+			if err := compileOne(p); err != nil {
+				return nil, err
+			}
+		}
+		return k, nil
+	}
+	for _, idx := range seq {
+		if idx < 0 || idx >= len(c.Preds) {
+			return nil, fmt.Errorf("dc: predicate index %d out of range for %s", idx, c.ID)
+		}
+		if err := compileOne(c.Preds[idx]); err != nil {
+			return nil, err
+		}
 	}
 	return k, nil
 }

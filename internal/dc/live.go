@@ -381,11 +381,15 @@ func (s *LiveViolationSet) applyList(c *Constraint, l *liveList, t *table.Table,
 			}
 		}
 	} else {
-		bs := s.ix.bucketSetFor(c, t)
-		kern, err := s.ix.kernelFor(c, t)
-		if err != nil {
-			return err
+		// The scan partition (plan-shared when planned) is enough here:
+		// the full kernel re-checks every candidate pair, and a coarser
+		// bucket only adds candidates the kernel rejects.
+		e := s.ix.entryFor(c, t)
+		if e.kernErr != nil {
+			return e.kernErr
 		}
+		bs := s.ix.scanBucketSetFor(e, t)
+		kern := e.kern
 		derivePartner := func(r, j int) {
 			if j == r {
 				return
@@ -449,9 +453,18 @@ func (s *LiveViolationSet) derive(c *Constraint, l *liveList, t *table.Table) er
 	}
 
 	l.pairs = l.pairs[:0]
-	kern, err := s.ix.kernelFor(c, t)
-	if err != nil {
-		return err
+	e := s.ix.entryFor(c, t)
+	if e.kernErr != nil {
+		return e.kernErr
+	}
+	kern := e.kern
+	// Pre-size the pair list from the plan's last observed cardinality,
+	// and feed the fresh count back on the way out.
+	if p := s.ix.plan; p != nil {
+		if hint, ok := p.ViolationHint(c); ok && cap(l.pairs) < hint {
+			l.pairs = make([]Violation, 0, hint)
+		}
+		defer func() { p.RecordViolations(c, len(l.pairs)) }()
 	}
 	n := t.NumRows()
 	if c.SingleTuple() {
@@ -462,7 +475,7 @@ func (s *LiveViolationSet) derive(c *Constraint, l *liveList, t *table.Table) er
 		}
 		return nil
 	}
-	bs := s.ix.bucketSetFor(c, t)
+	bs := s.ix.scanBucketSetFor(e, t)
 	if bs == nil {
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
@@ -473,16 +486,20 @@ func (s *LiveViolationSet) derive(c *Constraint, l *liveList, t *table.Table) er
 		}
 		return nil
 	}
+	sc := bucketScan{kern: e.resid, c: c}
+	if pf := s.ix.prefilterFor(c, t); pf != nil {
+		sc.pass0, sc.pass1 = pf.pass0, pf.pass1
+	}
 	slots := bs.members[:bs.nSlots]
 	workers := s.deriveWorkers(n, len(slots))
 	if workers <= 1 {
 		alive := s.ix.aliveFor(0)
 		for _, rows := range slots {
-			l.pairs = scanBucket(kern, c, t, rows, &alive, l.pairs)
+			l.pairs = scanBucket(&sc, t, rows, &alive, l.pairs)
 		}
 		s.ix.alive = alive
 	} else {
-		l.pairs = deriveParallel(kern, c, t, slots, workers, s.Pool, l.pairs)
+		l.pairs = deriveParallel(&sc, t, slots, workers, s.Pool, l.pairs)
 	}
 	slices.SortFunc(l.pairs, violationOrder)
 	return nil
@@ -514,9 +531,19 @@ func (s *LiveViolationSet) deriveWorkers(rows, buckets int) int {
 	return w
 }
 
+// bucketScan bundles what one bucket pair enumeration needs: the kernel
+// to run per candidate (the residual kernel under a plan), the
+// constraint for output tagging, and the optional pre-filter bitmaps.
+// Read-only during a scan, so parallel workers share one value.
+type bucketScan struct {
+	kern         *Kernel
+	c            *Constraint
+	pass0, pass1 []bool
+}
+
 // scanBucket appends every ordered violating pair inside one bucket,
 // resizing the caller's alive mask as needed.
-func scanBucket(kern *Kernel, c *Constraint, t *table.Table, rows []int, alive *[]bool, out []Violation) []Violation {
+func scanBucket(sc *bucketScan, t *table.Table, rows []int, alive *[]bool, out []Violation) []Violation {
 	if len(rows) < 2 {
 		return out
 	}
@@ -527,13 +554,22 @@ func scanBucket(kern *Kernel, c *Constraint, t *table.Table, rows []int, alive *
 	a = a[:len(rows)]
 	*alive = a
 	for n, i := range rows {
-		for m := range a {
-			a[m] = m != n
+		if sc.pass0 != nil && !sc.pass0[i] {
+			continue
 		}
-		kern.Filter(t, 0, i, rows, a)
+		any := false
+		for m := range a {
+			ok := m != n && (sc.pass1 == nil || sc.pass1[rows[m]])
+			a[m] = ok
+			any = any || ok
+		}
+		if !any {
+			continue
+		}
+		sc.kern.Filter(t, 0, i, rows, a)
 		for m, j := range rows {
 			if a[m] {
-				out = append(out, Violation{Constraint: c, Row1: i, Row2: j})
+				out = append(out, Violation{Constraint: sc.c, Row1: i, Row2: j})
 			}
 		}
 	}
@@ -546,7 +582,7 @@ func scanBucket(kern *Kernel, c *Constraint, t *table.Table, rows []int, alive *
 // share nothing but the read-only table, partition and kernel; outputs are
 // concatenated and sorted by the caller, which makes the result
 // independent of scheduling.
-func deriveParallel(kern *Kernel, c *Constraint, t *table.Table, slots [][]int, workers int, pool Runner, out []Violation) []Violation {
+func deriveParallel(sc *bucketScan, t *table.Table, slots [][]int, workers int, pool Runner, out []Violation) []Violation {
 	var next atomic.Int64
 	results := make([][]Violation, workers)
 	worker := func(w int) {
@@ -557,7 +593,7 @@ func deriveParallel(kern *Kernel, c *Constraint, t *table.Table, slots [][]int, 
 			if i >= len(slots) {
 				break
 			}
-			local = scanBucket(kern, c, t, slots[i], &alive, local)
+			local = scanBucket(sc, t, slots[i], &alive, local)
 		}
 		results[w] = local
 	}

@@ -1,0 +1,326 @@
+package dc
+
+import (
+	"sync"
+
+	"repro/internal/table"
+)
+
+// Constraint-set planning hooks.
+//
+// A SetPlanner is the executor-side view of a compiled constraint-set
+// query plan (internal/dc/plan). The dc package stays below the planner:
+// it only consumes per-constraint PlanChoice values and feeds observed
+// cardinalities back as pre-sizing hints. Everything a plan changes is a
+// pure strategy choice — which shared hash partition backs a pair scan,
+// the predicate evaluation order, which single-side predicates run as
+// pre-filter bitmaps, and initial map/slice capacities — so planned and
+// unplanned execution are bit-identical by construction: violation lists
+// stay sorted by (Row1, Row2), point probes re-check the full kernel,
+// and the exact-signature partition keeps serving group enumeration.
+
+// SetPlanner supplies per-constraint execution choices and collects
+// cardinality feedback. Implementations must be safe for concurrent use:
+// one plan is shared by every ScanIndex of a session (repair runs fan
+// out across workers). Implemented by *plan.Plan.
+type SetPlanner interface {
+	// PlanSchema is the schema the plan was compiled against; a ScanIndex
+	// ignores the plan when bound to a table with a different schema.
+	PlanSchema() *table.Schema
+	// ConstraintPlan returns the choice for c, false when the plan does
+	// not cover the constraint.
+	ConstraintPlan(c *Constraint) (PlanChoice, bool)
+	// PartitionHint returns the last observed slot count of the partition
+	// with the given column signature.
+	PartitionHint(sig string) (int, bool)
+	// RecordPartition feeds an observed slot count back to the plan.
+	RecordPartition(sig string, slots int)
+	// ViolationHint returns the last observed violation-pair count of c.
+	ViolationHint(c *Constraint) (int, bool)
+	// RecordViolations feeds an observed violation-pair count back.
+	RecordViolations(c *Constraint, pairs int)
+}
+
+// PlanChoice is one constraint's slice of the set plan.
+type PlanChoice struct {
+	// ScanCols is the partition used for pair scans and point probes: the
+	// constraint's canonical equality-join columns, or a shared subset of
+	// them (a coarser partition another constraint already pays for).
+	// Coarsening is sound because every predicate — including the
+	// equality joins that justify the partition — is still checked by the
+	// kernel on each candidate pair, and output order is canonical.
+	ScanCols []int
+	// PredOrder is the kernel evaluation order: a permutation of the
+	// constraint's predicate indexes, most selective first.
+	PredOrder []int
+	// Pre0 and Pre1 are the predicate indexes hoisted out of the pair
+	// loop into per-row pre-filter bitmaps: Pre0 predicates read only
+	// tuple t1, Pre1 only t2. The residual kernel evaluates the rest.
+	Pre0, Pre1 []int
+}
+
+// prefilter is the materialized per-row bitmap pair of one constraint's
+// pushed-down single-side predicates, maintained against the bound table
+// alongside the hash partitions: pass0[r] reports whether row r can bind
+// t1 at all, pass1[r] whether it can bind t2. Bucket pair enumeration
+// skips anchors failing pass0 and pre-masks candidates failing pass1
+// before the residual kernel runs.
+type prefilter struct {
+	kern0, kern1 *Kernel
+	// colRel[col] marks the columns the pushed predicates read; edits
+	// elsewhere cannot change the bitmaps.
+	colRel []bool
+	// pass0/pass1 are nil when the corresponding side has no pushed
+	// predicates (every row passes).
+	pass0, pass1 []bool
+	rows         int
+	stale        bool
+}
+
+// rebuild recomputes both bitmaps over the whole table.
+func (pf *prefilter) rebuild(t *table.Table) {
+	n := t.NumRows()
+	if pf.kern0 != nil {
+		pf.pass0 = resizeBools(pf.pass0, n)
+		for r := 0; r < n; r++ {
+			pf.pass0[r] = pf.kern0.Pair(t, r, r)
+		}
+	}
+	if pf.kern1 != nil {
+		pf.pass1 = resizeBools(pf.pass1, n)
+		for r := 0; r < n; r++ {
+			pf.pass1[r] = pf.kern1.Pair(t, r, r)
+		}
+	}
+	pf.rows = n
+	pf.stale = false
+}
+
+// apply catches the bitmaps up with a batch of single-cell edits.
+func (pf *prefilter) apply(t *table.Table, edits []table.CellEdit) {
+	for _, e := range edits {
+		if e.Col >= len(pf.colRel) || !pf.colRel[e.Col] {
+			continue
+		}
+		if pf.pass0 != nil {
+			pf.pass0[e.Row] = pf.kern0.Pair(t, e.Row, e.Row)
+		}
+		if pf.pass1 != nil {
+			pf.pass1[e.Row] = pf.kern1.Pair(t, e.Row, e.Row)
+		}
+	}
+}
+
+func resizeBools(b []bool, n int) []bool {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]bool, n)
+}
+
+// UsePlan points the index at a compiled set plan (nil reverts to
+// unplanned execution). Pooled consumers call this once per run so a
+// scratch index recycled across sessions never applies a stale plan:
+// the per-constraint memo and pre-filter state are plan-scoped and reset
+// on every change.
+func (ix *ScanIndex) UsePlan(p SetPlanner) {
+	if ix.plan == p {
+		return
+	}
+	ix.plan = p
+	clear(ix.colsOf)
+	ix.clearPrefilters()
+}
+
+// clearPrefilters drops all pre-filter state (plan or schema change).
+func (ix *ScanIndex) clearPrefilters() {
+	clear(ix.pre)
+	ix.preOrdered = ix.preOrdered[:0]
+}
+
+// applyChoice folds the plan's choice for c into its memo entry,
+// compiling the ordered and residual kernels and installing the
+// pre-filter bitmaps. Any malformed choice degrades to the unplanned
+// entry — the plan is an optimization surface, never a correctness one.
+func (ix *ScanIndex) applyChoice(c *Constraint, t *table.Table, e *colsEntry, ch PlanChoice) {
+	if len(ch.PredOrder) == len(c.Preds) {
+		if k, err := compileKernelSeq(c, t.Schema(), ch.PredOrder); err == nil {
+			e.kern = k
+			e.resid = k
+		}
+	}
+	if len(ch.ScanCols) > 0 && len(e.cols) > 0 && colsSubset(ch.ScanCols, e.cols) {
+		e.scanCols = ch.ScanCols
+		e.scanSig = colsSignature(ch.ScanCols)
+	}
+	if c.SingleTuple() || len(ch.Pre0)+len(ch.Pre1) == 0 {
+		return
+	}
+	resid := residualOrder(c, ch)
+	rk, err := compileKernelSeq(c, t.Schema(), resid)
+	if err != nil {
+		return
+	}
+	pf, ok := ix.pre[c]
+	if !ok {
+		pf = &prefilter{stale: true}
+		pf.kern0, err = sideKernel(c, t.Schema(), ch.Pre0)
+		if err != nil {
+			return
+		}
+		pf.kern1, err = sideKernel(c, t.Schema(), ch.Pre1)
+		if err != nil {
+			return
+		}
+		if pf.kern0 == nil && pf.kern1 == nil {
+			return
+		}
+		pf.colRel = make([]bool, t.Schema().Len())
+		for _, idx := range ch.Pre0 {
+			markPredCols(pf.colRel, c, t.Schema(), idx)
+		}
+		for _, idx := range ch.Pre1 {
+			markPredCols(pf.colRel, c, t.Schema(), idx)
+		}
+		ix.pre[c] = pf
+		ix.preOrdered = append(ix.preOrdered, pf)
+	}
+	e.resid = rk
+}
+
+// residualOrder returns the planned evaluation order minus the pushed
+// predicates, preserving the plan's relative ordering.
+func residualOrder(c *Constraint, ch PlanChoice) []int {
+	pushed := make([]bool, len(c.Preds))
+	for _, idx := range ch.Pre0 {
+		if idx >= 0 && idx < len(pushed) {
+			pushed[idx] = true
+		}
+	}
+	for _, idx := range ch.Pre1 {
+		if idx >= 0 && idx < len(pushed) {
+			pushed[idx] = true
+		}
+	}
+	order := ch.PredOrder
+	if len(order) != len(c.Preds) {
+		order = nil
+	}
+	out := make([]int, 0, len(c.Preds))
+	if order == nil {
+		for i := range c.Preds {
+			if !pushed[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range order {
+		if i >= 0 && i < len(pushed) && !pushed[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sideKernel compiles the pushed predicates of one side; nil when none.
+func sideKernel(c *Constraint, schema *table.Schema, idxs []int) (*Kernel, error) {
+	if len(idxs) == 0 {
+		return nil, nil
+	}
+	return compileKernelSeq(c, schema, idxs)
+}
+
+// markPredCols sets colRel for every column predicate idx reads.
+func markPredCols(colRel []bool, c *Constraint, schema *table.Schema, idx int) {
+	if idx < 0 || idx >= len(c.Preds) {
+		return
+	}
+	p := c.Preds[idx]
+	for _, o := range []Operand{p.Left, p.Right} {
+		if o.IsConst {
+			continue
+		}
+		if col, ok := schema.Index(o.Attr); ok {
+			colRel[col] = true
+		}
+	}
+}
+
+// colsSubset reports whether every column of sub appears in super
+// (set semantics; both lists are small).
+func colsSubset(sub, super []int) bool {
+	for _, s := range sub {
+		found := false
+		for _, e := range super {
+			if e == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// prefilterFor returns c's pre-filter synced to t, nil when the plan
+// pushed nothing for c. entryFor must have run for c already (it
+// installs the prefilter).
+func (ix *ScanIndex) prefilterFor(c *Constraint, t *table.Table) *prefilter {
+	pf, ok := ix.pre[c]
+	if !ok {
+		return nil
+	}
+	if pf.stale || pf.rows != t.NumRows() {
+		pf.rebuild(t)
+	}
+	return pf
+}
+
+// UsePlan points the live set's inner index at a compiled set plan (nil
+// reverts to unplanned execution). Materialized lists stay valid across
+// plan changes: planned and unplanned derivation are bit-identical.
+func (s *LiveViolationSet) UsePlan(p SetPlanner) {
+	s.ix.UsePlan(p)
+}
+
+// colsSignature interning: entryFor runs on the hot sync path of every
+// repair fixpoint, and building a fresh signature string per call showed
+// up as its only steady-state allocation. Signatures are tiny and drawn
+// from a small universe (one per distinct join-column set per schema),
+// so a bounded process-wide intern table makes the lookup alloc-free:
+// map access via string(bytes) does not allocate, and the interned
+// string is shared by every index in the process.
+var (
+	sigMu     sync.RWMutex
+	sigIntern = make(map[string]string)
+)
+
+// maxSigInterned bounds the intern table; past it (a server churning
+// through schemas forever) the table resets rather than growing without
+// bound.
+const maxSigInterned = 4096
+
+// internSignature returns the canonical shared copy of the signature
+// bytes, allocating only on first sight.
+func internSignature(b []byte) string {
+	sigMu.RLock()
+	s, ok := sigIntern[string(b)]
+	sigMu.RUnlock()
+	if ok {
+		return s
+	}
+	sigMu.Lock()
+	defer sigMu.Unlock()
+	if s, ok = sigIntern[string(b)]; ok {
+		return s
+	}
+	if len(sigIntern) >= maxSigInterned {
+		clear(sigIntern)
+	}
+	s = string(b)
+	sigIntern[s] = s
+	return s
+}

@@ -1,0 +1,48 @@
+package dc
+
+import (
+	"testing"
+)
+
+// TestColsSignatureInterned pins the interning contract behind entryFor's
+// steady-state allocation budget (the dc-side counterpart of the core
+// package's TestEvalRepairAllocs assertions): repeated signatures resolve
+// to one canonical shared string and the lookup itself is alloc-free —
+// the varint builds in a stack buffer and the map access through
+// string(bytes) does not materialize a key.
+func TestColsSignatureInterned(t *testing.T) {
+	cols := []int{0, 2, 5, 200}
+	first := colsSignature(cols)
+	second := colsSignature(cols)
+	if first != second {
+		t.Fatalf("signature not stable: %q vs %q", first, second)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		_ = colsSignature(cols)
+	}); got != 0 {
+		t.Errorf("colsSignature allocates %.1f per call on the interned path; want 0", got)
+	}
+	// Distinct column sets stay distinct.
+	if colsSignature([]int{0, 2}) == colsSignature([]int{0, 3}) {
+		t.Error("distinct column sets collide")
+	}
+}
+
+// TestInternSignatureBounded pins the overflow behavior: past
+// maxSigInterned distinct signatures the table resets instead of growing
+// without bound, and interning keeps working afterwards.
+func TestInternSignatureBounded(t *testing.T) {
+	for i := 0; i < maxSigInterned+10; i++ {
+		_ = colsSignature([]int{i, i + 1, i + 2})
+	}
+	sigMu.RLock()
+	n := len(sigIntern)
+	sigMu.RUnlock()
+	if n > maxSigInterned {
+		t.Errorf("intern table grew to %d entries past the %d bound", n, maxSigInterned)
+	}
+	cols := []int{1, 2, 3}
+	if colsSignature(cols) != colsSignature(cols) {
+		t.Error("interning broken after overflow reset")
+	}
+}

@@ -45,6 +45,7 @@ type Engine struct {
 	pool    *Pool
 	cache   *CoalitionCache
 	repairs *RepairCache
+	plans   *PlanCache
 
 	mu     sync.Mutex
 	ids    map[string]uint64
@@ -57,6 +58,7 @@ func NewEngine(workers int) *Engine {
 		pool:    NewPool(workers),
 		cache:   NewCoalitionCache(),
 		repairs: NewRepairCache(),
+		plans:   NewPlanCache(),
 		ids:     make(map[string]uint64),
 	}
 }
@@ -90,6 +92,15 @@ func (e *Engine) RepairTargets() *RepairCache {
 	return e.repairs
 }
 
+// Plans returns the engine's compiled-plan cache; nil on a nil engine
+// (a nil *PlanCache is a valid always-miss cache).
+func (e *Engine) Plans() *PlanCache {
+	if e == nil {
+		return nil
+	}
+	return e.plans
+}
+
 // GameID interns a stable identifier for a game descriptor. Descriptors
 // must identify the game's characteristic function up to the table
 // generation: same descriptor ⇒ same function for any fixed generation.
@@ -121,7 +132,8 @@ func (e *Engine) GameID(desc string) uint64 {
 }
 
 // InvalidateCache drops every memoized coalition value, every memoized
-// repair diff, and the game-ID interning table. core.Session calls it on
+// repair diff, every compiled constraint-set plan, and the game-ID
+// interning table. core.Session calls it on
 // constraint edits: AddDC and RemoveDC change every game and repair
 // descriptor without touching the table generation, so the previous
 // descriptors' entries would otherwise accumulate unreachably for the
@@ -135,6 +147,7 @@ func (e *Engine) InvalidateCache() {
 	e.mu.Unlock()
 	e.cache.Clear()
 	e.repairs.Clear()
+	e.plans.Clear()
 }
 
 // CachedGame wraps g with the engine's shared coalition cache under the

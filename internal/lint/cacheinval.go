@@ -27,9 +27,16 @@ import (
 // the closure — the approximation is conservative in the common shapes
 // (the closure runs before the function returns) and the edit-log
 // analyzer independently pins the write path itself.
+//
+// Session constraint-set mutations carry a second obligation: the
+// session's compiled constraint-set plan is keyed on the DC set, so the
+// mutation must also be post-dominated by a call into the plan refresh
+// surface — Session.refreshPlan or PlanCache.Clear. Engine.InvalidateCache
+// deliberately does not satisfy this barrier: it drops the engine's plan
+// cache entries but leaves the session's compiled plan pointer stale.
 var CacheInval = &analysis.Analyzer{
 	Name: "cacheinval",
-	Doc:  "reports table-storage and DC-set mutations not post-dominated by cache invalidation",
+	Doc:  "reports table-storage and DC-set mutations not post-dominated by cache invalidation and plan refresh",
 	Run:  runCacheInval,
 }
 
@@ -64,15 +71,17 @@ func checkCacheInval(pass *analysis.Pass, g *dataflow.Graph, decl *ast.FuncDecl)
 	// CFG build entirely.
 	var sites []ast.Node
 	descs := make(map[ast.Node]string)
+	sessionCfg := make(map[ast.Node]bool)
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true
 		}
 		for _, lhs := range as.Lhs {
-			if desc, ok := mutationTarget(pass, lhs); ok {
+			if desc, session, ok := mutationTarget(pass, lhs); ok {
 				sites = append(sites, as)
 				descs[as] = desc
+				sessionCfg[as] = sessionCfg[as] || session
 				break
 			}
 		}
@@ -83,19 +92,23 @@ func checkCacheInval(pass *analysis.Pass, g *dataflow.Graph, decl *ast.FuncDecl)
 	}
 
 	barrier := func(n ast.Node) bool { return nodeInvalidates(pass, g, n) }
+	planBarrier := func(n ast.Node) bool { return nodeRefreshesPlan(pass, g, n) }
 
 	// A deferred invalidation runs on every exit path: if the function
 	// registers one anywhere, each mutation is covered at return time.
-	deferred := false
+	// The two barrier surfaces are tracked independently.
+	deferred, deferredPlan := false, false
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		if d, ok := n.(*ast.DeferStmt); ok && nodeInvalidates(pass, g, d) {
-			deferred = true
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if nodeInvalidates(pass, g, d) {
+				deferred = true
+			}
+			if nodeRefreshesPlan(pass, g, d) {
+				deferredPlan = true
+			}
 		}
-		return !deferred
+		return !(deferred && deferredPlan)
 	})
-	if deferred {
-		return
-	}
 
 	graph := cfg.New(decl.Body)
 	// Locate each site's block and intra-block index. Mutations inside
@@ -107,9 +120,14 @@ func checkCacheInval(pass *analysis.Pass, g *dataflow.Graph, decl *ast.FuncDecl)
 				continue
 			}
 			covered[n] = true
-			if !graph.EveryPathHits(b, i, barrier) {
+			if !deferred && !graph.EveryPathHits(b, i, barrier) {
 				pass.Reportf(n.Pos(),
 					"%s is mutated but not every path to return passes cache invalidation afterwards; call Table.logEdit/invalidateEdits or Engine.InvalidateCache on every path (or //lint:allow cacheinval <reason>)",
+					descs[n])
+			}
+			if sessionCfg[n] && !deferredPlan && !graph.EveryPathHits(b, i, planBarrier) {
+				pass.Reportf(n.Pos(),
+					"%s is mutated but not every path to return recompiles the constraint-set plan afterwards; call Session.refreshPlan or PlanCache.Clear on every path (or //lint:allow cacheinval <reason>)",
 					descs[n])
 			}
 		}
@@ -117,9 +135,17 @@ func checkCacheInval(pass *analysis.Pass, g *dataflow.Graph, decl *ast.FuncDecl)
 	// A site never placed in a block (inside a closure whose statement we
 	// could not attribute) is checked conservatively at function level.
 	for _, s := range sites {
-		if !covered[s] && !funcHasBarrier(decl, barrier) {
+		if covered[s] {
+			continue
+		}
+		if !deferred && !funcHasBarrier(decl, barrier) {
 			pass.Reportf(s.Pos(),
 				"%s is mutated inside a nested function with no invalidation call in sight; invalidate after the mutation (or //lint:allow cacheinval <reason>)",
+				descs[s])
+		}
+		if sessionCfg[s] && !deferredPlan && !funcHasBarrier(decl, planBarrier) {
+			pass.Reportf(s.Pos(),
+				"%s is mutated inside a nested function with no plan refresh in sight; call Session.refreshPlan after the mutation (or //lint:allow cacheinval <reason>)",
 				descs[s])
 		}
 	}
@@ -139,7 +165,8 @@ func funcHasBarrier(decl *ast.FuncDecl, barrier func(ast.Node) bool) bool {
 
 // mutationTarget classifies an assignment LHS as a guarded mutation:
 // writes into Table row storage or the Session constraint-set fields.
-func mutationTarget(pass *analysis.Pass, lhs ast.Expr) (string, bool) {
+// session marks the latter class, which additionally owes a plan refresh.
+func mutationTarget(pass *analysis.Pass, lhs ast.Expr) (desc string, session, ok bool) {
 	base := lhs
 	for {
 		if idx, ok := ast.Unparen(base).(*ast.IndexExpr); ok {
@@ -148,18 +175,18 @@ func mutationTarget(pass *analysis.Pass, lhs ast.Expr) (string, bool) {
 		}
 		break
 	}
-	sel, ok := ast.Unparen(base).(*ast.SelectorExpr)
-	if !ok {
-		return "", false
+	sel, selOK := ast.Unparen(base).(*ast.SelectorExpr)
+	if !selOK {
+		return "", false, false
 	}
 	owner := pass.TypesInfo.TypeOf(sel.X)
 	switch {
 	case sel.Sel.Name == "rows" && isNamedType(owner, "internal/table", "Table"):
-		return "table row storage (" + exprString(pass.Fset, lhs) + ")", true
+		return "table row storage (" + exprString(pass.Fset, lhs) + ")", false, true
 	case (sel.Sel.Name == "dcs" || sel.Sel.Name == "alg") && isNamedType(owner, "internal/core", "Session"):
-		return "the session repair configuration (" + exprString(pass.Fset, lhs) + ")", true
+		return "the session repair configuration (" + exprString(pass.Fset, lhs) + ")", true, true
 	}
-	return "", false
+	return "", false, false
 }
 
 // nodeInvalidates reports whether node n contains a call that reaches the
@@ -204,6 +231,49 @@ func isInvalidationFunc(fn *types.Func) bool {
 		return isNamedType(sig.Recv().Type(), "internal/table", "Table")
 	case "InvalidateCache":
 		return isNamedType(sig.Recv().Type(), "internal/exec", "Engine")
+	}
+	return false
+}
+
+// nodeRefreshesPlan is nodeInvalidates for the plan refresh surface:
+// a direct call to Session.refreshPlan / PlanCache.Clear, or a call to a
+// same-package function that transitively refreshes.
+func nodeRefreshesPlan(pass *analysis.Pass, g *dataflow.Graph, n ast.Node) bool {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		return r.X != nil && nodeRefreshesPlan(pass, g, r.X)
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		fn := calledFunc(pass, call)
+		if fn == nil {
+			return !found
+		}
+		if isPlanRefreshFunc(fn) || g.RefreshesPlan(fn, dataflow.DefaultDepth) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPlanRefreshFunc mirrors the dataflow package's plan refresh surface
+// for direct (possibly cross-package) callees. Engine.InvalidateCache is
+// deliberately absent: it drops the engine's plan cache but leaves the
+// session's compiled plan pointer stale.
+func isPlanRefreshFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "refreshPlan":
+		return isNamedType(sig.Recv().Type(), "internal/core", "Session")
+	case "Clear":
+		return isNamedType(sig.Recv().Type(), "internal/exec", "PlanCache")
 	}
 	return false
 }

@@ -68,6 +68,9 @@ type Summary struct {
 	MutatesDCSet bool
 	// Invalidates reports a direct call into the invalidation surface.
 	Invalidates bool
+	// RefreshesPlan reports a direct call into the constraint-set plan
+	// refresh surface (Session.refreshPlan / PlanCache.Clear).
+	RefreshesPlan bool
 	// PollsCtx reports that the body consults a context.Context — calls
 	// Err/Done/Deadline/Value on one, or passes one onward to a callee.
 	PollsCtx bool
@@ -195,6 +198,9 @@ func (g *Graph) summarizeCall(s *Summary, seen map[*types.Func]bool, call *ast.C
 	}
 	if isInvalidationEntry(fn) {
 		s.Invalidates = true
+	}
+	if isPlanRefreshEntry(fn) {
+		s.RefreshesPlan = true
 	}
 	if !seen[fn] {
 		seen[fn] = true
@@ -405,6 +411,12 @@ func (g *Graph) Invalidates(fn *types.Func, maxDepth int) bool {
 	return g.boolFact(fn, maxDepth, func(s *Summary) bool { return s.Invalidates }, make(map[*types.Func]bool))
 }
 
+// RefreshesPlan reports whether fn may call into the plan refresh
+// surface, directly or through same-package callees.
+func (g *Graph) RefreshesPlan(fn *types.Func, maxDepth int) bool {
+	return g.boolFact(fn, maxDepth, func(s *Summary) bool { return s.RefreshesPlan }, make(map[*types.Func]bool))
+}
+
 // PollsCtx reports whether fn may consult a context, directly or through
 // same-package callees.
 func (g *Graph) PollsCtx(fn *types.Func, maxDepth int) bool {
@@ -464,6 +476,31 @@ func isInvalidationEntry(fn *types.Func) bool {
 		return owner == "Table" && pathHasSuffix(path, "internal/table")
 	case "InvalidateCache":
 		return owner == "Engine" && pathHasSuffix(path, "internal/exec")
+	}
+	return false
+}
+
+// isPlanRefreshEntry reports whether fn is part of the constraint-set
+// plan refresh surface: the session-level recompilation or the engine
+// plan cache's wholesale drop. Deliberately narrower than the cache
+// invalidation surface — Engine.InvalidateCache clears the *cache* but
+// leaves a session's compiled plan pointer stale, so only an explicit
+// refresh counts.
+func isPlanRefreshEntry(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := namedOf(sig.Recv().Type())
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return false
+	}
+	path, owner := recv.Obj().Pkg().Path(), recv.Obj().Name()
+	switch fn.Name() {
+	case "refreshPlan":
+		return owner == "Session" && pathHasSuffix(path, "internal/core")
+	case "Clear":
+		return owner == "PlanCache" && pathHasSuffix(path, "internal/exec")
 	}
 	return false
 }

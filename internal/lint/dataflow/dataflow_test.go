@@ -270,3 +270,36 @@ func TestDeclOfAndFuncsOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestRefreshesPlan(t *testing.T) {
+	const coreSrc = `package core
+
+type Session struct {
+	dcs []string
+}
+
+func (s *Session) refreshPlan() {}
+
+func (s *Session) Swap(d []string) {
+	s.dcs = d
+	s.refreshPlan()
+}
+
+func (s *Session) swapVia(d []string) { s.Swap(d) }
+
+func (s *Session) Read() int { return len(s.dcs) }
+`
+	g := buildGraph(t, "dfdata/internal/core", coreSrc)
+	if !g.SummaryOf(fnByName(t, g, "Swap")).RefreshesPlan {
+		t.Error("Swap: direct refreshPlan call not recorded")
+	}
+	if g.SummaryOf(fnByName(t, g, "Read")).RefreshesPlan {
+		t.Error("Read: pure read misclassified as plan refresh")
+	}
+	if !g.RefreshesPlan(fnByName(t, g, "swapVia"), dataflow.DefaultDepth) {
+		t.Error("swapVia: transitive refreshPlan through Swap not reported")
+	}
+	if g.RefreshesPlan(fnByName(t, g, "Read"), dataflow.DefaultDepth) {
+		t.Error("Read: transitive query reported a refresh with none reachable")
+	}
+}

@@ -170,7 +170,7 @@ func (a *RuleRepair) Repair(ctx context.Context, cs []*dc.Constraint, dirty *tab
 //
 //lint:hotpath
 func (a *RuleRepair) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
-	return a.repairInto(ctx, cs, dirty, work, nil)
+	return a.repairInto(ctx, cs, dirty, work, nil, nil)
 }
 
 // RepairIntoParallel implements PartitionedRepairer: the rule cascade
@@ -179,16 +179,28 @@ func (a *RuleRepair) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty,
 // fan their disjoint buckets across the session pool on large tables —
 // output bit-identical to RepairInto by the live set's contract.
 func (a *RuleRepair) RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
-	return a.repairInto(ctx, cs, dirty, work, pool)
+	return a.repairInto(ctx, cs, dirty, work, pool, nil)
 }
 
-func (a *RuleRepair) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
+// RepairIntoPlanned implements PlannedRepairer: the run's live violation
+// set executes behind the session's compiled constraint-set plan —
+// shared partitions, ordered kernels, pre-filter bitmaps — output
+// bit-identical to RepairInto by the plan contract.
+func (a *RuleRepair) RepairIntoPlanned(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool, plan dc.SetPlanner) (*table.Table, error) {
+	return a.repairInto(ctx, cs, dirty, work, pool, plan)
+}
+
+func (a *RuleRepair) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool, plan dc.SetPlanner) (*table.Table, error) {
 	work = prepareWork(dirty, work)
 	st, ok := a.runs.Get().(*ruleRun)
 	if !ok {
 		st = &ruleRun{present: make(map[string]*dc.Constraint), live: dc.NewLiveViolationSet()}
 	}
 	defer a.runs.Put(st)
+	// Install (or clear) the plan unconditionally: the run state is pooled
+	// across sessions, so a stale plan must never survive into a run that
+	// did not ask for one.
+	st.live.UsePlan(plan)
 	if pool != nil {
 		st.live.Pool = pool
 		defer func() { st.live.Pool = nil }()

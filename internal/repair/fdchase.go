@@ -127,7 +127,7 @@ func (f *FDChase) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.
 //
 //lint:hotpath
 func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
-	return f.repairInto(ctx, cs, dirty, work, nil)
+	return f.repairInto(ctx, cs, dirty, work, nil, nil)
 }
 
 // RepairIntoParallel implements PartitionedRepairer. The chase decomposes
@@ -138,16 +138,27 @@ func (f *FDChase) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, wo
 // (TestParallelRepairGoldenEquivalence), with the full violation
 // derivations bucket-parallel on the pool as well.
 func (f *FDChase) RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
-	return f.repairInto(ctx, cs, dirty, work, pool)
+	return f.repairInto(ctx, cs, dirty, work, pool, nil)
 }
 
-func (f *FDChase) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
+// RepairIntoPlanned implements PlannedRepairer: the run's live violation
+// set executes behind the session's compiled constraint-set plan. Group
+// enumeration stays on the exact join-column partition (its buckets are
+// equivalence classes; a shared coarser partition would merge them), so
+// the chase's fixes are untouched by partition sharing — output
+// bit-identical to RepairInto by the plan contract.
+func (f *FDChase) RepairIntoPlanned(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool, plan dc.SetPlanner) (*table.Table, error) {
+	return f.repairInto(ctx, cs, dirty, work, pool, plan)
+}
+
+func (f *FDChase) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool, plan dc.SetPlanner) (*table.Table, error) {
 	work = prepareWork(dirty, work)
 	st, ok := f.runs.Get().(*chaseRun)
 	if !ok {
 		st = &chaseRun{live: dc.NewLiveViolationSet(), dist: table.NewDistribution()}
 	}
 	defer f.runs.Put(st)
+	st.live.UsePlan(plan)
 	if pool != nil {
 		st.live.Pool = pool
 		defer func() { st.live.Pool = nil }()

@@ -51,7 +51,7 @@ func (g *Greedy) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.T
 //
 //lint:hotpath
 func (g *Greedy) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
-	return g.repairInto(ctx, cs, dirty, work, nil)
+	return g.repairInto(ctx, cs, dirty, work, nil, nil)
 }
 
 // RepairIntoParallel implements PartitionedRepairer: the greedy commit
@@ -60,16 +60,25 @@ func (g *Greedy) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, wor
 // fan their disjoint buckets across the session pool on large tables —
 // output bit-identical to RepairInto by the live set's contract.
 func (g *Greedy) RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
-	return g.repairInto(ctx, cs, dirty, work, pool)
+	return g.repairInto(ctx, cs, dirty, work, pool, nil)
 }
 
-func (g *Greedy) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
+// RepairIntoPlanned implements PlannedRepairer: the run's live violation
+// set (and the point probes of the candidate search, which share its
+// index) executes behind the session's compiled constraint-set plan —
+// output bit-identical to RepairInto by the plan contract.
+func (g *Greedy) RepairIntoPlanned(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool, plan dc.SetPlanner) (*table.Table, error) {
+	return g.repairInto(ctx, cs, dirty, work, pool, plan)
+}
+
+func (g *Greedy) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool, plan dc.SetPlanner) (*table.Table, error) {
 	work = prepareWork(dirty, work)
 	st, ok := g.runs.Get().(*greedyRun)
 	if !ok {
 		st = &greedyRun{live: dc.NewLiveViolationSet(), counts: make(map[table.CellRef]int)}
 	}
 	defer g.runs.Put(st)
+	st.live.UsePlan(plan)
 	if pool != nil {
 		st.live.Pool = pool
 		defer func() { st.live.Pool = nil }()

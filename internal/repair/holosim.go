@@ -110,7 +110,7 @@ func (h *HoloSim) Repair(ctx context.Context, cs []*dc.Constraint, dirty *table.
 //
 //lint:hotpath
 func (h *HoloSim) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table) (*table.Table, error) {
-	return h.repairInto(ctx, cs, dirty, work, nil)
+	return h.repairInto(ctx, cs, dirty, work, nil, nil)
 }
 
 // RepairIntoParallel implements PartitionedRepairer: inference commits are
@@ -119,16 +119,24 @@ func (h *HoloSim) RepairInto(ctx context.Context, cs []*dc.Constraint, dirty, wo
 // across the session pool on large tables — output bit-identical to
 // RepairInto by the live set's contract.
 func (h *HoloSim) RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
-	return h.repairInto(ctx, cs, dirty, work, pool)
+	return h.repairInto(ctx, cs, dirty, work, pool, nil)
 }
 
-func (h *HoloSim) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error) {
+// RepairIntoPlanned implements PlannedRepairer: the run's live violation
+// set executes behind the session's compiled constraint-set plan —
+// output bit-identical to RepairInto by the plan contract.
+func (h *HoloSim) RepairIntoPlanned(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool, plan dc.SetPlanner) (*table.Table, error) {
+	return h.repairInto(ctx, cs, dirty, work, pool, plan)
+}
+
+func (h *HoloSim) repairInto(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool, plan dc.SetPlanner) (*table.Table, error) {
 	work = prepareWork(dirty, work)
 	st, ok := h.runs.Get().(*holoRun)
 	if !ok {
 		st = newHoloRun(h.seed)
 	}
 	defer h.runs.Put(st)
+	st.live.UsePlan(plan)
 	if pool != nil {
 		st.live.Pool = pool
 		defer func() { st.live.Pool = nil }()

@@ -101,6 +101,25 @@ type PartitionedRepairer interface {
 	RepairIntoParallel(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool) (*table.Table, error)
 }
 
+// PlannedRepairer is the constraint-set-plan extension of
+// PartitionedRepairer: the black box accepts the session's compiled set
+// plan (dc.SetPlanner) and installs it on its pooled live violation set,
+// so every violation scan of the run shares partitions across
+// constraints, evaluates selectivity-ordered kernels behind pre-filter
+// bitmaps, and pre-sizes its hash maps from carried cardinalities.
+//
+// Like parallelism, planning is a scheduling choice, never a semantic
+// one: for any (cs, dirty, pool, plan), RepairIntoPlanned produces
+// exactly the table RepairInto produces — the unplanned serial path
+// stays the golden cross-validation reference. A nil plan is exactly
+// RepairIntoParallel. All four production black boxes implement it.
+type PlannedRepairer interface {
+	PartitionedRepairer
+	// RepairIntoPlanned is RepairIntoParallel executing behind the
+	// compiled constraint-set plan.
+	RepairIntoPlanned(ctx context.Context, cs []*dc.Constraint, dirty, work *table.Table, pool *exec.Pool, plan dc.SetPlanner) (*table.Table, error)
+}
+
 // pooledStats is the generation-checked statistics snapshot shared by the
 // black boxes' pooled run states: fresh returns statistics for work's
 // current contents, catching the pooled snapshot up incrementally
@@ -188,6 +207,14 @@ func CellRepaired(ctx context.Context, alg Algorithm, cs []*dc.Constraint, dirty
 // (bit-identical to the serial path by contract). A nil or one-worker pool
 // is exactly CellRepaired.
 func CellRepairedWith(ctx context.Context, alg Algorithm, cs []*dc.Constraint, dirty *table.Table, cell table.CellRef, target table.Value, pool *exec.Pool) (float64, error) {
+	return CellRepairedPlanned(ctx, alg, cs, dirty, cell, target, pool, nil)
+}
+
+// CellRepairedPlanned is CellRepairedWith with a compiled constraint-set
+// plan: black boxes implementing PlannedRepairer run their violation
+// scans behind it (bit-identical to the unplanned path by contract). A
+// nil plan is exactly CellRepairedWith.
+func CellRepairedPlanned(ctx context.Context, alg Algorithm, cs []*dc.Constraint, dirty *table.Table, cell table.CellRef, target table.Value, pool *exec.Pool, plan dc.SetPlanner) (float64, error) {
 	sr, ok := alg.(ScratchRepairer)
 	if !ok {
 		clean, err := alg.Repair(ctx, cs, dirty)
@@ -199,7 +226,9 @@ func CellRepairedWith(ctx context.Context, alg Algorithm, cs []*dc.Constraint, d
 	work, _ := workPool.Get().(*table.Table)
 	var clean *table.Table
 	var err error
-	if pr, isPar := alg.(PartitionedRepairer); isPar && pool.Workers() > 1 {
+	if pl, isPl := alg.(PlannedRepairer); isPl && plan != nil {
+		clean, err = pl.RepairIntoPlanned(ctx, cs, dirty, work, pool, plan)
+	} else if pr, isPar := alg.(PartitionedRepairer); isPar && pool.Workers() > 1 {
 		clean, err = pr.RepairIntoParallel(ctx, cs, dirty, work, pool)
 	} else {
 		clean, err = sr.RepairInto(ctx, cs, dirty, work)
