@@ -10,7 +10,8 @@
 //	trex-bench -perf -out BENCH_1.json   # machine-readable perf scenarios
 //	trex-bench -perf -short              # CI smoke subset, no file
 //	trex-bench -gate BENCH_3.json -against BENCH_2.json   # perf-regression gate
-//	trex-bench -speedup BENCH_7.json      # constraint-set planner floor
+//	trex-bench -speedup BENCH_8.json      # constraint-set planner floor
+//	trex-bench -structural BENCH_8.json   # structural delta-replay floor
 package main
 
 import (
@@ -36,9 +37,18 @@ func main() {
 		workers  = flag.Int("workers", 0, "with -perf: engine parallelism for the multi-core scenarios; 0 = GOMAXPROCS")
 		speedup  = flag.String("speedup", "", "check the planner's planned-vs-perconstraint speedup inside this BENCH_<n>.json")
 		minSpeed = flag.Float64("min-speedup", 1.5, "with -speedup: required planner speedup on dcset scan scenarios")
+		structrl = flag.String("structural", "", "check the structural delta-vs-rebuild speedup inside this BENCH_<n>.json")
+		minStrct = flag.Float64("min-structural", 5, "with -structural: required delta-replay speedup on insert/delete scenarios")
 	)
 	flag.Parse()
 
+	if *structrl != "" {
+		if err := bench.StructuralSpeedup(os.Stdout, *structrl, *minStrct); err != nil {
+			fmt.Fprintf(os.Stderr, "trex-bench: structural: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *speedup != "" {
 		if err := bench.PlannerSpeedup(os.Stdout, *speedup, *minSpeed); err != nil {
 			fmt.Fprintf(os.Stderr, "trex-bench: speedup: %v\n", err)

@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -45,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		samples   = fs.Int("samples", 500, "permutation samples for cell explanations")
 		seed      = fs.Int64("seed", 1, "sampling seed")
 		workers   = fs.Int("workers", 0, "engine parallelism (sampling fan-out and parallel repair passes); 0 = GOMAXPROCS — never changes results")
+		dropRows  = fs.String("drop", "", "comma-separated 1-based rows to delete before repairing (swap-delete: the last row takes each vacated index)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +76,12 @@ func run(args []string, out io.Writer) error {
 		}
 	default:
 		return fmt.Errorf("need -laliga or both -table and -dcs (see -h)")
+	}
+
+	if *dropRows != "" {
+		if err := dropTableRows(dirty, *dropRows); err != nil {
+			return err
+		}
 	}
 
 	name := *algName
@@ -133,6 +143,35 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 	fmt.Fprint(out, report)
+	return nil
+}
+
+// dropTableRows deletes the listed 1-based rows through the table's
+// swap-delete rule. Deleting in descending order keeps every listed
+// number meaning a row of the original table: a swap only ever moves
+// the current last row, which carries a larger original number than any
+// remaining target.
+func dropTableRows(t *table.Table, spec string) error {
+	var rows []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -drop row %q: %w", f, err)
+		}
+		if n < 1 || n > t.NumRows() {
+			return fmt.Errorf("-drop row %d out of range 1..%d", n, t.NumRows())
+		}
+		rows = append(rows, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(rows)))
+	prev := 0
+	for _, n := range rows {
+		if n == prev {
+			continue
+		}
+		prev = n
+		t.DeleteRow(n - 1)
+	}
 	return nil
 }
 

@@ -66,6 +66,37 @@ func TestCLIFromFiles(t *testing.T) {
 	}
 }
 
+// TestCLIDropRows: -drop deletes the listed 1-based rows by the
+// swap-delete rule before repairing. Dropping the two violating rows of
+// a three-row table leaves nothing to repair.
+func TestCLIDropRows(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "t.csv")
+	dcsPath := filepath.Join(dir, "dcs.txt")
+	if err := os.WriteFile(csvPath, []byte("A,B\nx,1\nx,2\nx,1\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dcsPath, []byte("C1: !(t1.A = t2.A & t1.B != t2.B)\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-table", csvPath, "-dcs", dcsPath, "-drop", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(none)") {
+		t.Errorf("dropping the violating row must leave nothing to repair:\n%s", out)
+	}
+	// Duplicates collapse; descending application keeps original numbers.
+	if _, err := runCLI(t, "-table", csvPath, "-dcs", dcsPath, "-drop", "3, 1,3"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"0", "4", "x"} {
+		if _, err := runCLI(t, "-table", csvPath, "-dcs", dcsPath, "-drop", bad); err == nil {
+			t.Errorf("-drop %q must error", bad)
+		}
+	}
+}
+
 func TestCLIAlgorithms(t *testing.T) {
 	for _, alg := range []string{"algorithm1", "holosim", "greedy-holistic", "fd-chase"} {
 		if _, err := runCLI(t, "-laliga", "-alg", alg); err != nil {

@@ -129,6 +129,72 @@
 //     Stochastic (ReplaceFromColumn) games never bind: a realization must
 //     not be memoized as a value.
 //
+// # The edit model
+//
+// Every incremental layer above and below hangs off one primitive: the
+// table's typed, bounded edit log. A mutation appends an Edit{Gen, Row,
+// Col, Kind} to a fixed-size ring and bumps the table generation; a
+// consumer holding a previously observed generation calls
+// table.EditsSince and either replays the delta or — when the window
+// overran or the schema changed — rebuilds wholesale. Three edit kinds
+// cover the whole mutation surface:
+//
+//   - EditSet: one cell changed (Set/SetRef/SetByName, CopyFrom's
+//     per-cell refresh deltas).
+//   - EditInsert: one row appended at the tail (Append, IngestCSV).
+//   - EditDelete: one row removed by swap-delete (DeleteRow): the last
+//     row moves into the vacated index and the table shrinks by one.
+//
+// ApplyBatch brackets any mix of the three under a single generation:
+// consumers replay the whole batch as one delta window and caches keyed
+// by generation miss exactly once per batch, not once per operation.
+// Batching groups generations — it is not atomicity; core.Session's
+// ApplyBatch validates every operation up front (simulating the evolving
+// row count) precisely because mid-batch failures would stay applied.
+//
+// The row-identity rule for deletes: DeleteRow(i) moves the last row
+// into slot i, so survivors other than the moved row keep both their
+// index and their bytes. Consumers never guess at that remapping — they
+// resolve it symbolically through table.RowRemap, which folds an edit
+// window into the exact retract/derive/re-observe sets — and cached
+// CellRefs are never remapped at all: every cache that stores a row
+// index stamps it with the generation it was observed at, structural
+// edits always bump the generation, so a stale index is unreachable by
+// construction. The editlog and cacheinval analyzers enforce both halves
+// mechanically (no raw row-grid writes; no structural mutation path that
+// skips the log).
+//
+// What each layer replays from a structural delta window, in order of
+// increasing invalidation coarseness:
+//
+//	bucketSet          insert: hash the new tail row into its bucket;
+//	                   delete: unhash the removed row, re-home the moved
+//	                   row's index — no other bucket entry moves
+//	prefilter bitmaps  extend for inserts, compact for deletes;
+//	                   only the touched rows' bits are re-evaluated
+//	LiveViolationSet   retract exactly the touched rows' pairs, derive
+//	                   the inserted/moved rows against their buckets
+//	Stats.Sync         insert-only window: observe the tail rows per
+//	                   column; any delete: re-observe all columns (the
+//	                   first-observed tie-break order is position-
+//	                   dependent), still without a wholesale Reset
+//	conditional stats  per-(column-pair) dirty bits; untouched pairs
+//	                   keep their tables across structural edits
+//	exec caches        generation-keyed (coalition values, repair
+//	                   diffs, plans): nothing replays — the bumped
+//	                   generation makes stale entries unreachable
+//
+// Structural edits enter through table.Append/DeleteRow/ApplyBatch and
+// the streaming table.IngestCSV, surface in the session API as
+// Session.InsertRow/DeleteRow/ApplyBatch/IngestCSV (history lines name
+// the swap remap), and over HTTP as the insert_row/delete_row/batch
+// fields of POST /api/session/{id}/edit plus the CSV-streaming POST
+// /api/session/{id}/ingest. Snapshots spool history batch brackets and
+// RestoreSession rejects unbalanced ones. The violations/{insert,delete,
+// batch} BENCH_<n>.json rows track delta replay against a forced full
+// rebuild; CI gates the insert and delete pairs at >=5x (`trex-bench
+// -structural`).
+//
 // # The violation index
 //
 // Violation detection — "which pairs jointly satisfy a denied
@@ -278,9 +344,13 @@
 //     SplitMix64) threaded from the caller, so equal seeds replay equal
 //     runs (the PR 6 chaos-reproducibility contract).
 //   - editlog: outside internal/table, no direct writes into table cell
-//     storage ([]table.Value obtained from RowView or another alias);
-//     mutations go through Set/SetRef/CopyFrom so the edit log stays the
-//     single source of truth for incremental sync (PR 5).
+//     storage ([]table.Value obtained from RowView or another alias) and
+//     no structural writes into [][]table.Value row grids of aliasing
+//     provenance (a raw slot swap is an unlogged swap-delete); mutations
+//     go through Set/SetRef/Append/DeleteRow/ApplyBatch (or CopyFrom) so
+//     the typed edit log stays the single source of truth for
+//     incremental sync (PR 5, widened to the structural surface in
+//     PR 10).
 //   - cachekey: descriptor/key-builder functions must not stringify
 //     table.Value via String or fmt — Value.AppendKey is the injective
 //     encoding; String collapses distinct values (Int(5) vs String("5"))
@@ -310,7 +380,8 @@
 //     and error exits are exempt.
 //   - cacheinval: every write to Table.rows or a Session's dcs/alg must be
 //     post-dominated by the invalidation surface (Table.logEdit /
-//     Table.invalidateEdits / Engine.InvalidateCache) — no path from a
+//     Table.logStructural / Table.invalidateEdits /
+//     Engine.InvalidateCache) — no path from a
 //     mutation to return may skip invalidation, else the coalition cache
 //     serves stale values (the PR 5/6 coherence contract). Session
 //     DC-set/algorithm mutations must additionally be post-dominated by

@@ -332,6 +332,112 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 		}},
 	)
 
+	// Structural deltas: a typed row insert, swap-delete, or batch before
+	// every scan. The rebuild rows force a full live derivation (a fresh
+	// set per scan, paying the whole bucket build and pair derivation); the
+	// delta rows replay the typed structural edits from the table's log,
+	// retracting and deriving exactly the touched rows' pairs. Every
+	// iteration restores the row count with the mirrored op so the table
+	// never drifts; the restore op lands in the next scan's replay window,
+	// so the delta rows price the one-insert-one-delete steady state.
+	structTable := data.GenerateSoccer(data.SoccerConfig{Leagues: 4, TeamsPerLeague: 32, Seed: 14})
+	structCountry := structTable.Schema().MustIndex("Country")
+	structRow := structTable.Row(7)
+	out = append(out,
+		perfScenario{name: "violations/insert/rebuild", bench: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := structTable.Append(structRow); err != nil {
+					b.Fatal(err)
+				}
+				live := dc.NewLiveViolationSet()
+				if _, err := live.Violations(fd, structTable); err != nil {
+					b.Fatal(err)
+				}
+				structTable.DeleteRow(structTable.NumRows() - 1)
+			}
+		}},
+		perfScenario{name: "violations/insert/delta", bench: func(b *testing.B) {
+			live := dc.NewLiveViolationSet()
+			if _, err := live.Violations(fd, structTable); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := structTable.Append(structRow); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := live.Violations(fd, structTable); err != nil {
+					b.Fatal(err)
+				}
+				structTable.DeleteRow(structTable.NumRows() - 1)
+			}
+		}},
+		perfScenario{name: "violations/delete/rebuild", bench: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				vals := structTable.Row(7)
+				structTable.DeleteRow(7)
+				live := dc.NewLiveViolationSet()
+				if _, err := live.Violations(fd, structTable); err != nil {
+					b.Fatal(err)
+				}
+				if err := structTable.Append(vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{name: "violations/delete/delta", bench: func(b *testing.B) {
+			live := dc.NewLiveViolationSet()
+			if _, err := live.Violations(fd, structTable); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals := structTable.Row(7)
+				structTable.DeleteRow(7)
+				if _, err := live.Violations(fd, structTable); err != nil {
+					b.Fatal(err)
+				}
+				if err := structTable.Append(vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// One generation per batch: two inserts, a cell flip, two
+		// swap-deletes — net zero rows, replayed as one delta window.
+		perfScenario{name: "violations/batch/rebuild", bench: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := structBatch(structTable, structRow, structCountry, editValues[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				live := dc.NewLiveViolationSet()
+				if _, err := live.Violations(fd, structTable); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		perfScenario{name: "violations/batch/delta", bench: func(b *testing.B) {
+			live := dc.NewLiveViolationSet()
+			if _, err := live.Violations(fd, structTable); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := structBatch(structTable, structRow, structCountry, editValues[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := live.Violations(fd, structTable); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+
 	// Large-table scans: the pair-check inner loop dominates here, so these
 	// rows isolate the compiled-kernel win and the parallel full
 	// derivation. 128 leagues × 24 teams = 3072 rows, FD-shaped buckets of
@@ -551,6 +657,24 @@ func perfScenarios(short bool, workers int) ([]perfScenario, error) {
 		})
 	}
 	return out, nil
+}
+
+// structBatch is the mixed structural edit of the violations/batch rows:
+// two inserts, one cell flip, and two swap-deletes bracketed into a
+// single generation, leaving the row count unchanged.
+func structBatch(t *table.Table, row []table.Value, col int, v table.Value) error {
+	return t.ApplyBatch(func(t *table.Table) error {
+		if err := t.Append(row); err != nil {
+			return err
+		}
+		if err := t.Append(row); err != nil {
+			return err
+		}
+		t.Set(1, col, v)
+		t.DeleteRow(t.NumRows() - 1)
+		t.DeleteRow(t.NumRows() - 1)
+		return nil
+	})
 }
 
 // saturationScenario drives clients×perClient explain requests at a

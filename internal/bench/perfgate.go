@@ -141,6 +141,55 @@ func PlannerSpeedup(w io.Writer, path string, min float64) error {
 	return nil
 }
 
+// StructuralSpeedup checks the typed edit log's structural win inside one
+// perf report: each violations/{insert,delete,batch}/delta row is paired
+// with its .../rebuild twin, and the insert and delete pairs must show
+// the delta side at least min times faster — the contract that a
+// single-row insert or swap-delete updates the live violation set by
+// replaying the touched row's pairs instead of forcing a full derivation.
+// The batch pair is reported for context but does not gate: its edit mix
+// (inserts + a cell flip + deletes per generation) is fixed arbitrarily
+// by the scenario. A report with no structural pairs fails: that means
+// the scenario family silently vanished from the tracked series.
+func StructuralSpeedup(w io.Writer, path string, min float64) error {
+	report, err := readPerfJSON(path)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]PerfResult, len(report.Results))
+	for _, r := range report.Results {
+		byName[r.Name] = r
+	}
+	var pairs, failed int
+	for _, op := range []string{"insert", "delete", "batch"} {
+		delta, okD := byName["violations/"+op+"/delta"]
+		rebuild, okR := byName["violations/"+op+"/rebuild"]
+		if !okD || !okR || delta.NsPerOp <= 0 {
+			continue
+		}
+		pairs++
+		speedup := rebuild.NsPerOp / delta.NsPerOp
+		gated := op != "batch"
+		status := "info"
+		if gated {
+			status = "ok"
+			if speedup < min {
+				status = "TOO SLOW"
+				failed++
+			}
+		}
+		fmt.Fprintf(w, "%-44s %12.1f -> %12.1f ns/op  %6.2fx  %s\n",
+			"violations/"+op+"/delta", rebuild.NsPerOp, delta.NsPerOp, speedup, status)
+	}
+	if pairs == 0 {
+		return fmt.Errorf("bench: structural: %s has no delta/rebuild scenario pairs", path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("bench: structural: %d pair(s) below the %.2fx delta-replay floor", failed, min)
+	}
+	return nil
+}
+
 // readPerfJSON loads a BENCH_<n>.json report.
 func readPerfJSON(path string) (*PerfReport, error) {
 	data, err := os.ReadFile(path)

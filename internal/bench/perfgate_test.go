@@ -128,6 +128,53 @@ func TestPlannerSpeedupRequiresPairs(t *testing.T) {
 	}
 }
 
+func TestStructuralSpeedupGatesInsertDeletePairs(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "r.json", []PerfResult{
+		{Name: "violations/insert/rebuild", NsPerOp: 1000},
+		{Name: "violations/insert/delta", NsPerOp: 100}, // 10x: ok
+		{Name: "violations/delete/rebuild", NsPerOp: 900},
+		{Name: "violations/delete/delta", NsPerOp: 150}, // 6x: ok
+		{Name: "violations/batch/rebuild", NsPerOp: 500},
+		{Name: "violations/batch/delta", NsPerOp: 499}, // ~1x: batch never gates
+		{Name: "violations/edit/rebuild", NsPerOp: 10}, // cell-edit pair: out of scope
+		{Name: "violations/edit/delta", NsPerOp: 10},
+	})
+	var out bytes.Buffer
+	if err := StructuralSpeedup(&out, path, 5); err != nil {
+		t.Fatalf("structural check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "info") {
+		t.Fatalf("batch pair not reported informationally:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "violations/edit") {
+		t.Fatalf("cell-edit pair must not be part of the structural check:\n%s", out.String())
+	}
+
+	slow := writeReport(t, dir, "slow.json", []PerfResult{
+		{Name: "violations/insert/rebuild", NsPerOp: 1000},
+		{Name: "violations/insert/delta", NsPerOp: 400}, // 2.5x < 5x
+		{Name: "violations/delete/rebuild", NsPerOp: 900},
+		{Name: "violations/delete/delta", NsPerOp: 100},
+	})
+	out.Reset()
+	err := StructuralSpeedup(&out, slow, 5)
+	if err == nil {
+		t.Fatalf("structural check must fail below the floor\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "delta-replay floor") || !strings.Contains(out.String(), "TOO SLOW") {
+		t.Fatalf("unexpected failure shape: %v\n%s", err, out.String())
+	}
+
+	empty := writeReport(t, dir, "none.json", []PerfResult{
+		{Name: "violations/insert/delta", NsPerOp: 5}, // twin missing: no pair
+	})
+	if err := StructuralSpeedup(os.Stderr, empty, 5); err == nil ||
+		!strings.Contains(err.Error(), "no delta/rebuild scenario pairs") {
+		t.Fatalf("want missing-pairs error, got %v", err)
+	}
+}
+
 // TestWritePerfJSONFailsFastOnUnwritablePath is the satellite regression
 // test: an unwritable output path must fail before any benchmark runs
 // (the file is created up front), with a non-nil error for main to turn

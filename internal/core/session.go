@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/dc"
 	"repro/internal/dc/plan"
@@ -136,6 +137,140 @@ func (s *Session) SetCell(ref table.CellRef, v table.Value) error {
 	s.dirty.SetRef(ref, v)
 	s.History = append(s.History, fmt.Sprintf("set %s: %s -> %s", s.dirty.RefName(ref), old, v))
 	return nil
+}
+
+// InsertRow appends one row to the dirty table — the GUI's "add tuple"
+// action. The insert is a typed edit-log entry, so the session's live
+// violation lists and the engine's generation-keyed caches pick it up as
+// a one-row delta, not a rebuild.
+func (s *Session) InsertRow(vals []table.Value) error {
+	if err := s.dirty.Append(vals); err != nil {
+		return err
+	}
+	s.History = append(s.History, fmt.Sprintf("insert row %d", s.dirty.NumRows()-1))
+	return nil
+}
+
+// DeleteRow removes one row by the table's swap-delete rule: the last
+// row moves into the vacated index and every other row keeps its index.
+// The history line names the remap so a user replaying the log can track
+// where the moved survivor went; cached artifacts holding CellRefs are
+// generation-keyed and can never read the renumbered row under its old
+// index.
+func (s *Session) DeleteRow(row int) error {
+	n := s.dirty.NumRows()
+	if row < 0 || row >= n {
+		return fmt.Errorf("core: delete row %d out of range 0..%d", row, n-1)
+	}
+	s.dirty.DeleteRow(row)
+	s.History = append(s.History, deleteHistory(row, n))
+	return nil
+}
+
+// deleteHistory renders the history line for deleting row of a table
+// that had n rows, naming the swap-delete remap when one happened.
+func deleteHistory(row, n int) string {
+	if row == n-1 {
+		return fmt.Sprintf("delete row %d", row)
+	}
+	return fmt.Sprintf("delete row %d (row %d moved to %d)", row, n-1, row)
+}
+
+// BatchOpKind selects which operation a BatchOp performs.
+type BatchOpKind string
+
+// The batch operation kinds. The strings double as the wire names the
+// server's batch endpoint accepts.
+const (
+	BatchSet    BatchOpKind = "set"
+	BatchInsert BatchOpKind = "insert"
+	BatchDelete BatchOpKind = "delete"
+)
+
+// BatchOp is one declarative operation of a Session.ApplyBatch bracket.
+// Exactly the fields of its Kind are read: Ref/Value for BatchSet, Vals
+// for BatchInsert, Row for BatchDelete. Row and Ref indexes address the
+// table as it stands when the op runs — earlier ops in the same batch
+// shift them (inserts land at the then-current tail; deletes swap the
+// then-last row down).
+type BatchOp struct {
+	Kind  BatchOpKind
+	Ref   table.CellRef
+	Value table.Value
+	Row   int
+	Vals  []table.Value
+}
+
+// ApplyBatch applies ops to the dirty table under one batch bracket: one
+// generation for the whole run, so incremental consumers replay it as a
+// single delta and generation-keyed caches invalidate exactly once. The
+// ops are validated up front against the simulated row count (the
+// table's batch bracket groups generations, not atomicity — a mid-batch
+// failure would stay applied), so a validated batch cannot fail partway.
+// History records the bracket as "batch begin (N ops)" … "batch end"
+// with one line per op between; RestoreSession checks the brackets
+// balance.
+func (s *Session) ApplyBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	rows := s.dirty.NumRows()
+	for i, op := range ops {
+		switch op.Kind {
+		case BatchSet:
+			if op.Ref.Row < 0 || op.Ref.Row >= rows || op.Ref.Col < 0 || op.Ref.Col >= s.dirty.NumCols() {
+				return fmt.Errorf("core: batch op %d: cell %v out of range", i, op.Ref)
+			}
+		case BatchInsert:
+			if err := s.dirty.Schema().Validate(op.Vals); err != nil {
+				return fmt.Errorf("core: batch op %d: %w", i, err)
+			}
+			rows++
+		case BatchDelete:
+			if op.Row < 0 || op.Row >= rows {
+				return fmt.Errorf("core: batch op %d: delete row %d out of range 0..%d", i, op.Row, rows-1)
+			}
+			rows--
+		default:
+			return fmt.Errorf("core: batch op %d: unknown kind %q", i, op.Kind)
+		}
+	}
+	s.History = append(s.History, fmt.Sprintf("batch begin (%d ops)", len(ops)))
+	err := s.dirty.ApplyBatch(func(b *table.Table) error {
+		for _, op := range ops {
+			switch op.Kind {
+			case BatchSet:
+				old := b.GetRef(op.Ref)
+				b.SetRef(op.Ref, op.Value)
+				s.History = append(s.History, fmt.Sprintf("set %s: %s -> %s", b.RefName(op.Ref), old, op.Value))
+			case BatchInsert:
+				if err := b.Append(op.Vals); err != nil {
+					return err
+				}
+				s.History = append(s.History, fmt.Sprintf("insert row %d", b.NumRows()-1))
+			case BatchDelete:
+				n := b.NumRows()
+				b.DeleteRow(op.Row)
+				s.History = append(s.History, deleteHistory(op.Row, n))
+			}
+		}
+		return nil
+	})
+	// Close the bracket even on the (validated-away) error path so the
+	// history never spools with an open batch.
+	s.History = append(s.History, "batch end")
+	return err
+}
+
+// IngestCSV streams CSV rows (matching the session schema) into the
+// dirty table as one batch bracket; see Table.IngestCSV. Returns the
+// number of rows appended.
+func (s *Session) IngestCSV(r io.Reader) (int, error) {
+	n, err := s.dirty.IngestCSV(r)
+	if n > 0 {
+		s.History = append(s.History, fmt.Sprintf("ingest %d rows (csv)", n))
+	}
+	return n, err
 }
 
 // RemoveDC removes a constraint by ID — the demo scenario's "remove the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"repro/internal/dc"
 	"repro/internal/faults"
@@ -203,10 +204,38 @@ func RestoreSession(sn *SessionSnapshot, resolve AlgorithmResolver) (*Session, e
 		}
 		dcs = append(dcs, c)
 	}
+	if err := validateHistory(sn.History); err != nil {
+		return nil, err
+	}
 	sess, err := NewSessionWith(alg, dcs, tbl, SessionOptions{Workers: sn.Workers})
 	if err != nil {
 		return nil, err
 	}
 	sess.History = append([]string(nil), sn.History...)
 	return sess, nil
+}
+
+// validateHistory rejects histories whose batch brackets don't balance —
+// the footprint of a spool file truncated or corrupted mid-record.
+// Session.ApplyBatch always writes matched "batch begin (N ops)" …
+// "batch end" marker pairs, so an open or orphaned bracket means the
+// snapshot does not describe a state any session ever reached, and the
+// restore degrades to a clean error instead of resurrecting it.
+func validateHistory(history []string) error {
+	depth := 0
+	for i, line := range history {
+		switch {
+		case strings.HasPrefix(line, "batch begin"):
+			depth++
+		case line == "batch end":
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("core: snapshot history line %d: batch end without matching begin", i)
+			}
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("core: snapshot history has %d unclosed batch bracket(s)", depth)
+	}
+	return nil
 }

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+// rescanViolations recomputes the session's violations from scratch (a
+// fresh live set) for comparison against the incrementally-maintained
+// lists the session serves.
+func rescanViolations(t *testing.T, s *Session) []string {
+	t.Helper()
+	fresh, err := NewSession(repair.Passthrough{}, s.DCs(), s.Dirty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return violationStrings(t, fresh)
+}
+
+func violationStrings(t *testing.T, s *Session) []string {
+	t.Helper()
+	vs, err := s.Violations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v.Constraint.ID+":"+s.Dirty().RefName(table.CellRef{Row: v.Row1})+","+s.Dirty().RefName(table.CellRef{Row: v.Row2}))
+	}
+	return out
+}
+
+func assertViolationsFresh(t *testing.T, label string, s *Session) {
+	t.Helper()
+	got := violationStrings(t, s)
+	want := rescanViolations(t, s)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d violations vs %d from rescan\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: violation %d: %s vs %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSessionStructuralEdits drives the new structural session API —
+// InsertRow, DeleteRow, ApplyBatch — and checks the incrementally
+// maintained violation lists stay bit-identical to fresh rescans, and
+// that history records each edit (with the swap-delete remap named).
+func TestSessionStructuralEdits(t *testing.T) {
+	ll := data.NewLaLiga()
+	s, err := NewSession(repair.Passthrough{}, ll.DCs, ll.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertViolationsFresh(t, "initial", s)
+	n := s.Dirty().NumRows()
+
+	row := append([]table.Value(nil), s.Dirty().RowView(0)...)
+	row[0] = table.String("Inserted FC")
+	if err := s.InsertRow(row); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dirty().NumRows() != n+1 {
+		t.Fatalf("rows = %d after insert, want %d", s.Dirty().NumRows(), n+1)
+	}
+	if got := s.History[len(s.History)-1]; !strings.HasPrefix(got, "insert row ") {
+		t.Fatalf("insert history line = %q", got)
+	}
+	assertViolationsFresh(t, "after insert", s)
+
+	// Width mismatch is rejected before mutating.
+	if err := s.InsertRow(row[:2]); err == nil {
+		t.Fatal("short row must be rejected")
+	}
+	if s.Dirty().NumRows() != n+1 {
+		t.Fatal("failed insert mutated the table")
+	}
+
+	// Delete a middle row: the last row swaps down, and the history line
+	// names the remap.
+	moved := s.Dirty().NumRows() - 1
+	if err := s.DeleteRow(1); err != nil {
+		t.Fatal(err)
+	}
+	wantLine := deleteHistory(1, moved+1)
+	if got := s.History[len(s.History)-1]; got != wantLine {
+		t.Fatalf("delete history line = %q, want %q", got, wantLine)
+	}
+	if !strings.Contains(wantLine, "moved to") {
+		t.Fatalf("middle delete must name the swap remap, got %q", wantLine)
+	}
+	assertViolationsFresh(t, "after delete-middle", s)
+
+	// Delete the last row: no remap to name.
+	if err := s.DeleteRow(s.Dirty().NumRows() - 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.History[len(s.History)-1]; strings.Contains(got, "moved") {
+		t.Fatalf("tail delete must not claim a remap, got %q", got)
+	}
+	assertViolationsFresh(t, "after delete-last", s)
+
+	if err := s.DeleteRow(99); err == nil {
+		t.Fatal("out-of-range delete must error")
+	}
+	if err := s.DeleteRow(-1); err == nil {
+		t.Fatal("negative delete must error")
+	}
+}
+
+// TestSessionApplyBatch checks batch bracket semantics: one generation
+// for the whole run, balanced history markers, up-front validation that
+// simulates the row count (so an op can address a row an earlier op in
+// the same batch inserts), and rejection without mutation.
+func TestSessionApplyBatch(t *testing.T) {
+	ll := data.NewLaLiga()
+	s, err := NewSession(repair.Passthrough{}, ll.DCs, ll.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertViolationsFresh(t, "initial", s)
+	genBefore := s.Dirty().Generation()
+	n := s.Dirty().NumRows()
+	histBefore := len(s.History)
+
+	row := append([]table.Value(nil), s.Dirty().RowView(0)...)
+	ops := []BatchOp{
+		{Kind: BatchSet, Ref: table.CellRef{Row: 2, Col: 1}, Value: table.String("Patched")},
+		{Kind: BatchInsert, Vals: row},
+		// Addresses the row the insert above just created — valid only
+		// because validation simulates the evolving row count.
+		{Kind: BatchSet, Ref: table.CellRef{Row: n, Col: 0}, Value: table.String("Renamed")},
+		{Kind: BatchDelete, Row: 0},
+	}
+	if err := s.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Dirty().Generation(); got != genBefore+1 {
+		t.Fatalf("batch moved generation %d -> %d, want exactly one bump", genBefore, got)
+	}
+	if got := s.Dirty().Get(0, 0); !got.Equal(table.String("Renamed")) {
+		// Row n swapped into index 0 when the delete removed row 0.
+		t.Fatalf("batch-inserted row not at swapped index: %v", got)
+	}
+	if s.History[histBefore] != "batch begin (4 ops)" || s.History[len(s.History)-1] != "batch end" {
+		t.Fatalf("batch brackets missing: %v", s.History[histBefore:])
+	}
+	if got := len(s.History) - histBefore; got != 6 {
+		t.Fatalf("batch wrote %d history lines, want 6", got)
+	}
+	assertViolationsFresh(t, "after batch", s)
+
+	// Invalid batches are rejected whole: no mutation, no history.
+	genBefore = s.Dirty().Generation()
+	histBefore = len(s.History)
+	bad := [][]BatchOp{
+		{{Kind: BatchSet, Ref: table.CellRef{Row: 99, Col: 0}, Value: table.Null()}},
+		{{Kind: BatchDelete, Row: s.Dirty().NumRows()}},
+		{{Kind: BatchInsert, Vals: row[:1]}},
+		{{Kind: BatchOpKind("upsert")}},
+		// The delete shrinks the simulated count; the set's row is then
+		// out of range even though it is in range right now.
+		{{Kind: BatchDelete, Row: 0}, {Kind: BatchSet, Ref: table.CellRef{Row: s.Dirty().NumRows() - 1, Col: 0}, Value: table.Null()}},
+	}
+	for i, ops := range bad {
+		if err := s.ApplyBatch(ops); err == nil {
+			t.Fatalf("bad batch %d must be rejected", i)
+		}
+	}
+	if s.Dirty().Generation() != genBefore || len(s.History) != histBefore {
+		t.Fatal("rejected batches must not mutate the session")
+	}
+	// Empty batch: a no-op, no markers.
+	if err := s.ApplyBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.History) != histBefore || s.Dirty().Generation() != genBefore {
+		t.Fatal("empty batch must be a no-op")
+	}
+}
+
+// TestSessionIngestCSV streams rows into the session under one batch
+// bracket and checks schema enforcement plus the partial-ingest contract.
+func TestSessionIngestCSV(t *testing.T) {
+	tbl := table.MustFromStrings([]string{"A", "B"}, [][]string{{"x", "1"}})
+	s, err := NewSession(repair.Passthrough{}, nil, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genBefore := s.Dirty().Generation()
+	n, err := s.IngestCSV(strings.NewReader("A,B\ny,2\nz,3\n"))
+	if err != nil || n != 2 {
+		t.Fatalf("ingest = %d, %v", n, err)
+	}
+	if s.Dirty().NumRows() != 3 {
+		t.Fatalf("rows = %d", s.Dirty().NumRows())
+	}
+	if got := s.Dirty().Generation(); got != genBefore+1 {
+		t.Fatalf("ingest moved generation %d -> %d, want one bump", genBefore, got)
+	}
+	if got := s.History[len(s.History)-1]; got != "ingest 2 rows (csv)" {
+		t.Fatalf("ingest history line = %q", got)
+	}
+	// Ints parse as ints, not strings.
+	if got := s.Dirty().Get(1, 1); got.Kind() != table.KindInt {
+		t.Fatalf("ingested cell kind = %d", got.Kind())
+	}
+
+	// Header mismatches are rejected before any append.
+	for _, hdr := range []string{"A,C\n1,2\n", "A\n1\n", "B,A\n1,2\n"} {
+		if _, err := s.IngestCSV(strings.NewReader(hdr)); err == nil {
+			t.Fatalf("header %q must be rejected", hdr)
+		}
+	}
+	if s.Dirty().NumRows() != 3 {
+		t.Fatal("rejected header appended rows")
+	}
+
+	// A malformed record mid-stream keeps the prefix and reports both.
+	n, err = s.IngestCSV(strings.NewReader("A,B\nw,4\nbad-row-with,too,many\n"))
+	if err == nil {
+		t.Fatal("malformed record must error")
+	}
+	if n != 1 || s.Dirty().NumRows() != 4 {
+		t.Fatalf("partial ingest kept %d rows (reported %d)", s.Dirty().NumRows(), n)
+	}
+	if got := s.History[len(s.History)-1]; got != "ingest 1 rows (csv)" {
+		t.Fatalf("partial-ingest history line = %q", got)
+	}
+}
+
+// TestSnapshotStructuralHistoryRoundTrip: a session whose history holds
+// typed structural edits and batch brackets snapshots and restores
+// bit-identically — table bytes, history lines, and the violations the
+// restored session serves.
+func TestSnapshotStructuralHistoryRoundTrip(t *testing.T) {
+	ll := data.NewLaLiga()
+	s, err := NewSession(repair.Passthrough{}, ll.DCs, ll.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := append([]table.Value(nil), s.Dirty().RowView(0)...)
+	if err := s.InsertRow(row); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteRow(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyBatch([]BatchOp{
+		{Kind: BatchSet, Ref: table.CellRef{Row: 0, Col: 0}, Value: table.String("batched")},
+		{Kind: BatchInsert, Vals: row},
+		{Kind: BatchDelete, Row: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := s.Snapshot().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(sn, func(string) (repair.Algorithm, bool) {
+		return repair.Passthrough{}, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Dirty().Equal(s.Dirty()) {
+		t.Fatal("restored table differs")
+	}
+	if len(restored.History) != len(s.History) {
+		t.Fatalf("history %d vs %d lines", len(restored.History), len(s.History))
+	}
+	for i := range s.History {
+		if restored.History[i] != s.History[i] {
+			t.Fatalf("history line %d: %q vs %q", i, restored.History[i], s.History[i])
+		}
+	}
+	got := violationStrings(t, restored)
+	want := violationStrings(t, s)
+	if len(got) != len(want) {
+		t.Fatalf("restored violations %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored violation %d: %s vs %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSnapshotTruncatedBatchMarkers: a spool snapshot whose history lost
+// its closing batch marker (the truncated-write footprint) degrades to a
+// clean restore error — never a session claiming a state no live session
+// reached. An orphaned closer is equally rejected.
+func TestSnapshotTruncatedBatchMarkers(t *testing.T) {
+	ll := data.NewLaLiga()
+	s, err := NewSession(repair.Passthrough{}, ll.DCs, ll.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyBatch([]BatchOp{
+		{Kind: BatchSet, Ref: table.CellRef{Row: 0, Col: 0}, Value: table.String("batched")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Snapshot()
+	if _, err := RestoreSession(sn, func(string) (repair.Algorithm, bool) {
+		return repair.Passthrough{}, true
+	}); err != nil {
+		t.Fatalf("balanced history must restore: %v", err)
+	}
+
+	truncated := *sn
+	truncated.History = sn.History[:len(sn.History)-1] // drop "batch end"
+	if _, err := RestoreSession(&truncated, func(string) (repair.Algorithm, bool) {
+		return repair.Passthrough{}, true
+	}); err == nil || !strings.Contains(err.Error(), "batch") {
+		t.Fatalf("truncated batch marker must fail restore, got %v", err)
+	}
+
+	orphan := *sn
+	orphan.History = append([]string{"batch end"}, sn.History...)
+	if _, err := RestoreSession(&orphan, func(string) (repair.Algorithm, bool) {
+		return repair.Passthrough{}, true
+	}); err == nil || !strings.Contains(err.Error(), "batch") {
+		t.Fatalf("orphaned batch end must fail restore, got %v", err)
+	}
+}

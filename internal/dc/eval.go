@@ -229,12 +229,13 @@ func (bs *bucketSet) rebuild(t *table.Table, keyBuf *[]byte) {
 	bs.stale = false
 }
 
-// apply catches the partition up with a batch of single-cell edits: only
+// apply catches the partition up with a window of single-cell edits: only
 // rows whose edited column participates in this signature move, and each
 // move touches exactly the source and destination buckets — the per-bucket
 // delta maintenance that keeps one-cell-per-step workloads (session edits,
-// coalition walks, repair fixpoints) off the full rebuild path.
-func (bs *bucketSet) apply(t *table.Table, edits []table.CellEdit, keyBuf *[]byte) {
+// coalition walks, repair fixpoints) off the full rebuild path. Windows
+// with structural edits take applyStructural instead.
+func (bs *bucketSet) apply(t *table.Table, edits []table.Edit, keyBuf *[]byte) {
 	for _, e := range edits {
 		touched := false
 		for _, c := range bs.cols {
@@ -250,11 +251,80 @@ func (bs *bucketSet) apply(t *table.Table, edits []table.CellEdit, keyBuf *[]byt
 	}
 }
 
+// applyStructural catches the partition up with a window containing row
+// inserts/deletes, decoded by rm: dead and moved origins leave their
+// buckets by reverse-index lookup (no key computation), the reverse index
+// resizes to the final shape, and exactly the moved-in, inserted, and
+// relevantly-edited rows re-key against the final table — every other
+// row's bucket and index are untouched, which keeps single-row structural
+// edits O(changed rows), not O(table). reinsert is caller-pooled scratch
+// for deduplicating in-place edits.
+func (bs *bucketSet) applyStructural(t *table.Table, rm *table.RowRemap, keyBuf *[]byte, reinsert *[]int) {
+	// Phase 1: drop every dead or moved origin from its bucket. Member
+	// lists hold origin-space indexes until phase 4, so reverse-index
+	// removal is exact.
+	for _, o := range rm.Retract {
+		if slot := bs.rowBucket[o]; slot >= 0 {
+			bs.members[slot] = removeSortedRow(bs.members[slot], int(o))
+		}
+	}
+	// Phase 2: in-place cell edits on surviving unmoved rows whose column
+	// participates in this signature leave their bucket now and re-key in
+	// phase 4. rowBucket doubles as the dedup sentinel (-2 = pending).
+	ri := (*reinsert)[:0]
+	for _, e := range rm.Sets {
+		if !rm.CleanSet(e) {
+			continue
+		}
+		touched := false
+		for _, c := range bs.cols {
+			if c == e.Col {
+				touched = true
+				break
+			}
+		}
+		if !touched || bs.rowBucket[e.Row] == -2 {
+			continue
+		}
+		if slot := bs.rowBucket[e.Row]; slot >= 0 {
+			bs.members[slot] = removeSortedRow(bs.members[slot], e.Row)
+		}
+		bs.rowBucket[e.Row] = -2
+		ri = append(ri, e.Row)
+	}
+	*reinsert = ri
+	// Phase 3: resize the reverse index to the final shape. Survivors keep
+	// their slots; every position past the old count is in rm.Derive and
+	// overwritten in phase 4.
+	n := rm.NewRows
+	if cap(bs.rowBucket) >= n {
+		bs.rowBucket = bs.rowBucket[:n]
+	} else {
+		grown := make([]int, n)
+		copy(grown, bs.rowBucket)
+		bs.rowBucket = grown
+	}
+	// Phase 4: key every re-derived position and edited row from the
+	// final table.
+	for _, p := range rm.Derive {
+		bs.insertRow(t, int(p), keyBuf)
+	}
+	for _, r := range ri {
+		bs.insertRow(t, r, keyBuf)
+	}
+}
+
 // moveRow re-buckets one row against the table's current contents.
 func (bs *bucketSet) moveRow(t *table.Table, row int, keyBuf *[]byte) {
 	if old := bs.rowBucket[row]; old >= 0 {
 		bs.members[old] = removeSortedRow(bs.members[old], row)
 	}
+	bs.insertRow(t, row, keyBuf)
+}
+
+// insertRow keys row against the table's current contents and inserts it
+// into its bucket — the second half of moveRow, for rows already removed.
+func (bs *bucketSet) insertRow(t *table.Table, row int, keyBuf *[]byte) {
 	key, ok := appendCompositeKey((*keyBuf)[:0], t, row, bs.cols)
 	*keyBuf = key
 	if !ok {
@@ -292,9 +362,11 @@ func insertSortedRow(s []int, row int) []int {
 // table's generation moves, the index first tries to catch up from the
 // table's edit log (table.EditsSince): a single-cell edit then rebuilds
 // only the buckets whose composite key involves the edited column, and only
-// the two buckets the row moves between. Wholesale invalidation (a
-// different table, a schema switch, structural edits, or a log overrun)
-// falls back to lazy full rebuilds.
+// the two buckets the row moves between; a structural window (row
+// inserts/deletes) is decoded once through a table.RowRemap and replayed
+// against exactly the retracted origins and re-derived positions.
+// Wholesale invalidation (a different table, a schema switch, or a log
+// overrun) falls back to lazy full rebuilds.
 //
 // A ScanIndex is confined to one goroutine (typically one repair run); the
 // zero value is NOT ready to use — construct with NewScanIndex.
@@ -312,8 +384,14 @@ type ScanIndex struct {
 	// on the constraint and the schema, and the per-row hot loops below
 	// would otherwise re-derive them per call.
 	colsOf  map[*Constraint]colsEntry
-	editBuf []table.CellEdit
+	editBuf []table.Edit
 	keyBuf  []byte
+	// rows is the bound table's row count at generation gen — the origin
+	// space a structural edit window is decoded against. remap and
+	// reinsertBuf are that decode's pooled scratch.
+	rows        int
+	remap       table.RowRemap
+	reinsertBuf []int
 	// alive is the shared survivor mask for columnar bucket filtering.
 	alive []bool
 	// plan is the constraint-set plan in effect, nil for unplanned
@@ -413,18 +491,42 @@ func (ix *ScanIndex) sync(t *table.Table) {
 		ix.editBuf = ix.editBuf[:0]
 		if edits, ok := t.EditsSince(ix.gen, ix.editBuf); ok {
 			ix.editBuf = edits
-			for _, bs := range ix.ordered {
-				if !bs.stale {
-					bs.apply(t, edits, &ix.keyBuf)
+			if table.Structural(edits) {
+				// Decode the structural window once against the row count
+				// the partitions were built over; a decode that disagrees
+				// with the live table means the window cannot be trusted,
+				// so fall through to wholesale invalidation.
+				ix.remap.Resolve(edits, ix.rows)
+				if ix.remap.NewRows == t.NumRows() {
+					for _, bs := range ix.ordered {
+						if !bs.stale {
+							bs.applyStructural(t, &ix.remap, &ix.keyBuf, &ix.reinsertBuf)
+						}
+					}
+					for _, pf := range ix.preOrdered {
+						if !pf.stale {
+							pf.applyStructural(t, &ix.remap)
+						}
+					}
+					ix.gen = t.Generation()
+					ix.rows = t.NumRows()
+					return
 				}
-			}
-			for _, pf := range ix.preOrdered {
-				if !pf.stale {
-					pf.apply(t, edits)
+			} else {
+				for _, bs := range ix.ordered {
+					if !bs.stale {
+						bs.apply(t, edits, &ix.keyBuf)
+					}
 				}
+				for _, pf := range ix.preOrdered {
+					if !pf.stale {
+						pf.apply(t, edits)
+					}
+				}
+				ix.gen = t.Generation()
+				ix.rows = t.NumRows()
+				return
 			}
-			ix.gen = t.Generation()
-			return
 		}
 	} else if ix.schema != t.Schema() {
 		// Column resolutions and compiled kernels are schema-scoped, not
@@ -437,6 +539,7 @@ func (ix *ScanIndex) sync(t *table.Table) {
 	ix.tbl = t
 	ix.schema = t.Schema()
 	ix.gen = t.Generation()
+	ix.rows = t.NumRows()
 	for _, bs := range ix.ordered {
 		bs.stale = true
 	}

@@ -56,10 +56,18 @@ type LiveViolationSet struct {
 	// liveMinRows). Tests set 1 to force list maintenance on small tables.
 	MinRows int
 
-	// Pooled scratch for delta application.
-	editBuf     []table.CellEdit
+	// Pooled scratch for delta application. rows is the bound table's row
+	// count at generation gen — the origin space structural windows are
+	// decoded against; remap holds that decode. deriveRows/deriveMask are
+	// the structural counterpart of touchedRows/touchedMask, expressed in
+	// final-position space.
+	editBuf     []table.Edit
+	rows        int
+	remap       table.RowRemap
 	touchedRows []int
 	touchedMask []bool
+	deriveRows  []int
+	deriveMask  []bool
 	newPairs    []Violation
 	slotSeen    []bool
 	slotOrder   []int
@@ -300,37 +308,56 @@ func (s *LiveViolationSet) sync(t *table.Table) {
 		// exercising the same degradation the real overrun takes.
 		if edits, ok := t.EditsSince(s.gen, s.editBuf); ok && !faults.Overrun(faults.SiteEditReplay) {
 			s.editBuf = edits
-			for _, ent := range s.ordered {
-				c, l := ent.c, ent.l
-				if !l.valid {
-					continue
-				}
-				if err := s.applyList(c, l, t, edits); err != nil {
-					// Deterministic per-constraint failure (compile error):
-					// fall back to full derivation, which surfaces the same
-					// error when the constraint is actually queried.
-					l.valid = false
-				}
+			structural := table.Structural(edits)
+			if structural {
+				// Decode the structural window once against the row count
+				// the lists were derived over; a decode that disagrees with
+				// the live table means the window cannot be trusted.
+				s.remap.Resolve(edits, s.rows)
 			}
-			s.gen = t.Generation()
-			return
+			if !structural || s.remap.NewRows == t.NumRows() {
+				for _, ent := range s.ordered {
+					c, l := ent.c, ent.l
+					if !l.valid {
+						continue
+					}
+					var err error
+					if structural {
+						err = s.applyListStructural(c, l, t)
+					} else {
+						err = s.applyList(c, l, t, edits)
+					}
+					if err != nil {
+						// Deterministic per-constraint failure (compile
+						// error): fall back to full derivation, which
+						// surfaces the same error when the constraint is
+						// actually queried.
+						l.valid = false
+					}
+				}
+				s.gen = t.Generation()
+				s.rows = t.NumRows()
+				return
+			}
 		}
 	}
 	s.tbl = t
 	s.schema = t.Schema()
 	s.gen = t.Generation()
+	s.rows = t.NumRows()
 	for _, ent := range s.ordered {
 		ent.l.valid = false
 	}
 }
 
-// applyList catches one list up with a batch of edits: retract every pair
-// involving a touched row, then re-derive those rows against their
-// current buckets.
-func (s *LiveViolationSet) applyList(c *Constraint, l *liveList, t *table.Table, edits []table.CellEdit) error {
+// applyList catches one list up with a window of single-cell edits:
+// retract every pair involving a touched row, then re-derive those rows
+// against their current buckets. Windows with structural edits take
+// applyListStructural instead.
+func (s *LiveViolationSet) applyList(c *Constraint, l *liveList, t *table.Table, edits []table.Edit) error {
 	s.touchedRows = s.touchedRows[:0]
 	for _, e := range edits {
-		if e.Col < len(l.colRelevant) && l.colRelevant[e.Col] {
+		if e.Kind == table.EditSet && e.Col < len(l.colRelevant) && l.colRelevant[e.Col] {
 			s.touchedRows = append(s.touchedRows, e.Row)
 		}
 	}
@@ -407,6 +434,144 @@ func (s *LiveViolationSet) applyList(c *Constraint, l *liveList, t *table.Table,
 			}
 		}
 		for _, r := range s.touchedRows {
+			if bs != nil {
+				slot := bs.rowBucket[r]
+				if slot < 0 {
+					// Null/NaN join key: r participates in no pair.
+					continue
+				}
+				for _, j := range bs.members[slot] {
+					derivePartner(r, j)
+				}
+				continue
+			}
+			// No join key: every row is a candidate partner.
+			for j := 0; j < n; j++ {
+				derivePartner(r, j)
+			}
+		}
+	}
+	slices.SortFunc(s.newPairs, violationOrder)
+
+	// Merge the sorted additions into the sorted survivors.
+	l.merge = mergeViolations(l.merge[:0], l.pairs, s.newPairs)
+	l.pairs, l.merge = l.merge, l.pairs
+	return nil
+}
+
+// applyListStructural catches one list up with a window containing row
+// inserts/deletes, decoded by s.remap. The list's pairs are expressed in
+// origin space; pairs involving a retracted origin (deleted rows, moved
+// survivors, and surviving rows with relevant in-place edits) drop, and
+// every surviving pair's indexes are already final — the swap-delete rule
+// guarantees an unmoved survivor keeps its index, so no pair is ever
+// remapped. Exactly the re-derived final positions (moved-in rows,
+// in-window inserts, edited survivors) then re-scan their buckets, which
+// restores the full-rescan answer: a pair between two clean rows cannot
+// have changed (same indexes, same bytes in every constraint-mentioned
+// column).
+func (s *LiveViolationSet) applyListStructural(c *Constraint, l *liveList, t *table.Table) error {
+	rm := &s.remap
+
+	// Retraction mask over origin space.
+	old := rm.OldRows
+	if cap(s.touchedMask) >= old {
+		s.touchedMask = s.touchedMask[:old]
+	} else {
+		s.touchedMask = make([]bool, old)
+	}
+	mask := s.touchedMask
+	s.touchedRows = s.touchedRows[:0] // edited clean origins, also re-derived
+	for _, o := range rm.Retract {
+		mask[o] = true
+	}
+	for _, e := range rm.Sets {
+		if rm.CleanSet(e) && e.Col < len(l.colRelevant) && l.colRelevant[e.Col] && !mask[e.Row] {
+			mask[e.Row] = true
+			s.touchedRows = append(s.touchedRows, e.Row)
+		}
+	}
+	defer func() {
+		for _, o := range rm.Retract {
+			mask[o] = false
+		}
+		for _, r := range s.touchedRows {
+			mask[r] = false
+		}
+	}()
+
+	// Derivation mask over final-position space: moved-in and inserted
+	// positions, plus edited clean rows (whose origin and final index
+	// coincide). The two sources are disjoint — a clean row is by
+	// definition not a Derive position.
+	n := rm.NewRows
+	if cap(s.deriveMask) >= n {
+		s.deriveMask = s.deriveMask[:n]
+	} else {
+		s.deriveMask = make([]bool, n)
+	}
+	dmask := s.deriveMask
+	s.deriveRows = s.deriveRows[:0]
+	for _, p := range rm.Derive {
+		dmask[p] = true
+		s.deriveRows = append(s.deriveRows, int(p))
+	}
+	for _, r := range s.touchedRows {
+		dmask[r] = true
+		s.deriveRows = append(s.deriveRows, r)
+	}
+	sort.Ints(s.deriveRows)
+	defer func() {
+		for _, r := range s.deriveRows {
+			dmask[r] = false
+		}
+	}()
+
+	// Retract: drop every pair involving a retracted origin, in place.
+	keep := l.pairs[:0]
+	for _, v := range l.pairs {
+		if !mask[v.Row1] && !mask[v.Row2] {
+			keep = append(keep, v)
+		}
+	}
+	l.pairs = keep
+
+	// Re-derive the changed positions against the final table.
+	s.newPairs = s.newPairs[:0]
+	if c.SingleTuple() {
+		kern, err := s.ix.kernelFor(c, t)
+		if err != nil {
+			return err
+		}
+		for _, r := range s.deriveRows {
+			if kern.Pair(t, r, r) {
+				s.newPairs = append(s.newPairs, Violation{Constraint: c, Row1: r, Row2: r})
+			}
+		}
+	} else {
+		e := s.ix.entryFor(c, t)
+		if e.kernErr != nil {
+			return e.kernErr
+		}
+		bs := s.ix.scanBucketSetFor(e, t)
+		kern := e.kern
+		derivePartner := func(r, j int) {
+			if j == r {
+				return
+			}
+			// A derived partner below r already derived this unordered pair
+			// (both orders) on its own iteration.
+			if dmask[j] && j < r {
+				return
+			}
+			if kern.Pair(t, r, j) {
+				s.newPairs = append(s.newPairs, Violation{Constraint: c, Row1: r, Row2: j})
+			}
+			if kern.Pair(t, j, r) {
+				s.newPairs = append(s.newPairs, Violation{Constraint: c, Row1: j, Row2: r})
+			}
+		}
+		for _, r := range s.deriveRows {
 			if bs != nil {
 				slot := bs.rowBucket[r]
 				if slot < 0 {

@@ -121,11 +121,46 @@ func FuzzPlanVsNaive(f *testing.F) {
 		}
 
 		check("initial")
-		// Delta edits: small batches the edit log replays incrementally.
+		// Delta edits: small windows the edit log replays incrementally —
+		// cell edits plus structural inserts/deletes/batches, so the
+		// planned prefilter bitmaps extend/compact instead of recomputing.
 		for i := 0; i+1 < len(edits); i += 2 {
-			row := int(edits[i]) % rows
-			col := int(edits[i]>>4) % 3
-			tbl.Set(row, col, fuzzValue(edits[i+1]))
+			switch {
+			case edits[i] >= 0xf0:
+				if tbl.NumRows() >= 12 {
+					break // cap growth: the naive reference is O(n²)
+				}
+				row := make([]table.Value, 3)
+				for j := range row {
+					row[j] = fuzzValue(edits[i+1] + byte(j))
+				}
+				if err := tbl.Append(row); err != nil {
+					t.Fatal(err)
+				}
+			case edits[i] >= 0xe0:
+				if tbl.NumRows() > 1 {
+					tbl.DeleteRow(int(edits[i+1]) % tbl.NumRows())
+				}
+			case edits[i] >= 0xd0:
+				err := tbl.ApplyBatch(func(b *table.Table) error {
+					b.Set(int(edits[i+1])%b.NumRows(), int(edits[i])%3, fuzzValue(edits[i+1]))
+					if b.NumRows() >= 12 {
+						return nil // cap growth: the naive reference is O(n²)
+					}
+					row := make([]table.Value, 3)
+					for j := range row {
+						row[j] = fuzzValue(edits[i] + byte(j))
+					}
+					return b.Append(row)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			default:
+				row := int(edits[i]) % tbl.NumRows()
+				col := int(edits[i]>>4) % 3
+				tbl.Set(row, col, fuzzValue(edits[i+1]))
+			}
 			if i%6 == 0 {
 				check(fmt.Sprintf("edit-%d", i))
 			}
@@ -134,7 +169,7 @@ func FuzzPlanVsNaive(f *testing.F) {
 		// Overrun: more unscanned edits than the log window retains forces
 		// every incremental consumer down the wholesale-rebuild path.
 		for k := 0; k < 600; k++ {
-			tbl.Set(k%rows, k%3, table.Int(int64(k%4)))
+			tbl.Set(k%tbl.NumRows(), k%3, table.Int(int64(k%4)))
 		}
 		check("after-overrun")
 	})

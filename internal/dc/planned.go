@@ -96,10 +96,11 @@ func (pf *prefilter) rebuild(t *table.Table) {
 	pf.stale = false
 }
 
-// apply catches the bitmaps up with a batch of single-cell edits.
-func (pf *prefilter) apply(t *table.Table, edits []table.CellEdit) {
+// apply catches the bitmaps up with a window of single-cell edits.
+// Windows with structural edits take applyStructural instead.
+func (pf *prefilter) apply(t *table.Table, edits []table.Edit) {
 	for _, e := range edits {
-		if e.Col >= len(pf.colRel) || !pf.colRel[e.Col] {
+		if e.Kind != table.EditSet || e.Col >= len(pf.colRel) || !pf.colRel[e.Col] {
 			continue
 		}
 		if pf.pass0 != nil {
@@ -111,11 +112,54 @@ func (pf *prefilter) apply(t *table.Table, edits []table.CellEdit) {
 	}
 }
 
+// applyStructural extends/compacts the bitmaps for a structural window
+// instead of recomputing them: surviving unmoved rows keep their bits
+// (same index, same bytes), and only the re-derived final positions plus
+// relevantly-edited rows run the pushed kernels.
+func (pf *prefilter) applyStructural(t *table.Table, rm *table.RowRemap) {
+	n := rm.NewRows
+	if pf.pass0 != nil {
+		pf.pass0 = resizeBoolsPreserve(pf.pass0, n)
+	}
+	if pf.pass1 != nil {
+		pf.pass1 = resizeBoolsPreserve(pf.pass1, n)
+	}
+	for _, p := range rm.Derive {
+		pf.recomputeRow(t, int(p))
+	}
+	for _, e := range rm.Sets {
+		if rm.CleanSet(e) && e.Col < len(pf.colRel) && pf.colRel[e.Col] {
+			pf.recomputeRow(t, e.Row)
+		}
+	}
+	pf.rows = n
+}
+
+func (pf *prefilter) recomputeRow(t *table.Table, r int) {
+	if pf.pass0 != nil {
+		pf.pass0[r] = pf.kern0.Pair(t, r, r)
+	}
+	if pf.pass1 != nil {
+		pf.pass1[r] = pf.kern1.Pair(t, r, r)
+	}
+}
+
 func resizeBools(b []bool, n int) []bool {
 	if cap(b) >= n {
 		return b[:n]
 	}
 	return make([]bool, n)
+}
+
+// resizeBoolsPreserve resizes keeping existing prefix contents — required
+// by structural replay, where survivor bits must outlive a grow.
+func resizeBoolsPreserve(b []bool, n int) []bool {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	grown := make([]bool, n)
+	copy(grown, b)
+	return grown
 }
 
 // UsePlan points the index at a compiled set plan (nil reverts to

@@ -20,10 +20,20 @@ import (
 // as clone-plus-patch on demand, and target resolution for one cell needs
 // no reconstruction at all (scan the diff).
 //
-// Invalidation mirrors the coalition cache's: a SetCell bumps the table
+// Invalidation mirrors the coalition cache's: any table mutation — a
+// SetCell, a row insert or delete, a batch bracket — bumps the table
 // generation, so the next Lookup misses and the next Store overwrites the
 // descriptor's entry; AddDC/RemoveDC re-key every descriptor, and
 // Engine.InvalidateCache drops the whole cache. Safe for concurrent use.
+//
+// Row identity: the stored diffs hold CellRefs whose Row indexes are only
+// meaningful at the generation they were stamped with. A DeleteRow
+// renumbers one survivor (the swap-delete rule moves the last row into
+// the vacated index), so a diff replayed across a structural edit would
+// silently patch the wrong tuple — the generation mismatch above is what
+// makes that unrepresentable: structural edits always bump the
+// generation, the stale entry can never be returned, and no remapping of
+// cached CellRefs is ever attempted.
 type RepairCache struct {
 	mu      sync.Mutex
 	entries map[string]repairEntry

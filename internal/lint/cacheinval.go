@@ -12,9 +12,11 @@ import (
 // CacheInval enforces invalidation completeness: a statement that mutates
 // table.Table row storage (t.rows...) or the session constraint set
 // (Session.dcs / Session.alg) must be post-dominated by a call into the
-// cache invalidation surface — Table.logEdit, Table.invalidateEdits, or
-// Engine.InvalidateCache — so no return path can publish stale cache
-// entries keyed on the pre-mutation generation.
+// cache invalidation surface — Table.logEdit, Table.logStructural (the
+// row insert/delete barrier, which also records the typed entry structural
+// replay decodes), Table.invalidateEdits, or Engine.InvalidateCache — so
+// no return path can publish stale cache entries keyed on the pre-mutation
+// generation.
 //
 // The check is flow-sensitive: the mutation's basic block and index are
 // located in the function's CFG and cfg.EveryPathHits asks whether every
@@ -53,14 +55,14 @@ func runCacheInval(pass *analysis.Pass) (any, error) {
 }
 
 // isInvalidationDecl reports whether decl IS part of the invalidation
-// surface (logEdit / invalidateEdits on Table): the mechanism cannot be
-// required to invoke itself.
+// surface (logEdit / logStructural / invalidateEdits on Table): the
+// mechanism cannot be required to invoke itself.
 func isInvalidationDecl(pass *analysis.Pass, decl *ast.FuncDecl) bool {
 	if decl.Recv == nil {
 		return false
 	}
 	switch decl.Name.Name {
-	case "logEdit", "invalidateEdits":
+	case "logEdit", "logStructural", "invalidateEdits":
 		return isNamedType(pass.TypesInfo.TypeOf(decl.Recv.List[0].Type), "internal/table", "Table")
 	}
 	return false
@@ -227,7 +229,7 @@ func isInvalidationFunc(fn *types.Func) bool {
 		return false
 	}
 	switch fn.Name() {
-	case "logEdit", "invalidateEdits":
+	case "logEdit", "logStructural", "invalidateEdits":
 		return isNamedType(sig.Recv().Type(), "internal/table", "Table")
 	case "InvalidateCache":
 		return isNamedType(sig.Recv().Type(), "internal/exec", "Engine")

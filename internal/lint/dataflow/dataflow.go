@@ -472,7 +472,7 @@ func isInvalidationEntry(fn *types.Func) bool {
 	}
 	path, owner := recv.Obj().Pkg().Path(), recv.Obj().Name()
 	switch fn.Name() {
-	case "logEdit", "invalidateEdits":
+	case "logEdit", "logStructural", "invalidateEdits":
 		return owner == "Table" && pathHasSuffix(path, "internal/table")
 	case "InvalidateCache":
 		return owner == "Engine" && pathHasSuffix(path, "internal/exec")

@@ -22,11 +22,19 @@ import (
 // contract is read-only aliasing — is always a finding, as is writing into
 // rows of unknown provenance (parameters, struct fields), which may alias
 // live table storage.
+//
+// Since the edit log went typed (row insert/delete/batch), the structural
+// surface is guarded the same way: an index-assignment into a
+// [][]table.Value row grid of aliasing provenance — replacing or swapping
+// whole row slots, the raw form of an unlogged swap-delete — bypasses the
+// typed log exactly as a cell write does, and must go through
+// Table.Append/DeleteRow/ApplyBatch instead.
 var EditLog = &analysis.Analyzer{
 	Name: "editlog",
-	Doc: "forbid writes into []table.Value cell storage outside " +
-		"internal/table; mutate via Table.Set/SetRef/SetByName/CopyFrom so " +
-		"the edit log stays the sole write path",
+	Doc: "forbid writes into []table.Value cell storage and [][]table.Value " +
+		"row grids outside internal/table; mutate via " +
+		"Table.Set/SetRef/SetByName/Append/DeleteRow (or CopyFrom) so the " +
+		"typed edit log stays the sole write path",
 	Run: runEditLog,
 }
 
@@ -47,11 +55,15 @@ func runEditLog(pass *analysis.Pass) (any, error) {
 			if !ok {
 				continue
 			}
-			if !isTableValueSlice(pass.TypesInfo.TypeOf(idx.X)) {
-				continue
-			}
-			if why, bad := storageAlias(pass, origins, idx.X, 0); bad {
-				pass.Reportf(lhs.Pos(), "write into []table.Value %s bypasses the edit log; use Table.Set/SetRef/SetByName (or CopyFrom) so incremental consumers see the mutation", why)
+			switch {
+			case isTableValueSlice(pass.TypesInfo.TypeOf(idx.X)):
+				if why, bad := storageAlias(pass, origins, idx.X, 0); bad {
+					pass.Reportf(lhs.Pos(), "write into []table.Value %s bypasses the edit log; use Table.Set/SetRef/SetByName (or CopyFrom) so incremental consumers see the mutation", why)
+				}
+			case isTableRowGrid(pass.TypesInfo.TypeOf(idx.X)):
+				if why, bad := storageAlias(pass, origins, idx.X, 0); bad {
+					pass.Reportf(lhs.Pos(), "structural write into [][]table.Value row grid %s bypasses the typed edit log; use Table.Append/DeleteRow/ApplyBatch (or CopyFrom) so structural deltas are logged", why)
+				}
 			}
 		}
 		return true

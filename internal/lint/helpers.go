@@ -85,6 +85,19 @@ func isTableValueSlice(t types.Type) bool {
 	return isNamedType(slice.Elem(), "internal/table", "Value")
 }
 
+// isTableRowGrid reports whether t is [][]table.Value (a whole-table row
+// grid, or an alias of one) — the structural mutation surface.
+func isTableRowGrid(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	slice, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isTableValueSlice(slice.Elem())
+}
+
 // recvIdent returns the receiver identifier of a method declaration, nil
 // when absent or blank.
 func recvIdent(decl *ast.FuncDecl) *ast.Ident {

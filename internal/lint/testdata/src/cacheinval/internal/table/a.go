@@ -69,6 +69,39 @@ func (t *Table) SwapRows(rows [][]Value) {
 	t.rows = rows // want "table row storage .t.rows. is mutated but not every path to return passes cache invalidation"
 }
 
+// logStructural is the typed structural invalidation surface (row
+// insert/delete entries).
+func (t *Table) logStructural(kind, row int) { t.edits++ }
+
+// AppendGood grows storage and logs the typed insert.
+func (t *Table) AppendGood(row []Value) {
+	t.rows = append(t.rows, row)
+	t.logStructural(1, len(t.rows)-1)
+}
+
+// DeleteGood swap-deletes and logs the typed delete.
+func (t *Table) DeleteGood(i int) {
+	last := len(t.rows) - 1
+	t.rows[i], t.rows[last] = t.rows[last], t.rows[i]
+	t.rows = t.rows[:last]
+	t.logStructural(2, i)
+}
+
+// AppendNoLog grows storage without any invalidation: every consumer's
+// window goes stale silently.
+func (t *Table) AppendNoLog(row []Value) {
+	t.rows = append(t.rows, row) // want "table row storage .t.rows. is mutated but not every path to return passes cache invalidation"
+}
+
+// DeleteOneArm logs the structural edit on one branch only.
+func (t *Table) DeleteOneArm(i int, log bool) {
+	last := len(t.rows) - 1
+	t.rows = t.rows[:last] // want "table row storage .t.rows. is mutated but not every path to return passes cache invalidation"
+	if log {
+		t.logStructural(2, i)
+	}
+}
+
 // SetAllowed carries a reviewed justification.
 func (t *Table) SetAllowed(row, col int, v Value) {
 	//lint:allow cacheinval construction-time write before the table is published to any cache

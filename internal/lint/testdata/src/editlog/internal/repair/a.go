@@ -52,3 +52,44 @@ func Allowed(row []table.Value, v table.Value) {
 	//lint:allow editlog row is a pooled scratch buffer owned by this pass, never table storage
 	row[0] = v
 }
+
+// BadGridReplace overwrites a row slot of a grid of unknown provenance —
+// the raw form of an unlogged structural edit.
+func BadGridReplace(grid [][]table.Value, row []table.Value) {
+	grid[0] = row // want "structural write .*no local allocation in sight"
+}
+
+// BadGridSwapDelete hand-rolls the swap-delete: both slot writes bypass
+// the typed log.
+func BadGridSwapDelete(grid [][]table.Value, i int) {
+	last := len(grid) - 1
+	grid[i], grid[last] = grid[last], grid[i] // want "structural write" "structural write"
+	_ = grid[:last]
+}
+
+// GoodFreshGrid fills a locally allocated grid; no table aliases it.
+func GoodFreshGrid(row []table.Value) [][]table.Value {
+	grid := make([][]table.Value, 2)
+	grid[0] = row
+	grid[1] = slices.Clone(row)
+	return grid
+}
+
+// GoodClonedOuter mutates slots of a cloned outer slice: the rows still
+// alias, but the slot array is fresh, so no structural storage changes.
+func GoodClonedOuter(grid [][]table.Value, row []table.Value) {
+	mine := slices.Clone(grid)
+	mine[0] = row
+}
+
+// GoodStructuralPath mutates through the sanctioned structural writes.
+func GoodStructuralPath(t *table.Table, row []table.Value) {
+	_ = t.Append(row)
+	t.DeleteRow(0)
+}
+
+// AllowedGrid carries a justification and is suppressed.
+func AllowedGrid(grid [][]table.Value, row []table.Value) {
+	//lint:allow editlog grid is this pass's private scratch, never table storage
+	grid[0] = row
+}

@@ -31,6 +31,10 @@
 //     recycle it across calls hit the steady-state zero-allocation path,
 //     because the work-table refresh (table.CopyFrom) logs per-cell deltas
 //     that keep the pooled dc.ScanIndex on its incremental bucket path.
+//     When the dirty table changed shape since the last refresh (a row
+//     insert or swap-delete renumbered tuples), CopyFrom resets the work
+//     table's edit log instead, so the pooled index rebuilds rather than
+//     replaying cell deltas against reshuffled row identities.
 //   - determinism is preserved: for a fixed (cs, dirty) input the output
 //     is byte-identical to Repair's, whatever state the pooled buffers
 //     carry over — Shapley values are defined over a function, so any

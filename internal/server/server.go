@@ -114,6 +114,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/session/{id}/violations", s.handleViolations)
 	mux.HandleFunc("POST /api/session/{id}/explain", s.handleExplain)
 	mux.HandleFunc("POST /api/session/{id}/edit", s.handleEdit)
+	mux.HandleFunc("POST /api/session/{id}/ingest", s.handleIngest)
 	return recoverAll(s.limitBody(mux))
 }
 
@@ -493,10 +494,63 @@ type editRequest struct {
 	// SetCell + Value edit one table cell (paper notation).
 	SetCell string `json:"setCell"`
 	Value   string `json:"value"`
+	// InsertRow appends one row; fields are parsed like CSV cells.
+	InsertRow []string `json:"insertRow"`
+	// DeleteRow removes one row by 1-based index (matching the tuple
+	// numbering of violations and cell notation). The table's swap-delete
+	// rule applies: the last row takes the vacated index, and the session
+	// history line names the remap.
+	DeleteRow *int `json:"deleteRow"`
+	// Batch applies several ops under one table generation.
+	Batch []batchOpJSON `json:"batch"`
 	// RemoveDC removes a constraint by ID.
 	RemoveDC string `json:"removeDC"`
 	// AddDC parses and adds a constraint.
 	AddDC string `json:"addDC"`
+}
+
+// batchOpJSON is one wire-form batch operation. Rows are 1-based and
+// address the table as it stands when the op runs (earlier ops in the
+// same batch shift them); columns go by attribute name, so a set can
+// target a row inserted earlier in the same batch, which the t<row>[...]
+// parser (bounds-checked against the pre-batch table) could not express.
+type batchOpJSON struct {
+	Op     string   `json:"op"`               // "set", "insert" or "delete"
+	Row    int      `json:"row,omitempty"`    // set, delete: 1-based row
+	Col    string   `json:"col,omitempty"`    // set: attribute name
+	Value  string   `json:"value,omitempty"`  // set: new value
+	Values []string `json:"values,omitempty"` // insert: the new row's fields
+}
+
+// batchOps converts the wire ops into core batch ops; bounds are
+// validated by Session.ApplyBatch against the simulated row count.
+func batchOps(sess *core.Session, ops []batchOpJSON) ([]core.BatchOp, error) {
+	out := make([]core.BatchOp, 0, len(ops))
+	for i, op := range ops {
+		switch op.Op {
+		case string(core.BatchSet):
+			col, ok := sess.Dirty().Schema().Index(op.Col)
+			if !ok {
+				return nil, fmt.Errorf("batch op %d: no attribute %q", i, op.Col)
+			}
+			out = append(out, core.BatchOp{
+				Kind:  core.BatchSet,
+				Ref:   table.CellRef{Row: op.Row - 1, Col: col},
+				Value: table.ParseValue(op.Value),
+			})
+		case string(core.BatchInsert):
+			vals := make([]table.Value, len(op.Values))
+			for j, f := range op.Values {
+				vals[j] = table.ParseValue(f)
+			}
+			out = append(out, core.BatchOp{Kind: core.BatchInsert, Vals: vals})
+		case string(core.BatchDelete):
+			out = append(out, core.BatchOp{Kind: core.BatchDelete, Row: op.Row - 1})
+		default:
+			return nil, fmt.Errorf("batch op %d: unknown op %q", i, op.Op)
+		}
+	}
+	return out, nil
 }
 
 func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
@@ -532,6 +586,30 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+	case req.InsertRow != nil:
+		vals := make([]table.Value, len(req.InsertRow))
+		for j, f := range req.InsertRow {
+			vals[j] = table.ParseValue(f)
+		}
+		if err := sess.InsertRow(vals); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.DeleteRow != nil:
+		if err := sess.DeleteRow(*req.DeleteRow - 1); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Batch != nil:
+		ops, err := batchOps(sess, req.Batch)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := sess.ApplyBatch(ops); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	case req.RemoveDC != "":
 		if err := sess.RemoveDC(req.RemoveDC); err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -547,6 +625,45 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.sessionJSON(id, sess))
+}
+
+type ingestResponse struct {
+	Appended int         `json:"appended"`
+	Session  sessionJSON `json:"session"`
+}
+
+// handleIngest streams a raw CSV request body (header matching the
+// session schema, then data rows) into the session's dirty table as one
+// batch bracket: rows are decoded and appended straight off the wire
+// without buffering the document, the whole ingest shares one table
+// generation, and incremental consumers replay it as a single structural
+// delta. MaxBodyBytes still bounds the stream (limitBody wraps every
+// route). A mid-stream decode error leaves the already-appended prefix
+// applied — the response is an error, but the appended count in the
+// session history records the partial ingest.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id, entry, err := s.session(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	defer s.guard(w, id, entry)()
+	if checkQuarantine(w, entry) {
+		return
+	}
+	if err := s.ensureLive(id, entry); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sess := entry.sess
+	n, err := sess.IngestCSV(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("after %d rows: %w", n, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Appended: n, Session: s.sessionJSON(id, sess)})
 }
 
 // ListenAndServe runs the server until the context is cancelled, then

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// editURL is the edit endpoint of one session.
+func editURL(ts *httptest.Server, id string) string {
+	return ts.URL + "/api/session/" + id + "/edit"
+}
+
+// TestStructuralEditEndpoints drives the typed structural edits over the
+// wire: insertRow, deleteRow (1-based, swap-delete), and batch brackets,
+// each answered with the updated session and reflected in the history.
+func TestStructuralEditEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	sess := createSession(t, ts)
+	n := len(sess.Table.Rows)
+
+	var after sessionJSON
+	status, raw := post(t, editURL(ts, sess.ID), editRequest{
+		InsertRow: []string{"Valencia", "Valencia", "Spain", "La Liga", "2019", "5"},
+	}, &after)
+	if status != http.StatusOK || len(after.Table.Rows) != n+1 {
+		t.Fatalf("insert: %d %s", status, raw)
+	}
+	if after.Table.Rows[n][0] != "Valencia" {
+		t.Fatalf("inserted row = %v", after.Table.Rows[n])
+	}
+	if got := after.History[len(after.History)-1]; !strings.HasPrefix(got, "insert row ") {
+		t.Fatalf("insert history = %q", got)
+	}
+
+	// Delete tuple 2 (1-based): the last row swaps into its place.
+	movedTeam := after.Table.Rows[n][0]
+	del := 2
+	status, raw = post(t, editURL(ts, sess.ID), editRequest{DeleteRow: &del}, &after)
+	if status != http.StatusOK || len(after.Table.Rows) != n {
+		t.Fatalf("delete: %d %s", status, raw)
+	}
+	if after.Table.Rows[1][0] != movedTeam {
+		t.Fatalf("swap-delete put %q at index 1, want %q", after.Table.Rows[1][0], movedTeam)
+	}
+	if got := after.History[len(after.History)-1]; !strings.Contains(got, "moved to") {
+		t.Fatalf("delete history = %q", got)
+	}
+
+	// A batch: set + insert + delete under one bracket; the set targets
+	// the row the batch itself inserts.
+	status, raw = post(t, editURL(ts, sess.ID), editRequest{Batch: []batchOpJSON{
+		{Op: "set", Row: 1, Col: "City", Value: "Girona"},
+		{Op: "insert", Values: []string{"Getafe", "Getafe", "Spain", "La Liga", "2019", "6"}},
+		{Op: "set", Row: n + 1, Col: "Team", Value: "Getafe CF"},
+		{Op: "delete", Row: 3},
+	}}, &after)
+	if status != http.StatusOK || len(after.Table.Rows) != n {
+		t.Fatalf("batch: %d %s", status, raw)
+	}
+	if after.Table.Rows[0][1] != "Girona" {
+		t.Fatalf("batch set missed: %v", after.Table.Rows[0])
+	}
+	if after.Table.Rows[2][0] != "Getafe CF" {
+		t.Fatalf("batch insert+set+swap landed %q at index 2", after.Table.Rows[2][0])
+	}
+	hist := strings.Join(after.History, "\n")
+	if !strings.Contains(hist, "batch begin (4 ops)") || !strings.Contains(hist, "batch end") {
+		t.Fatalf("batch brackets missing from history:\n%s", hist)
+	}
+
+	// The live violation lists rode the structural edits; the endpoint
+	// must answer without error and with 1-based rows in range.
+	resp, err := http.Get(ts.URL + "/api/session/" + sess.ID + "/violations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vr violationsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("violations after structural edits: %d %v", resp.StatusCode, err)
+	}
+	for _, v := range vr.Violations {
+		if v.Row1 < 1 || v.Row1 > n || v.Row2 < 1 || v.Row2 > n {
+			t.Fatalf("violation rows out of range: %+v", v)
+		}
+	}
+}
+
+// TestStructuralEditValidation: malformed structural edits answer 400
+// and leave the session untouched.
+func TestStructuralEditValidation(t *testing.T) {
+	ts := newTestServer(t)
+	sess := createSession(t, ts)
+	n := len(sess.Table.Rows)
+	outOfRange := n + 1
+	zero := 0
+	bad := []editRequest{
+		{InsertRow: []string{"too", "short"}},
+		{DeleteRow: &outOfRange},
+		{DeleteRow: &zero},
+		{Batch: []batchOpJSON{{Op: "upsert"}}},
+		{Batch: []batchOpJSON{{Op: "set", Row: 1, Col: "Nope", Value: "x"}}},
+		{Batch: []batchOpJSON{{Op: "set", Row: n + 5, Col: "Team", Value: "x"}}},
+		{Batch: []batchOpJSON{{Op: "insert", Values: []string{"short"}}}},
+	}
+	for i, req := range bad {
+		if status, raw := post(t, editURL(ts, sess.ID), req, nil); status != http.StatusBadRequest {
+			t.Fatalf("bad edit %d: %d %s", i, status, raw)
+		}
+	}
+	var cur sessionJSON
+	if status, raw := post(t, editURL(ts, sess.ID), editRequest{AddDC: "C9: !(t1.Year != t2.Year & t1.League = t2.League)"}, &cur); status != http.StatusOK {
+		t.Fatalf("probe edit: %d %s", status, raw)
+	}
+	if len(cur.Table.Rows) != n {
+		t.Fatalf("rejected edits mutated the table: %d rows", len(cur.Table.Rows))
+	}
+}
+
+// TestIngestEndpoint streams a raw CSV body into a session — the batch
+// ingest path — and checks schema enforcement over the wire.
+func TestIngestEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	sess := createSession(t, ts)
+	n := len(sess.Table.Rows)
+
+	body := "Team,City,Country,League,Year,Place\nEibar,Eibar,Spain,La Liga,2019,7\nLevante,Valencia,Spain,La Liga,2019,8\n"
+	resp, err := http.Post(ts.URL+"/api/session/"+sess.ID+"/ingest", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ir ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %v", resp.StatusCode, err)
+	}
+	if ir.Appended != 2 || len(ir.Session.Table.Rows) != n+2 {
+		t.Fatalf("ingest appended %d, table %d rows", ir.Appended, len(ir.Session.Table.Rows))
+	}
+	if got := ir.Session.History[len(ir.Session.History)-1]; got != "ingest 2 rows (csv)" {
+		t.Fatalf("ingest history = %q", got)
+	}
+
+	// A header that does not match the session schema answers 400.
+	mismatch, err := http.Post(ts.URL+"/api/session/"+sess.ID+"/ingest", "text/csv",
+		strings.NewReader("Nope,Wrong\na,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch.Body.Close()
+	if mismatch.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched header: %d", mismatch.StatusCode)
+	}
+}
+
+// TestCorruptSpoolBatchMarkersDegrade: a spool snapshot whose history
+// lost its batch closer (truncated write) fails the restore cleanly —
+// the request answers an error; the server neither panics nor serves a
+// session state no live session ever reached.
+func TestCorruptSpoolBatchMarkersDegrade(t *testing.T) {
+	srv := New()
+	srv.Workers = 1
+	srv.SpoolDir = t.TempDir()
+	srv.MaxLiveSessions = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	first := createSession(t, ts)
+	// A batch writes bracket markers into the history.
+	status, raw := post(t, editURL(ts, first.ID), editRequest{Batch: []batchOpJSON{
+		{Op: "set", Row: 1, Col: "City", Value: "Girona"},
+	}}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("batch edit: %d %s", status, raw)
+	}
+	// A second session evicts the first to the spool.
+	createSession(t, ts)
+	spool := filepath.Join(srv.SpoolDir, first.ID+".json")
+	buf, err := os.ReadFile(spool)
+	if err != nil {
+		t.Fatalf("no spool snapshot: %v", err)
+	}
+	// Corrupt the snapshot the way a torn write would: drop the closing
+	// batch marker from the history.
+	corrupted := strings.Replace(string(buf), `,"batch end"`, "", 1)
+	if corrupted == string(buf) {
+		t.Fatalf("batch end marker not found in spool:\n%s", buf)
+	}
+	if err := os.WriteFile(spool, []byte(corrupted), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/session/" + first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("corrupt spool restore must not answer 200")
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["error"], "batch") {
+		t.Fatalf("error %q does not name the batch bracket", out["error"])
+	}
+}

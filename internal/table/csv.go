@@ -43,6 +43,58 @@ func ReadCSV(r io.Reader) (*Table, error) {
 	}
 }
 
+// IngestCSV streams CSV records from r into an existing table under one
+// batch bracket: the header must match the table's schema name for name,
+// each data row is appended as one typed insert, and the whole ingest
+// shares one generation — incremental consumers replay it as a single
+// structural delta (or rebuild once when it overruns the edit-log
+// window) instead of resyncing per row. Returns the number of rows
+// appended. On a malformed record the error names the CSV line; rows
+// already appended stay applied (the bracket groups generations, not
+// atomicity), and the returned count reflects them.
+func (t *Table) IngestCSV(r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated against the schema below
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	names := t.schema.Names()
+	if len(header) != len(names) {
+		return 0, fmt.Errorf("table: CSV header has %d columns, schema has %d", len(header), len(names))
+	}
+	for j, name := range names {
+		if header[j] != name {
+			return 0, fmt.Errorf("table: CSV column %d is %q, schema has %q", j, header[j], name)
+		}
+	}
+	n := 0
+	row := make([]Value, len(names))
+	err = t.ApplyBatch(func(b *Table) error {
+		for line := 2; ; line++ {
+			record, err := cr.Read()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("table: reading CSV line %d: %w", line, err)
+			}
+			if len(record) != len(names) {
+				return fmt.Errorf("table: CSV line %d has %d fields, header has %d", line, len(record), len(names))
+			}
+			for j, field := range record {
+				row[j] = ParseValue(field)
+			}
+			if err := b.Append(row); err != nil {
+				return fmt.Errorf("table: CSV line %d: %w", line, err)
+			}
+			n++
+		}
+	})
+	return n, err
+}
+
 // ReadCSVFile loads a table from a CSV file on disk.
 func ReadCSVFile(path string) (*Table, error) {
 	f, err := os.Open(path)

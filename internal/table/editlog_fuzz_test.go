@@ -5,50 +5,69 @@ import (
 )
 
 // FuzzEditLogReplay drives the bounded edit ring with a fuzzer-chosen
-// stream of Set/Append operations and checks EditsSince against a naive
-// shadow log: whenever the ring reports ok, the replayed edits must be
-// exactly the shadow's suffix (same order, same generations), and
-// replaying them onto a snapshot clone must reproduce the live table; when
-// it reports !ok, the requested generation must genuinely predate the
-// retained history.
+// stream of Set/Append/DeleteRow/batch operations and checks EditsSince
+// against a naive shadow log: whenever the ring reports ok, the replayed
+// edits must be exactly the shadow's suffix (same order, same kinds, same
+// generations), and reconstructing the final table from the snapshot plus
+// the RowRemap-decoded window must reproduce the live table cell for cell
+// — the soundness property every structural consumer leans on (unmoved
+// survivors keep their index and their bytes; everything else is covered
+// by Retract/Derive/Sets). When the ring reports !ok, the requested
+// generation must genuinely predate the retained history.
 func FuzzEditLogReplay(f *testing.F) {
 	f.Add([]byte{0x00, 0x11, 0x22, 0x33})
 	f.Add([]byte{0xff, 0xfe, 0x81, 0x80, 0x7f, 0x40})
 	f.Add([]byte{0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x10})
+	f.Add([]byte{0xf9, 0x00, 0xf1, 0x22, 0xe9, 0xf2, 0xfa, 0x33, 0xf0})
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		tbl := MustFromStrings([]string{"A", "B", "C"}, [][]string{
 			{"a", "1", "x"}, {"b", "2", "y"}, {"c", "3", "z"},
 		})
-		type shadowEdit struct {
-			gen      uint64
-			row, col int
-		}
-		var shadow []shadowEdit
-		// A structural change resets delta coverage; track the horizon.
-		horizon := tbl.Generation()
-
+		// shadow holds every typed entry since the snapshot anchor.
+		var shadow []Edit
 		snapGen := tbl.Generation()
 		snap := tbl.Clone()
+		reanchor := func() {
+			snap = tbl.Clone()
+			snapGen = tbl.Generation()
+			shadow = shadow[:0]
+		}
 
 		values := []Value{String("p"), String("q"), Int(7), Null(), Float(2.5)}
 		for i, b := range stream {
 			switch {
 			case b >= 0xf8:
-				// Rare: structural change.
 				if err := tbl.Append([]Value{String("n"), Int(int64(i)), String("m")}); err != nil {
 					t.Fatal(err)
 				}
-				shadow = nil
-				horizon = tbl.Generation()
-				// Re-anchor the snapshot: replay across a structural change
-				// is impossible by contract.
-				snap = tbl.Clone()
-				snapGen = tbl.Generation()
+				shadow = append(shadow, Edit{Gen: tbl.Generation(), Row: tbl.NumRows() - 1, Col: -1, Kind: EditInsert})
+			case b >= 0xf0:
+				if tbl.NumRows() > 1 {
+					row := int(b&0x07) % tbl.NumRows()
+					tbl.DeleteRow(row)
+					shadow = append(shadow, Edit{Gen: tbl.Generation(), Row: row, Col: -1, Kind: EditDelete})
+				}
+			case b >= 0xe8:
+				// Batch bracket: a cell edit plus an insert under one
+				// generation.
+				err := tbl.ApplyBatch(func(bt *Table) error {
+					row := int(b&0x03) % bt.NumRows()
+					bt.Set(row, 0, values[int(b)%len(values)])
+					shadow = append(shadow, Edit{Gen: bt.Generation(), Row: row, Col: 0, Kind: EditSet})
+					if err := bt.Append([]Value{String("bb"), Int(int64(b)), String("cc")}); err != nil {
+						return err
+					}
+					shadow = append(shadow, Edit{Gen: bt.Generation(), Row: bt.NumRows() - 1, Col: -1, Kind: EditInsert})
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
 			default:
 				row := int(b>>5) % tbl.NumRows()
 				col := int(b>>3) % tbl.NumCols()
 				tbl.Set(row, col, values[int(b)%len(values)])
-				shadow = append(shadow, shadowEdit{gen: tbl.Generation(), row: row, col: col})
+				shadow = append(shadow, Edit{Gen: tbl.Generation(), Row: row, Col: col, Kind: EditSet})
 			}
 
 			// Probe EditsSince from the snapshot anchor every few steps.
@@ -57,36 +76,59 @@ func FuzzEditLogReplay(f *testing.F) {
 			}
 			edits, ok := tbl.EditsSince(snapGen, nil)
 			if !ok {
-				// Coverage genuinely lost: either a structural change moved
-				// the horizon past the anchor, or the ring evicted it.
-				if snapGen >= horizon && len(shadow) <= editLogWindow {
-					t.Fatalf("EditsSince reported !ok with %d shadow edits (window %d) and no structural change",
+				// Coverage genuinely lost: the ring must have evicted part
+				// of the window.
+				if len(shadow) <= editLogWindow {
+					t.Fatalf("EditsSince reported !ok with %d shadow edits (window %d)",
 						len(shadow), editLogWindow)
 				}
-				snap = tbl.Clone()
-				snapGen = tbl.Generation()
-				shadow = nil
+				reanchor()
 				continue
 			}
-			// The replayed edits must be the shadow's suffix after snapGen.
-			var suffix []shadowEdit
-			for _, e := range shadow {
-				if e.gen > snapGen {
-					suffix = append(suffix, e)
-				}
+			if len(edits) != len(shadow) {
+				t.Fatalf("EditsSince returned %d edits, shadow has %d", len(edits), len(shadow))
 			}
-			if len(edits) != len(suffix) {
-				t.Fatalf("EditsSince returned %d edits, shadow has %d", len(edits), len(suffix))
-			}
-			replay := snap.Clone()
 			for k, e := range edits {
-				if e.Gen != suffix[k].gen || e.Row != suffix[k].row || e.Col != suffix[k].col {
-					t.Fatalf("edit %d: ring %+v vs shadow %+v", k, e, suffix[k])
+				if e != shadow[k] {
+					t.Fatalf("edit %d: ring %+v vs shadow %+v", k, e, shadow[k])
 				}
-				replay.Set(e.Row, e.Col, tbl.Get(e.Row, e.Col))
 			}
-			if !replay.Equal(tbl) {
-				t.Fatalf("replaying %d edits onto the snapshot does not reproduce the table", len(edits))
+			// Reconstruct the final table from the snapshot plus the
+			// decoded window, touching the live table only where RowRemap
+			// says new bytes live.
+			var rm RowRemap
+			rm.Resolve(edits, snap.NumRows())
+			if rm.NewRows != tbl.NumRows() {
+				t.Fatalf("decode landed on %d rows, table has %d", rm.NewRows, tbl.NumRows())
+			}
+			replay := make([][]Value, snap.NumRows())
+			for r := range replay {
+				replay[r] = append([]Value(nil), snap.RowView(r)...)
+			}
+			for _, e := range edits {
+				switch e.Kind {
+				case EditInsert:
+					replay = append(replay, nil)
+				case EditDelete:
+					last := len(replay) - 1
+					replay[e.Row], replay[last] = replay[last], replay[e.Row]
+					replay = replay[:last]
+				}
+			}
+			for _, p := range rm.Derive {
+				replay[p] = append([]Value(nil), tbl.RowView(int(p))...)
+			}
+			for _, e := range rm.Sets {
+				if rm.CleanSet(e) {
+					replay[e.Row][e.Col] = tbl.Get(e.Row, e.Col)
+				}
+			}
+			for r := 0; r < tbl.NumRows(); r++ {
+				for c := 0; c < tbl.NumCols(); c++ {
+					if replay[r][c] != tbl.Get(r, c) {
+						t.Fatalf("replayed cell (%d,%d) = %v, table has %v", r, c, replay[r][c], tbl.Get(r, c))
+					}
+				}
 			}
 		}
 	})

@@ -38,15 +38,140 @@ func TestEditsSinceBasics(t *testing.T) {
 	if !ok || len(suffix) != 1 || suffix[0].Row != 2 {
 		t.Fatalf("suffix=%v ok=%v", suffix, ok)
 	}
-	// Append is structural: history before it is unusable.
+	// Append is structural but replayable: it logs a typed EditInsert
+	// entry instead of invalidating the window.
+	preAppend := tbl.Generation()
 	if err := tbl.Append([]Value{String("w"), Int(4)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := tbl.EditsSince(gen, nil); ok {
-		t.Fatal("append must invalidate delta history")
+	structuralWin, ok := tbl.EditsSince(gen, nil)
+	if !ok || len(structuralWin) != 3 {
+		t.Fatalf("append window: edits=%v ok=%v, want 3 entries", structuralWin, ok)
+	}
+	ins := structuralWin[2]
+	if ins.Kind != EditInsert || ins.Row != 3 || ins.Col != -1 || ins.Gen <= preAppend {
+		t.Fatalf("append entry wrong: %+v", ins)
+	}
+	if !Structural(structuralWin) || Structural(structuralWin[:2]) {
+		t.Fatalf("Structural misclassifies the window: %+v", structuralWin)
 	}
 	if edits, ok := tbl.EditsSince(tbl.Generation(), nil); !ok || len(edits) != 0 {
 		t.Fatal("current generation must be catch-up-able after append")
+	}
+	// DeleteRow swaps the last row into the hole and logs EditDelete.
+	preDelete := tbl.Generation()
+	tbl.DeleteRow(0)
+	if got := tbl.Get(0, 0).Str(); got != "w" {
+		t.Fatalf("swap-delete must move the last row into the hole, got %q", got)
+	}
+	delWin, ok := tbl.EditsSince(preDelete, nil)
+	if !ok || len(delWin) != 1 || delWin[0].Kind != EditDelete || delWin[0].Row != 0 || delWin[0].Col != -1 {
+		t.Fatalf("delete window wrong: %+v ok=%v", delWin, ok)
+	}
+}
+
+// TestApplyBatchSingleGeneration pins the batch bracket contract: every
+// edit inside one ApplyBatch shares a single generation, and the window
+// anchored before the batch replays all of them.
+func TestApplyBatchSingleGeneration(t *testing.T) {
+	tbl := editTestTable(t)
+	gen := tbl.Generation()
+	err := tbl.ApplyBatch(func(b *Table) error {
+		b.Set(0, 0, String("p"))
+		if err := b.Append([]Value{String("q"), Int(7)}); err != nil {
+			return err
+		}
+		b.DeleteRow(1)
+		b.Set(1, 1, Int(8))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Generation() != gen+1 {
+		t.Fatalf("batch minted %d generations, want 1", tbl.Generation()-gen)
+	}
+	edits, ok := tbl.EditsSince(gen, nil)
+	if !ok || len(edits) != 4 {
+		t.Fatalf("batch window: edits=%v ok=%v, want 4 entries", edits, ok)
+	}
+	for i, e := range edits {
+		if e.Gen != tbl.Generation() {
+			t.Fatalf("entry %d has gen %d, want the batch gen %d", i, e.Gen, tbl.Generation())
+		}
+	}
+	kinds := []EditKind{EditSet, EditInsert, EditDelete, EditSet}
+	for i, k := range kinds {
+		if edits[i].Kind != k {
+			t.Fatalf("entry %d kind %v, want %v", i, edits[i].Kind, k)
+		}
+	}
+	// Nested batches share the outermost bracket's generation.
+	gen = tbl.Generation()
+	err = tbl.ApplyBatch(func(b *Table) error {
+		b.Set(0, 0, String("r"))
+		return b.ApplyBatch(func(b2 *Table) error {
+			b2.Set(0, 1, Int(5))
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Generation() != gen+1 {
+		t.Fatalf("nested batch minted %d generations, want 1", tbl.Generation()-gen)
+	}
+}
+
+// TestRowRemapResolve pins the structural decode on a worked example that
+// a sequential final-value replay would get wrong: a cell edit followed by
+// a swap-delete that relocates the edited row.
+func TestRowRemapResolve(t *testing.T) {
+	// Origin space: rows 0..3. Window: Set(3,1), Delete(1) (row 3 moves to
+	// 1), Insert (position 3), Set(1,0) — which now targets origin 3.
+	edits := []Edit{
+		{Gen: 1, Row: 3, Col: 1, Kind: EditSet},
+		{Gen: 2, Row: 1, Col: -1, Kind: EditDelete},
+		{Gen: 3, Row: 3, Col: -1, Kind: EditInsert},
+		{Gen: 4, Row: 1, Col: 0, Kind: EditSet},
+	}
+	var rm RowRemap
+	rm.Resolve(edits, 4)
+	if rm.OldRows != 4 || rm.NewRows != 4 {
+		t.Fatalf("rows: %d -> %d, want 4 -> 4", rm.OldRows, rm.NewRows)
+	}
+	wantFinal := []int32{0, -1, 2, 1} // origin 1 deleted, origin 3 moved to 1
+	for o, f := range rm.Final {
+		if f != wantFinal[o] {
+			t.Fatalf("Final = %v, want %v", rm.Final, wantFinal)
+		}
+	}
+	if len(rm.Retract) != 2 || rm.Retract[0] != 1 || rm.Retract[1] != 3 {
+		t.Fatalf("Retract = %v, want [1 3]", rm.Retract)
+	}
+	if len(rm.Derive) != 2 || rm.Derive[0] != 1 || rm.Derive[1] != 3 {
+		t.Fatalf("Derive = %v, want [1 3]", rm.Derive)
+	}
+	// Both Sets resolve to origin 3: the first directly, the second
+	// through the swap. Neither is a clean set (origin 3 moved).
+	if len(rm.Sets) != 2 || rm.Sets[0].Row != 3 || rm.Sets[1].Row != 3 {
+		t.Fatalf("Sets = %+v, want both rows resolved to origin 3", rm.Sets)
+	}
+	for _, e := range rm.Sets {
+		if rm.CleanSet(e) {
+			t.Fatalf("moved origin misreported clean: %+v", e)
+		}
+	}
+	// A set on an untouched row IS clean.
+	rm.Resolve([]Edit{
+		{Gen: 1, Row: 0, Col: 1, Kind: EditSet},
+		{Gen: 2, Row: 2, Col: -1, Kind: EditDelete},
+	}, 3)
+	if len(rm.Sets) != 1 || !rm.CleanSet(rm.Sets[0]) {
+		t.Fatalf("unmoved edited row must be clean: %+v", rm.Sets)
+	}
+	if len(rm.Retract) != 1 || rm.Retract[0] != 2 || len(rm.Derive) != 0 {
+		t.Fatalf("tail delete: Retract=%v Derive=%v", rm.Retract, rm.Derive)
 	}
 }
 

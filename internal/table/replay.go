@@ -1,0 +1,134 @@
+package table
+
+// Structural replay support.
+//
+// A window of typed edits that contains row inserts or deletes cannot be
+// replayed edit-by-edit against the table's *final* contents: a position
+// named by an older edit may hold a different row by the time the window
+// ends (swap-deletes renumber the moved survivor). Every incremental
+// consumer therefore decodes the window once through a RowRemap, which
+// replays the position transcript symbolically — rows, not values — and
+// reduces the window to three facts expressed against stable
+// coordinates:
+//
+//   - Retract: origin indexes (positions at the window's start) whose
+//     derived state must be dropped — rows the window deleted or moved;
+//   - Derive: final positions that must be (re)derived from the final
+//     table — landing spots of moved survivors and in-window inserts;
+//   - Sets: the window's cell edits with rows resolved to origins, so a
+//     consumer can tell a clean in-place overwrite (retract + re-derive
+//     that one row) from an edit the structural phases already cover.
+//
+// Rows in neither set kept their index and their bytes (except for
+// resolved Sets): consumers leave their derived state untouched, which
+// is what makes structural replay sublinear in the table.
+
+// Structural reports whether a window of typed edits contains row
+// inserts or deletes. Windows without them take the cheaper per-cell
+// replay path every consumer retains.
+func Structural(edits []Edit) bool {
+	for _, e := range edits {
+		if e.Kind != EditSet {
+			return true
+		}
+	}
+	return false
+}
+
+// RowRemap decodes the structural effect of one typed edit window over a
+// consumer's snapshot of OldRows rows. Consumers own one and reuse its
+// storage across syncs; Resolve repopulates every field.
+type RowRemap struct {
+	// OldRows and NewRows are the row counts at the window's start and
+	// end. Consumers compare NewRows against the live table as a cheap
+	// integrity check before trusting the decode.
+	OldRows, NewRows int
+	// Final[o] is origin o's index in the final table, or -1 when the
+	// window deleted it. Final[o] == o exactly for rows the window never
+	// moved.
+	Final []int32
+	// Retract lists, ascending, every origin whose derived state is
+	// stale: deleted rows and moved survivors (a moved survivor's new
+	// index appears in Derive, so it is retracted and re-derived rather
+	// than remapped in place).
+	Retract []int32
+	// Derive lists, ascending, every final position that must be
+	// (re)derived from the final table: landing spots of moved survivors
+	// and of rows born inside the window.
+	Derive []int32
+	// Sets holds the window's cell edits with Row resolved to the row's
+	// origin, -1 when the row was born inside the window (already fully
+	// covered by Derive, or deleted again before the window closed).
+	Sets []Edit
+	// cur is the replay scratch: position -> origin during the
+	// transcript walk.
+	cur []int32
+}
+
+// CleanSet reports whether e — an entry of Sets — targets a row the
+// structural phases leave in place: a surviving, unmoved origin. Only
+// such edits need per-cell handling; every other Set hits a row that
+// Retract/Derive already cover wholesale.
+func (r *RowRemap) CleanSet(e Edit) bool {
+	return e.Row >= 0 && r.Final[e.Row] == int32(e.Row)
+}
+
+// Resolve decodes edits — a window obtained from EditsSince by a
+// consumer whose snapshot had oldRows rows — into r. The walk is
+// O(oldRows + newRows + len(edits)) and allocates only when the window
+// outsizes the pooled scratch.
+func (r *RowRemap) Resolve(edits []Edit, oldRows int) {
+	r.OldRows = oldRows
+	if cap(r.cur) >= oldRows {
+		r.cur = r.cur[:oldRows]
+	} else {
+		r.cur = make([]int32, oldRows, oldRows+len(edits))
+	}
+	for i := range r.cur {
+		r.cur[i] = int32(i)
+	}
+	r.Sets = r.Sets[:0]
+	for _, e := range edits {
+		switch e.Kind {
+		case EditSet:
+			if e.Row >= 0 && e.Row < len(r.cur) {
+				r.Sets = append(r.Sets, Edit{Gen: e.Gen, Row: int(r.cur[e.Row]), Col: e.Col, Kind: EditSet})
+			}
+		case EditInsert:
+			r.cur = append(r.cur, -1)
+		case EditDelete:
+			if e.Row < 0 || e.Row >= len(r.cur) {
+				continue // defensive: a malformed entry cannot panic the decode
+			}
+			last := len(r.cur) - 1
+			r.cur[e.Row] = r.cur[last]
+			r.cur = r.cur[:last]
+		}
+	}
+	r.NewRows = len(r.cur)
+	if cap(r.Final) >= oldRows {
+		r.Final = r.Final[:oldRows]
+	} else {
+		r.Final = make([]int32, oldRows)
+	}
+	for i := range r.Final {
+		r.Final[i] = -1
+	}
+	for p, o := range r.cur {
+		if o >= 0 {
+			r.Final[o] = int32(p)
+		}
+	}
+	r.Retract = r.Retract[:0]
+	for o, f := range r.Final {
+		if f != int32(o) {
+			r.Retract = append(r.Retract, int32(o))
+		}
+	}
+	r.Derive = r.Derive[:0]
+	for p, o := range r.cur {
+		if o != int32(p) {
+			r.Derive = append(r.Derive, int32(p))
+		}
+	}
+}

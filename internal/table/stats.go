@@ -199,19 +199,24 @@ func (d *Distribution) Entries() []struct {
 // that builds distributions.
 var emptyDist = NewDistribution()
 
-// condEntry is one conditional distribution, valid for the stats epoch it
-// was last built in.
+// condEntry is one conditional distribution, valid for the cache build it
+// was last populated in.
 type condEntry struct {
-	epoch uint64
+	build uint64
 	d     *Distribution
 }
 
 // condCache holds the lazily-built conditional distributions of one
-// (given, target) column pair. Entries are interned for the lifetime of the
-// Stats so epoch rebuilds reuse their storage.
+// (given, target) column pair. Entries are interned for the lifetime of
+// the Stats so rebuilds reuse their storage. The cache carries
+// per-(column-pair) dirty tracking: it remembers the change epochs of its
+// two columns at build time and rebuilds only when one of them moved —
+// cell edits elsewhere in the table leave the pair's distributions valid
+// across any number of Syncs.
 type condCache struct {
-	builtEpoch uint64 // epoch the cache was last (re)built for; 0 = never
-	byKey      map[string]*condEntry
+	builds                  uint64 // rebuild counter; 0 = never built
+	givenEpoch, targetEpoch uint64 // colEpoch values at the last build
+	byKey                   map[string]*condEntry
 }
 
 // Stats holds per-column distributions and pairwise conditional
@@ -224,22 +229,30 @@ type Stats struct {
 	schema *Schema
 	cols   []*Distribution
 	// cond[(a, b)] caches the distribution of column b's values among rows
-	// where column a takes a given value. Built lazily per (a, b) pair, per
-	// epoch.
+	// where column a takes a given value. Built lazily per (a, b) pair and
+	// kept valid until either column's change epoch moves.
 	cond   map[[2]int]*condCache
 	rows   [][]Value
 	epoch  uint64
 	keyBuf []byte
+
+	// colEpoch[j] is the epoch at which column j's contents (values or row
+	// membership) last changed — the per-(column-pair) dirty bits of the
+	// conditional caches: Conditional(a, ·, b) rebuilds only when
+	// colEpoch[a] or colEpoch[b] moved since its last build.
+	colEpoch []uint64
 
 	// srcTbl/srcGen identify the snapshot: the table and its generation the
 	// stats were last built against. Sync uses them to catch up from the
 	// table's edit log with per-column deltas instead of a full rebuild.
 	srcTbl *Table
 	srcGen uint64
-	// editBuf, colTouched and colList are Sync's pooled delta scratch.
-	editBuf    []CellEdit
+	// editBuf, colTouched, colList and remap are Sync's pooled delta
+	// scratch.
+	editBuf    []Edit
 	colTouched []bool
 	colList    []int
+	remap      RowRemap
 }
 
 // NewStats scans the table and builds column distributions. Conditional
@@ -260,10 +273,14 @@ func (s *Stats) Reset(t *Table) {
 		for j := range s.cols {
 			s.cols[j] = NewDistribution()
 		}
+		s.colEpoch = make([]uint64, t.NumCols())
 	} else {
 		for _, d := range s.cols {
 			d.Reset()
 		}
+	}
+	for j := range s.colEpoch {
+		s.colEpoch[j] = s.epoch
 	}
 	if cap(s.rows) >= t.NumRows() {
 		s.rows = s.rows[:t.NumRows()]
@@ -289,22 +306,26 @@ func (s *Stats) Reset(t *Table) {
 // Sync re-snapshots the stats against t's current contents, exactly like
 // Reset(t), but incrementally when it can: when the stats already snapshot
 // an older generation of the same table and the edit log still covers the
-// gap, only the *columns touched by the edits* have their distributions
-// rebuilt (a column distribution is a pure function of the column's
-// contents, so rebuilding it in row order reproduces the full rebuild's
-// first-observed order — the tie-break order Mode and Sample depend on).
-// Conditional distributions are invalidated wholesale and rebuilt lazily
-// per (given, target) pair on next use, as after Reset.
+// gap, only the *columns the window actually changed* have their
+// distributions rebuilt (a column distribution is a pure function of the
+// column's contents, so rebuilding it in row order reproduces the full
+// rebuild's first-observed order — the tie-break order Mode and Sample
+// depend on). Structural windows ride the same path: an insert-only
+// window applies per-column count deltas (appended rows observe at the
+// tail, exactly where a full rebuild first sees them), while a window
+// with deletes re-observes each column from the swap-remapped shadow
+// rows — no per-cell copying, and first-observed order is exact by
+// construction. Conditional distributions carry per-(column-pair) dirty
+// bits (colEpoch) and rebuild lazily only for pairs whose columns moved.
 //
 // The equivalence contract — after Sync(t) every query answers exactly as
 // after Reset(t), including tie-breaks and Sample draws — is fuzz-tested
-// (FuzzStatsSyncEquivalence). A log overrun, a different table, or a shape
-// change falls back to the full rebuild. The returned bool reports whether
-// the delta path was taken (false = full rebuild), for tests and
+// (FuzzStatsSyncEquivalence). A log overrun, a different table, or a
+// schema change falls back to the full rebuild. The returned bool reports
+// whether the delta path was taken (false = full rebuild), for tests and
 // instrumentation.
 func (s *Stats) Sync(t *Table) bool {
-	if s.srcTbl != t || s.schema != t.Schema() ||
-		len(s.rows) != t.NumRows() || len(s.cols) != t.NumCols() {
+	if s.srcTbl != t || s.schema != t.Schema() || len(s.cols) != t.NumCols() {
 		s.Reset(t)
 		return false
 	}
@@ -315,6 +336,19 @@ func (s *Stats) Sync(t *Table) bool {
 	edits, ok := t.EditsSince(s.srcGen, s.editBuf)
 	s.editBuf = edits
 	if !ok {
+		s.Reset(t)
+		return false
+	}
+	if Structural(edits) {
+		if !s.syncStructural(t, edits) {
+			s.Reset(t)
+			return false
+		}
+		s.srcGen = t.Generation()
+		return true
+	}
+	if len(s.rows) != t.NumRows() {
+		// Defensive: the row count drifted without a structural log entry.
 		s.Reset(t)
 		return false
 	}
@@ -331,6 +365,9 @@ func (s *Stats) Sync(t *Table) bool {
 		}
 		s.rows[e.Row][e.Col] = t.Get(e.Row, e.Col)
 	}
+	if len(edits) > 0 {
+		s.epoch++
+	}
 	for _, j := range s.colList {
 		s.colTouched[j] = false
 		d := s.cols[j]
@@ -338,13 +375,118 @@ func (s *Stats) Sync(t *Table) bool {
 		for i := 0; i < t.NumRows(); i++ {
 			d.Observe(t.Get(i, j))
 		}
-	}
-	if len(edits) > 0 {
-		// Conditional caches may involve an untouched pair, but epochs are
-		// global; invalidate wholesale and let Conditional rebuild lazily.
-		s.epoch++
+		s.colEpoch[j] = s.epoch
 	}
 	s.srcGen = t.Generation()
+	return true
+}
+
+// syncStructural catches the stats up with a window containing row
+// inserts and/or deletes. Shadow rows replay the structural transcript
+// with pointer swaps (no cell copying), then refresh only the rows and
+// cells RowRemap marks; distributions update by per-column deltas for
+// insert-only windows and by per-column re-observation of the remapped
+// shadow when deletes reshuffled row order. Returns false — caller falls
+// back to Reset — when the decoded window does not land on the live
+// table's shape.
+func (s *Stats) syncStructural(t *Table, edits []Edit) bool {
+	s.remap.Resolve(edits, len(s.rows))
+	rm := &s.remap
+	if rm.NewRows != t.NumRows() {
+		return false
+	}
+	hasDelete := false
+	for _, e := range edits {
+		switch e.Kind {
+		case EditInsert:
+			// Grow the shadow by one pooled slot; its contents are stale
+			// until the Derive refresh below (or it vanishes again if a
+			// later delete in the window claims it).
+			if len(s.rows) < cap(s.rows) {
+				s.rows = s.rows[:len(s.rows)+1]
+			} else {
+				s.rows = append(s.rows, nil)
+			}
+		case EditDelete:
+			hasDelete = true
+			last := len(s.rows) - 1
+			if e.Row < 0 || e.Row > last {
+				return false
+			}
+			s.rows[e.Row], s.rows[last] = s.rows[last], s.rows[e.Row]
+			s.rows = s.rows[:last]
+		}
+	}
+	m := t.NumCols()
+	for _, p := range rm.Derive {
+		src := t.RowView(int(p))
+		if cap(s.rows[p]) >= m {
+			s.rows[p] = s.rows[p][:m]
+		} else {
+			s.rows[p] = make([]Value, m)
+		}
+		copy(s.rows[p], src)
+	}
+	for _, e := range rm.Sets {
+		if rm.CleanSet(e) {
+			s.rows[e.Row][e.Col] = t.Get(e.Row, e.Col)
+		}
+	}
+
+	// Row membership changed in every column, so every conditional pair is
+	// stale regardless of which cells moved.
+	s.epoch++
+	for j := range s.colEpoch {
+		s.colEpoch[j] = s.epoch
+	}
+	if hasDelete {
+		// Swap-deletes reshuffle row order, which can reorder any column's
+		// first-observed sequence; re-observe them all from the remapped
+		// shadow. Counts and order match a full rebuild exactly, at the
+		// cost of Observe calls only — no cell copying.
+		for j, d := range s.cols {
+			d.Reset()
+			for i := range s.rows {
+				d.Observe(s.rows[i][j])
+			}
+		}
+		return true
+	}
+	// Insert-only window: appended rows land at the tail, exactly where a
+	// full rebuild first observes them, so count deltas preserve
+	// first-observed order. Columns with in-place cell edits re-observe in
+	// row order, as on the pure-cell path; the remaining columns take the
+	// appended rows as pure deltas.
+	if cap(s.colTouched) >= len(s.cols) {
+		s.colTouched = s.colTouched[:len(s.cols)]
+	} else {
+		s.colTouched = make([]bool, len(s.cols))
+	}
+	s.colList = s.colList[:0]
+	for _, e := range rm.Sets {
+		if rm.CleanSet(e) && !s.colTouched[e.Col] {
+			s.colTouched[e.Col] = true
+			s.colList = append(s.colList, e.Col)
+		}
+	}
+	for _, j := range s.colList {
+		d := s.cols[j]
+		d.Reset()
+		for i := range s.rows {
+			d.Observe(s.rows[i][j])
+		}
+	}
+	for _, p := range rm.Derive {
+		row := s.rows[p]
+		for j, d := range s.cols {
+			if !s.colTouched[j] {
+				d.Observe(row[j])
+			}
+		}
+	}
+	for _, j := range s.colList {
+		s.colTouched[j] = false
+	}
 	return true
 }
 
@@ -360,6 +502,11 @@ func (s *Stats) ColumnByName(name string) *Distribution {
 // column given equals val. An empty distribution is returned when val was
 // never observed in the given column; it is shared and must be treated as
 // read-only.
+//
+// The cache is dirty-tracked per (given, target) pair: a Sync that
+// touched neither column leaves the pair's distributions valid, so
+// repair loops editing one column stop paying lazy rebuilds for every
+// unrelated conditional they consult.
 func (s *Stats) Conditional(given int, val Value, target int) *Distribution {
 	key := [2]int{given, target}
 	cc, ok := s.cond[key]
@@ -367,7 +514,8 @@ func (s *Stats) Conditional(given int, val Value, target int) *Distribution {
 		cc = &condCache{byKey: make(map[string]*condEntry)}
 		s.cond[key] = cc
 	}
-	if cc.builtEpoch != s.epoch {
+	if cc.builds == 0 || cc.givenEpoch != s.colEpoch[given] || cc.targetEpoch != s.colEpoch[target] {
+		cc.builds++
 		for _, row := range s.rows {
 			gv := row[given]
 			if gv.IsNull() {
@@ -379,16 +527,16 @@ func (s *Stats) Conditional(given int, val Value, target int) *Distribution {
 				e = &condEntry{d: NewDistribution()}
 				cc.byKey[string(s.keyBuf)] = e
 			}
-			if e.epoch != s.epoch {
+			if e.build != cc.builds {
 				e.d.Reset()
-				e.epoch = s.epoch
+				e.build = cc.builds
 			}
 			e.d.Observe(row[target])
 		}
-		cc.builtEpoch = s.epoch
+		cc.givenEpoch, cc.targetEpoch = s.colEpoch[given], s.colEpoch[target]
 	}
 	s.keyBuf = val.AppendKey(s.keyBuf[:0])
-	if e, ok := cc.byKey[string(s.keyBuf)]; ok && e.epoch == s.epoch {
+	if e, ok := cc.byKey[string(s.keyBuf)]; ok && e.build == cc.builds {
 		return e.d
 	}
 	return emptyDist

@@ -136,18 +136,76 @@ func TestStatsSyncOverrunFallsBack(t *testing.T) {
 	sameStats(t, "overrun", s, NewStats(tbl), tbl)
 }
 
-// TestStatsSyncStructuralChangeFallsBack: Append invalidates delta
-// catch-up; Sync must rebuild.
-func TestStatsSyncStructuralChangeFallsBack(t *testing.T) {
+// TestStatsSyncStructuralDelta: Append and DeleteRow now ride the typed
+// edit log; Sync stays on the delta path and still answers exactly as a
+// rebuild, including first-observed order.
+func TestStatsSyncStructuralDelta(t *testing.T) {
 	tbl := MustFromStrings([]string{"A", "B"}, [][]string{{"x", "1"}, {"y", "2"}})
 	s := NewStats(tbl)
 	if err := tbl.Append([]Value{String("z"), Int(3)}); err != nil {
 		t.Fatal(err)
 	}
-	if s.Sync(tbl) {
-		t.Fatal("row-count change must fall back")
+	if !s.Sync(tbl) {
+		t.Fatal("insert-only window must take the delta path")
 	}
 	sameStats(t, "append", s, NewStats(tbl), tbl)
+	// A delete reshuffles row order (swap-delete) and must still match a
+	// rebuild's first-observed order exactly.
+	tbl.DeleteRow(0)
+	if !s.Sync(tbl) {
+		t.Fatal("delete window must take the delta path")
+	}
+	sameStats(t, "delete", s, NewStats(tbl), tbl)
+	// Interleaved cell + structural edits in one window.
+	tbl.Set(0, 0, String("w"))
+	if err := tbl.Append([]Value{String("v"), Int(4)}); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Set(1, 1, Int(9))
+	if !s.Sync(tbl) {
+		t.Fatal("mixed window must take the delta path")
+	}
+	sameStats(t, "mixed", s, NewStats(tbl), tbl)
+}
+
+// TestStatsConditionalDirtyBits pins the per-(column-pair) dirty
+// tracking: a synced cell edit in one column must not invalidate cached
+// conditional distributions over unrelated column pairs.
+func TestStatsConditionalDirtyBits(t *testing.T) {
+	tbl := MustFromStrings([]string{"A", "B", "C"}, [][]string{
+		{"x", "1", "p"}, {"y", "2", "q"}, {"x", "2", "p"},
+	})
+	s := NewStats(tbl)
+	s.Conditional(0, String("x"), 1) // materialize pair (A,B)
+	s.Conditional(0, String("x"), 2) // materialize pair (A,C)
+	ab, ac := s.cond[[2]int{0, 1}], s.cond[[2]int{0, 2}]
+	abBuilds, acBuilds := ab.builds, ac.builds
+	// Edit column C only: pair (A,B) must not rebuild, pair (A,C) must.
+	tbl.Set(0, 2, String("r"))
+	if !s.Sync(tbl) {
+		t.Fatal("single-cell edit must take the delta path")
+	}
+	s.Conditional(0, String("x"), 1)
+	s.Conditional(0, String("x"), 2)
+	if ab.builds != abBuilds {
+		t.Fatal("conditional over untouched pair rebuilt across Sync")
+	}
+	if ac.builds == acBuilds {
+		t.Fatal("conditional over edited pair answered stale")
+	}
+	// A structural edit changes row membership in every column: both pairs
+	// are dirty.
+	abBuilds, acBuilds = ab.builds, ac.builds
+	tbl.DeleteRow(1)
+	if !s.Sync(tbl) {
+		t.Fatal("structural window must take the delta path")
+	}
+	s.Conditional(0, String("x"), 1)
+	s.Conditional(0, String("x"), 2)
+	if ab.builds == abBuilds || ac.builds == acBuilds {
+		t.Fatal("structural edit must dirty every conditional pair")
+	}
+	sameStats(t, "dirty-bits", s, NewStats(tbl), tbl)
 }
 
 // TestStatsSyncDifferentTableFallsBack: pointing a pooled Stats at another
@@ -208,27 +266,66 @@ func TestStatsSyncFirstObservedOrder(t *testing.T) {
 	}
 }
 
-// FuzzStatsSyncEquivalence drives Sync with a fuzzer-chosen edit stream
-// and asserts full-rebuild equivalence — the edit-log consumer analogue of
-// the dc live-set replay fuzz.
+// FuzzStatsSyncEquivalence drives Sync with a fuzzer-chosen stream of
+// cell edits, row inserts, row deletes, and batch brackets, asserting
+// full-rebuild equivalence — the edit-log consumer analogue of the dc
+// live-set replay fuzz. First-observed order (Mode ties, Sample draws) is
+// part of the contract, so structural windows exercise the swap-delete
+// re-observation path as well as the insert-only count-delta path.
 func FuzzStatsSyncEquivalence(f *testing.F) {
 	f.Add([]byte{0x01, 0x42, 0x13, 0x37}, uint8(4), uint8(2))
 	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x10, 0x20, 0x30}, uint8(6), uint8(3))
 	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add([]byte{0xf1, 0x10, 0xe2, 0x21, 0xd0, 0xf3, 0xe1}, uint8(5), uint8(2))
 	f.Fuzz(func(t *testing.T, stream []byte, rowsRaw, colsRaw uint8) {
 		rows := 1 + int(rowsRaw%8)
 		cols := 1 + int(colsRaw%4)
 		rng := rand.New(rand.NewSource(11))
 		tbl := randomStatsTable(rng, rows, cols)
 		s := NewStats(tbl)
-		// Each stream byte encodes one edit; every 5th edit, sync+compare.
+		randomRow := func(b byte) []Value {
+			row := make([]Value, cols)
+			for j := range row {
+				row[j] = statsEditValues[(int(b)+j)%len(statsEditValues)]
+			}
+			return row
+		}
+		// Each stream byte encodes one operation; every 5th op,
+		// sync+compare against a fresh rebuild.
 		for i, b := range stream {
-			row := int(b>>4) % rows
-			col := int(b>>2) % cols
-			tbl.Set(row, col, statsEditValues[int(b)%len(statsEditValues)])
+			switch {
+			case b >= 0xf0:
+				if err := tbl.Append(randomRow(b)); err != nil {
+					t.Fatal(err)
+				}
+			case b >= 0xe0:
+				if tbl.NumRows() > 1 {
+					tbl.DeleteRow(int(b&0x0f) % tbl.NumRows())
+				}
+			case b >= 0xd0:
+				// Batch: a cell edit, an insert, and a delete under one
+				// generation.
+				err := tbl.ApplyBatch(func(bt *Table) error {
+					bt.Set(int(b)%bt.NumRows(), int(b>>2)%cols, statsEditValues[int(b)%len(statsEditValues)])
+					if err := bt.Append(randomRow(b)); err != nil {
+						return err
+					}
+					if bt.NumRows() > 1 {
+						bt.DeleteRow(int(b>>1) % bt.NumRows())
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			default:
+				row := int(b>>4) % tbl.NumRows()
+				col := int(b>>2) % cols
+				tbl.Set(row, col, statsEditValues[int(b)%len(statsEditValues)])
+			}
 			if i%5 == 4 {
 				s.Sync(tbl)
-				sameStats(t, fmt.Sprintf("edit %d", i), s, NewStats(tbl), tbl)
+				sameStats(t, fmt.Sprintf("op %d", i), s, NewStats(tbl), tbl)
 			}
 		}
 		s.Sync(tbl)

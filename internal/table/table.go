@@ -28,25 +28,49 @@ type Table struct {
 	// violation-scan buckets in package dc) key their cache on (table,
 	// generation) and rebuild only when the generation moved.
 	gen uint64
-	// edits is a bounded ring of the most recent cell mutations, so index
-	// structures can catch up from an older generation by replaying deltas
-	// instead of rebuilding wholesale (see EditsSince). Allocated lazily on
-	// the first Set so tables that are never mutated pay nothing.
-	edits []CellEdit
+	// edits is a bounded ring of the most recent mutations — cell
+	// overwrites and structural row edits alike — so index structures can
+	// catch up from an older generation by replaying typed deltas instead
+	// of rebuilding wholesale (see EditsSince). Allocated lazily on the
+	// first mutation so tables that are never mutated pay nothing.
+	edits []Edit
 	// editHead is the ring slot the next edit is written to; editLen is the
 	// number of valid entries (≤ len(edits)).
 	editHead, editLen int
 	// minDeltaGen is the oldest generation EditsSince can catch up from:
-	// structural changes (Append, shape-changing CopyFrom) and ring eviction
-	// advance it.
+	// shape-changing CopyFrom and ring eviction advance it.
 	minDeltaGen uint64
+	// batchDepth counts open ApplyBatch brackets; while positive, mutations
+	// share the generation minted when the outermost bracket opened.
+	batchDepth int
 }
 
-// CellEdit records one cell mutation: Gen is the table generation after the
-// edit was applied.
-type CellEdit struct {
+// EditKind discriminates the entries of the typed edit log.
+type EditKind uint8
+
+const (
+	// EditSet is a single-cell overwrite at (Row, Col).
+	EditSet EditKind = iota
+	// EditInsert is a row append: the row now at index Row (equal to the
+	// row count before the insert) is new.
+	EditInsert
+	// EditDelete is a swap-delete: the row that was at index Row is gone,
+	// the row that was last before the delete now lives at index Row (when
+	// Row was not already last), and the table is one row shorter. This is
+	// the row-identity remapping rule every incremental consumer must
+	// honor; RowRemap decodes a whole window of it.
+	EditDelete
+)
+
+// Edit records one table mutation: a cell overwrite or a structural row
+// change. Gen is the table generation after the edit was applied; edits
+// applied inside one ApplyBatch share a single generation, so generations
+// along the log are non-decreasing rather than strictly increasing. Col
+// is -1 for structural edits.
+type Edit struct {
 	Gen      uint64
 	Row, Col int
+	Kind     EditKind
 }
 
 // editLogWindow bounds the edit ring. It must comfortably exceed the number
@@ -61,17 +85,38 @@ const (
 	editLogWindow  = 512
 )
 
-// logEdit appends one mutation to the ring. Call after bumping gen.
+// logEdit bumps the generation and appends one cell overwrite to the
+// ring. It reduces to a single call into logTyped so Set/SetRef stay one
+// store plus one call — small enough to inline into the evaluation
+// loops, where the write path is the hottest instruction sequence in the
+// repository.
 func (t *Table) logEdit(row, col int) {
+	t.logTyped(row, col, EditSet)
+}
+
+// logStructural bumps the generation and appends one row insert or
+// delete to the ring. Call after the rows slice has its final shape: it
+// is the invalidation barrier of every structural mutation, pairing each
+// row move with the log entry consumers replay to stay in sync.
+func (t *Table) logStructural(kind EditKind, row int) {
+	t.logTyped(row, -1, kind)
+}
+
+// logTyped bumps the generation and appends one typed entry to the
+// bounded ring. The bump and the append share this deliberately
+// non-inlinable callee (see logEdit).
+func (t *Table) logTyped(row, col int, kind EditKind) {
+	t.bump()
+	e := Edit{Gen: t.gen, Row: row, Col: col, Kind: kind}
 	if t.edits == nil {
-		t.edits = make([]CellEdit, editLogInitial)
+		t.edits = make([]Edit, editLogInitial)
 	}
 	if t.editLen == len(t.edits) {
 		if n := len(t.edits); n < editLogWindow {
 			// Grow: unroll the full ring (oldest first) into a larger
 			// backing array. The ring is full, so the oldest entry sits at
 			// editHead.
-			grown := make([]CellEdit, 2*n)
+			grown := make([]Edit, 2*n)
 			copied := copy(grown, t.edits[t.editHead:])
 			copy(grown[copied:], t.edits[:t.editHead])
 			t.edits = grown
@@ -85,35 +130,43 @@ func (t *Table) logEdit(row, col int) {
 	} else {
 		t.editLen++
 	}
-	t.edits[t.editHead] = CellEdit{Gen: t.gen, Row: row, Col: col}
+	t.edits[t.editHead] = e
 	t.editHead++
 	if t.editHead == len(t.edits) {
 		t.editHead = 0
 	}
 }
 
-// invalidateEdits marks a structural change (row count or schema shape):
-// delta catch-up is impossible across it.
+// invalidateEdits abandons the retained history: delta catch-up across
+// this point is impossible and every consumer must rebuild. Only
+// wholesale replacements that defy per-row logging (a shape-changing
+// CopyFrom) use it — plain inserts and deletes are typed log entries.
 func (t *Table) invalidateEdits() {
 	t.minDeltaGen = t.gen
 	t.editLen = 0
 	t.editHead = 0
 }
 
-// EditsSince appends to buf every cell edit with generation in
+// EditsSince appends to buf every typed edit with generation in
 // (gen, t.Generation()], oldest first, and reports whether the log still
 // covers that window. ok is false when gen predates the retained history
-// (ring eviction) or a structural change happened since; callers must then
-// rebuild from scratch. A true result with an empty slice means the table
-// is unchanged.
+// (ring eviction) or a shape-changing CopyFrom happened since; callers
+// must then rebuild from scratch — an invalidated window means "history
+// lost", never "no edits". A true result with an empty slice means the
+// table is unchanged. Row inserts and deletes are ordinary log entries:
+// consumers replay them through RowRemap instead of rebuilding.
 //
 // Cost is O(log window + |edits returned|): retained entries carry
-// strictly increasing generations in ring order, so the first entry past
-// gen is found by binary search instead of scanning the whole ring —
-// incremental consumers (scan indexes, live violation lists, statistics
-// syncs) typically ask for a handful of edits out of a full ring on every
-// evaluation.
-func (t *Table) EditsSince(gen uint64, buf []CellEdit) ([]CellEdit, bool) {
+// non-decreasing generations in ring order (batched edits share one), so
+// the first entry past gen is found by binary search instead of scanning
+// the whole ring — incremental consumers (scan indexes, live violation
+// lists, statistics syncs) typically ask for a handful of edits out of a
+// full ring on every evaluation.
+//
+// Calling EditsSince while an ApplyBatch bracket is open is outside the
+// contract: the batch generation is already minted, so a mid-batch
+// sync would anchor past edits the batch has yet to log.
+func (t *Table) EditsSince(gen uint64, buf []Edit) ([]Edit, bool) {
 	if gen < t.minDeltaGen {
 		return buf, false
 	}
@@ -192,20 +245,76 @@ func (t *Table) NumCols() int { return t.schema.Len() }
 // cell game.
 func (t *Table) NumCells() int { return len(t.rows) * t.schema.Len() }
 
-// Append validates and adds a row. The slice is copied.
+// Append validates and adds a row at the end of the table. The slice is
+// copied. The insert is a typed log entry, so incremental consumers
+// extend their state by exactly one row instead of rebuilding.
 func (t *Table) Append(row []Value) error {
 	if err := t.schema.Validate(row); err != nil {
 		return err
 	}
 	t.rows = append(t.rows, append([]Value(nil), row...))
-	t.gen++
-	t.invalidateEdits()
+	t.logStructural(EditInsert, len(t.rows)-1)
 	return nil
 }
 
-// Generation returns the table's mutation counter. Any Set/Append bumps it,
-// so (pointer, generation) identifies one immutable snapshot of the
-// contents — the invalidation key used by scan caches.
+// DeleteRow removes row i by the swap-delete rule: the last row moves
+// into position i (when i is not already last) and the table shrinks by
+// one. The rule keeps deletion O(1) and leaves every other row's index
+// stable at the price of renumbering exactly one survivor; the typed
+// edit log records the delete so incremental consumers retract the moved
+// row's derived state and re-derive it under its new index (RowRemap).
+// Cached artifacts holding CellRefs are keyed on the table generation,
+// which every delete bumps, so a stale row index can never be read back
+// silently. Panics when i is out of range, matching slice semantics.
+func (t *Table) DeleteRow(i int) {
+	last := len(t.rows) - 1
+	if i < 0 || i > last {
+		panic(fmt.Sprintf("table: DeleteRow(%d) out of range 0..%d", i, last))
+	}
+	// The swap parks the deleted row's storage beyond the new length,
+	// keeping the slot pooled for a future shape-matching CopyFrom.
+	t.rows[i], t.rows[last] = t.rows[last], t.rows[i]
+	t.rows = t.rows[:last]
+	t.logStructural(EditDelete, i)
+}
+
+// ApplyBatch runs fn with the table in batch mode: every mutation fn
+// applies (Set, Append, DeleteRow, nested batches) shares one
+// generation, logged as a contiguous run of typed edits, so incremental
+// consumers replay the whole transaction as a single delta and
+// generation-keyed caches invalidate exactly once. fn's error is
+// returned as-is; mutations already applied when fn fails stay applied —
+// the bracket groups generations, not atomicity, so callers validate
+// before mutating. Incremental consumers must not sync against the table
+// while the bracket is open (see EditsSince).
+func (t *Table) ApplyBatch(fn func(*Table) error) error {
+	t.beginBatch()
+	defer t.endBatch()
+	return fn(t)
+}
+
+func (t *Table) beginBatch() {
+	t.batchDepth++
+	if t.batchDepth == 1 {
+		t.gen++
+	}
+}
+
+func (t *Table) endBatch() { t.batchDepth-- }
+
+// bump advances the generation for one mutation. Inside a batch the
+// generation already moved when the outermost bracket opened and holds
+// for the whole batch.
+func (t *Table) bump() {
+	if t.batchDepth == 0 {
+		t.gen++
+	}
+}
+
+// Generation returns the table's mutation counter. Any mutation — cell
+// set, row insert or delete, batch — bumps it, so (pointer, generation)
+// identifies one immutable snapshot of the contents — the invalidation
+// key used by scan caches.
 func (t *Table) Generation() uint64 { return t.gen }
 
 // Get returns the value at (row, col). It panics on out-of-range indexes,
@@ -223,14 +332,12 @@ func (t *Table) GetByName(row int, name string) Value {
 // Set overwrites the value at (row, col).
 func (t *Table) Set(row, col int, v Value) {
 	t.rows[row][col] = v
-	t.gen++
 	t.logEdit(row, col)
 }
 
 // SetRef overwrites the value at a cell reference.
 func (t *Table) SetRef(ref CellRef, v Value) {
 	t.rows[ref.Row][ref.Col] = v
-	t.gen++
 	t.logEdit(ref.Row, ref.Col)
 }
 
@@ -238,7 +345,6 @@ func (t *Table) SetRef(ref CellRef, v Value) {
 func (t *Table) SetByName(row int, name string, v Value) {
 	col := t.schema.MustIndex(name)
 	t.rows[row][col] = v
-	t.gen++
 	t.logEdit(row, col)
 }
 
@@ -282,7 +388,6 @@ func (t *Table) CopyFrom(src *Table) {
 					// unequal to itself and is conservatively re-copied.
 					if row[j] != v {
 						row[j] = v
-						t.gen++
 						t.logEdit(i, j)
 					}
 				}
@@ -305,7 +410,7 @@ func (t *Table) CopyFrom(src *Table) {
 			t.rows[i] = append([]Value(nil), srcRow...)
 		}
 	}
-	t.gen++
+	t.bump()
 	t.invalidateEdits()
 }
 
